@@ -1,0 +1,85 @@
+(* The experiment harness: regenerates every figure/claim of the paper.
+
+   The experiments themselves live in the Repro_experiments library (one
+   per figure/theorem — see DESIGN.md's index); this executable runs them
+   all at full size, prints their tables and plots, and appends the
+   Bechamel wall-clock micro-benchmarks. EXPERIMENTS.md records the
+   paper-vs-measured analysis of a reference run. *)
+
+module G = Core.Graph.Multigraph
+module Instance = Core.Local.Instance
+module SO = Core.Problems.Sinkless_orientation
+module GB = Core.Gadget.Build
+module GC = Core.Gadget.Check
+module GL = Core.Gadget.Labels
+module V = Core.Gadget.Verifier
+module Spec = Core.Padding.Spec
+module Pi = Core.Padding.Pi_prime
+module PG = Core.Padding.Padded_graph
+module H = Core.Padding.Hierarchy
+module Runs = Repro_experiments.Runs
+
+let section name =
+  Printf.printf "\n==================== %s ====================\n" name
+
+let w_bechamel () =
+  section "W-bechamel (wall-clock micro-benchmarks)";
+  let open Bechamel in
+  let rng = Random.State.make [| 11 |] in
+  let g3k = SO.hard_instance rng ~n:3000 in
+  let inst3k = Instance.create g3k in
+  let gadget8 = GB.gadget ~delta:3 ~height:8 in
+  let so = H.sinkless_orientation in
+  let so' = Pi.pad so in
+  let pg, pinp = Pi.hard_instance_parts so rng ~base_target:30 ~gadget_target:60 in
+  let pinst = Instance.create pg.PG.padded in
+  let tests =
+    [
+      Test.make ~name:"ball-gather-r10-3k"
+        (Staged.stage (fun () ->
+             ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10)));
+      Test.make ~name:"so-det-3k"
+        (Staged.stage (fun () -> ignore (SO.solve_deterministic inst3k)));
+      Test.make ~name:"so-rand-3k"
+        (Staged.stage (fun () -> ignore (SO.solve_randomized inst3k)));
+      Test.make ~name:"gadget-build-h8"
+        (Staged.stage (fun () -> ignore (GB.gadget ~delta:3 ~height:8)));
+      Test.make ~name:"gadget-check-h8"
+        (Staged.stage (fun () -> ignore (GC.is_valid ~delta:3 gadget8)));
+      Test.make ~name:"verifier-h8"
+        (Staged.stage (fun () ->
+             ignore (V.run ~delta:3 ~n:(G.n gadget8.GL.graph) gadget8)));
+      Test.make ~name:"pi2-solve-det"
+        (Staged.stage (fun () -> ignore (so'.Spec.solve_det pinst pinp)));
+    ]
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name o ->
+          match Analyze.OLS.estimates o with
+          | Some [ t ] -> Printf.printf "%-24s %14.0f ns/run\n" name t
+          | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
+        results)
+    tests
+
+let () =
+  Printf.printf "Reproduction harness: every table/figure of the paper.\n";
+  Printf.printf
+    "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)\n";
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun (e : Runs.experiment) ->
+      section (Printf.sprintf "%s (%s)" e.Runs.id e.Runs.doc);
+      Runs.run_and_print ~quick:false e)
+    Runs.all;
+  w_bechamel ();
+  Printf.printf "\nAll experiment sections completed in %.1f s.\n"
+    (Unix.gettimeofday () -. t0)

@@ -1,0 +1,277 @@
+(* Command-line interface to the reproduction.
+
+     repro landscape                 measured Figure-1 rows
+     repro hierarchy -i 2 -t 10000   run Π^i on a hard instance
+     repro gadget -H 6 [-c kind]     build/check/prove a gadget
+     repro solve-so -n 10000         sinkless orientation, both solvers
+     repro decompose -n 5000         network decompositions
+*)
+
+module G = Core.Graph.Multigraph
+module Gen = Core.Graph.Generators
+module Instance = Core.Local.Instance
+module Meter = Core.Local.Meter
+module SO = Core.Problems.Sinkless_orientation
+module GB = Core.Gadget.Build
+module GC = Core.Gadget.Check
+module GL = Core.Gadget.Labels
+module V = Core.Gadget.Verifier
+module NP = Core.Gadget.Ne_psi
+module Corrupt = Core.Gadget.Corrupt
+module Psi = Core.Gadget.Psi
+module Spec = Core.Padding.Spec
+module ND = Core.Problems.Network_decomposition
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let landscape_cmd =
+  let run sizes =
+    Printf.printf "%-26s" "problem";
+    List.iter (fun n -> Printf.printf "%9d" n) sizes;
+    print_newline ();
+    let rng = Random.State.make [| 1 |] in
+    let row name f =
+      Printf.printf "%-26s" name;
+      List.iter (fun n -> Printf.printf "%9d" (f n)) sizes;
+      print_newline ()
+    in
+    row "coloring (log* n)" (fun n ->
+        let g = Gen.random_simple_regular rng ~n ~d:3 in
+        let _, m = Core.Problems.Coloring.solve (Instance.create g) in
+        Meter.max_radius m);
+    row "matching (log* n)" (fun n ->
+        let g = Gen.random_simple_regular rng ~n ~d:3 in
+        let _, m = Core.Problems.Matching.solve (Instance.create g) in
+        Meter.max_radius m);
+    row "SO rand (log log n)" (fun n ->
+        let g = SO.hard_instance rng ~n in
+        let _, m = SO.solve_randomized (Instance.create ~seed:n g) in
+        Meter.max_radius m);
+    row "SO det (log n)" (fun n ->
+        let g = SO.hard_instance rng ~n in
+        let _, m = SO.solve_deterministic (Instance.create g) in
+        Meter.max_radius m);
+    row "Pi2 rand (logn.loglogn)" (fun n ->
+        (Spec.run_hard (Core.pi 2) ~seed:2 ~target:n).Spec.rand_rounds);
+    row "Pi2 det (log^2 n)" (fun n ->
+        (Spec.run_hard (Core.pi 2) ~seed:2 ~target:n).Spec.det_rounds);
+    row "2-coloring (n)" (fun n ->
+        let g = Core.Problems.Two_coloring.hard_instance ~n in
+        let _, m = Core.Problems.Two_coloring.solve (Instance.create g) in
+        Meter.max_radius m)
+  in
+  let sizes =
+    Arg.(
+      value
+      & opt (list int) [ 1000; 10000; 100000 ]
+      & info [ "sizes" ] ~docv:"N,N,..." ~doc:"Instance sizes.")
+  in
+  Cmd.v
+    (Cmd.info "landscape" ~doc:"Measured Figure-1 landscape rows.")
+    Term.(const run $ sizes)
+
+let hierarchy_cmd =
+  let run level target seed =
+    let stats = Spec.run_hard (Core.pi level) ~seed ~target in
+    Printf.printf "problem:        %s\n" (Spec.packed_name (Core.pi level));
+    Printf.printf "instance size:  %d\n" stats.Spec.n;
+    Printf.printf "deterministic:  %d rounds (valid=%b)\n" stats.Spec.det_rounds
+      stats.Spec.det_valid;
+    Printf.printf "randomized:     %d rounds (valid=%b)\n" stats.Spec.rand_rounds
+      stats.Spec.rand_valid;
+    Printf.printf "D/R ratio:      %.2f\n"
+      (float_of_int stats.Spec.det_rounds
+      /. float_of_int (max 1 stats.Spec.rand_rounds))
+  in
+  let level =
+    Arg.(value & opt int 2 & info [ "i"; "level" ] ~docv:"I" ~doc:"Hierarchy level.")
+  in
+  let target =
+    Arg.(value & opt int 10000 & info [ "t"; "target" ] ~docv:"N" ~doc:"Target size.")
+  in
+  Cmd.v
+    (Cmd.info "hierarchy" ~doc:"Run Π^i on a hard instance (Theorem 11).")
+    Term.(const run $ level $ target $ seed_arg)
+
+let corrupt_conv =
+  let parse s =
+    let all =
+      List.map (fun k -> (Format.asprintf "%a" Corrupt.pp_kind k, k)) Corrupt.all_kinds
+    in
+    match List.assoc_opt s all with
+    | Some k -> Ok k
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown corruption %S (try: %s)" s
+             (String.concat ", " (List.map fst all))))
+  in
+  let print fmt k = Corrupt.pp_kind fmt k in
+  Arg.conv (parse, print)
+
+let gadget_cmd =
+  let run height delta corrupt dot seed =
+    let t = GB.gadget ~delta ~height in
+    let t =
+      match corrupt with
+      | None -> t
+      | Some kind ->
+        let rng = Random.State.make [| seed |] in
+        Corrupt.apply rng kind t
+    in
+    let n = G.n t.GL.graph in
+    Printf.printf "gadget: delta=%d height=%d nodes=%d edges=%d\n" delta height
+      n (G.m t.GL.graph);
+    let violations = GC.violations ~delta t in
+    Printf.printf "structure: %s (%d violations)\n"
+      (if violations = [] then "VALID" else "INVALID")
+      (List.length violations);
+    List.iteri
+      (fun i v -> if i < 8 then Format.printf "  %a\n" GC.pp_violation v)
+      violations;
+    let out, m = V.run ~delta ~n t in
+    Printf.printf "prover V: %s, max radius %d, proof accepted by Psi: %b\n"
+      (if V.is_all_ok out then "all GadOk" else "error proof")
+      (Meter.max_radius m) (Psi.is_valid ~delta t out);
+    let sol, _ = NP.prove ~delta ~n t in
+    Printf.printf "node-edge proof accepted: %b\n" (NP.is_valid ~delta t sol);
+    match dot with
+    | Some path ->
+      Core.Graph.Dot.write_file ~path
+        ~node_label:(fun v ->
+          Format.asprintf "%a%s" GL.pp_node_kind t.GL.nodes.(v).GL.kind
+            (match t.GL.nodes.(v).GL.port with
+            | Some i -> Printf.sprintf "/P%d" i
+            | None -> ""))
+        ~edge_label:(fun e ->
+          Format.asprintf "%a" GL.pp_half_label t.GL.halves.(2 * e))
+        t.GL.graph;
+      Printf.printf "wrote %s\n" path
+    | None -> ()
+  in
+  let height =
+    Arg.(value & opt int 5 & info [ "H"; "height" ] ~docv:"H" ~doc:"Sub-gadget height.")
+  in
+  let delta =
+    Arg.(value & opt int 3 & info [ "d"; "delta" ] ~docv:"D" ~doc:"Number of ports.")
+  in
+  let corrupt =
+    Arg.(
+      value
+      & opt (some corrupt_conv) None
+      & info [ "c"; "corrupt" ] ~docv:"KIND" ~doc:"Apply a corruption.")
+  in
+  let dot =
+    Arg.(
+      value & opt (some string) None & info [ "dot" ] ~docv:"FILE" ~doc:"Write DOT.")
+  in
+  Cmd.v
+    (Cmd.info "gadget" ~doc:"Build, check and prove a (log,Δ)-gadget.")
+    Term.(const run $ height $ delta $ corrupt $ dot $ seed_arg)
+
+let solve_so_cmd =
+  let run n seed =
+    let rng = Random.State.make [| seed |] in
+    let g = SO.hard_instance rng ~n in
+    let inst = Instance.create ~seed g in
+    let out_d, m_d = SO.solve_deterministic inst in
+    let out_r, m_r = SO.solve_randomized inst in
+    Printf.printf "n=%d (3-regular)\n" (G.n g);
+    Printf.printf "deterministic: valid=%b rounds=%d\n" (SO.is_valid g out_d)
+      (Meter.max_radius m_d);
+    Printf.printf "randomized:    valid=%b rounds=%d\n" (SO.is_valid g out_r)
+      (Meter.max_radius m_r)
+  in
+  let n = Arg.(value & opt int 10000 & info [ "n" ] ~docv:"N" ~doc:"Nodes.") in
+  Cmd.v
+    (Cmd.info "solve-so" ~doc:"Sinkless orientation, both solvers.")
+    Term.(const run $ n $ seed_arg)
+
+let decompose_cmd =
+  let run n p seed =
+    let rng = Random.State.make [| seed |] in
+    let g = Gen.random_regular rng ~n ~d:3 in
+    let inst = Instance.create ~seed g in
+    let ls = ND.linial_saks inst ~p in
+    let gr = ND.greedy inst in
+    Printf.printf "n=%d   log2 n = %.1f\n" n (log (float_of_int n) /. log 2.0);
+    Printf.printf "Linial-Saks: colors=%d diameter=%d valid=%b\n" ls.ND.colors
+      ls.ND.diameter (ND.is_valid g ls);
+    Printf.printf "greedy:      colors=%d diameter=%d valid=%b\n" gr.ND.colors
+      gr.ND.diameter (ND.is_valid g gr)
+  in
+  let n = Arg.(value & opt int 5000 & info [ "n" ] ~docv:"N" ~doc:"Nodes.") in
+  let p =
+    Arg.(value & opt float 0.5 & info [ "p" ] ~docv:"P" ~doc:"Geometric parameter.")
+  in
+  Cmd.v
+    (Cmd.info "decompose" ~doc:"(C,D) network decompositions (the open question).")
+    Term.(const run $ n $ p $ seed_arg)
+
+let experiment_cmd =
+  let module Runs = Repro_experiments.Runs in
+  let run id quick csv_dir =
+    match id with
+    | None ->
+      Printf.printf "available experiments:\n";
+      List.iter
+        (fun (e : Runs.experiment) ->
+          Printf.printf "  %-5s %s\n" e.Runs.id e.Runs.doc)
+        Runs.all;
+      `Ok ()
+    | Some id -> (
+      match Runs.find id with
+      | None ->
+        `Error
+          (false, Printf.sprintf "unknown experiment %S (try: %s)" id
+                    (String.concat ", " Runs.ids))
+      | Some e ->
+        let outcome = e.Runs.run ~quick in
+        List.iter
+          (fun t -> Format.printf "%a@." Repro_experiments.Table.pp t)
+          outcome.Runs.tables;
+        List.iter print_string outcome.Runs.plots;
+        (match csv_dir with
+        | Some dir ->
+          List.iteri
+            (fun i t ->
+              let path =
+                Filename.concat dir
+                  (Printf.sprintf "%s-%d.csv" (String.lowercase_ascii e.Runs.id) i)
+              in
+              Repro_experiments.Table.write_csv ~path t;
+              Printf.printf "wrote %s\n" path)
+            outcome.Runs.tables
+        | None -> ());
+        `Ok ())
+  in
+  let id =
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"ID" ~doc:"Experiment id (omit to list).")
+  in
+  let quick =
+    Arg.(value & flag & info [ "q"; "quick" ] ~doc:"Smaller instance sizes.")
+  in
+  let csv_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "csv" ] ~docv:"DIR" ~doc:"Also write each table as CSV into DIR.")
+  in
+  Cmd.v
+    (Cmd.info "experiment" ~doc:"Run one experiment from the paper's index.")
+    Term.(ret (const run $ id $ quick $ csv_dir))
+
+let () =
+  let doc = "Reproduction of 'How much does randomness help with locally checkable problems?' (PODC 2020)" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "repro" ~doc)
+          [
+            landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd;
+            decompose_cmd; experiment_cmd;
+          ]))

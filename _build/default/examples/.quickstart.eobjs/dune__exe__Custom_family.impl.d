@@ -1,0 +1,1 @@
+examples/custom_family.ml: Core List Printf

@@ -1,0 +1,1 @@
+examples/error_proofs.ml: Array Core Format Hashtbl List Printf Random

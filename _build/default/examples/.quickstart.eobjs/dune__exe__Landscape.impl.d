@@ -1,0 +1,1 @@
+examples/landscape.ml: Core List Printf Random

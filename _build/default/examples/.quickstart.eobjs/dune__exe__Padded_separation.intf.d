@@ -1,0 +1,1 @@
+examples/padded_separation.mli:

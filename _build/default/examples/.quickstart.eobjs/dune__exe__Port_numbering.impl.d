@@ -1,0 +1,1 @@
+examples/port_numbering.ml: Array Core Either List Printf Random

@@ -1,0 +1,54 @@
+(* Build your own (d, Δ)-gadget family and feed it to Theorem 1.
+
+   The padding transformer is black-box in the gadget family (paper §3:
+   "for each ne-LCL problem Π and each (d, Δ)-gadget family G"). The
+   library ships two families — the paper's Θ(log n) tree gadgets and a
+   Θ(n) star-of-paths family — and this example pads sinkless orientation
+   with both, side by side, to show how the choice of d(·) moves the
+   padded problem around the complexity landscape:
+
+     log family:    D(N) ≈ log²N,        R(N) ≈ log N · loglog N
+     linear family: D(N) ≈ √N·log √N,    R(N) ≈ √N · loglog √N
+
+   Run with: dune exec examples/custom_family.exe *)
+
+module Spec = Core.Padding.Spec
+module Pi = Core.Padding.Pi_prime
+module Fam = Core.Gadget.Family
+module H = Core.Padding.Hierarchy
+
+let () =
+  let so = H.sinkless_orientation in
+  let padded =
+    [
+      ("log family (the paper's)", Spec.Packed (Pi.pad so));
+      ( "linear family (star-of-paths)",
+        Spec.Packed (Pi.pad_with (Fam.linear_family ~delta:3) so) );
+    ]
+  in
+  List.iter
+    (fun (name, packed) ->
+      Printf.printf "== padding sinkless orientation with the %s ==\n" name;
+      Printf.printf "%10s %10s %8s %8s %8s\n" "target" "n" "det" "rand" "D/R";
+      List.iter
+        (fun target ->
+          let s = Spec.run_hard packed ~seed:4 ~target in
+          assert (s.Spec.det_valid && s.Spec.rand_valid);
+          Printf.printf "%10d %10d %8d %8d %8.2f\n" target s.Spec.n
+            s.Spec.det_rounds s.Spec.rand_rounds
+            (float_of_int s.Spec.det_rounds
+            /. float_of_int (max 1 s.Spec.rand_rounds)))
+        [ 500; 2000; 8000; 32000 ];
+      print_newline ())
+    padded;
+  Printf.printf
+    "Same base problem, same transformer, different d(.): the log family\n\
+     adds a log factor per application (Theorem 11's hierarchy), the\n\
+     linear family jumps straight to the polynomial region. In both the\n\
+     D/R gap stays ~ log/loglog of the base — randomness helps, but only\n\
+     subexponentially, whichever family you pad with.\n\n";
+  Printf.printf
+    "To plug in your own family, provide the record fields of\n\
+     Core.Gadget.Family.t: a builder, a validity predicate, the Psi_G\n\
+     ne-LCL, and a prover — see lib/gadget/linear_gadget.ml for the\n\
+     complete worked example (~450 lines including the proofs-of-error).\n"

@@ -1,0 +1,86 @@
+(* Locally checkable proofs of error (§4.4–§4.6): corrupt a gadget in
+   several ways, run the prover V, inspect the error-pointer chains, and
+   verify the proofs with the Ψ checker and the node-edge checker Ψ_G.
+   Then show the converse (Lemma 9): forged proofs on a valid gadget are
+   rejected.
+
+   Run with: dune exec examples/error_proofs.exe *)
+
+module G = Core.Graph.Multigraph
+module L = Core.Gadget.Labels
+module B = Core.Gadget.Build
+module C = Core.Gadget.Check
+module Psi = Core.Gadget.Psi
+module V = Core.Gadget.Verifier
+module NP = Core.Gadget.Ne_psi
+module Corrupt = Core.Gadget.Corrupt
+
+let summarize name t =
+  let delta = 3 in
+  let n = G.n t.L.graph in
+  let violations = C.violations ~delta t in
+  let out, meter = V.run ~delta ~n t in
+  let psi_ok = Psi.is_valid ~delta t out in
+  let counts = Hashtbl.create 8 in
+  Array.iter
+    (fun o ->
+      let key = Format.asprintf "%a" Psi.pp_out o in
+      Hashtbl.replace counts key (1 + try Hashtbl.find counts key with Not_found -> 0))
+    out;
+  Printf.printf "%-18s structure-violations=%-2d proof-accepted=%b radius=%d\n"
+    name (List.length violations) psi_ok
+    (Core.Local.Meter.max_radius meter);
+  Hashtbl.iter (fun k c -> Printf.printf "    %-12s x%d\n" k c) counts;
+  (* and through the node-edge encoding *)
+  let sol, _ = NP.prove ~delta ~n t in
+  Printf.printf "    node-edge proof accepted=%b (witnesses=%d)\n"
+    (NP.is_valid ~delta t sol)
+    (Array.fold_left
+       (fun a (o : NP.node_out) -> if o.NP.status = NP.NWit then a + 1 else a)
+       0 sol.Core.Lcl.Labeling.v)
+
+let () =
+  Printf.printf "== error proofs on the (log, Δ)-gadget family ==\n\n";
+  let fresh () = B.gadget ~delta:3 ~height:5 in
+  let rng = Random.State.make [| 7 |] in
+
+  Printf.printf "-- a valid gadget (94 nodes): everyone says Ok --\n";
+  summarize "valid" (fresh ());
+
+  Printf.printf "\n-- one corruption of each kind --\n";
+  List.iter
+    (fun kind ->
+      let rec attempt tries =
+        let t = Corrupt.apply rng kind (fresh ()) in
+        if C.is_valid ~delta:3 t && tries < 20 then attempt (tries + 1) else t
+      in
+      let t = attempt 0 in
+      if not (C.is_valid ~delta:3 t) then
+        summarize (Format.asprintf "%a" Corrupt.pp_kind kind) t)
+    Corrupt.all_kinds;
+
+  Printf.printf "\n-- Lemma 9: forging error labels on a valid gadget --\n";
+  let t = fresh () in
+  let n = G.n t.L.graph in
+  let all_parent =
+    Array.init n (fun v ->
+        if t.L.nodes.(v).L.kind = L.Center then Psi.Ptr (Psi.PDown 1)
+        else if L.has_half t v L.Parent then Psi.Ptr Psi.PParent
+        else Psi.Ptr Psi.PUp)
+  in
+  Printf.printf "everyone points to the center:      accepted=%b (must be false)\n"
+    (Psi.is_valid ~delta:3 t all_parent);
+  let all_right =
+    Array.init n (fun v ->
+        if L.has_half t v L.Right then Psi.Ptr Psi.PRight else Psi.Ptr Psi.PLeft)
+  in
+  Printf.printf "everyone points right:              accepted=%b (must be false)\n"
+    (Psi.is_valid ~delta:3 t all_right);
+  let one_error = Array.make n Psi.Ok in
+  one_error.(10) <- Psi.Error;
+  Printf.printf "a lone fabricated Error:            accepted=%b (must be false)\n"
+    (Psi.is_valid ~delta:3 t one_error);
+  let forged = NP.all_ok_solution t in
+  forged.Core.Lcl.Labeling.v.(4) <- { NP.status = NP.NWit; chains = [] };
+  Printf.printf "a lone node-edge witness:           accepted=%b (must be false)\n"
+    (NP.is_valid ~delta:3 t forged)

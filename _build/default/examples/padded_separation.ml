@@ -1,0 +1,36 @@
+(* The paper's headline (Theorem 11): the padded problem Π² has
+   deterministic complexity Θ(log² n) but randomized complexity
+   Θ(log n · log log n) — randomness helps, but only polynomially.
+
+   This example builds Π² = pad(sinkless orientation), generates its hard
+   instances (a √n-node random 3-regular base graph, each node blown up
+   into a √n-node tree-like gadget), solves them with the Lemma-4 solver
+   deterministically and randomized, verifies both solutions against the
+   full Π' constraint system of §3.3, and prints the measured separation.
+
+   Run with: dune exec examples/padded_separation.exe *)
+
+module Spec = Core.Padding.Spec
+
+let () =
+  Printf.printf "== Theorem 11 at level 2: D(n) = Θ(log² n) vs R(n) = Θ(log n · log log n) ==\n\n";
+  Printf.printf "%10s %10s %8s %8s %8s %10s %12s\n" "target" "n" "det" "rand"
+    "D/R" "log²n/16" "logn·llogn/4";
+  let pi2 = Core.pi 2 in
+  List.iter
+    (fun target ->
+      let s = Spec.run_hard pi2 ~seed:1 ~target in
+      assert (s.Spec.det_valid && s.Spec.rand_valid);
+      let fn = float_of_int s.Spec.n in
+      let lg = log fn /. log 2.0 in
+      Printf.printf "%10d %10d %8d %8d %8.2f %10.1f %12.1f\n" target s.Spec.n
+        s.Spec.det_rounds s.Spec.rand_rounds
+        (float_of_int s.Spec.det_rounds /. float_of_int s.Spec.rand_rounds)
+        (lg *. lg /. 16.0)
+        (lg *. (log lg /. log 2.0) /. 4.0))
+    [ 200; 500; 1000; 3000; 10000; 30000; 100000 ];
+  Printf.printf
+    "\nBoth solutions pass the Π' checker at every size (asserted).\n";
+  Printf.printf
+    "The D/R ratio grows like log n / log log n: randomness helps, but\n";
+  Printf.printf "only subexponentially — the conjecture from §1 is false.\n"

@@ -1,0 +1,25 @@
+(** Umbrella module: the public API of the reproduction.
+
+    - {!Graph}: port-numbered multigraphs, generators, traversals.
+    - {!Local}: the LOCAL-model simulator (ids, randomness, balls, meters).
+    - {!Lcl}: the node-edge-checkable LCL formalism.
+    - {!Problems}: sinkless orientation, coloring, MIS — the landscape.
+    - {!Gadget}: the (log, Δ)-gadget family of Section 4.
+    - {!Padding}: padded LCLs (Section 3) and the Π^i hierarchy (Section 5). *)
+
+module Graph = Repro_graph
+module Local = Repro_local
+module Lcl = Repro_lcl
+module Problems = Repro_problems
+module Gadget = Repro_gadget
+module Padding = Repro_padding
+
+(** [pi i] is the LCL Π^i of Theorem 11: deterministic complexity
+    [Θ(log^i n)], randomized [Θ(log^{i-1} n · log log n)]. *)
+let pi = Padding.Hierarchy.level
+
+(** Solve a problem level on a fresh hard instance and report measured
+    round complexities (see {!Padding.Spec.run_hard}). *)
+let run_hard = Padding.Spec.run_hard
+
+module Stats = Repro_stats

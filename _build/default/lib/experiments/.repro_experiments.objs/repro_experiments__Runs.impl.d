@@ -1,0 +1,1 @@
+lib/experiments/runs.ml: Array Ascii_plot Core Format List Printf Random Repro_stats String Table

@@ -1,0 +1,53 @@
+type series = {
+  label : char;
+  points : (float * float) list;
+}
+
+let render ?(width = 64) ?(height = 16) ?(log_x = true) ~title series =
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then title ^ "\n(no data)\n"
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let fx x = if log_x then log (max 1.0 x) else x in
+    let xmin = fx (List.fold_left min infinity xs) in
+    let xmax = fx (List.fold_left max neg_infinity xs) in
+    let ymin = 0.0 in
+    let ymax = max 1.0 (List.fold_left max neg_infinity ys) in
+    let grid = Array.make_matrix height width ' ' in
+    let place x y c =
+      let px =
+        if xmax = xmin then 0
+        else
+          int_of_float
+            ((fx x -. xmin) /. (xmax -. xmin) *. float_of_int (width - 1))
+      in
+      let py =
+        int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1))
+      in
+      let px = max 0 (min (width - 1) px) in
+      let py = max 0 (min (height - 1) py) in
+      grid.(height - 1 - py).(px) <- c
+    in
+    List.iter (fun s -> List.iter (fun (x, y) -> place x y s.label) s.points) series;
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf (title ^ "\n");
+    Array.iteri
+      (fun i row ->
+        let y_at_row =
+          ymax -. (float_of_int i /. float_of_int (height - 1) *. (ymax -. ymin))
+        in
+        Buffer.add_string buf (Printf.sprintf "%8.0f |" y_at_row);
+        Array.iter (Buffer.add_char buf) row;
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 10 ' ');
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    let show v = if log_x then exp v else v in
+    Buffer.add_string buf
+      (Printf.sprintf "%10s%.0f%s%.0f%s\n" "" (show xmin)
+         (String.make (max 1 (width - 16)) ' ')
+         (show xmax)
+         (if log_x then "  (log x)" else ""));
+    Buffer.contents buf
+  end

@@ -1,0 +1,17 @@
+(** Tiny ASCII scatter plots for the harness output: round complexity
+    against instance size, several series overlaid, logarithmic x-axis. *)
+
+type series = {
+  label : char;   (** the mark drawn for this series *)
+  points : (float * float) list;  (** (x, y) *)
+}
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?log_x:bool ->
+  title:string ->
+  series list ->
+  string
+(** A [width]×[height] (default 64×16) plot; x mapped logarithmically when
+    [log_x] (default true). Collisions keep the later series' mark. *)

@@ -1,0 +1,23 @@
+(** The experiment registry: every figure/claim of the paper as a runnable
+    experiment returning structured {!Table}s (see DESIGN.md §4 for the
+    index and EXPERIMENTS.md for the paper-vs-measured record).
+
+    Both the benchmark harness ([bench/main.exe]) and the CLI
+    ([bin/repro.exe experiment <id>]) run these; [quick] shrinks instance
+    sizes for interactive use. *)
+
+type outcome = {
+  tables : Table.t list;
+  plots : string list;  (** pre-rendered ASCII plots *)
+}
+
+type experiment = {
+  id : string;      (** e.g. "F1", "T11" *)
+  doc : string;
+  run : quick:bool -> outcome;
+}
+
+val all : experiment list
+val ids : string list
+val find : string -> experiment option
+val run_and_print : ?quick:bool -> experiment -> unit

@@ -1,0 +1,87 @@
+type cell =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;
+}
+
+let make ~title ~columns ?(notes = []) rows =
+  let w = List.length columns in
+  List.iter
+    (fun row ->
+      if List.length row <> w then
+        invalid_arg
+          (Printf.sprintf "Table.make %S: row width %d <> %d columns" title
+             (List.length row) w))
+    rows;
+  { title; columns; rows; notes }
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Float f -> Printf.sprintf "%.2f" f
+  | Str s -> s
+  | Bool b -> string_of_bool b
+
+let pp fmt t =
+  let all = t.columns :: List.map (List.map cell_to_string) t.rows in
+  let widths =
+    List.fold_left
+      (fun acc row ->
+        List.mapi
+          (fun i s -> max (List.nth acc i) (String.length s))
+          row)
+      (List.map String.length t.columns)
+      (List.map (List.map cell_to_string) t.rows)
+  in
+  ignore all;
+  Format.fprintf fmt "-- %s --@." t.title;
+  let print_row row =
+    List.iteri
+      (fun i s ->
+        let w = List.nth widths i in
+        Format.fprintf fmt "%s%s  " (String.make (max 0 (w - String.length s)) ' ') s)
+      row;
+    Format.fprintf fmt "@."
+  in
+  print_row t.columns;
+  List.iter (fun row -> print_row (List.map cell_to_string row)) t.rows;
+  List.iter (fun note -> Format.fprintf fmt "%s@." note) t.notes
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map csv_escape cells) in
+  String.concat "\n"
+    (line t.columns
+    :: List.map (fun row -> line (List.map cell_to_string row)) t.rows)
+  ^ "\n"
+
+let write_csv ~path t =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))
+
+let column t name =
+  let rec index i = function
+    | [] -> raise Not_found
+    | c :: _ when c = name -> i
+    | _ :: rest -> index (i + 1) rest
+  in
+  let i = index 0 t.columns in
+  List.map (fun row -> List.nth row i) t.rows
+
+let float_column t name =
+  List.map
+    (function
+      | Int i -> float_of_int i
+      | Float f -> f
+      | Str _ | Bool _ -> invalid_arg "Table.float_column: non-numeric cell")
+    (column t name)

@@ -1,0 +1,34 @@
+(** Structured result tables: what every experiment returns, rendered as
+    aligned text for the harness and as CSV for plotting. *)
+
+type cell =
+  | Int of int
+  | Float of float  (** rendered with 2 decimals *)
+  | Str of string
+  | Bool of bool
+
+type t = {
+  title : string;
+  columns : string list;
+  rows : cell list list;
+  notes : string list;  (** narrative lines printed after the table *)
+}
+
+val make : title:string -> columns:string list -> ?notes:string list -> cell list list -> t
+(** @raise Invalid_argument if a row's width differs from [columns]. *)
+
+val cell_to_string : cell -> string
+
+val pp : Format.formatter -> t -> unit
+(** Aligned plain-text rendering. *)
+
+val to_csv : t -> string
+(** Header line plus one line per row; fields quoted when needed. *)
+
+val write_csv : path:string -> t -> unit
+
+val column : t -> string -> cell list
+(** Extract a column by name. @raise Not_found if absent. *)
+
+val float_column : t -> string -> float list
+(** Numeric view of a column (Int and Float cells; others raise). *)

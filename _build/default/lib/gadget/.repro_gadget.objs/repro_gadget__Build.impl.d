@@ -1,0 +1,1 @@
+lib/gadget/build.ml: Array Hashtbl Labels List Repro_graph

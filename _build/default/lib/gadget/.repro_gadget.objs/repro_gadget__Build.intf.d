@@ -1,0 +1,1 @@
+lib/gadget/build.mli: Labels Repro_graph

@@ -1,0 +1,1 @@
+lib/gadget/check.ml: Array Format Labels List Repro_graph

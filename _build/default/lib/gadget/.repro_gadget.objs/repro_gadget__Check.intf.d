@@ -1,0 +1,1 @@
+lib/gadget/check.mli: Format Labels

@@ -1,0 +1,1 @@
+lib/gadget/corrupt.ml: Array Check Format Labels List Random Repro_graph

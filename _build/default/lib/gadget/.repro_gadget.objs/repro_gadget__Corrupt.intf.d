@@ -1,0 +1,1 @@
+lib/gadget/corrupt.mli: Format Labels Random

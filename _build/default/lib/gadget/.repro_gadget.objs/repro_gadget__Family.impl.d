@@ -1,0 +1,1 @@
+lib/gadget/family.ml: Build Check Labels Linear_gadget Ne_psi Printf Repro_graph Repro_local

@@ -1,0 +1,1 @@
+lib/gadget/family.mli: Labels Ne_psi Repro_local

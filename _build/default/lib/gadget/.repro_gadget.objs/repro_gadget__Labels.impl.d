@@ -1,0 +1,1 @@
+lib/gadget/labels.ml: Array Format List Repro_graph

@@ -1,0 +1,1 @@
+lib/gadget/labels.mli: Format Repro_graph

@@ -1,0 +1,1 @@
+lib/gadget/linear_gadget.ml: Array Build Hashtbl Labels List Ne_psi Psi Repro_graph Repro_lcl Repro_local

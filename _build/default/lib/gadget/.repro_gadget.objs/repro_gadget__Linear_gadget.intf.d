@@ -1,0 +1,1 @@
+lib/gadget/linear_gadget.mli: Labels Ne_psi Repro_local

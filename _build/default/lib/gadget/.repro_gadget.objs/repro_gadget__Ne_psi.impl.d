@@ -1,0 +1,1 @@
+lib/gadget/ne_psi.ml: Array Check Hashtbl Labels List Psi Repro_graph Repro_lcl Repro_local Verifier

@@ -1,0 +1,1 @@
+lib/gadget/ne_psi.mli: Labels Psi Repro_lcl Repro_local

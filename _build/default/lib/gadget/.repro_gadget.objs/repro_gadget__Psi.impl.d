@@ -1,0 +1,1 @@
+lib/gadget/psi.ml: Array Check Format Labels List Repro_graph

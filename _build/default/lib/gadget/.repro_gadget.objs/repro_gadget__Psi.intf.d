@@ -1,0 +1,1 @@
+lib/gadget/psi.mli: Format Labels

@@ -1,0 +1,1 @@
+lib/gadget/verifier.ml: Array Check Hashtbl Labels List Psi Queue Repro_graph Repro_local

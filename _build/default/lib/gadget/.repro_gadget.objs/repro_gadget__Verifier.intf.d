@@ -1,0 +1,1 @@
+lib/gadget/verifier.mli: Labels Psi Repro_local

@@ -1,0 +1,109 @@
+module G = Repro_graph.Multigraph
+
+let sub_gadget_size ~height = (1 lsl height) - 1
+let gadget_size ~delta ~height = (delta * sub_gadget_size ~height) + 1
+
+let height_for ~delta ~target =
+  let rec go h =
+    if gadget_size ~delta ~height:h >= target then h else go (h + 1)
+  in
+  go 2
+
+let center = 0
+
+let node_of_coord ~delta ~height ~sub ~level ~x =
+  if sub < 1 || sub > delta then invalid_arg "Build.node_of_coord: sub";
+  if level < 0 || level >= height then invalid_arg "Build.node_of_coord: level";
+  if x < 0 || x >= 1 lsl level then invalid_arg "Build.node_of_coord: x";
+  1 + ((sub - 1) * sub_gadget_size ~height) + ((1 lsl level) - 1) + x
+
+let port_node ~delta ~height i =
+  node_of_coord ~delta ~height ~sub:i ~level:(height - 1)
+    ~x:((1 lsl (height - 1)) - 1)
+
+let greedy_distance2_coloring g =
+  let n = G.n g in
+  let color = Array.make n (-1) in
+  for v = 0 to n - 1 do
+    (* avoid: colors at distance <= 2, and never reuse a color already on
+       a sibling branch of a common neighbor (the port-sense condition is
+       implied by distinctness within radius 2 on simple graphs) *)
+    let avoid = Hashtbl.create 16 in
+    let mark w = if color.(w) >= 0 then Hashtbl.replace avoid color.(w) () in
+    List.iter
+      (fun w ->
+        mark w;
+        List.iter mark (G.neighbors g w))
+      (G.neighbors g v);
+    let rec pick c = if Hashtbl.mem avoid c then pick (c + 1) else c in
+    color.(v) <- pick 0
+  done;
+  color
+
+(* Build the structural graph and half labels of a gadget (or a standalone
+   sub-gadget when [with_center] is false and [delta = 1]). *)
+let build_structure ~delta ~height ~with_center ~first_index =
+  let open Labels in
+  let sub_size = sub_gadget_size ~height in
+  let n = if with_center then (delta * sub_size) + 1 else delta * sub_size in
+  let offset sub = (if with_center then 1 else 0) + ((sub - 1) * sub_size) in
+  let coord sub level x = offset sub + ((1 lsl level) - 1) + x in
+  let b = G.Builder.create n in
+  let half_labels = ref [] in
+  (* record labels keyed by half id *)
+  let add u v lu lv =
+    let e = G.Builder.add_edge b u v in
+    half_labels := (2 * e, lu) :: ((2 * e) + 1, lv) :: !half_labels
+  in
+  for s = 1 to delta do
+    for level = 0 to height - 1 do
+      let width = 1 lsl level in
+      for x = 0 to width - 1 do
+        let v = coord s level x in
+        (* children *)
+        if level + 1 < height then begin
+          add v (coord s (level + 1) (2 * x)) LChild Parent;
+          add v (coord s (level + 1) ((2 * x) + 1)) RChild Parent
+        end;
+        (* level path *)
+        if x + 1 < width then add v (coord s level (x + 1)) Right Left
+      done
+    done;
+    if with_center then add center (coord s 0 0) (Down (first_index + s - 1)) Up
+  done;
+  let graph = G.Builder.build b in
+  let halves = Array.make (2 * G.m graph) Parent in
+  List.iter (fun (h, l) -> halves.(h) <- l) !half_labels;
+  let nodes =
+    Array.init n (fun v ->
+        if with_center && v = center then { kind = Center; port = None; color2 = 0 }
+        else begin
+          let v' = v - if with_center then 1 else 0 in
+          let s = (v' / sub_size) + first_index in
+          let off = v' mod sub_size in
+          let is_port = off = sub_size - 1 (* level h-1, x = 2^{h-1}-1 *) in
+          {
+            kind = Index s;
+            port = (if is_port then Some s else None);
+            color2 = 0;
+          }
+        end)
+  in
+  let color = greedy_distance2_coloring graph in
+  let nodes = Array.mapi (fun v nl -> { nl with color2 = color.(v) }) nodes in
+  let half_color2 =
+    Array.init (2 * G.m graph) (fun h -> color.(G.half_node graph h))
+  in
+  let pre = { graph; nodes; halves; half_color2; half_flags = [||] } in
+  let dummy = { f_right = false; f_left = false; f_child = false } in
+  let pre = { pre with half_flags = Array.make (2 * G.m graph) dummy } in
+  with_truthful_flags pre
+
+let gadget ~delta ~height =
+  if delta < 1 then invalid_arg "Build.gadget: delta < 1";
+  if height < 2 then invalid_arg "Build.gadget: height < 2";
+  build_structure ~delta ~height ~with_center:true ~first_index:1
+
+let sub_gadget ~index ~height =
+  if height < 2 then invalid_arg "Build.sub_gadget: height < 2";
+  build_structure ~delta:1 ~height ~with_center:false ~first_index:index

@@ -1,0 +1,37 @@
+(** Construction of valid gadgets (paper §4.1, §4.3, Figures 5–6).
+
+    A sub-gadget of height [h ≥ 2] is a complete binary tree with [h]
+    levels plus a path through each level; its bottom-right node is the
+    port. A gadget is Δ sub-gadgets whose roots hang off one [Center]
+    node. A gadget with all sub-gadgets of height [h] has
+    [Δ·(2^h - 1) + 1] nodes and diameter [Θ(h) = Θ(log size)].
+
+    Node layout: the center is node 0; sub-gadget [i] (1-based) occupies
+    the next [2^h - 1] ids in level order, node [(ℓ, x)] at offset
+    [2^ℓ - 1 + x]. *)
+
+val sub_gadget_size : height:int -> int
+val gadget_size : delta:int -> height:int -> int
+
+val height_for : delta:int -> target:int -> int
+(** Smallest height whose gadget size is at least [target] (min 2). *)
+
+val gadget : delta:int -> height:int -> Labels.t
+(** A valid gadget. @raise Invalid_argument if [delta < 1] or [height < 2]. *)
+
+val node_of_coord : delta:int -> height:int -> sub:int -> level:int -> x:int -> int
+(** Node id of coordinate [(level, x)] in sub-gadget [sub] (1-based). *)
+
+val center : int
+(** The center's node id (always 0). *)
+
+val port_node : delta:int -> height:int -> int -> int
+(** [port_node ~delta ~height i] is the node labeled [Port_i] (1-based). *)
+
+val sub_gadget : index:int -> height:int -> Labels.t
+(** A standalone sub-gadget (no center) for unit tests of the sub-gadget
+    constraints; its root has no [Up] edge, so it is not a valid gadget. *)
+
+val greedy_distance2_coloring : Repro_graph.Multigraph.t -> int array
+(** A proper distance-2 coloring in the port sense of {!Labels.color_ok}
+    (only defined for simple graphs; used to label valid gadgets). *)

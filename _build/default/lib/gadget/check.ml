@@ -1,0 +1,180 @@
+module G = Repro_graph.Multigraph
+open Labels
+
+type violation = { node : int; rule : string }
+
+let pp_violation fmt { node; rule } =
+  Format.fprintf fmt "node %d violates %s" node rule
+
+let node_violations ~delta (t : Labels.t) u =
+  let g = t.graph in
+  let bad = ref [] in
+  let fail rule = bad := { node = u; rule } :: !bad in
+  let hs = G.halves g u in
+  let far h = G.half_node g (G.mate h) in
+  let labels = Array.map (fun h -> t.halves.(h)) hs in
+  let has l = Array.exists (fun l' -> l' = l) labels in
+  let kind = t.nodes.(u).kind in
+  (* 1a: no self-loops or parallel edges *)
+  let fars = Array.map far hs in
+  let sorted = Array.copy fars in
+  Array.sort compare sorted;
+  let parallel = ref false in
+  for i = 1 to Array.length sorted - 1 do
+    if sorted.(i) = sorted.(i - 1) then parallel := true
+  done;
+  if Array.exists (fun w -> w = u) fars || !parallel then fail "1a";
+  (* 1b: pairwise distinct incident labels *)
+  let slabels = Array.copy labels in
+  Array.sort compare slabels;
+  let dup = ref false in
+  for i = 1 to Array.length slabels - 1 do
+    if slabels.(i) = slabels.(i - 1) then dup := true
+  done;
+  if !dup then fail "1b";
+  (* fl: replicated boundary flags are truthful (input well-formedness
+     required by the node-edge encoding of §4.6) *)
+  let tf = true_flags t u in
+  if Array.exists (fun h -> t.half_flags.(h) <> tf) hs then fail "fl";
+  (* d2: the distance-2 coloring input is proper in the port sense and
+     replicated truthfully (§4.6; this is what convicts self-loops and
+     parallel edges in the node-edge encoding) *)
+  let c = t.nodes.(u).color2 in
+  if Array.exists (fun h -> t.half_color2.(h) <> c) hs then fail "d2";
+  let far_colors = Array.map (fun w -> t.nodes.(w).color2) fars in
+  if Array.exists (fun fc -> fc = c) far_colors then fail "d2"
+  else begin
+    let sc = Array.copy far_colors in
+    Array.sort compare sc;
+    let dupc = ref false in
+    for i = 1 to Array.length sc - 1 do
+      if sc.(i) = sc.(i - 1) then dupc := true
+    done;
+    if !dupc then fail "d2"
+  end;
+  (match kind with
+  | Center ->
+    (* §4.3 constraint 2 *)
+    if Array.length hs <> delta then fail "c2a";
+    Array.iter
+      (fun h ->
+        (match t.nodes.(far h).kind with
+        | Index i -> if t.halves.(h) <> Down i then fail "c2b"
+        | Center -> fail "c2b");
+        if t.halves.(G.mate h) <> Up then fail "c2c")
+      hs;
+    let idxs =
+      Array.to_list hs
+      |> List.filter_map (fun h ->
+             match t.nodes.(far h).kind with Index i -> Some i | Center -> None)
+    in
+    let si = List.sort compare idxs in
+    let rec d = function a :: (b :: _ as r) -> a = b || d r | _ -> false in
+    if d si then fail "c2d";
+    if t.nodes.(u).port <> None then fail "1d"
+  | Index i ->
+    (* 1c: neighbors along sub-gadget edges share the index; Up leads to
+       the center; Down never appears on an Index node *)
+    Array.iter
+      (fun h ->
+        match t.halves.(h) with
+        | Parent | LChild | RChild | Left | Right -> (
+          match t.nodes.(far h).kind with
+          | Index j -> if j <> i then fail "1c"
+          | Center -> fail "1c")
+        | Up -> if t.nodes.(far h).kind <> Center then fail "1c"
+        | Down _ -> fail "1c")
+      hs;
+    (* 1d: Port_j on an Index_i node forces i = j *)
+    (match t.nodes.(u).port with
+    | Some j when j <> i -> fail "1d"
+    | Some _ | None -> ());
+    (* 2a / 2b: side labels of an edge match up *)
+    Array.iter
+      (fun h ->
+        let m = t.halves.(G.mate h) in
+        match t.halves.(h) with
+        | Left -> if m <> Right then fail "2a"
+        | Right -> if m <> Left then fail "2a"
+        | Parent -> if m <> RChild && m <> LChild then fail "2b"
+        | LChild | RChild -> if m <> Parent then fail "2b"
+        | Up | Down _ -> ())
+      hs;
+    (* 2c: u(LChild, Right, Parent) = u *)
+    (match follow_path t u [ LChild; Right; Parent ] with
+    | Some w when w <> u -> fail "2c"
+    | Some _ | None -> ());
+    (* 2d: u(Right, LChild, Left, Parent) = u *)
+    (match follow_path t u [ Right; LChild; Left; Parent ] with
+    | Some w when w <> u -> fail "2d"
+    | Some _ | None -> ());
+    (* 3a / 3b: the right (left) boundary is exactly the chain of RChild
+       (LChild) edges below a boundary parent: u lacks Right iff its
+       parent lacks Right and u is the RChild (symmetrically for Left) *)
+    (match half_with t u Parent with
+    | Some ph ->
+      let p = G.half_node g (G.mate ph) in
+      let is_rchild = t.halves.(G.mate ph) = RChild in
+      let is_lchild = t.halves.(G.mate ph) = LChild in
+      if (not (has Right)) <> ((not (has_half t p Right)) && is_rchild) then
+        fail "3a";
+      if (not (has Left)) <> ((not (has_half t p Left)) && is_lchild) then
+        fail "3b"
+    | None -> ());
+    (* 3c / 3d: rightmost/leftmost nodes are the R/L children *)
+    (match half_with t u Parent with
+    | Some h ->
+      if (not (has Right)) && t.halves.(G.mate h) <> RChild then fail "3c";
+      if (not (has Left)) && t.halves.(G.mate h) <> LChild then fail "3d"
+    | None -> ());
+    (* 3e: no Right and no Left => the root: exactly LChild, RChild
+       (plus the Up edge to the center) *)
+    if (not (has Right)) && not (has Left) then begin
+      let ok_root =
+        has LChild && has RChild
+        && Array.for_all
+             (fun l ->
+               match l with
+               | LChild | RChild | Up -> true
+               | Parent | Left | Right | Down _ -> false)
+             labels
+      in
+      if not ok_root then fail "3e"
+    end;
+    (* 3f: children come in pairs *)
+    if has RChild <> has LChild then fail "3f";
+    (* 3g: the bottom boundary is a full level *)
+    if (not (has LChild)) && not (has RChild) then begin
+      let check_dir dir =
+        match follow t u dir with
+        | Some w -> not (has_half t w LChild) && not (has_half t w RChild)
+        | None -> true
+      in
+      if not (check_dir Left && check_dir Right) then fail "3g"
+    end;
+    (* 3h: ports are exactly the bottom-right nodes *)
+    let port_shape = (not (has Right)) && (not (has LChild)) && not (has RChild) in
+    if (t.nodes.(u).port <> None) <> port_shape then fail "3h";
+    (* §4.3 constraint 1: parentless sub-gadget nodes hang off exactly one
+       center *)
+    if not (has Parent) then begin
+      let centers =
+        Array.to_list fars
+        |> List.filter (fun w -> t.nodes.(w).kind = Center)
+        |> List.length
+      in
+      if centers <> 1 then fail "c1"
+    end);
+  List.rev !bad
+
+let violations ~delta t =
+  let all = ref [] in
+  for u = G.n t.graph - 1 downto 0 do
+    all := node_violations ~delta t u @ !all
+  done;
+  !all
+
+let is_valid ~delta t = violations ~delta t = []
+
+let erring_nodes ~delta t =
+  Array.init (G.n t.graph) (fun u -> node_violations ~delta t u <> [])

@@ -1,0 +1,152 @@
+module G = Repro_graph.Multigraph
+open Labels
+
+type kind =
+  | Relabel_half
+  | Wrong_index
+  | Fake_port
+  | Drop_port
+  | Extra_edge
+  | Drop_edge
+  | Parallel_edge
+  | Stale_flags
+  | Bad_color
+
+let all_kinds =
+  [
+    Relabel_half; Wrong_index; Fake_port; Drop_port; Extra_edge; Drop_edge;
+    Parallel_edge; Stale_flags; Bad_color;
+  ]
+
+let pp_kind fmt k =
+  Format.pp_print_string fmt
+    (match k with
+    | Relabel_half -> "relabel-half"
+    | Wrong_index -> "wrong-index"
+    | Fake_port -> "fake-port"
+    | Drop_port -> "drop-port"
+    | Extra_edge -> "extra-edge"
+    | Drop_edge -> "drop-edge"
+    | Parallel_edge -> "parallel-edge"
+    | Stale_flags -> "stale-flags"
+    | Bad_color -> "bad-color")
+
+let random_half rng t = Random.State.int rng (2 * G.m t.graph)
+
+let random_label rng =
+  [| Parent; LChild; RChild; Left; Right; Up; Down 1; Down 2; Down 3 |].(Random.State.int
+                                                                           rng 9)
+
+(* rebuild the labeled graph with an edited edge set; labels for kept edges
+   are preserved, new edges get the supplied labels *)
+let rebuild_edges t ~drop ~extra =
+  let g = t.graph in
+  let b = G.Builder.create (G.n g) in
+  let half_entries = ref [] in
+  G.iter_edges g ~f:(fun e u v ->
+      if not (List.mem e drop) then begin
+        let ne = G.Builder.add_edge b u v in
+        half_entries :=
+          (2 * ne, t.halves.(2 * e), t.half_color2.(2 * e), t.half_flags.(2 * e))
+          :: ( (2 * ne) + 1,
+               t.halves.((2 * e) + 1),
+               t.half_color2.((2 * e) + 1),
+               t.half_flags.((2 * e) + 1) )
+          :: !half_entries
+      end);
+  List.iter
+    (fun (u, v, lu, lv) ->
+      let ne = G.Builder.add_edge b u v in
+      half_entries :=
+        (2 * ne, lu, t.nodes.(u).color2, t.half_flags.(0))
+        :: ((2 * ne) + 1, lv, t.nodes.(v).color2, t.half_flags.(0))
+        :: !half_entries)
+    extra;
+  let graph = G.Builder.build b in
+  let m2 = 2 * G.m graph in
+  let halves = Array.make m2 Parent in
+  let half_color2 = Array.make m2 0 in
+  let dummy = { f_right = false; f_left = false; f_child = false } in
+  let half_flags = Array.make m2 dummy in
+  List.iter
+    (fun (h, l, c, f) ->
+      halves.(h) <- l;
+      half_color2.(h) <- c;
+      half_flags.(h) <- f)
+    !half_entries;
+  with_truthful_flags { graph; nodes = t.nodes; halves; half_color2; half_flags }
+
+let apply rng kind t =
+  let g = t.graph in
+  let n = G.n g in
+  match kind with
+  | Relabel_half ->
+    with_truthful_flags (relabel_half t (random_half rng t) (random_label rng))
+  | Wrong_index ->
+    let v = Random.State.int rng n in
+    let nl = t.nodes.(v) in
+    let kind' =
+      match nl.kind with
+      | Index i -> Index (if i = 1 then 2 else 1)
+      | Center -> Index 1
+    in
+    relabel_node t v { nl with kind = kind' }
+  | Fake_port ->
+    let rec pick tries =
+      let v = Random.State.int rng n in
+      if t.nodes.(v).port = None || tries > 50 then v else pick (tries + 1)
+    in
+    let v = pick 0 in
+    relabel_node t v { (t.nodes.(v)) with port = Some 1 }
+  | Drop_port ->
+    let rec pick tries v =
+      if tries > 10 * n then v
+      else
+        let w = Random.State.int rng n in
+        if t.nodes.(w).port <> None then w else pick (tries + 1) v
+    in
+    let v = pick 0 0 in
+    relabel_node t v { (t.nodes.(v)) with port = None }
+  | Extra_edge ->
+    let u = Random.State.int rng n and v = Random.State.int rng n in
+    rebuild_edges t ~drop:[] ~extra:[ (u, v, random_label rng, random_label rng) ]
+  | Drop_edge ->
+    if G.m g = 0 then t
+    else rebuild_edges t ~drop:[ Random.State.int rng (G.m g) ] ~extra:[]
+  | Parallel_edge ->
+    if G.m g = 0 then t
+    else begin
+      let e = Random.State.int rng (G.m g) in
+      let u, v = G.endpoints g e in
+      rebuild_edges t ~drop:[]
+        ~extra:[ (u, v, t.halves.(2 * e), t.halves.((2 * e) + 1)) ]
+    end
+  | Stale_flags ->
+    let h = random_half rng t in
+    let f = t.half_flags.(h) in
+    let half_flags = Array.copy t.half_flags in
+    half_flags.(h) <- { f with f_right = not f.f_right };
+    { t with half_flags }
+  | Bad_color ->
+    let v = Random.State.int rng n in
+    let c = t.nodes.(v).color2 in
+    (match G.neighbors g v with
+    | w :: _ -> relabel_node t v { (t.nodes.(v)) with color2 = t.nodes.(w).color2 }
+    | [] -> relabel_node t v { (t.nodes.(v)) with color2 = c + 1 })
+
+let random rng t =
+  let delta =
+    Array.fold_left
+      (fun acc (nl : node_label) ->
+        match nl.port with Some i -> max acc i | None -> acc)
+      1 t.nodes
+  in
+  let rec go tries =
+    if tries > 100 then failwith "Corrupt.random: could not invalidate gadget"
+    else begin
+      let kind = List.nth all_kinds (Random.State.int rng (List.length all_kinds)) in
+      let t' = apply rng kind t in
+      if Check.is_valid ~delta t' then go (tries + 1) else (t', kind)
+    end
+  in
+  go 0

@@ -1,0 +1,33 @@
+(** Corruption operators on labeled gadget candidates — the adversary's
+    toolbox for tests and for the invalid-gadget experiments (F4, T6b).
+
+    All operators keep the replicated flags truthful (via
+    {!Labels.with_truthful_flags}) unless stated otherwise, so the
+    violations they cause are structural rather than mere flag staleness. *)
+
+type kind =
+  | Relabel_half   (** rewrite one half-edge's structural label *)
+  | Wrong_index    (** change a node's sub-gadget index *)
+  | Fake_port      (** mark a non-port node as a port *)
+  | Drop_port      (** unmark a port node *)
+  | Extra_edge     (** insert an extra edge between random nodes *)
+  | Drop_edge      (** delete one edge *)
+  | Parallel_edge  (** duplicate an existing edge *)
+  | Stale_flags    (** lie in the replicated flags (kept stale) *)
+  | Bad_color      (** break the distance-2 coloring *)
+
+val all_kinds : kind list
+
+val pp_kind : Format.formatter -> kind -> unit
+
+val apply : Random.State.t -> kind -> Labels.t -> Labels.t
+(** Apply one corruption. The result usually violates some constraint of
+    {!Check}; callers that need a guaranteed-invalid gadget should test
+    with {!Check.is_valid} and retry (a random relabel can occasionally
+    recreate a valid labeling). *)
+
+val random : Random.State.t -> Labels.t -> Labels.t * kind
+(** Apply a uniformly random corruption kind, retrying (up to 100 times)
+    until {!Check.is_valid} fails. Raises [Failure] if it cannot invalidate
+    the gadget (practically impossible on real gadgets). The required
+    [delta] for the validity check is taken as the number of ports. *)

@@ -1,0 +1,89 @@
+(** Input labels of the (log, Δ)-gadget family (paper §4.1, §4.3, §4.6).
+
+    A gadget carries constant-size input labels that make its structure
+    locally checkable: every node is [Center] or [Index_i], possibly marked
+    [Port_i]; every half-edge carries a structural label ([Parent], [Left],
+    …, [Down_i]); and — for the node-edge-checkable encoding of §4.6 —
+    every node carries a distance-2 color replicated onto its half-edges. *)
+
+type node_kind =
+  | Center
+  | Index of int  (** 1-based sub-gadget index *)
+
+type half_label =
+  | Parent
+  | LChild
+  | RChild
+  | Left
+  | Right
+  | Up
+  | Down of int  (** 1-based sub-gadget index *)
+
+type node_label = {
+  kind : node_kind;
+  port : int option;  (** [Some i] iff this node is labeled Port_i *)
+  color2 : int;       (** distance-2 color (input for §4.6) *)
+}
+
+(** Boundary flags a node replicates onto each of its half-edges: whether
+    it has an incident [Right] half, a [Left] half, and child halves.
+    They make the boundary constraints 3a–3d and 3g checkable on edges in
+    the node-edge formalism (§4.6); their truthfulness is checkable on
+    nodes. *)
+type half_flags = {
+  f_right : bool;
+  f_left : bool;
+  f_child : bool;
+}
+
+(** A gadget candidate: a graph whose every node and half-edge is labeled.
+    [half_color2.(h)] replicates the color of the node holding [h] and
+    [half_flags.(h)] its boundary flags (§4.6 requires both visible on the
+    halves). *)
+type t = {
+  graph : Repro_graph.Multigraph.t;
+  nodes : node_label array;
+  halves : half_label array;
+  half_color2 : int array;
+  half_flags : half_flags array;
+}
+
+val equal_half_label : half_label -> half_label -> bool
+val pp_half_label : Format.formatter -> half_label -> unit
+val pp_node_kind : Format.formatter -> node_kind -> unit
+
+val follow : t -> int -> half_label -> int option
+(** [follow t v l] is the node at the far end of the unique half of [v]
+    labeled [l], or [None] if no such half exists. If several halves of
+    [v] carry [l] (an invalid gadget), the first in port order is used. *)
+
+val follow_path : t -> int -> half_label list -> int option
+(** Iterated {!follow}. *)
+
+val has_half : t -> int -> half_label -> bool
+
+val half_with : t -> int -> half_label -> int option
+(** The half of [v] labeled [l] (first in port order). *)
+
+val color_ok : t -> bool
+(** The [color2] input is a proper distance-2 coloring replicated
+    correctly on the halves (what §4.6 demands of valid inputs). *)
+
+val true_flags : t -> int -> half_flags
+(** The flags a truthful node would replicate: computed from the node's
+    actual half labels. *)
+
+val flags_ok : t -> bool
+(** Every half carries its node's {!true_flags}. *)
+
+val with_truthful_flags : t -> t
+(** Copy with all flags recomputed from the half labels (used after a
+    structural corruption to keep the flag layer honest, so that deeper
+    constraints — not mere flag staleness — are what gets violated). *)
+
+val relabel_half : t -> int -> half_label -> t
+(** Copy with one half-edge's label replaced (corruption helper; flags are
+    left stale — compose with {!with_truthful_flags} if undesired). *)
+
+val relabel_node : t -> int -> node_label -> t
+(** Copy with one node's label replaced (corruption helper). *)

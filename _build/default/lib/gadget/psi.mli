@@ -1,0 +1,35 @@
+(** The LCL problem Ψ (paper §4.4): on a gadget candidate, either every
+    node outputs [Ok], or the nodes produce a locally checkable proof of
+    error — each node outputs [Error] (allowed exactly where the §4.2/§4.3
+    constraints fail in its constant-radius view) or an error pointer whose
+    chain must lead to an [Error] node according to rules 3(a)–(f).
+
+    Lemma 9: on a valid gadget no error labeling satisfies these
+    constraints, so [Ok] everywhere is the unique correct output. *)
+
+type pointer =
+  | PRight
+  | PLeft
+  | PParent
+  | PRChild
+  | PUp
+  | PDown of int
+
+type out =
+  | Ok
+  | Error
+  | Ptr of pointer
+
+val pp_out : Format.formatter -> out -> unit
+
+type violation = {
+  node : int;
+  rule : string;
+      (** "1" well-formedness, "2" Error placement, "3a".."3f" chain rules,
+          "mix" Ok next to non-Ok *)
+}
+
+val violations : delta:int -> Labels.t -> out array -> violation list
+(** All Ψ-constraint violations of a proposed output. *)
+
+val is_valid : delta:int -> Labels.t -> out array -> bool

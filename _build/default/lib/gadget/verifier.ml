@@ -1,0 +1,153 @@
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+module Meter = Repro_local.Meter
+open Labels
+
+let proof_radius ~n =
+  let rec log2_ceil x acc = if x <= 1 then acc else log2_ceil ((x + 1) / 2) (acc + 1) in
+  (4 * log2_ceil (max n 2) 0) + 8
+
+let is_all_ok out = Array.for_all (fun o -> o = Psi.Ok) out
+
+(* Follow [dir] from [v] up to [cap] steps; true iff an err node is hit
+   after at least [min_steps] steps. A revisited node means the walk
+   looped without finding an error. *)
+let walk_err t err v dir ~min_steps ~cap =
+  let visited = Hashtbl.create 16 in
+  let rec go v steps =
+    if steps > cap || Hashtbl.mem visited v then false
+    else begin
+      Hashtbl.replace visited v ();
+      if steps >= min_steps && err.(v) then true
+      else
+        match follow t v dir with
+        | None -> false
+        | Some w -> go w (steps + 1)
+    end
+  in
+  go v 0
+
+(* err reachable via dir1^{>=1} followed by Right^* or Left^* *)
+let walk_then_sweep t err u dir1 ~cap =
+  let visited = Hashtbl.create 16 in
+  let rec go v steps =
+    if steps > cap || Hashtbl.mem visited v then false
+    else begin
+      Hashtbl.replace visited v ();
+      if
+        steps >= 1
+        && (err.(v)
+           || walk_err t err v Right ~min_steps:1 ~cap
+           || walk_err t err v Left ~min_steps:1 ~cap)
+      then true
+      else
+        match follow t v dir1 with
+        | None -> false
+        | Some w -> go w (steps + 1)
+    end
+  in
+  go u 0
+
+let pointer_for t err u ~cap : Psi.pointer =
+  match t.nodes.(u).kind with
+  | Center ->
+    (* rule 5: smallest Down_i whose sub-gadget shows a pattern error *)
+    let down_indices =
+      Array.to_list (G.halves t.graph u)
+      |> List.filter_map (fun h ->
+             match t.halves.(h) with Down i -> Some i | _ -> None)
+      |> List.sort_uniq compare
+    in
+    let matches i =
+      match follow t u (Down i) with
+      | None -> false
+      | Some v ->
+        err.(v)
+        || walk_err t err v Right ~min_steps:1 ~cap
+        || walk_err t err v Left ~min_steps:1 ~cap
+        || walk_then_sweep t err v RChild ~cap
+    in
+    let rec first = function
+      | [] -> (
+        (* cannot happen on a non-erring center of an invalid component;
+           fall back to the smallest sub-gadget *)
+        match down_indices with
+        | i :: _ -> Psi.PDown i
+        | [] -> Psi.PUp)
+      | i :: rest -> if matches i then Psi.PDown i else first rest
+    in
+    first down_indices
+  | Index _ ->
+    if walk_err t err u Right ~min_steps:1 ~cap then Psi.PRight
+    else if walk_err t err u Left ~min_steps:1 ~cap then Psi.PLeft
+    else if walk_then_sweep t err u Parent ~cap then Psi.PParent
+    else if walk_then_sweep t err u RChild ~cap then Psi.PRChild
+    else if has_half t u Parent then Psi.PParent
+    else Psi.PUp
+
+let run ~delta ~n (t : Labels.t) =
+  let g = t.graph in
+  let size = G.n g in
+  let radius = proof_radius ~n in
+  let err = Check.erring_nodes ~delta t in
+  let out = Array.make size Psi.Ok in
+  let meter = Meter.create size in
+  (* distance to the nearest erring node *)
+  let dist_err = Array.make size max_int in
+  let q = Queue.create () in
+  for v = 0 to size - 1 do
+    if err.(v) then begin
+      dist_err.(v) <- 0;
+      Queue.add v q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    Array.iter
+      (fun h ->
+        let w = G.half_node g (G.mate h) in
+        if dist_err.(w) = max_int then begin
+          dist_err.(w) <- dist_err.(v) + 1;
+          Queue.add w q
+        end)
+      (G.halves g v)
+  done;
+  (* eccentricity estimate per component by double sweep *)
+  let ecc_est = Array.make size 0 in
+  let comp, ncomp = T.components g in
+  let comp_first = Array.make ncomp (-1) in
+  for v = size - 1 downto 0 do
+    comp_first.(comp.(v)) <- v
+  done;
+  for c = 0 to ncomp - 1 do
+    let d0 = T.bfs g comp_first.(c) in
+    let a = ref comp_first.(c) in
+    for v = 0 to size - 1 do
+      if comp.(v) = c && d0.(v) > d0.(!a) then a := v
+    done;
+    let da = T.bfs g !a in
+    let b = ref !a in
+    for v = 0 to size - 1 do
+      if comp.(v) = c && da.(v) > da.(!b) then b := v
+    done;
+    let db = T.bfs g !b in
+    for v = 0 to size - 1 do
+      if comp.(v) = c then ecc_est.(v) <- max da.(v) db.(v)
+    done
+  done;
+  let cap = size in
+  for u = 0 to size - 1 do
+    if err.(u) then begin
+      out.(u) <- Psi.Error;
+      Meter.charge meter u 2
+    end
+    else if dist_err.(u) > radius then begin
+      out.(u) <- Psi.Ok;
+      Meter.charge meter u (min radius ecc_est.(u))
+    end
+    else begin
+      out.(u) <- Psi.Ptr (pointer_for t err u ~cap);
+      Meter.charge meter u (min radius ecc_est.(u))
+    end
+  done;
+  (out, meter)

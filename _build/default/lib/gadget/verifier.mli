@@ -1,0 +1,27 @@
+(** The distributed prover V (paper §4.5, Lemma 10).
+
+    Given an upper bound [n] on the number of nodes, V solves Ψ in
+    [O(log n)] rounds on every labeled graph: on a valid gadget it outputs
+    [Ok] everywhere, on an invalid one it outputs [Error] exactly at the
+    nodes whose constant-radius view is inconsistent and error pointers —
+    chosen by the priority rules 5 and 6(a)–(e) — everywhere else.
+
+    The meter charges [Error] nodes a constant and every other node
+    [min(proof_radius n, eccentricity estimate)]: a node may stop as soon
+    as its ball covers its whole component, so on a valid gadget of size m
+    the measured radius is [Θ(log m)], and it is never more than
+    [proof_radius n = Θ(log n)]. *)
+
+val proof_radius : n:int -> int
+(** [4·⌈log₂ n⌉ + 8]: enough for any node of an invalid component to see
+    an error, because locally-consistent regions are gadget-shaped and
+    have logarithmic eccentricity. *)
+
+val run :
+  delta:int ->
+  n:int ->
+  Labels.t ->
+  Psi.out array * Repro_local.Meter.t
+(** Solve Ψ on every connected component of the labeled graph. *)
+
+val is_all_ok : Psi.out array -> bool

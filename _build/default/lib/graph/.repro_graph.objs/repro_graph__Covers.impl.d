@@ -1,0 +1,1 @@
+lib/graph/covers.ml: Multigraph

@@ -1,0 +1,1 @@
+lib/graph/covers.mli: Multigraph

@@ -1,0 +1,1 @@
+lib/graph/multigraph.ml: Array Format List

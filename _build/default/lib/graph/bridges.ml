@@ -1,0 +1,79 @@
+module G = Multigraph
+
+(* Iterative Tarjan lowlink over half-edges. The DFS never re-enters the
+   parent edge (by edge id), so parallel edges are handled correctly: the
+   second parallel edge acts as a back edge and protects the first.
+   Self-loops are skipped entirely (never bridges). *)
+let bridges g =
+  let n = G.n g in
+  let is_bridge = Array.make (G.m g) false in
+  let disc = Array.make n (-1) in
+  let low = Array.make n max_int in
+  let timer = ref 0 in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      (* stack entries: (node, incoming edge id or -1, next port to try) *)
+      let stack = ref [ (root, -1, ref 0) ] in
+      disc.(root) <- !timer;
+      low.(root) <- !timer;
+      incr timer;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | (v, in_edge, next) :: rest ->
+          let hs = G.halves g v in
+          if !next < Array.length hs then begin
+            let h = hs.(!next) in
+            incr next;
+            let e = G.edge_of_half h in
+            let w = G.half_node g (G.mate h) in
+            if w = v then () (* self-loop: ignore *)
+            else if e = in_edge then () (* don't re-traverse the tree edge *)
+            else if disc.(w) < 0 then begin
+              disc.(w) <- !timer;
+              low.(w) <- !timer;
+              incr timer;
+              stack := (w, e, ref 0) :: !stack
+            end
+            else if disc.(w) < low.(v) then low.(v) <- disc.(w)
+          end
+          else begin
+            (* done with v: propagate lowlink to parent *)
+            stack := rest;
+            match rest with
+            | (p, _, _) :: _ ->
+              if low.(v) < low.(p) then low.(p) <- low.(v);
+              if low.(v) > disc.(p) && in_edge >= 0 then is_bridge.(in_edge) <- true
+            | [] -> ()
+          end
+      done
+    end
+  done;
+  is_bridge
+
+let two_edge_connected_components g =
+  let is_bridge = bridges g in
+  let n = G.n g in
+  let cls = Array.make n (-1) in
+  let k = ref 0 in
+  for s = 0 to n - 1 do
+    if cls.(s) < 0 then begin
+      let q = Queue.create () in
+      cls.(s) <- !k;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.take q in
+        Array.iter
+          (fun h ->
+            let e = G.edge_of_half h in
+            let w = G.half_node g (G.mate h) in
+            if (not is_bridge.(e)) && cls.(w) < 0 then begin
+              cls.(w) <- !k;
+              Queue.add w q
+            end)
+          (G.halves g v)
+      done;
+      incr k
+    end
+  done;
+  (cls, !k)

@@ -1,0 +1,14 @@
+(** Bridge edges and 2-edge-connected components.
+
+    An edge is a bridge iff it lies on no cycle. Self-loops are never
+    bridges; a pair of parallel edges is never a bridge. Nodes that lie on
+    at least one cycle are exactly the nodes with an incident non-bridge
+    edge or an incident self-loop. *)
+
+val bridges : Multigraph.t -> bool array
+(** [bridges g] has one entry per edge: [true] iff the edge is a bridge. *)
+
+val two_edge_connected_components : Multigraph.t -> int array * int
+(** [(cls, k)]: [cls.(v)] is the 2-edge-connected class of [v] — the
+    component of [v] in the subgraph of non-bridge edges. Every node gets a
+    class; a class that contains at least one edge contains a cycle. *)

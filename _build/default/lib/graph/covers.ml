@@ -1,0 +1,40 @@
+module G = Multigraph
+
+let is_covering_map ~cover ~base phi =
+  let ok = ref true in
+  for v = 0 to G.n cover - 1 do
+    let bv = phi v in
+    if bv < 0 || bv >= G.n base || G.degree cover v <> G.degree base bv then
+      ok := false
+    else
+      for p = 0 to G.degree cover v - 1 do
+        let h = G.half_at cover v p in
+        let bh = G.half_at base bv p in
+        let far = G.half_node cover (G.mate h) in
+        let bfar = G.half_node base (G.mate bh) in
+        if phi far <> bfar then ok := false;
+        if G.half_port cover (G.mate h) <> G.half_port base (G.mate bh) then
+          ok := false
+      done
+  done;
+  !ok
+
+let cyclic_lift g ~k ~shift =
+  if k < 1 then invalid_arg "Covers.cyclic_lift: k < 1";
+  let n = G.n g in
+  let b = G.Builder.create (n * k) in
+  G.iter_edges g ~f:(fun e u v ->
+      let s = ((shift e mod k) + k) mod k in
+      if u = v && s <> 0 then
+        invalid_arg "Covers.cyclic_lift: nonzero shift on a self-loop";
+      for i = 0 to k - 1 do
+        ignore (G.Builder.add_edge b ((u * k) + i) ((v * k) + ((i + s) mod k)))
+      done);
+  let lift = G.Builder.build b in
+  (lift, fun x -> x / k)
+
+let double_cover_bipartite g =
+  G.iter_edges g ~f:(fun _ u v ->
+      if u = v then
+        invalid_arg "Covers.double_cover_bipartite: self-loop in base");
+  cyclic_lift g ~k:2 ~shift:(fun _ -> 1)

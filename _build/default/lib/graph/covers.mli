@@ -1,0 +1,38 @@
+(** Covering maps between port-numbered graphs (Angluin's lifting
+    machinery).
+
+    A covering map φ from H onto G sends nodes to nodes such that around
+    every node of H, φ is a degree- and port-preserving bijection of
+    incident half-edges: port p of v leads to a node mapped from port p of
+    φ(v), with matching far ports. Nodes of a cover are locally
+    indistinguishable from their images: they have equal view trees at
+    every radius, so deterministic port-numbering algorithms behave
+    identically on them — the classical source of impossibility results
+    for problems like sinkless orientation on symmetric instances.
+
+    The k-fold cyclic lift replaces every node by k copies and every edge
+    by k parallel "shifted" copies; it is a canonical construction of
+    connected covers (e.g. the 2-lift of a one-node graph with d/2
+    self-loops is a d-regular double cover). *)
+
+val is_covering_map :
+  cover:Multigraph.t ->
+  base:Multigraph.t ->
+  (int -> int) ->
+  bool
+(** Check the covering conditions: the map preserves degrees, and for
+    every half-edge, ports and far-ports commute with the map. *)
+
+val cyclic_lift :
+  Multigraph.t ->
+  k:int ->
+  shift:(int -> int) ->
+  Multigraph.t * (int -> int)
+(** [cyclic_lift g ~k ~shift] has node set [V × Z_k]; edge [e] of [g]
+    connects, for every layer [i], the copy [(u, i)] to [(v, (i + shift e)
+    mod k)], preserving ports. Returns the lift and the projection (a
+    covering map). Copy [(v, i)] has id [v·k + i]. *)
+
+val double_cover_bipartite : Multigraph.t -> Multigraph.t * (int -> int)
+(** The canonical bipartite double cover ([k = 2], every edge shifted):
+    always bipartite, covers [g]. *)

@@ -1,0 +1,25 @@
+module G = Multigraph
+
+let to_dot ?(name = "g") ?node_label ?edge_label g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "graph %s {\n" name);
+  for v = 0 to G.n g - 1 do
+    match node_label with
+    | Some f ->
+      Buffer.add_string buf (Printf.sprintf "  n%d [label=%S];\n" v (f v))
+    | None -> Buffer.add_string buf (Printf.sprintf "  n%d;\n" v)
+  done;
+  G.iter_edges g ~f:(fun e u v ->
+      match edge_label with
+      | Some f ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -- n%d [label=%S];\n" u v (f e))
+      | None -> Buffer.add_string buf (Printf.sprintf "  n%d -- n%d;\n" u v));
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file ~path ?name ?node_label ?edge_label g =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_dot ?name ?node_label ?edge_label g))

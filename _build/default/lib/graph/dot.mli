@@ -1,0 +1,19 @@
+(** Graphviz (DOT) export for debugging and figures.
+
+    Both functions render multigraphs faithfully: parallel edges appear as
+    parallel lines, self-loops as loops. *)
+
+val to_dot :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(int -> string) ->
+  Multigraph.t ->
+  string
+
+val write_file :
+  path:string ->
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?edge_label:(int -> string) ->
+  Multigraph.t ->
+  unit

@@ -1,0 +1,173 @@
+module G = Multigraph
+
+type t = G.t
+
+let empty n = G.of_edges ~n []
+
+let path n =
+  let b = G.Builder.create n in
+  for v = 0 to n - 2 do
+    ignore (G.Builder.add_edge b v (v + 1))
+  done;
+  G.Builder.build b
+
+let cycle n =
+  if n < 1 then invalid_arg "Generators.cycle";
+  let b = G.Builder.create n in
+  for v = 0 to n - 1 do
+    ignore (G.Builder.add_edge b v ((v + 1) mod n))
+  done;
+  G.Builder.build b
+
+let complete n =
+  let b = G.Builder.create n in
+  for u = 0 to n - 1 do
+    for v = u + 1 to n - 1 do
+      ignore (G.Builder.add_edge b u v)
+    done
+  done;
+  G.Builder.build b
+
+let star n =
+  let b = G.Builder.create n in
+  for v = 1 to n - 1 do
+    ignore (G.Builder.add_edge b 0 v)
+  done;
+  G.Builder.build b
+
+let balanced_tree ~arity ~height =
+  if arity < 1 || height < 0 then invalid_arg "Generators.balanced_tree";
+  (* number of nodes: 1 + arity + ... + arity^height *)
+  let rec count h acc pow = if h < 0 then acc else count (h - 1) (acc + pow) (pow * arity) in
+  let n = count height 0 1 in
+  let b = G.Builder.create n in
+  (* children of node v (breadth-first numbering): arity*v + 1 .. arity*v + arity *)
+  for v = 0 to n - 1 do
+    for c = 1 to arity do
+      let w = (arity * v) + c in
+      if w < n then ignore (G.Builder.add_edge b v w)
+    done
+  done;
+  G.Builder.build b
+
+let grid rows cols =
+  let b = G.Builder.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then ignore (G.Builder.add_edge b (id r c) (id r (c + 1)));
+      if r + 1 < rows then ignore (G.Builder.add_edge b (id r c) (id (r + 1) c))
+    done
+  done;
+  G.Builder.build b
+
+let torus rows cols =
+  let b = G.Builder.create (rows * cols) in
+  let id r c = (r * cols) + c in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      ignore (G.Builder.add_edge b (id r c) (id r ((c + 1) mod cols)));
+      ignore (G.Builder.add_edge b (id r c) (id ((r + 1) mod rows) c))
+    done
+  done;
+  G.Builder.build b
+
+let prism k =
+  if k < 3 then invalid_arg "Generators.prism";
+  let b = G.Builder.create (2 * k) in
+  for v = 0 to k - 1 do
+    ignore (G.Builder.add_edge b v ((v + 1) mod k));
+    ignore (G.Builder.add_edge b (k + v) (k + ((v + 1) mod k)));
+    ignore (G.Builder.add_edge b v (k + v))
+  done;
+  G.Builder.build b
+
+let random_permutation rng n =
+  let a = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- t
+  done;
+  a
+
+let random_regular rng ~n ~d =
+  if n * d mod 2 <> 0 then invalid_arg "Generators.random_regular: n*d odd";
+  let stubs = Array.init (n * d) (fun i -> i / d) in
+  let perm = random_permutation rng (n * d) in
+  let b = G.Builder.create n in
+  let i = ref 0 in
+  while !i < n * d do
+    ignore (G.Builder.add_edge b stubs.(perm.(!i)) stubs.(perm.(!i + 1)));
+    i := !i + 2
+  done;
+  G.Builder.build b
+
+let random_simple_regular rng ~n ~d =
+  let rec try_once attempts =
+    if attempts > 1000 then
+      failwith "Generators.random_simple_regular: too many rejections";
+    let g = random_regular rng ~n ~d in
+    if G.is_simple g then g else try_once (attempts + 1)
+  in
+  try_once 0
+
+let tree_of_cycles ~depth ~cycle_len =
+  if depth < 1 || cycle_len < 3 then invalid_arg "Generators.tree_of_cycles";
+  let tree_nodes = (1 lsl depth) - 1 in
+  let n = tree_nodes * cycle_len in
+  let b = G.Builder.create n in
+  let deg = Array.make n 0 in
+  let add u v =
+    ignore (G.Builder.add_edge b u v);
+    deg.(u) <- deg.(u) + 1;
+    deg.(v) <- deg.(v) + 1
+  in
+  let base t = t * cycle_len in
+  (* cycles *)
+  for t = 0 to tree_nodes - 1 do
+    for i = 0 to cycle_len - 1 do
+      add (base t + i) (base t + ((i + 1) mod cycle_len))
+    done
+  done;
+  (* tree edges: parent attaches at position cycle_len/3 or 2*cycle_len/3,
+     child attaches at its position 0. *)
+  for t = 0 to tree_nodes - 1 do
+    let l = (2 * t) + 1 and r = (2 * t) + 2 in
+    if l < tree_nodes then add (base t + (cycle_len / 3)) (base l);
+    if r < tree_nodes then add (base t + (2 * cycle_len / 3)) (base r)
+  done;
+  (* chords to lift remaining degree-2 nodes to degree >= 3 *)
+  for t = 0 to tree_nodes - 1 do
+    for i = 0 to cycle_len - 1 do
+      let v = base t + i in
+      if deg.(v) = 2 then begin
+        let partner = base t + ((i + (cycle_len / 2)) mod cycle_len) in
+        if partner <> v then add v partner
+      end
+    done
+  done;
+  G.Builder.build b
+
+let disjoint_union graphs =
+  let total = List.fold_left (fun acc g -> acc + G.n g) 0 graphs in
+  let b = G.Builder.create total in
+  let offset = ref 0 in
+  List.iter
+    (fun g ->
+      let off = !offset in
+      G.iter_edges g ~f:(fun _ u v -> ignore (G.Builder.add_edge b (u + off) (v + off)));
+      offset := off + G.n g)
+    graphs;
+  G.Builder.build b
+
+let add_random_noise rng g ~extra_edges =
+  let b = G.Builder.create (G.n g) in
+  G.iter_edges g ~f:(fun _ u v -> ignore (G.Builder.add_edge b u v));
+  for _ = 1 to extra_edges do
+    let u = Random.State.int rng (G.n g) in
+    let v = Random.State.int rng (G.n g) in
+    ignore (G.Builder.add_edge b u v)
+  done;
+  G.Builder.build b

@@ -1,0 +1,50 @@
+(** Graph families used as inputs and hard instances.
+
+    All randomized generators take an explicit [Random.State.t] so that
+    experiments are reproducible. *)
+
+type t = Multigraph.t
+
+val empty : int -> t
+(** [n] isolated nodes. *)
+
+val path : int -> t
+val cycle : int -> t
+(** [cycle 1] is a self-loop, [cycle 2] a pair of parallel edges. *)
+
+val complete : int -> t
+val star : int -> t
+(** Center is node 0. *)
+
+val balanced_tree : arity:int -> height:int -> t
+(** Root is node 0; a tree of the given arity with [height] full levels of
+    internal nodes ([height = 0] is a single node). *)
+
+val grid : int -> int -> t
+val torus : int -> int -> t
+
+val prism : int -> t
+(** Cycle of length [k] times K2: 3-regular, 2k nodes. *)
+
+val random_regular : Random.State.t -> n:int -> d:int -> t
+(** Configuration model: [n·d] must be even. May contain self-loops and
+    parallel edges; locally tree-like for large [n] — the hard-instance
+    family for sinkless orientation. *)
+
+val random_simple_regular : Random.State.t -> n:int -> d:int -> t
+(** Rejection-sampled configuration model conditioned on simplicity.
+    Retries until simple; suitable for [d] small. *)
+
+val tree_of_cycles : depth:int -> cycle_len:int -> t
+(** A complete binary tree of [depth] levels whose every node is blown up
+    into a cycle of length [cycle_len >= 3]; min degree 3 except at leaf
+    cycles, which get chords to reach min degree 3. Deterministic
+    min-degree-3 family with diameter Θ(depth · cycle_len). *)
+
+val random_permutation : Random.State.t -> int -> int array
+
+val disjoint_union : t list -> t
+(** Relabels nodes consecutively; keeps per-node port order. *)
+
+val add_random_noise : Random.State.t -> t -> extra_edges:int -> t
+(** Adds uniformly random extra edges (possibly loops/parallel). *)

@@ -1,0 +1,140 @@
+type node = int
+type edge = int
+type half = int
+
+type t = {
+  n : int;
+  m : int;
+  half_node : int array;       (* length 2m: node of each half-edge *)
+  half_port : int array;       (* length 2m: port of each half-edge *)
+  ports : int array array;     (* ports.(v).(p) = half-edge id *)
+}
+
+module Builder = struct
+  type graph = t
+
+  type t = {
+    size : int;
+    mutable edges : (int * int) list;  (* reversed *)
+    mutable count : int;
+  }
+
+  let create size =
+    if size < 0 then invalid_arg "Multigraph.Builder.create: negative size";
+    { size; edges = []; count = 0 }
+
+  let add_edge b u v =
+    if u < 0 || u >= b.size || v < 0 || v >= b.size then
+      invalid_arg "Multigraph.Builder.add_edge: node out of range";
+    b.edges <- (u, v) :: b.edges;
+    let e = b.count in
+    b.count <- b.count + 1;
+    e
+
+  let build b : graph =
+    let m = b.count in
+    let half_node = Array.make (2 * m) 0 in
+    let half_port = Array.make (2 * m) 0 in
+    let deg = Array.make b.size 0 in
+    let edges = Array.of_list (List.rev b.edges) in
+    Array.iteri
+      (fun e (u, v) ->
+        half_node.(2 * e) <- u;
+        half_node.((2 * e) + 1) <- v)
+      edges;
+    (* Assign ports in edge order: the half of edge e at u gets the next
+       free port of u; for a self-loop the side 2e gets the smaller port. *)
+    for h = 0 to (2 * m) - 1 do
+      let v = half_node.(h) in
+      half_port.(h) <- deg.(v);
+      deg.(v) <- deg.(v) + 1
+    done;
+    let ports = Array.init b.size (fun v -> Array.make deg.(v) (-1)) in
+    for h = 0 to (2 * m) - 1 do
+      ports.(half_node.(h)).(half_port.(h)) <- h
+    done;
+    { n = b.size; m; half_node; half_port; ports }
+end
+
+let of_edges ~n edges =
+  let b = Builder.create n in
+  List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) edges;
+  Builder.build b
+
+let n g = g.n
+let m g = g.m
+let mate h = h lxor 1
+let edge_of_half h = h / 2
+let halves_of_edge e = (2 * e, (2 * e) + 1)
+let half_node g h = g.half_node.(h)
+let half_port g h = g.half_port.(h)
+let half_at g v p = g.ports.(v).(p)
+let endpoints g e = (g.half_node.(2 * e), g.half_node.((2 * e) + 1))
+let degree g v = Array.length g.ports.(v)
+
+let max_degree g =
+  let best = ref 0 in
+  for v = 0 to g.n - 1 do
+    if degree g v > !best then best := degree g v
+  done;
+  !best
+
+let halves g v = g.ports.(v)
+let neighbor g v p = g.half_node.(mate g.ports.(v).(p))
+
+let neighbors g v =
+  Array.to_list (Array.map (fun h -> g.half_node.(mate h)) g.ports.(v))
+
+let fold_nodes g ~init ~f =
+  let acc = ref init in
+  for v = 0 to g.n - 1 do
+    acc := f !acc v
+  done;
+  !acc
+
+let fold_edges g ~init ~f =
+  let acc = ref init in
+  for e = 0 to g.m - 1 do
+    let u, v = endpoints g e in
+    acc := f !acc e u v
+  done;
+  !acc
+
+let iter_edges g ~f =
+  for e = 0 to g.m - 1 do
+    let u, v = endpoints g e in
+    f e u v
+  done
+
+let has_self_loop g v =
+  Array.exists (fun h -> g.half_node.(mate h) = v) g.ports.(v)
+
+let is_simple g =
+  let ok = ref true in
+  for e = 0 to g.m - 1 do
+    let u, v = endpoints g e in
+    if u = v then ok := false
+  done;
+  if !ok then begin
+    (* parallel edges: sort each adjacency and look for duplicates *)
+    let v = ref 0 in
+    while !ok && !v < g.n do
+      let ns = Array.map (fun h -> g.half_node.(mate h)) g.ports.(!v) in
+      Array.sort compare ns;
+      for i = 1 to Array.length ns - 1 do
+        if ns.(i) = ns.(i - 1) then ok := false
+      done;
+      incr v
+    done
+  end;
+  !ok
+
+let equal_structure g1 g2 =
+  g1.n = g2.n && g1.m = g2.m
+  && g1.half_node = g2.half_node
+  && g1.half_port = g2.half_port
+
+let pp fmt g =
+  Format.fprintf fmt "@[<v>graph n=%d m=%d" g.n g.m;
+  iter_edges g ~f:(fun e u v -> Format.fprintf fmt "@,  e%d: %d -- %d" e u v);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,94 @@
+(** Port-numbered multigraphs for the LOCAL model.
+
+    The paper (Section 2) works with bounded-degree graphs that may be
+    disconnected and may contain self-loops and parallel edges, where every
+    node numbers its incident edges with ports [0 .. deg v - 1].
+
+    We represent a graph with [m] edges by [2 m] {e half-edges}: half-edge
+    [2 e] and [2 e + 1] are the two sides of edge [e], and [mate h = h lxor 1]
+    maps a half-edge to the opposite side. A self-loop is an edge whose two
+    half-edges sit at the same node (on two distinct ports). Half-edges are
+    exactly the paper's set [B] of incident node-edge pairs. *)
+
+type t
+
+type node = int
+type edge = int
+type half = int
+
+(** {1 Construction} *)
+
+module Builder : sig
+  type graph := t
+  type t
+
+  val create : int -> t
+  (** [create n] starts a graph with nodes [0 .. n-1] and no edges. *)
+
+  val add_edge : t -> node -> node -> edge
+  (** [add_edge b u v] appends an edge; its half-edges take the next free
+      port at [u] and [v] respectively (for a self-loop, two ports of [u]).
+      Returns the new edge id. *)
+
+  val build : t -> graph
+end
+
+val of_edges : n:int -> (node * node) list -> t
+(** [of_edges ~n edges] builds a graph; ports are assigned in list order. *)
+
+(** {1 Sizes} *)
+
+val n : t -> int
+val m : t -> int
+
+(** {1 Half-edge navigation} *)
+
+val mate : half -> half
+(** Opposite side of the same edge. *)
+
+val edge_of_half : half -> edge
+val halves_of_edge : edge -> half * half
+val half_node : t -> half -> node
+(** Node at which a half-edge sits. *)
+
+val half_port : t -> half -> int
+(** Port number of a half-edge at its node. *)
+
+val half_at : t -> node -> int -> half
+(** [half_at g v p] is the half-edge on port [p] of [v]. *)
+
+val endpoints : t -> edge -> node * node
+
+(** {1 Node accessors} *)
+
+val degree : t -> node -> int
+val max_degree : t -> int
+val halves : t -> node -> half array
+(** Half-edges of a node in port order. Do not mutate. *)
+
+val neighbor : t -> node -> int -> node
+(** [neighbor g v p] is the node at the far end of port [p] of [v]
+    (which is [v] itself for a self-loop). *)
+
+val neighbors : t -> node -> node list
+(** Far ends of all ports, in port order (duplicates kept). *)
+
+(** {1 Folds and iteration} *)
+
+val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a
+val fold_edges : t -> init:'a -> f:('a -> edge -> node -> node -> 'a) -> 'a
+val iter_edges : t -> f:(edge -> node -> node -> unit) -> unit
+
+(** {1 Predicates} *)
+
+val is_simple : t -> bool
+(** No self-loops and no parallel edges. *)
+
+val has_self_loop : t -> node -> bool
+
+val equal_structure : t -> t -> bool
+(** Same node count and identical port-ordered edge lists. *)
+
+(** {1 Pretty-printing} *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,149 @@
+module G = Multigraph
+
+type node = G.node
+
+let bfs g s =
+  let dist = Array.make (G.n g) (-1) in
+  let q = Queue.create () in
+  dist.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    Array.iter
+      (fun h ->
+        let w = G.half_node g (G.mate h) in
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.add w q
+        end)
+      (G.halves g v)
+  done;
+  dist
+
+let bfs_bounded g s ~radius =
+  let dist = Hashtbl.create 64 in
+  let order = ref [] in
+  let q = Queue.create () in
+  Hashtbl.replace dist s 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    let d = Hashtbl.find dist v in
+    order := (v, d) :: !order;
+    if d < radius then
+      Array.iter
+        (fun h ->
+          let w = G.half_node g (G.mate h) in
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.replace dist w (d + 1);
+            Queue.add w q
+          end)
+        (G.halves g v)
+  done;
+  List.rev !order
+
+let ball_nodes g s ~radius = List.map fst (bfs_bounded g s ~radius)
+
+let distance g u v = (bfs g u).(v)
+
+let eccentricity g v =
+  Array.fold_left max 0 (bfs g v)
+
+let diameter g =
+  let best = ref 0 in
+  for v = 0 to G.n g - 1 do
+    let e = eccentricity g v in
+    if e > !best then best := e
+  done;
+  !best
+
+let components g =
+  let comp = Array.make (G.n g) (-1) in
+  let k = ref 0 in
+  for s = 0 to G.n g - 1 do
+    if comp.(s) < 0 then begin
+      let q = Queue.create () in
+      comp.(s) <- !k;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.take q in
+        Array.iter
+          (fun h ->
+            let w = G.half_node g (G.mate h) in
+            if comp.(w) < 0 then begin
+              comp.(w) <- !k;
+              Queue.add w q
+            end)
+          (G.halves g v)
+      done;
+      incr k
+    end
+  done;
+  (comp, !k)
+
+let component_nodes g s = ball_nodes g s ~radius:max_int
+
+(* Shortest cycle through BFS from every node, with the standard edge-based
+   refinement: when BFS from s meets an edge {v,w} with both endpoints
+   visited, a cycle of length dist v + dist w + 1 exists (for a non-tree
+   edge). Self-loops and parallel edges are caught directly. *)
+let girth g =
+  let best = ref max_int in
+  (* self-loops and parallel edges *)
+  for v = 0 to G.n g - 1 do
+    if G.has_self_loop g v then best := min !best 1
+  done;
+  if !best > 2 then begin
+    for v = 0 to G.n g - 1 do
+      let ns = Array.map (fun h -> G.half_node g (G.mate h)) (G.halves g v) in
+      Array.sort compare ns;
+      for i = 1 to Array.length ns - 1 do
+        if ns.(i) = ns.(i - 1) && ns.(i) <> v then best := min !best 2
+      done
+    done
+  end;
+  if !best > 2 then begin
+    (* BFS from each node; track the parent edge to avoid walking back. *)
+    for s = 0 to G.n g - 1 do
+      let dist = Array.make (G.n g) (-1) in
+      let par_edge = Array.make (G.n g) (-1) in
+      let q = Queue.create () in
+      dist.(s) <- 0;
+      Queue.add s q;
+      let continue = ref true in
+      while !continue && not (Queue.is_empty q) do
+        let v = Queue.take q in
+        Array.iter
+          (fun h ->
+            let e = G.edge_of_half h in
+            let w = G.half_node g (G.mate h) in
+            if e <> par_edge.(v) then begin
+              if dist.(w) < 0 then begin
+                dist.(w) <- dist.(v) + 1;
+                par_edge.(w) <- e;
+                Queue.add w q
+              end
+              else begin
+                let c = dist.(v) + dist.(w) + 1 in
+                if c < !best then best := c
+              end
+            end)
+          (G.halves g v);
+        if dist.(v) * 2 > !best then continue := false
+      done
+    done
+  end;
+  !best
+
+let induced g nodes =
+  let of_g = Array.make (G.n g) (-1) in
+  let selected = Array.of_list nodes in
+  Array.iteri (fun i v -> of_g.(v) <- i) selected;
+  let b = G.Builder.create (Array.length selected) in
+  (* keep relative port order: walk nodes in new order, ports in order, and
+     add each edge once (when seen from its side-0 half, or from the smaller
+     new id if both sides selected). *)
+  G.iter_edges g ~f:(fun _ u v ->
+      if of_g.(u) >= 0 && of_g.(v) >= 0 then
+        ignore (G.Builder.add_edge b of_g.(u) of_g.(v)));
+  (G.Builder.build b, selected, of_g)

@@ -1,0 +1,44 @@
+(** Breadth-first traversals, distances, balls, components.
+
+    Everything here treats the graph as undirected and follows self-loops
+    and parallel edges harmlessly (a self-loop never decreases distances). *)
+
+type node = Multigraph.node
+
+val bfs : Multigraph.t -> node -> int array
+(** [bfs g s] returns distances from [s]; unreachable nodes get [-1]. *)
+
+val bfs_bounded : Multigraph.t -> node -> radius:int -> (node * int) list
+(** Nodes within [radius] of [s], with distances, in BFS order
+    (so the source is first). *)
+
+val ball_nodes : Multigraph.t -> node -> radius:int -> node list
+(** Nodes of the radius-[radius] ball around [s], in BFS order. *)
+
+val distance : Multigraph.t -> node -> node -> int
+(** [-1] if disconnected. *)
+
+val eccentricity : Multigraph.t -> node -> int
+(** Largest finite distance from the node. *)
+
+val diameter : Multigraph.t -> int
+(** Exact diameter of the largest-eccentricity component, by all-sources
+    BFS. Intended for test/bench-sized graphs. Returns 0 for n <= 1. *)
+
+val components : Multigraph.t -> int array * int
+(** [components g = (comp, k)]: [comp.(v)] is the component index of [v]
+    (in [0..k-1]); components are numbered by smallest contained node. *)
+
+val component_nodes : Multigraph.t -> node -> node list
+(** All nodes in the component of the given node, in BFS order. *)
+
+val girth : Multigraph.t -> int
+(** Length of a shortest cycle; [max_int] if the graph is a forest.
+    Self-loops count as cycles of length 1, parallel edges as length 2.
+    O(n·m); intended for tests. *)
+
+val induced : Multigraph.t -> node list -> Multigraph.t * node array * int array
+(** [induced g nodes = (h, to_g, of_g)]: the subgraph induced by [nodes]
+    (edges keep relative port order), where [to_g.(i)] is the original id of
+    node [i] of [h] and [of_g.(v)] is the new id of original node [v]
+    (or [-1] if [v] was not selected). *)

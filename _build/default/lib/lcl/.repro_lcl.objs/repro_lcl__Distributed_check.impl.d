@@ -1,0 +1,1 @@
+lib/lcl/distributed_check.ml: Array Either Labeling Ne_lcl Repro_graph Repro_local

@@ -1,0 +1,1 @@
+lib/lcl/distributed_check.mli: Labeling Ne_lcl Repro_local

@@ -1,0 +1,1 @@
+lib/lcl/labeling.ml: Array Repro_graph

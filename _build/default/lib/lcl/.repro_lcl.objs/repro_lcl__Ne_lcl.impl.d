@@ -1,0 +1,1 @@
+lib/lcl/ne_lcl.ml: Array Format Labeling Repro_graph

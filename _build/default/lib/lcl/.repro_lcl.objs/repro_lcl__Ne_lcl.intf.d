@@ -1,0 +1,1 @@
+lib/lcl/ne_lcl.mli: Format Labeling Repro_graph

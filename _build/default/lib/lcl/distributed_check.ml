@@ -1,0 +1,70 @@
+module G = Repro_graph.Multigraph
+module MP = Repro_local.Message_passing
+
+type verdict = {
+  accepts : bool array;
+  all_accept : bool;
+  rounds : int;
+}
+
+(* what a node tells each neighbor: its node labels plus the labels of its
+   side of the connecting edge *)
+type ('vi, 'vo, 'bi, 'bo) msg = {
+  m_v_in : 'vi;
+  m_v_out : 'vo;
+  m_b_in : 'bi;
+  m_b_out : 'bo;
+}
+
+let run p inst ~input ~output =
+  let g = inst.Repro_local.Instance.graph in
+  let alg : (int, _ msg, bool) MP.algorithm =
+    {
+      MP.init = (fun _ v -> v);
+      send =
+        (fun v ~round:_ ~port ->
+          let h = G.half_at g v port in
+          {
+            m_v_in = input.Labeling.v.(v);
+            m_v_out = output.Labeling.v.(v);
+            m_b_in = input.Labeling.b.(h);
+            m_b_out = output.Labeling.b.(h);
+          });
+      receive =
+        (fun v ~round:_ msgs ->
+          (* the node constraint needs only local labels *)
+          let node_ok = p.Ne_lcl.check_node (Ne_lcl.node_view g ~input ~output v) in
+          (* each incident edge's constraint, using the received far side *)
+          let edges_ok = ref true in
+          Array.iteri
+            (fun port h ->
+              let e = G.edge_of_half h in
+              let m = msgs.(port) in
+              (* reconstruct the edge view with this node as side u *)
+              let view : _ Ne_lcl.edge_view =
+                {
+                  Ne_lcl.self_loop = G.half_node g (G.mate h) = v;
+                  u_in = input.Labeling.v.(v);
+                  u_out = output.Labeling.v.(v);
+                  w_in = m.m_v_in;
+                  w_out = m.m_v_out;
+                  ee_in = input.Labeling.e.(e);
+                  ee_out = output.Labeling.e.(e);
+                  bu_in = input.Labeling.b.(h);
+                  bu_out = output.Labeling.b.(h);
+                  bw_in = m.m_b_in;
+                  bw_out = m.m_b_out;
+                }
+              in
+              if not (p.Ne_lcl.check_edge view) then edges_ok := false)
+            (G.halves g v);
+          Either.Right (node_ok && !edges_ok))
+      ;
+    }
+  in
+  let result = MP.run inst alg in
+  {
+    accepts = result.MP.outputs;
+    all_accept = Array.for_all (fun x -> x) result.MP.outputs;
+    rounds = result.MP.max_rounds;
+  }

@@ -1,0 +1,25 @@
+(** The distributed verifier behind the definition of an LCL (paper §2):
+    "there must exist a constant-time distributed algorithm that can check
+    the correctness of a solution".
+
+    This module runs that algorithm for real, on the synchronous
+    message-passing engine: in one round every node exchanges its labels
+    (and the labels of its half-edges) with its neighbors; each node then
+    evaluates its node constraint and the edge constraint of every
+    incident edge. A globally correct solution is accepted at every node;
+    an incorrect one is rejected at some node — and the rejecting nodes
+    are exactly those adjacent to a violation, which the centralized
+    checker {!Ne_lcl.violations} confirms (cross-checked in the tests). *)
+
+type verdict = {
+  accepts : bool array;  (** per-node accept *)
+  all_accept : bool;
+  rounds : int;          (** always 1: LCLs are constant-radius checkable *)
+}
+
+val run :
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Ne_lcl.t ->
+  Repro_local.Instance.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  verdict

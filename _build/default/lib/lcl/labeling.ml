@@ -1,0 +1,30 @@
+module G = Repro_graph.Multigraph
+
+type ('v, 'e, 'b) t = {
+  v : 'v array;
+  e : 'e array;
+  b : 'b array;
+}
+
+let const g ~v ~e ~b =
+  { v = Array.make (G.n g) v; e = Array.make (G.m g) e; b = Array.make (2 * G.m g) b }
+
+let init g ~v ~e ~b =
+  { v = Array.init (G.n g) v; e = Array.init (G.m g) e; b = Array.init (2 * G.m g) b }
+
+let copy t = { v = Array.copy t.v; e = Array.copy t.e; b = Array.copy t.b }
+
+let map ~fv ~fe ~fb t =
+  { v = Array.map fv t.v; e = Array.map fe t.e; b = Array.map fb t.b }
+
+let zip t1 t2 =
+  {
+    v = Array.map2 (fun a b -> (a, b)) t1.v t2.v;
+    e = Array.map2 (fun a b -> (a, b)) t1.e t2.e;
+    b = Array.map2 (fun a b -> (a, b)) t1.b t2.b;
+  }
+
+let matches g t =
+  Array.length t.v = G.n g
+  && Array.length t.e = G.m g
+  && Array.length t.b = 2 * G.m g

@@ -1,0 +1,32 @@
+(** Labelings of a graph over [V ∪ E ∪ B].
+
+    [B] is the set of incident node-edge pairs, i.e. exactly the half-edges
+    of {!Repro_graph.Multigraph}: the label of [(v, e)] lives on the
+    half-edge of [e] that sits at [v]. *)
+
+type ('v, 'e, 'b) t = {
+  v : 'v array;  (** node labels, length n *)
+  e : 'e array;  (** edge labels, length m *)
+  b : 'b array;  (** half-edge labels, length 2m *)
+}
+
+val const : Repro_graph.Multigraph.t -> v:'v -> e:'e -> b:'b -> ('v, 'e, 'b) t
+
+val init :
+  Repro_graph.Multigraph.t ->
+  v:(int -> 'v) ->
+  e:(int -> 'e) ->
+  b:(int -> 'b) ->
+  ('v, 'e, 'b) t
+
+val copy : ('v, 'e, 'b) t -> ('v, 'e, 'b) t
+
+val map :
+  fv:('v1 -> 'v2) -> fe:('e1 -> 'e2) -> fb:('b1 -> 'b2) ->
+  ('v1, 'e1, 'b1) t -> ('v2, 'e2, 'b2) t
+
+val zip : ('v1, 'e1, 'b1) t -> ('v2, 'e2, 'b2) t -> ('v1 * 'v2, 'e1 * 'e2, 'b1 * 'b2) t
+(** Pairs two labelings of the same graph pointwise. *)
+
+val matches : Repro_graph.Multigraph.t -> ('v, 'e, 'b) t -> bool
+(** Array lengths agree with the graph. *)

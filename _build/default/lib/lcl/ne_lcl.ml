@@ -1,0 +1,79 @@
+module G = Repro_graph.Multigraph
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view = {
+  degree : int;
+  v_in : 'vi;
+  v_out : 'vo;
+  e_in : 'ei array;
+  e_out : 'eo array;
+  b_in : 'bi array;
+  b_out : 'bo array;
+}
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view = {
+  self_loop : bool;
+  u_in : 'vi;
+  u_out : 'vo;
+  w_in : 'vi;
+  w_out : 'vo;
+  ee_in : 'ei;
+  ee_out : 'eo;
+  bu_in : 'bi;
+  bu_out : 'bo;
+  bw_in : 'bi;
+  bw_out : 'bo;
+}
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t = {
+  name : string;
+  check_node : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view -> bool;
+  check_edge : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view -> bool;
+}
+
+type violation = Node of int | Edge of int
+
+let pp_violation fmt = function
+  | Node v -> Format.fprintf fmt "node %d" v
+  | Edge e -> Format.fprintf fmt "edge %d" e
+
+let node_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) v =
+  let hs = G.halves g v in
+  let deg = Array.length hs in
+  {
+    degree = deg;
+    v_in = input.v.(v);
+    v_out = output.v.(v);
+    e_in = Array.map (fun h -> input.e.(G.edge_of_half h)) hs;
+    e_out = Array.map (fun h -> output.e.(G.edge_of_half h)) hs;
+    b_in = Array.map (fun h -> input.b.(h)) hs;
+    b_out = Array.map (fun h -> output.b.(h)) hs;
+  }
+
+let edge_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) e =
+  let u, w = G.endpoints g e in
+  let hu, hw = G.halves_of_edge e in
+  {
+    self_loop = u = w;
+    u_in = input.v.(u);
+    u_out = output.v.(u);
+    w_in = input.v.(w);
+    w_out = output.v.(w);
+    ee_in = input.e.(e);
+    ee_out = output.e.(e);
+    bu_in = input.b.(hu);
+    bu_out = output.b.(hu);
+    bw_in = input.b.(hw);
+    bw_out = output.b.(hw);
+  }
+
+let violations p g ~input ~output =
+  let bad = ref [] in
+  for e = G.m g - 1 downto 0 do
+    if not (p.check_edge (edge_view g ~input ~output e)) then bad := Edge e :: !bad
+  done;
+  for v = G.n g - 1 downto 0 do
+    if not (p.check_node (node_view g ~input ~output v)) then bad := Node v :: !bad
+  done;
+  !bad
+
+let is_valid p g ~input ~output = violations p g ~input ~output = []

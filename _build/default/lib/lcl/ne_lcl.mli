@@ -1,0 +1,76 @@
+(** Node-edge-checkable LCL problems (paper §2).
+
+    An ne-LCL is given by input and output label alphabets over
+    [V ∪ E ∪ B] plus a node constraint [C_N] and an edge constraint [C_E].
+    [C_N] sees everything incident to one node (its own labels plus the
+    labels of its incident edges and of its own half-edges, in port order);
+    [C_E] sees one edge: the two endpoints, the edge itself, and its two
+    half-edges. Constraints may not depend on identifiers or port numbers
+    beyond the ordering they induce, and we keep them as plain predicates.
+
+    A solution is correct iff [C_N] holds at every node and [C_E] at every
+    edge. For a self-loop, the edge view has its two sides at the same
+    node; the node view sees both half-edges of the loop on their two
+    ports. *)
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view = {
+  degree : int;
+  v_in : 'vi;
+  v_out : 'vo;
+  e_in : 'ei array;   (** incident edge inputs, port order *)
+  e_out : 'eo array;
+  b_in : 'bi array;   (** this node's half-edge inputs, port order *)
+  b_out : 'bo array;
+}
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view = {
+  self_loop : bool;
+  u_in : 'vi;
+  u_out : 'vo;
+  w_in : 'vi;         (** other endpoint (equal to [u_*] for a self-loop) *)
+  w_out : 'vo;
+  ee_in : 'ei;
+  ee_out : 'eo;
+  bu_in : 'bi;        (** half at u (side 0 of the edge) *)
+  bu_out : 'bo;
+  bw_in : 'bi;        (** half at w (side 1) *)
+  bw_out : 'bo;
+}
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t = {
+  name : string;
+  check_node : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view -> bool;
+  check_edge : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view -> bool;
+}
+
+type violation = Node of int | Edge of int
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val node_view :
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  int ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view
+
+val edge_view :
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  int ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view
+
+val violations :
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t ->
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  violation list
+
+val is_valid :
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t ->
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  bool

@@ -1,0 +1,1 @@
+lib/local/ball.ml: Array List Repro_graph

@@ -1,0 +1,1 @@
+lib/local/ball.mli: Repro_graph

@@ -1,0 +1,1 @@
+lib/local/ids.ml: Array Hashtbl Queue Random Repro_graph

@@ -1,0 +1,1 @@
+lib/local/instance.ml: Array Hashtbl Ids Randomness Repro_graph

@@ -1,0 +1,1 @@
+lib/local/instance.mli: Ids Randomness Repro_graph

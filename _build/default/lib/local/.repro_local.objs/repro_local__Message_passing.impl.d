@@ -1,0 +1,1 @@
+lib/local/message_passing.ml: Array Either Hashtbl Instance List Printf Repro_graph

@@ -1,0 +1,1 @@
+lib/local/message_passing.mli: Either Instance

@@ -1,0 +1,1 @@
+lib/local/meter.ml: Array Hashtbl List

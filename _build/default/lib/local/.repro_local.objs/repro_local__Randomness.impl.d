@@ -1,0 +1,1 @@
+lib/local/randomness.ml: Int64

@@ -1,0 +1,1 @@
+lib/local/view_tree.ml: Array Hashtbl List Marshal Repro_graph

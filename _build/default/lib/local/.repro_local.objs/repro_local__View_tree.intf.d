@@ -1,0 +1,1 @@
+lib/local/view_tree.mli: Repro_graph

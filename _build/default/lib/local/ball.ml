@@ -1,0 +1,39 @@
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+
+type t = {
+  graph : G.t;
+  center : int;
+  to_global : int array;
+  dist : int array;
+  radius : int;
+  complete : bool;
+}
+
+let gather g ~center ~radius =
+  let pairs = T.bfs_bounded g center ~radius in
+  let nodes = List.map fst pairs in
+  let sub, to_global, of_global = T.induced g nodes in
+  let dist = Array.make (G.n sub) 0 in
+  List.iter (fun (v, d) -> dist.(of_global.(v)) <- d) pairs;
+  let complete =
+    List.for_all
+      (fun (v, d) ->
+        d < radius
+        || Array.for_all
+             (fun h -> of_global.(G.half_node g (G.mate h)) >= 0)
+             (G.halves g v))
+      pairs
+  in
+  { graph = sub; center = of_global.(center); to_global; dist; radius; complete }
+
+let of_global b v =
+  (* to_global is small; linear scan is fine for ball sizes *)
+  let rec find i =
+    if i >= Array.length b.to_global then None
+    else if b.to_global.(i) = v then Some i
+    else find (i + 1)
+  in
+  find 0
+
+let mem_global b v = of_global b v <> None

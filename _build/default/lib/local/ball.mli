@@ -1,0 +1,27 @@
+(** Radius-[r] views: what a node learns in [r] communication rounds.
+
+    A ball is the subgraph induced by the nodes at distance at most [r]
+    from the center, with the center marked and a map back to global node
+    names. Port numbers are preserved (relative order of incident edges).
+
+    Convention: the induced subgraph also contains edges between two
+    boundary nodes (both at distance exactly [r]); seeing those costs one
+    extra round in the strict LOCAL model, so a computation on
+    [gather ~radius:r] should be charged [r + 1]. Solvers in this repo
+    charge conservatively. *)
+
+type t = private {
+  graph : Repro_graph.Multigraph.t;      (** induced subgraph, locally renumbered *)
+  center : int;              (** local index of the ball's center *)
+  to_global : int array;     (** local node -> global node *)
+  dist : int array;          (** local node -> distance from center *)
+  radius : int;              (** the requested radius *)
+  complete : bool;           (** true if the ball is a whole component *)
+}
+
+val gather : Repro_graph.Multigraph.t -> center:int -> radius:int -> t
+
+val of_global : t -> int -> int option
+(** Local index of a global node, if inside the ball. *)
+
+val mem_global : t -> int -> bool

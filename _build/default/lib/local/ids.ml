@@ -1,0 +1,66 @@
+type t = int array
+
+let sequential n = Array.init n (fun v -> v + 1)
+
+let random_permutation rng n =
+  let a = Repro_graph.Generators.random_permutation rng n in
+  Array.map (fun x -> x + 1) a
+
+let spread rng n =
+  if n = 0 then [||]
+  else begin
+    let seen = Hashtbl.create (2 * n) in
+    let bound = n * n in
+    Array.init n (fun _ ->
+        let rec fresh () =
+          let x = 1 + Random.State.full_int rng bound in
+          if Hashtbl.mem seen x then fresh ()
+          else begin
+            Hashtbl.replace seen x ();
+            x
+          end
+        in
+        fresh ())
+  end
+
+let adversarial_bfs g =
+  let module G = Repro_graph.Multigraph in
+  let n = G.n g in
+  let ids = Array.make n 0 in
+  let next = ref 1 in
+  let visited = Array.make n false in
+  for s = 0 to n - 1 do
+    if not (visited.(s)) then begin
+      let q = Queue.create () in
+      visited.(s) <- true;
+      Queue.add s q;
+      while not (Queue.is_empty q) do
+        let v = Queue.take q in
+        ids.(v) <- !next;
+        incr next;
+        Array.iter
+          (fun h ->
+            let w = G.half_node g (G.mate h) in
+            if not visited.(w) then begin
+              visited.(w) <- true;
+              Queue.add w q
+            end)
+          (G.halves g v)
+      done
+    end
+  done;
+  ids
+
+let is_valid ~n ids =
+  Array.length ids = n
+  && Array.for_all (fun x -> x >= 1 && x <= max 1 (n * n)) ids
+  &&
+  let seen = Hashtbl.create (2 * n) in
+  Array.for_all
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.replace seen x ();
+        true
+      end)
+    ids

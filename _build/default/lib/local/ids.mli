@@ -1,0 +1,23 @@
+(** Unique identifier assignments from [{1, ..., poly(n)}] (paper, §1).
+
+    An assignment for an [n]-node graph is an array [ids] with [ids.(v)]
+    the identifier of node [v]; identifiers are pairwise distinct. *)
+
+type t = int array
+
+val sequential : int -> t
+(** [ids.(v) = v + 1]. *)
+
+val random_permutation : Random.State.t -> int -> t
+(** A uniformly random bijection onto [{1, ..., n}]. *)
+
+val spread : Random.State.t -> int -> t
+(** Random injective assignment into [{1, ..., n^2}] — exercises the
+    "poly(n) id space" promise rather than a compact one. *)
+
+val adversarial_bfs : Repro_graph.Multigraph.t -> t
+(** Identifiers increase along a BFS from node 0 — a structured assignment
+    that stresses symmetry-breaking tie-breaks. *)
+
+val is_valid : n:int -> t -> bool
+(** Distinct, positive, and at most [n^2] (our poly bound). *)

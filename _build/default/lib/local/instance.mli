@@ -1,0 +1,22 @@
+(** A LOCAL-model instance: graph + identifiers + randomness + the promise.
+
+    Every node knows [n_promise] (an upper bound on the number of nodes),
+    the degree bound implied by the graph, its own identifier and degree;
+    all other knowledge is paid for in rounds (tracked by {!Meter}). *)
+
+type t = {
+  graph : Repro_graph.Multigraph.t;
+  ids : Ids.t;
+  rand : Randomness.t;
+  seed : int;  (** the seed [rand] was built from (for deriving sub-instances) *)
+  n_promise : int;
+}
+
+val create : ?seed:int -> ?ids:Ids.t -> ?n_promise:int -> Repro_graph.Multigraph.t -> t
+(** Defaults: sequential ids, seed 0, [n_promise = n]. *)
+
+val with_seed : t -> int -> t
+(** Same instance, fresh random strings. *)
+
+val id : t -> int -> int
+val n : t -> int

@@ -1,0 +1,96 @@
+module G = Repro_graph.Multigraph
+
+type ('state, 'msg, 'out) algorithm = {
+  init : Instance.t -> int -> 'state;
+  send : 'state -> round:int -> port:int -> 'msg;
+  receive : 'state -> round:int -> 'msg array -> ('state, 'out) Either.t;
+}
+
+type 'out result = {
+  outputs : 'out array;
+  rounds : int array;
+  max_rounds : int;
+}
+
+let run ?limit inst alg =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let limit = match limit with Some l -> l | None -> (4 * n) + 16 in
+  let states = Array.init n (fun v -> alg.init inst v) in
+  let outputs = Array.make n None in
+  let rounds = Array.make n 0 in
+  let halted = Array.make n false in
+  let remaining = ref n in
+  (* round 0 gives nodes a chance to halt without communicating *)
+  let round = ref 0 in
+  let deliver () =
+    (* mailbox per half-edge: message sent into a half arrives at its mate *)
+    let mail = Array.make (2 * G.m g) None in
+    for v = 0 to n - 1 do
+      Array.iteri
+        (fun p h ->
+          mail.(G.mate h) <- Some (alg.send states.(v) ~round:!round ~port:p))
+        (G.halves g v)
+    done;
+    for v = 0 to n - 1 do
+      if not halted.(v) then begin
+        let msgs =
+          Array.map
+            (fun h ->
+              match mail.(h) with
+              | Some m -> m
+              | None -> assert false)
+            (G.halves g v)
+        in
+        match alg.receive states.(v) ~round:!round msgs with
+        | Either.Left st -> states.(v) <- st
+        | Either.Right out ->
+          outputs.(v) <- Some out;
+          halted.(v) <- true;
+          rounds.(v) <- !round + 1;
+          decr remaining
+      end
+    done
+  in
+  while !remaining > 0 && !round < limit do
+    deliver ();
+    incr round
+  done;
+  if !remaining > 0 then
+    failwith
+      (Printf.sprintf "Message_passing.run: %d nodes still running after %d rounds"
+         !remaining limit);
+  let outputs =
+    Array.map (function Some o -> o | None -> assert false) outputs
+  in
+  { outputs; rounds; max_rounds = Array.fold_left max 0 rounds }
+
+let flood_gather inst ~radius payload =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let known = Array.init n (fun _ -> Hashtbl.create 8) in
+  let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
+  for v = 0 to n - 1 do
+    Hashtbl.replace known.(v) (payload v) ()
+  done;
+  for r = 0 to radius - 1 do
+    (* snapshot: everyone sends its current knowledge *)
+    let outgoing =
+      Array.init n (fun v ->
+          Hashtbl.fold (fun p () acc -> p :: acc) known.(v) [])
+    in
+    for v = 0 to n - 1 do
+      Array.iter
+        (fun h ->
+          let w = G.half_node g (G.mate h) in
+          List.iter
+            (fun p ->
+              if not (Hashtbl.mem known.(w) p) then begin
+                Hashtbl.replace known.(w) p ();
+                by_round.(w).(r) <- p :: by_round.(w).(r)
+              end)
+            outgoing.(v))
+        (G.halves g v)
+    done
+  done;
+  by_round

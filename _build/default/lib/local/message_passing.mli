@@ -1,0 +1,53 @@
+(** A synchronous message-passing engine: the LOCAL model executed
+    round-by-round (paper §2, first paragraph), complementing the
+    gather-based view of {!Ball}.
+
+    An algorithm is given by a per-node state machine. In every round each
+    node emits one message per port, the engine delivers them (the message
+    sent into port [p] of [v] arrives at the far end of that edge, tagged
+    with the receiving port), and each node updates its state. A node may
+    halt with an output; the run ends when every node has halted or the
+    round limit is reached.
+
+    Messages can be arbitrarily large (they carry a user type), matching
+    the unbounded-bandwidth LOCAL model. The engine records the number of
+    rounds each node ran before halting — by the equivalence of §2 this is
+    the same complexity measure as {!Meter} tracks for gather-based
+    solvers, and the two backends are cross-checked in the test suite. *)
+
+type ('state, 'msg, 'out) algorithm = {
+  init : Instance.t -> int -> 'state;
+      (** [init inst v]: the initial state; a node knows [n_promise], its
+          own identifier, degree, and private randomness. *)
+  send : 'state -> round:int -> port:int -> 'msg;
+      (** the message for each port this round *)
+  receive : 'state -> round:int -> 'msg array -> ('state, 'out) Either.t;
+      (** [receive st ~round msgs]: [msgs.(p)] arrived on port [p].
+          Return [Left st'] to continue, [Right out] to halt. *)
+}
+
+type 'out result = {
+  outputs : 'out array;
+  rounds : int array;   (** rounds each node ran before halting *)
+  max_rounds : int;
+}
+
+val run :
+  ?limit:int ->
+  Instance.t ->
+  ('state, 'msg, 'out) algorithm ->
+  'out result
+(** Execute until all nodes halt. @raise Failure if the [limit] (default
+    [4·n + 16] rounds) is exceeded — a diverging algorithm. *)
+
+val flood_gather :
+  Instance.t ->
+  radius:int ->
+  (int -> 'a) ->
+  'a list array array
+(** A canonical building block: every node floods a payload [radius]
+    rounds; returns, per node, the payloads received per round (distance
+    class). Used to realize gather-based algorithms over the engine and to
+    cross-check {!Ball}. [result.(v).(d)] holds payloads of nodes at
+    distance exactly [d+1 <= radius] (with multiplicity along paths
+    collapsed to set semantics by payload equality). *)

@@ -1,0 +1,26 @@
+type t = int array
+
+let create n = Array.make n 0
+
+let charge m v r = if r > m.(v) then m.(v) <- r
+
+let charge_all m r =
+  for v = 0 to Array.length m - 1 do
+    charge m v r
+  done
+
+let radius m v = m.(v)
+let max_radius m = Array.fold_left max 0 m
+
+let mean_radius m =
+  if Array.length m = 0 then 0.0
+  else float_of_int (Array.fold_left ( + ) 0 m) /. float_of_int (Array.length m)
+
+let histogram m =
+  let tbl = Hashtbl.create 16 in
+  Array.iter
+    (fun r ->
+      let c = try Hashtbl.find tbl r with Not_found -> 0 in
+      Hashtbl.replace tbl r (c + 1))
+    m;
+  List.sort compare (Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl [])

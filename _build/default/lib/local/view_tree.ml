@@ -1,0 +1,45 @@
+module G = Repro_graph.Multigraph
+
+(* the t-level unfolding: payload at the root, then per port (in port
+   order) the arrival port at the far endpoint and its (t-1)-view. The
+   unfolding goes back through the arrival edge, as the universal cover
+   does. Size grows as Δ^t: intended for small radii. *)
+type 'a t = Node of 'a * (int * 'a t) list
+
+let rec build g ~payload ~radius v =
+  if radius <= 0 then Node (payload v, [])
+  else begin
+    let children =
+      Array.to_list (G.halves g v)
+      |> List.map (fun h ->
+             let m = G.mate h in
+             let w = G.half_node g m in
+             (G.half_port g m, build g ~payload ~radius:(radius - 1) w))
+    in
+    Node (payload v, children)
+  end
+
+let key t = Marshal.to_string t []
+
+let equal a b = key a = key b
+let hash t = Hashtbl.hash (key t)
+
+let classes g ~payload ~radius =
+  let n = G.n g in
+  let tbl = Hashtbl.create (2 * n) in
+  let next = ref 0 in
+  let cls =
+    Array.init n (fun v ->
+        let k = key (build g ~payload ~radius v) in
+        match Hashtbl.find_opt tbl k with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.replace tbl k c;
+          c)
+  in
+  (cls, !next)
+
+let distinct_counts g ~payload ~max_radius =
+  List.init (max_radius + 1) (fun r -> snd (classes g ~payload ~radius:r))

@@ -1,0 +1,46 @@
+(** Canonical radius-t views in the port-numbering model.
+
+    The radius-t view of a node is the t-level unfolding of the graph at
+    that node: a tree whose root is the node, whose children along port p
+    is the view of the neighbor across port p (with the arrival port
+    recorded), continuing for t levels. Two nodes with equal radius-t
+    views receive identical information in any t-round algorithm that has
+    no identifiers — so any deterministic port-numbering algorithm must
+    give them the same output. This is the engine behind covering-map
+    impossibility arguments (Angluin), and the reason sinkless orientation
+    needs identifiers or randomness on symmetric instances.
+
+    Views carry an optional per-node payload (e.g. an input label or an
+    identifier); with identifiers as payloads, equal views imply equal
+    outputs for deterministic ID-based algorithms as well. *)
+
+type 'a t
+
+val build :
+  Repro_graph.Multigraph.t ->
+  payload:(int -> 'a) ->
+  radius:int ->
+  int ->
+  'a t
+(** [build g ~payload ~radius v] is the radius-[radius] view of [v]. *)
+
+val equal : 'a t -> 'a t -> bool
+val hash : 'a t -> int
+
+val classes :
+  Repro_graph.Multigraph.t ->
+  payload:(int -> 'a) ->
+  radius:int ->
+  int array * int
+(** [(cls, k)]: nodes with equal radius-[radius] views share a class id in
+    [0..k-1]. In any [radius]-round deterministic PN algorithm, same-class
+    nodes produce the same output. *)
+
+val distinct_counts :
+  Repro_graph.Multigraph.t ->
+  payload:(int -> 'a) ->
+  max_radius:int ->
+  int list
+(** Number of view classes at radius 0, 1, …, [max_radius] — a symmetry
+    profile of the graph (all-1 on a vertex-transitive torus with uniform
+    payloads; quickly reaching n on a random graph with distinct ids). *)

@@ -1,0 +1,1 @@
+lib/padding/adversary.ml: Array List Padded_graph Pi_prime Random Repro_gadget Repro_graph Spec

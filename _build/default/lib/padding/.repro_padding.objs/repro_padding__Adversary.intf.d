@@ -1,0 +1,1 @@
+lib/padding/adversary.mli: Padded_graph Padded_types Random Repro_gadget Repro_lcl Spec

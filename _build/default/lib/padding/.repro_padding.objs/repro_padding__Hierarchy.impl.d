@@ -1,0 +1,1 @@
+lib/padding/hierarchy.ml: List Pi_prime Repro_lcl Repro_problems Spec

@@ -1,0 +1,1 @@
+lib/padding/hierarchy.mli: Repro_problems Spec

@@ -1,0 +1,1 @@
+lib/padding/padded_graph.mli: Padded_types Repro_gadget Repro_graph Repro_lcl

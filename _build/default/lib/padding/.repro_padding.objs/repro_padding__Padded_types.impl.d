@@ -1,0 +1,1 @@
+lib/padding/padded_types.ml: Format Repro_gadget

@@ -1,0 +1,1 @@
+lib/padding/pi_prime.ml: Array Hashtbl List Padded_graph Padded_types Queue Repro_gadget Repro_graph Repro_lcl Repro_local Spec

@@ -1,0 +1,1 @@
+lib/padding/spec.ml: Random Repro_graph Repro_lcl Repro_local

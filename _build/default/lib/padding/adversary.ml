@@ -1,0 +1,70 @@
+module G = Repro_graph.Multigraph
+module GL = Repro_gadget.Labels
+module GC = Repro_gadget.Corrupt
+module GB = Repro_gadget.Build
+
+(* kinds that keep every port node present *)
+let safe_kinds =
+  [
+    GC.Relabel_half; GC.Wrong_index; GC.Extra_edge; GC.Parallel_edge;
+    GC.Stale_flags; GC.Bad_color; GC.Fake_port;
+  ]
+
+let delta_of_gadget (t : GL.t) =
+  Array.fold_left
+    (fun acc (nl : GL.node_label) ->
+      match nl.GL.port with Some i -> max acc i | None -> acc)
+    1 t.GL.nodes
+
+let has_all_ports (t : GL.t) ~delta =
+  let found = Array.make delta false in
+  Array.iter
+    (fun (nl : GL.node_label) ->
+      match nl.GL.port with
+      | Some i when i >= 1 && i <= delta -> found.(i - 1) <- true
+      | Some _ | None -> ())
+    t.GL.nodes;
+  Array.for_all (fun x -> x) found
+
+let corrupt_one rng t =
+  let delta = delta_of_gadget t in
+  let rec go tries =
+    if tries > 200 then failwith "Adversary.corrupt_one: cannot invalidate"
+    else begin
+      let kind = List.nth safe_kinds (Random.State.int rng (List.length safe_kinds)) in
+      let t' = GC.apply rng kind t in
+      if has_all_ports t' ~delta && not (Repro_gadget.Check.is_valid ~delta t')
+      then t'
+      else go (tries + 1)
+    end
+  in
+  go 0
+
+let padded_with_corruption (spec : _ Spec.t) rng ~base_target ~gadget_target
+    ~corrupt =
+  let delta = Pi_prime.delta_of spec in
+  let base_g, base_in = spec.Spec.hard_instance rng ~target:base_target in
+  let nb = G.n base_g in
+  let height = GB.height_for ~delta ~target:gadget_target in
+  let good = GB.gadget ~delta ~height in
+  let corrupted = Array.make nb false in
+  let picked = ref 0 in
+  while !picked < min corrupt nb do
+    let v = Random.State.int rng nb in
+    if not corrupted.(v) then begin
+      corrupted.(v) <- true;
+      incr picked
+    end
+  done;
+  let bad_gadgets =
+    Array.init nb (fun v -> if corrupted.(v) then Some (corrupt_one rng good) else None)
+  in
+  let gadget_for v =
+    match bad_gadgets.(v) with Some b -> b | None -> good
+  in
+  let pg = Padded_graph.build base_g ~delta ~gadget_for in
+  let inp =
+    Padded_graph.input_labeling pg ~base_input:base_in ~dei:spec.Spec.dei
+      ~dbi:spec.Spec.dbi
+  in
+  (pg, inp, corrupted)

@@ -1,0 +1,28 @@
+(** Adversarial padded instances: padded graphs in which some gadgets are
+    corrupted (paper §3.3's invalid gadgets, Figure 4).
+
+    Corruptions are drawn from {!Repro_gadget.Corrupt} but restricted to
+    kinds that keep all port nodes present, so the padded wiring can still
+    be built; the Π' solver must then prove the corrupted gadgets invalid,
+    mark the ports facing them [PortErr1], and still solve Π on the
+    contraction of the surviving gadgets. *)
+
+val corrupt_one :
+  Random.State.t -> Repro_gadget.Labels.t -> Repro_gadget.Labels.t
+(** An invalid variant of a gadget that still has all its ports. *)
+
+val padded_with_corruption :
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Spec.t ->
+  Random.State.t ->
+  base_target:int ->
+  gadget_target:int ->
+  corrupt:int ->
+  Padded_graph.t
+  * ( 'vi Padded_types.pv_in,
+      'ei Padded_types.pe_in,
+      'bi Padded_types.pb_in )
+    Repro_lcl.Labeling.t
+  * bool array
+(** Like {!Pi_prime.hard_instance_parts} but with [corrupt] randomly chosen
+    base nodes receiving an invalid gadget. The boolean array marks which
+    base nodes were corrupted. *)

@@ -1,0 +1,28 @@
+module SO = Repro_problems.Sinkless_orientation
+module Labeling = Repro_lcl.Labeling
+
+let sinkless_orientation : _ Spec.t =
+  {
+    Spec.name = "sinkless-orientation";
+    problem = SO.problem;
+    dvi = ();
+    dei = ();
+    dbi = ();
+    dvo = ();
+    deo = ();
+    dbo = SO.In;
+    solve_det = (fun inst _input -> SO.solve_deterministic inst);
+    solve_rand = (fun inst _input -> SO.solve_randomized inst);
+    hard_instance =
+      (fun rng ~target ->
+        let g = SO.hard_instance rng ~n:(max 4 target) in
+        (g, SO.trivial_input g));
+    hard_max_degree = 3;
+  }
+
+let rec level i =
+  if i < 1 then invalid_arg "Hierarchy.level"
+  else if i = 1 then Spec.Packed sinkless_orientation
+  else Pi_prime.pad_packed (level (i - 1))
+
+let levels k = List.init k (fun i -> level (i + 1))

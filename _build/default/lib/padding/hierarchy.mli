@@ -1,0 +1,18 @@
+(** The hierarchy Π¹, Π², Π³, … of Section 5 / Theorem 11.
+
+    Π¹ is sinkless orientation (deterministic [Θ(log n)], randomized
+    [Θ(log log n)]); Π^{i+1} = pad(Π^i) with the (log, Δ)-gadget family
+    and [f(x) = ⌊√x⌋], giving deterministic [Θ(log^{i+1} n)] and
+    randomized [Θ(log^i n · log log n)]. *)
+
+val sinkless_orientation :
+  ( unit, unit, unit,
+    unit, unit, Repro_problems.Sinkless_orientation.orientation )
+  Spec.t
+(** The base bundle Π¹. *)
+
+val level : int -> Spec.packed
+(** [level i] is Π^i ([i >= 1]); [level 1] is sinkless orientation. *)
+
+val levels : int -> Spec.packed list
+(** [levels k] = [Π¹; …; Π^k]. *)

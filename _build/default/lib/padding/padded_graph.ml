@@ -1,0 +1,173 @@
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+module Labeling = Repro_lcl.Labeling
+module GL = Repro_gadget.Labels
+open Padded_types
+
+type t = {
+  padded : G.t;
+  delta : int;
+  base : G.t;
+  gadget_of : int -> GL.t;
+  node_offset : int array;
+  base_node_of : int array;
+  port_edge_of : int array;
+  edge_is_port : bool array;
+  port_nodes : int array array;  (* base node -> padded id of Port_i at i-1 *)
+  half_gad : int array;  (* padded half -> gadget half id, or -1 on PortEdges *)
+  half_base : int array;  (* padded half -> base half id, or -1 on GadEdges *)
+}
+
+let find_ports (gl : GL.t) ~delta =
+  let ports = Array.make delta (-1) in
+  Array.iteri
+    (fun v (nl : GL.node_label) ->
+      match nl.GL.port with
+      | Some i when i >= 1 && i <= delta -> ports.(i - 1) <- v
+      | Some _ | None -> ())
+    gl.GL.nodes;
+  ports
+
+let build base ~delta ~gadget_for =
+  let nb = G.n base in
+  let gadgets = Array.init nb gadget_for in
+  let node_offset = Array.make nb 0 in
+  let total = ref 0 in
+  for v = 0 to nb - 1 do
+    node_offset.(v) <- !total;
+    total := !total + G.n gadgets.(v).GL.graph
+  done;
+  let b = G.Builder.create !total in
+  let half_gad = ref [] in
+  let half_base = ref [] in
+  let edge_is_port = ref [] in
+  (* gadget-internal edges first, per base node *)
+  for v = 0 to nb - 1 do
+    let gl = gadgets.(v) in
+    let off = node_offset.(v) in
+    G.iter_edges gl.GL.graph ~f:(fun e x y ->
+        let pe = G.Builder.add_edge b (off + x) (off + y) in
+        half_gad := (2 * pe, 2 * e) :: ((2 * pe) + 1, (2 * e) + 1) :: !half_gad;
+        edge_is_port := (pe, false) :: !edge_is_port)
+  done;
+  (* port edges for base edges *)
+  let port_nodes =
+    Array.init nb (fun v ->
+        let ports = find_ports gadgets.(v) ~delta in
+        Array.iteri
+          (fun i p ->
+            if p < 0 && i < G.degree base v then
+              invalid_arg "Padded_graph.build: gadget missing a needed port")
+          ports;
+        Array.map (fun p -> if p >= 0 then node_offset.(v) + p else -1) ports)
+  in
+  let port_edge_of = Array.make (G.m base) (-1) in
+  G.iter_edges base ~f:(fun e u v ->
+      let hu, hv = G.halves_of_edge e in
+      let pu = G.half_port base hu and pv = G.half_port base hv in
+      if pu >= delta || pv >= delta then
+        invalid_arg "Padded_graph.build: base degree exceeds delta";
+      let nu = port_nodes.(u).(pu) and nv = port_nodes.(v).(pv) in
+      let pe = G.Builder.add_edge b nu nv in
+      port_edge_of.(e) <- pe;
+      half_base := (2 * pe, hu) :: ((2 * pe) + 1, hv) :: !half_base;
+      edge_is_port := (pe, true) :: !edge_is_port);
+  let padded = G.Builder.build b in
+  let base_node_of = Array.make !total 0 in
+  for v = 0 to nb - 1 do
+    let size = G.n gadgets.(v).GL.graph in
+    for i = 0 to size - 1 do
+      base_node_of.(node_offset.(v) + i) <- v
+    done
+  done;
+  let hg = Array.make (2 * G.m padded) (-1) in
+  List.iter (fun (ph, gh) -> hg.(ph) <- gh) !half_gad;
+  let hb = Array.make (2 * G.m padded) (-1) in
+  List.iter (fun (ph, bh) -> hb.(ph) <- bh) !half_base;
+  let eip = Array.make (G.m padded) false in
+  List.iter (fun (pe, is) -> eip.(pe) <- is) !edge_is_port;
+  {
+    padded;
+    delta;
+    base;
+    gadget_of = (fun v -> gadgets.(v));
+    node_offset;
+    base_node_of;
+    port_edge_of;
+    edge_is_port = eip;
+    port_nodes;
+    half_gad = hg;
+    half_base = hb;
+  }
+
+let port_node t v i = t.port_nodes.(v).(i - 1)
+
+let input_labeling t ~base_input ~dei ~dbi =
+  let g = t.padded in
+  let v_label pv =
+    let bv = t.base_node_of.(pv) in
+    let gl = t.gadget_of bv in
+    {
+      pi_v = base_input.Labeling.v.(bv);
+      gad_v = gl.GL.nodes.(pv - t.node_offset.(bv));
+    }
+  in
+  let e_label pe =
+    if t.edge_is_port.(pe) then
+      let bh = t.half_base.(2 * pe) in
+      { pi_e = base_input.Labeling.e.(G.edge_of_half bh); etype = PortEdge }
+    else { pi_e = dei; etype = GadEdge }
+  in
+  let b_label ph =
+    let pv = G.half_node g ph in
+    let bv = t.base_node_of.(pv) in
+    let gl = t.gadget_of bv in
+    if t.half_gad.(ph) >= 0 then
+      let gh = t.half_gad.(ph) in
+      {
+        pi_b = dbi;
+        gad_b =
+          {
+            Repro_gadget.Ne_psi.bl = gl.GL.halves.(gh);
+            bcolor = gl.GL.half_color2.(gh);
+            bflags = gl.GL.half_flags.(gh);
+          };
+      }
+    else
+      (* a port-edge half: carries the base half's Π-input; the gadget part
+         is immaterial (Ψ_G ignores port edges) but kept well-typed *)
+      let local = pv - t.node_offset.(bv) in
+      {
+        pi_b = base_input.Labeling.b.(t.half_base.(ph));
+        gad_b =
+          {
+            Repro_gadget.Ne_psi.bl = GL.Up;
+            bcolor = gl.GL.nodes.(local).GL.color2;
+            bflags = GL.true_flags gl local;
+          };
+      }
+  in
+  Labeling.init g ~v:v_label ~e:e_label ~b:b_label
+
+let stretch_stats t =
+  let total = ref 0.0 and count = ref 0 and worst = ref 0.0 in
+  for v = 0 to G.n t.base - 1 do
+    let gl = t.gadget_of v in
+    let ports = find_ports gl ~delta:t.delta in
+    let present = Array.to_list ports |> List.filter (fun p -> p >= 0) in
+    List.iter
+      (fun p ->
+        let dist = T.bfs gl.GL.graph p in
+        List.iter
+          (fun q ->
+            if q > p then begin
+              let d = float_of_int dist.(q) in
+              total := !total +. d;
+              incr count;
+              if d > !worst then worst := d
+            end)
+          present)
+      present
+  done;
+  let mean = if !count = 0 then 0.0 else !total /. float_of_int !count in
+  (mean, !worst)

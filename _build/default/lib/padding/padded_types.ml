@@ -1,0 +1,48 @@
+(* Label types of the padded problem Π' (paper §3.3).
+
+   Inputs: every node carries its Π-input and its gadget label; every edge
+   carries its Π-edge-input and the {GadEdge, PortEdge} marker; every
+   half-edge carries its Π-half-input and the gadget half input (structural
+   label, replicated color, replicated flags).
+
+   Outputs: every node carries the Σ_list tuple, a port-error flag, and its
+   Ψ_G output; edges carry nothing (Ψ_G writes nothing on edges); every
+   half-edge carries either ε (on port edges) or a Ψ_G half output. *)
+
+type edge_type = GadEdge | PortEdge
+
+type 'vi pv_in = { pi_v : 'vi; gad_v : Repro_gadget.Labels.node_label }
+
+type 'ei pe_in = { pi_e : 'ei; etype : edge_type }
+
+type 'bi pb_in = { pi_b : 'bi; gad_b : Repro_gadget.Ne_psi.half_in }
+
+(* Σ_list (paper §3.3, "Output labels"): the valid-port set S, a copy of
+   the virtual node's Π-inputs, and the virtual node's Π-outputs. Arrays
+   are indexed by real port number 1..Δ (entry i-1 for Port_i); entries
+   outside S are filled with the spec's defaults. *)
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) sigma_list = {
+  s : bool array;   (* length Δ: membership of Port_i in S *)
+  mutable iv : 'vi;
+  ie : 'ei array;   (* length Δ *)
+  ib : 'bi array;
+  mutable ov : 'vo;
+  oe : 'eo array;
+  ob : 'bo array;
+}
+
+type port_err = PortErr1 | PortErr2 | NoPortErr
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) pv_out = {
+  list_part : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) sigma_list;
+  perr : port_err;
+  psi_v : Repro_gadget.Ne_psi.node_out;
+}
+
+(* ε on port edges is [None] *)
+type pb_out = Repro_gadget.Ne_psi.half_out option
+
+let pp_port_err fmt = function
+  | PortErr1 -> Format.pp_print_string fmt "PortErr1"
+  | PortErr2 -> Format.pp_print_string fmt "PortErr2"
+  | NoPortErr -> Format.pp_print_string fmt "NoPortErr"

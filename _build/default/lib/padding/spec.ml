@@ -1,0 +1,57 @@
+module Ne_lcl = Repro_lcl.Ne_lcl
+module Labeling = Repro_lcl.Labeling
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+
+type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t = {
+  name : string;
+  problem : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Ne_lcl.t;
+  dvi : 'vi;
+  dei : 'ei;
+  dbi : 'bi;
+  dvo : 'vo;
+  deo : 'eo;
+  dbo : 'bo;
+  solve_det :
+    Instance.t ->
+    ('vi, 'ei, 'bi) Labeling.t ->
+    ('vo, 'eo, 'bo) Labeling.t * Meter.t;
+  solve_rand :
+    Instance.t ->
+    ('vi, 'ei, 'bi) Labeling.t ->
+    ('vo, 'eo, 'bo) Labeling.t * Meter.t;
+  hard_instance :
+    Random.State.t ->
+    target:int ->
+    Repro_graph.Multigraph.t * ('vi, 'ei, 'bi) Labeling.t;
+  hard_max_degree : int;
+}
+
+let is_valid spec g ~input ~output =
+  Ne_lcl.is_valid spec.problem g ~input ~output
+
+type packed = Packed : ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t -> packed
+
+let packed_name (Packed s) = s.name
+
+type run_stats = {
+  n : int;
+  det_rounds : int;
+  rand_rounds : int;
+  det_valid : bool;
+  rand_valid : bool;
+}
+
+let run_hard (Packed spec) ~seed ~target =
+  let rng = Random.State.make [| seed |] in
+  let g, input = spec.hard_instance rng ~target in
+  let inst = Instance.create ~seed g in
+  let out_d, m_d = spec.solve_det inst input in
+  let out_r, m_r = spec.solve_rand inst input in
+  {
+    n = Repro_graph.Multigraph.n g;
+    det_rounds = Meter.max_radius m_d;
+    rand_rounds = Meter.max_radius m_r;
+    det_valid = is_valid spec g ~input ~output:out_d;
+    rand_valid = is_valid spec g ~input ~output:out_r;
+  }

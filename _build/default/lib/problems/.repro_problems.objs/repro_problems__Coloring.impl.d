@@ -1,0 +1,1 @@
+lib/problems/coloring.ml: Array List Printf Repro_graph Repro_lcl Repro_local

@@ -1,0 +1,1 @@
+lib/problems/coloring.mli: Repro_graph Repro_lcl Repro_local

@@ -1,0 +1,1 @@
+lib/problems/matching.ml: Array Coloring Repro_graph Repro_lcl Repro_local

@@ -1,0 +1,1 @@
+lib/problems/matching.mli: Repro_graph Repro_lcl Repro_local

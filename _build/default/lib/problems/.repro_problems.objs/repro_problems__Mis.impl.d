@@ -1,0 +1,1 @@
+lib/problems/mis.ml: Array Coloring List Repro_graph Repro_lcl Repro_local

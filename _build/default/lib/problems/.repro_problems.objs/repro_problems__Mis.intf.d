@@ -1,0 +1,1 @@
+lib/problems/mis.mli: Repro_graph Repro_lcl Repro_local

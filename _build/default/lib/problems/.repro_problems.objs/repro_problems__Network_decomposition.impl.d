@@ -1,0 +1,1 @@
+lib/problems/network_decomposition.ml: Array Hashtbl List Queue Repro_graph Repro_local

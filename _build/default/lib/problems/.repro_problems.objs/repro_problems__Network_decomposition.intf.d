@@ -1,0 +1,1 @@
+lib/problems/network_decomposition.mli: Repro_graph Repro_local

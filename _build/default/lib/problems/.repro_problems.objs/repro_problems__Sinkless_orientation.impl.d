@@ -1,0 +1,1 @@
+lib/problems/sinkless_orientation.ml: Array Format Hashtbl List Queue Repro_graph Repro_lcl Repro_local

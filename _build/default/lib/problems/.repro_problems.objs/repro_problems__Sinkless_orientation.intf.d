@@ -1,0 +1,1 @@
+lib/problems/sinkless_orientation.mli: Format Random Repro_graph Repro_lcl Repro_local

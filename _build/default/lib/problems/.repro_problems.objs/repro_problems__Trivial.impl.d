@@ -1,0 +1,1 @@
+lib/problems/trivial.ml: Repro_graph Repro_lcl Repro_local

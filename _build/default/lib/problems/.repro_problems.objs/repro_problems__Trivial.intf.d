@@ -1,0 +1,1 @@
+lib/problems/trivial.mli: Repro_lcl Repro_local

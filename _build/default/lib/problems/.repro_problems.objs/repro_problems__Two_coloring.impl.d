@@ -1,0 +1,1 @@
+lib/problems/two_coloring.ml: Array Queue Repro_graph Repro_lcl Repro_local

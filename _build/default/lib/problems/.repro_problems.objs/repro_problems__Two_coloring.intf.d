@@ -1,0 +1,1 @@
+lib/problems/two_coloring.mli: Repro_graph Repro_lcl Repro_local

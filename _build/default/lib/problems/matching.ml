@@ -1,0 +1,81 @@
+module G = Repro_graph.Multigraph
+module Labeling = Repro_lcl.Labeling
+module Ne_lcl = Repro_lcl.Ne_lcl
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+
+type output = (bool, bool, unit) Labeling.t
+
+let problem : (unit, unit, unit, bool, bool, unit) Ne_lcl.t =
+  {
+    name = "maximal-matching";
+    check_node =
+      (fun nv ->
+        let matched_edges =
+          Array.fold_left (fun a m -> if m then a + 1 else a) 0 nv.Ne_lcl.e_out
+        in
+        matched_edges <= 1 && nv.Ne_lcl.v_out = (matched_edges > 0));
+    check_edge =
+      (fun ev ->
+        (* a matched edge marks both endpoints; both-unmatched endpoints
+           witness non-maximality *)
+        ((not ev.Ne_lcl.ee_out) || (ev.Ne_lcl.u_out && ev.Ne_lcl.w_out))
+        && (ev.Ne_lcl.u_out || ev.Ne_lcl.w_out));
+  }
+
+let of_edges g matched =
+  let node_matched = Array.make (G.n g) false in
+  Array.iteri
+    (fun e m ->
+      if m then begin
+        let u, v = G.endpoints g e in
+        node_matched.(u) <- true;
+        node_matched.(v) <- true
+      end)
+    matched;
+  Labeling.init g
+    ~v:(fun v -> node_matched.(v))
+    ~e:(fun e -> matched.(e))
+    ~b:(fun _ -> ())
+
+let is_valid g output =
+  let input = Labeling.const g ~v:() ~e:() ~b:() in
+  Ne_lcl.is_valid problem g ~input ~output
+
+let solve inst =
+  let g = inst.Instance.graph in
+  let coloring, meter = Coloring.solve inst in
+  let color v = coloring.Labeling.v.(v) in
+  let delta = max 1 (G.max_degree g) in
+  (* proper edge coloring from the node coloring: the slot-A endpoint is
+     the one with the smaller node color; two edges sharing a node differ
+     in the shared node's port, and two differently-slotted edges cannot
+     collide because adjacent node colors differ *)
+  let edge_color e =
+    let hu, hv = G.halves_of_edge e in
+    let u = G.half_node g hu and v = G.half_node g hv in
+    let (ca, pa), (cb, pb) =
+      if color u < color v then
+        ((color u, G.half_port g hu), (color v, G.half_port g hv))
+      else ((color v, G.half_port g hv), (color u, G.half_port g hu))
+    in
+    ((ca * delta) + pa) + (((cb * delta) + pb) * (delta * (delta + 2)))
+  in
+  let palette = delta * (delta + 2) * delta * (delta + 2) in
+  let matched = Array.make (G.m g) false in
+  let node_matched = Array.make (G.n g) false in
+  for cls = 0 to palette - 1 do
+    G.iter_edges g ~f:(fun e u v ->
+        if
+          edge_color e = cls
+          && (not node_matched.(u))
+          && not node_matched.(v)
+        then begin
+          matched.(e) <- true;
+          node_matched.(u) <- true;
+          node_matched.(v) <- true
+        end)
+  done;
+  (* the sweep is one round per palette class *)
+  Meter.charge_all meter (Meter.max_radius meter + palette);
+  (of_edges g matched, meter)

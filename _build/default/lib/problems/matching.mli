@@ -1,0 +1,29 @@
+(** Maximal matching in [O(log* n)] rounds — a landscape reference point
+    for Figure 1.
+
+    ne-LCL encoding: the edge output says whether the edge is matched; the
+    node output says whether the node is matched. Node constraint: at most
+    one incident matched edge, and the node flag equals "some incident
+    edge is matched". Edge constraint: a matched edge has both endpoint
+    flags set (consistency), and an edge with both endpoints unmatched
+    witnesses non-maximality.
+
+    Solver: (Δ+1)-color the nodes with {!Coloring}, derive a proper edge
+    coloring with a constant palette (ordered color pair + the ports at
+    both ends), then sweep the edge color classes greedily. Everything
+    after the node coloring is a constant number of rounds, so the
+    measured complexity is [O(log* n)] — flat in n. Requires no
+    self-loops (a self-loop can never be matched but also never blocks
+    maximality; we exclude it for solver simplicity). *)
+
+type output = (bool, bool, unit) Repro_lcl.Labeling.t
+
+val problem : (unit, unit, unit, bool, bool, unit) Repro_lcl.Ne_lcl.t
+
+val is_valid : Repro_graph.Multigraph.t -> output -> bool
+
+val of_edges : Repro_graph.Multigraph.t -> bool array -> output
+(** Wrap a matched-edge vector into the output encoding (for tests). *)
+
+val solve : Repro_local.Instance.t -> output * Repro_local.Meter.t
+(** @raise Invalid_argument on graphs with self-loops. *)

@@ -1,0 +1,55 @@
+module G = Repro_graph.Multigraph
+module Labeling = Repro_lcl.Labeling
+module Ne_lcl = Repro_lcl.Ne_lcl
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+
+type half_out = { mine : bool; claim : bool }
+type output = (bool, unit, half_out) Labeling.t
+
+let problem : (unit, unit, unit, bool, unit, half_out) Ne_lcl.t =
+  {
+    name = "maximal-independent-set";
+    check_node =
+      (fun nv ->
+        Array.for_all (fun b -> b.mine = nv.v_out) nv.b_out
+        && (nv.v_out || Array.exists (fun b -> b.claim) nv.b_out));
+    check_edge =
+      (fun ev ->
+        ev.bu_out.mine = ev.u_out
+        && ev.bw_out.mine = ev.w_out
+        && ev.bu_out.claim = ev.w_out
+        && ev.bw_out.claim = ev.u_out
+        && not (ev.u_out && ev.w_out));
+  }
+
+let of_members g members =
+  Labeling.init g
+    ~v:(fun v -> members.(v))
+    ~e:(fun _ -> ())
+    ~b:(fun h ->
+      let v = G.half_node g h in
+      let w = G.half_node g (G.mate h) in
+      { mine = members.(v); claim = members.(w) })
+
+let is_valid g output =
+  let input = Labeling.const g ~v:() ~e:() ~b:() in
+  Ne_lcl.is_valid problem g ~input ~output
+
+let solve inst =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let coloring, meter = Coloring.solve inst in
+  let delta = max 1 (G.max_degree g) in
+  let members = Array.make n false in
+  let blocked = Array.make n false in
+  for cls = 0 to delta do
+    for v = 0 to n - 1 do
+      if coloring.Labeling.v.(v) = cls && not blocked.(v) then begin
+        members.(v) <- true;
+        List.iter (fun w -> blocked.(w) <- true) (G.neighbors g v)
+      end
+    done
+  done;
+  Meter.charge_all meter (Meter.max_radius meter + delta + 1);
+  (of_members g members, meter)

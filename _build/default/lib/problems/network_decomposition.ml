@@ -1,0 +1,226 @@
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+module Instance = Repro_local.Instance
+module Randomness = Repro_local.Randomness
+
+type t = {
+  cluster : int array;
+  color : int array;
+  colors : int;
+  diameter : int;
+  rounds : int;
+}
+
+(* max over clusters of the eccentricity of one representative within the
+   cluster, measured in the full graph (weak diameter estimate) *)
+let measure_diameter g cluster ncl =
+  let rep = Array.make ncl (-1) in
+  Array.iteri (fun v c -> if rep.(c) < 0 then rep.(c) <- v) cluster;
+  let worst = ref 0 in
+  for c = 0 to ncl - 1 do
+    if rep.(c) >= 0 then begin
+      let d = T.bfs g rep.(c) in
+      Array.iteri
+        (fun v cv -> if cv = c && d.(v) > !worst then worst := d.(v))
+        cluster
+    end
+  done;
+  !worst
+
+let compress_clusters raw =
+  let tbl = Hashtbl.create 64 in
+  let next = ref 0 in
+  let cluster =
+    Array.map
+      (fun key ->
+        match Hashtbl.find_opt tbl key with
+        | Some c -> c
+        | None ->
+          let c = !next in
+          incr next;
+          Hashtbl.replace tbl key c;
+          c)
+      raw
+  in
+  (cluster, !next)
+
+let linial_saks inst ~p =
+  if p <= 0.0 || p >= 1.0 then invalid_arg "Network_decomposition.linial_saks";
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let rand = inst.Instance.rand in
+  let cap =
+    let rec lg x acc = if x <= 1 then acc else lg ((x + 1) / 2) (acc + 1) in
+    2 * lg (max 2 inst.Instance.n_promise) 0
+  in
+  let raw_cluster = Array.make n (-1) in
+  let phase_of = Array.make n (-1) in
+  let remaining = ref n in
+  let phase = ref 0 in
+  while !remaining > 0 do
+    (* geometric radii, truncated *)
+    let radius =
+      Array.init n (fun v ->
+          if raw_cluster.(v) >= 0 then -1
+          else begin
+            let r = ref 0 in
+            while
+              !r < cap
+              && Randomness.float rand ~node:v ~idx:((1000 * !phase) + !r)
+                 < 1.0 -. p
+            do
+              incr r
+            done;
+            !r
+          end)
+    in
+    (* every unclustered w claims its ball of radius.(w) within the
+       unclustered subgraph; a node keeps the claim of the largest id *)
+    let best = Array.make n (-1) in
+    let best_dist = Array.make n max_int in
+    for w = 0 to n - 1 do
+      if raw_cluster.(w) < 0 then begin
+        let dist = Hashtbl.create 16 in
+        Hashtbl.replace dist w 0;
+        let q = Queue.create () in
+        Queue.add w q;
+        while not (Queue.is_empty q) do
+          let v = Queue.take q in
+          let d = Hashtbl.find dist v in
+          let better =
+            best.(v) < 0
+            || inst.Instance.ids.(w) > inst.Instance.ids.(best.(v))
+          in
+          if better then begin
+            best.(v) <- w;
+            best_dist.(v) <- d
+          end;
+          if d < radius.(w) then
+            Array.iter
+              (fun h ->
+                let x = G.half_node g (G.mate h) in
+                if raw_cluster.(x) < 0 && not (Hashtbl.mem dist x) then begin
+                  Hashtbl.replace dist x (d + 1);
+                  Queue.add x q
+                end)
+              (G.halves g v)
+        done
+      end
+    done;
+    (* interior nodes are kept, boundary nodes defer *)
+    for v = 0 to n - 1 do
+      if raw_cluster.(v) < 0 && best.(v) >= 0
+         && best_dist.(v) < radius.(best.(v))
+      then begin
+        (* key clusters by (phase, center): a center that stays unclustered
+           can carve again in a later phase, which must form a new cluster *)
+        raw_cluster.(v) <- (!phase * n) + best.(v);
+        phase_of.(v) <- !phase;
+        decr remaining
+      end
+    done;
+    incr phase;
+    if !phase > 40 * cap then
+      failwith "Network_decomposition.linial_saks: did not converge"
+  done;
+  let cluster, ncl = compress_clusters raw_cluster in
+  (* color = construction phase: same-phase clusters are never adjacent *)
+  let color = Array.make ncl 0 in
+  Array.iteri (fun v c -> color.(c) <- phase_of.(v)) cluster;
+  {
+    cluster;
+    color;
+    colors = !phase;
+    diameter = measure_diameter g cluster ncl;
+    rounds = !phase * 2 * (cap + 1);
+  }
+
+let greedy inst =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let raw_cluster = Array.make n (-1) in
+  let order = Array.init n (fun v -> v) in
+  Array.sort
+    (fun a b -> compare inst.Instance.ids.(a) inst.Instance.ids.(b))
+    order;
+  let next_cluster = ref 0 in
+  Array.iter
+    (fun s ->
+      if raw_cluster.(s) < 0 then begin
+        (* grow a ball in the unclustered subgraph until it stops doubling *)
+        let members = ref [ s ] in
+        let frontier = ref [ s ] in
+        let size = ref 1 in
+        let seen = Hashtbl.create 16 in
+        Hashtbl.replace seen s ();
+        let continue = ref true in
+        while !continue do
+          let next_frontier = ref [] in
+          List.iter
+            (fun v ->
+              Array.iter
+                (fun h ->
+                  let w = G.half_node g (G.mate h) in
+                  if raw_cluster.(w) < 0 && not (Hashtbl.mem seen w) then begin
+                    Hashtbl.replace seen w ();
+                    next_frontier := w :: !next_frontier
+                  end)
+                (G.halves g v))
+            !frontier;
+          let grow = List.length !next_frontier in
+          if grow = 0 || grow * 2 <= !size then begin
+            continue := false;
+            (* boundary is left unclustered *)
+            List.iter (fun w -> Hashtbl.remove seen w) !next_frontier
+          end
+          else begin
+            members := !next_frontier @ !members;
+            frontier := !next_frontier;
+            size := !size + grow
+          end
+        done;
+        List.iter (fun v -> raw_cluster.(v) <- !next_cluster) !members;
+        incr next_cluster
+      end)
+    order;
+  let cluster, ncl = compress_clusters raw_cluster in
+  (* greedy coloring of the cluster graph *)
+  let adj = Hashtbl.create 64 in
+  G.iter_edges g ~f:(fun _ u v ->
+      if cluster.(u) <> cluster.(v) then begin
+        Hashtbl.replace adj (cluster.(u), cluster.(v)) ();
+        Hashtbl.replace adj (cluster.(v), cluster.(u)) ()
+      end);
+  let color = Array.make ncl (-1) in
+  for c = 0 to ncl - 1 do
+    let used = Hashtbl.create 8 in
+    Hashtbl.iter
+      (fun (a, b) () -> if a = c && color.(b) >= 0 then Hashtbl.replace used color.(b) ())
+      adj;
+    let rec pick x = if Hashtbl.mem used x then pick (x + 1) else x in
+    color.(c) <- pick 0
+  done;
+  let colors = Array.fold_left (fun a c -> max a (c + 1)) 1 color in
+  let diameter = measure_diameter g cluster ncl in
+  {
+    cluster;
+    color;
+    colors;
+    diameter;
+    rounds = colors * (diameter + 1);
+  }
+
+let is_valid g t =
+  let n = G.n g in
+  if Array.length t.cluster <> n then false
+  else begin
+    let ncl = Array.length t.color in
+    Array.for_all (fun c -> c >= 0 && c < ncl) t.cluster
+    && Array.for_all (fun col -> col >= 0 && col < t.colors) t.color
+    && (* adjacent clusters have different colors *)
+    G.fold_edges g ~init:true ~f:(fun acc _ u v ->
+        acc
+        && (t.cluster.(u) = t.cluster.(v)
+           || t.color.(t.cluster.(u)) <> t.color.(t.cluster.(v))))
+    && measure_diameter g t.cluster ncl <= t.diameter
+  end

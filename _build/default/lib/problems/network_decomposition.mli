@@ -1,0 +1,43 @@
+(** (C, D)-network decompositions — the object behind the paper's main
+    open question (§1, "Discussion"): Ghaffari–Harris–Kuhn turn any
+    randomized LCL algorithm with complexity R(n) into a deterministic one
+    with complexity [O(R(n)·ND(n) + R(n)·log² n)], where ND(n) is the
+    deterministic complexity of a (log n, log n)-decomposition. An LCL
+    with [D(n)/R(n) = ω(log² n)] would therefore give a superlogarithmic
+    ND lower bound.
+
+    A (C, D)-decomposition partitions the nodes into clusters, each of
+    (strong) diameter at most D, such that the cluster graph is properly
+    C-colored.
+
+    We provide the classical randomized construction (Linial–Saks ball
+    carving: each node claims a ball of geometric radius, ties broken by
+    identifier; interior nodes stay, boundary nodes defer to the next
+    color class) with C = O(log n) and D = O(log n) w.h.p., and a
+    sequential greedy region-growing construction used as a deterministic
+    reference. The harness measures C and D against log n. *)
+
+type t = {
+  cluster : int array;  (** cluster id per node *)
+  color : int array;    (** color per cluster id *)
+  colors : int;         (** C: number of colors used *)
+  diameter : int;       (** D: max strong cluster diameter *)
+  rounds : int;         (** measured LOCAL rounds of the construction *)
+}
+
+val linial_saks :
+  Repro_local.Instance.t -> p:float -> t
+(** Randomized ball carving with geometric parameter [p] (radius
+    truncated at [O(log n)]). [p = 0.5] gives the standard
+    (O(log n), O(log n)) guarantee. *)
+
+val greedy : Repro_local.Instance.t -> t
+(** Sequential region growing: repeatedly grow a ball from the smallest
+    unclustered id until the boundary stops doubling; colors assigned
+    greedily on the cluster graph. Deterministic, [O(log n)]-diameter
+    clusters — but inherently sequential, standing in for the unknown fast
+    deterministic distributed construction (the open question). *)
+
+val is_valid : Repro_graph.Multigraph.t -> t -> bool
+(** Clusters are connected, strong diameter ≤ [diameter], cluster-graph
+    coloring proper, colors within range. *)

@@ -1,0 +1,437 @@
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+module Bridges = Repro_graph.Bridges
+module Labeling = Repro_lcl.Labeling
+module Ne_lcl = Repro_lcl.Ne_lcl
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+module Randomness = Repro_local.Randomness
+
+type orientation = Out | In
+
+let pp_orientation fmt = function
+  | Out -> Format.pp_print_string fmt "out"
+  | In -> Format.pp_print_string fmt "in"
+
+type output = (unit, unit, orientation) Labeling.t
+
+let problem : (unit, unit, unit, unit, unit, orientation) Ne_lcl.t =
+  {
+    name = "sinkless-orientation";
+    check_node =
+      (fun nv ->
+        nv.degree < 3 || Array.exists (fun o -> o = Out) nv.b_out);
+    check_edge =
+      (fun ev ->
+        match (ev.bu_out, ev.bw_out) with
+        | Out, In | In, Out -> true
+        | Out, Out | In, In -> false);
+  }
+
+let trivial_input g = Labeling.const g ~v:() ~e:() ~b:()
+
+let is_valid g output =
+  Ne_lcl.is_valid problem g ~input:(trivial_input g) ~output
+
+let count_sinks g (output : output) =
+  let sinks = ref 0 in
+  for v = 0 to G.n g - 1 do
+    if
+      G.degree g v >= 3
+      && not (Array.exists (fun h -> output.b.(h) = Out) (G.halves g v))
+    then incr sinks
+  done;
+  !sinks
+
+(* orient the edge of half [h] away from the node holding [h] *)
+let orient_half (out : output) h =
+  out.b.(h) <- Out;
+  out.b.(G.mate h) <- In
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic solver                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* Orient a tree component away from its minimum-id root; every internal
+   node then has an outgoing child edge and only the exempt leaves are
+   sinks. Returns the diameter of the component for metering. *)
+let solve_tree_component g ids out nodes =
+  let root =
+    List.fold_left
+      (fun best v -> if ids.(v) < ids.(best) then v else best)
+      (List.hd nodes) nodes
+  in
+  let visited = Hashtbl.create 64 in
+  let q = Queue.create () in
+  Hashtbl.replace visited root ();
+  Queue.add root q;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    Array.iter
+      (fun h ->
+        let w = G.half_node g (G.mate h) in
+        if not (Hashtbl.mem visited w) then begin
+          Hashtbl.replace visited w ();
+          (* away from root: v -> w *)
+          orient_half out h;
+          Queue.add w q
+        end)
+      (G.halves g v)
+  done;
+  (* exact tree diameter by double sweep *)
+  let far_of src =
+    let dist = Hashtbl.create 64 in
+    Hashtbl.replace dist src 0;
+    let q = Queue.create () in
+    Queue.add src q;
+    let best = ref (src, 0) in
+    while not (Queue.is_empty q) do
+      let v = Queue.take q in
+      let d = Hashtbl.find dist v in
+      if d > snd !best then best := (v, d);
+      Array.iter
+        (fun h ->
+          let w = G.half_node g (G.mate h) in
+          if not (Hashtbl.mem dist w) then begin
+            Hashtbl.replace dist w (d + 1);
+            Queue.add w q
+          end)
+        (G.halves g v)
+    done;
+    !best
+  in
+  let u, _ = far_of root in
+  let _, diameter = far_of u in
+  diameter
+
+(* In the subgraph of non-bridge edges restricted to the 2ecc class [c],
+   find a short cycle near the minimum-id node of the class. Returns the
+   cycle as a list of halves to orient (each half pointing "forward" along
+   the cycle), or a single self-loop half. *)
+let find_class_cycle g is_bridge cls c root =
+  let in_class v = cls.(v) = c in
+  let parent_half = Hashtbl.create 64 in
+  (* parent_half w = the half (at parent) whose mate leads to w *)
+  let visited = Hashtbl.create 64 in
+  Hashtbl.replace visited root ();
+  let q = Queue.create () in
+  Queue.add root q;
+  let found = ref None in
+  while !found = None && not (Queue.is_empty q) do
+    let v = Queue.take q in
+    let hs = G.halves g v in
+    let i = ref 0 in
+    while !found = None && !i < Array.length hs do
+      let h = hs.(!i) in
+      incr i;
+      let e = G.edge_of_half h in
+      let w = G.half_node g (G.mate h) in
+      if not is_bridge.(e) && in_class w then begin
+        if w = v then found := Some (`Self_loop h)
+        else begin
+          let parent_edge_of v =
+            match Hashtbl.find_opt parent_half v with
+            | None -> -1
+            | Some ph -> G.edge_of_half ph
+          in
+          if e = parent_edge_of v then ()
+          else if not (Hashtbl.mem visited w) then begin
+            Hashtbl.replace visited w ();
+            Hashtbl.replace parent_half w h;
+            Queue.add w q
+          end
+          else found := Some (`Closing (h, v, w))
+        end
+      end
+    done
+  done;
+  let ancestors v =
+    (* nodes from the BFS root down to [v] *)
+    let rec collect v acc =
+      match Hashtbl.find_opt parent_half v with
+      | None -> v :: acc
+      | Some h -> collect (G.half_node g h) (v :: acc)
+    in
+    collect v []
+  in
+  match !found with
+  | None -> None
+  | Some (`Self_loop h) -> Some [ h ]
+  | Some (`Closing (h, v, w)) ->
+    (* cycle: path from lca to v, edge v->w, path from w back to lca.
+       Build root-first ancestor chains and drop the common prefix. *)
+    let av = Array.of_list (ancestors v) in
+    let aw = Array.of_list (ancestors w) in
+    let k = ref 0 in
+    while
+      !k < Array.length av
+      && !k < Array.length aw
+      && av.(!k) = aw.(!k)
+    do
+      incr k
+    done;
+    let lca_idx = !k - 1 in
+    (* halves along lca -> v (each half points from parent to child) *)
+    let down_v = ref [] in
+    for i = Array.length av - 1 downto lca_idx + 1 do
+      down_v := Hashtbl.find parent_half av.(i) :: !down_v
+    done;
+    (* halves along w -> lca (pointing from child to parent: mates) *)
+    let up_w = ref [] in
+    for i = lca_idx + 1 to Array.length aw - 1 do
+      up_w := G.mate (Hashtbl.find parent_half aw.(i)) :: !up_w
+    done;
+    (* forward order: lca ->...-> v, then v->w, then w ->...-> lca *)
+    Some (!down_v @ [ h ] @ List.rev !up_w)
+
+let solve_deterministic inst =
+  let g = inst.Instance.graph in
+  let ids = inst.Instance.ids in
+  let n = G.n g in
+  let out = Labeling.const g ~v:() ~e:() ~b:In in
+  (* default: side 0 out, side 1 in *)
+  for e = 0 to G.m g - 1 do
+    out.e.(e) <- ();
+    out.b.(2 * e) <- Out;
+    out.b.((2 * e) + 1) <- In
+  done;
+  let meter = Meter.create n in
+  let comp, ncomp = T.components g in
+  (* edges per component *)
+  let comp_edges = Array.make ncomp 0 in
+  G.iter_edges g ~f:(fun _ u _ -> comp_edges.(comp.(u)) <- comp_edges.(comp.(u)) + 1);
+  let comp_nodes = Array.make ncomp [] in
+  for v = n - 1 downto 0 do
+    comp_nodes.(comp.(v)) <- v :: comp_nodes.(comp.(v))
+  done;
+  let is_bridge = Bridges.bridges g in
+  let cls, _ = Bridges.two_edge_connected_components g in
+  (* class -> has at least one (non-bridge) edge *)
+  let class_cyclic = Hashtbl.create 64 in
+  G.iter_edges g ~f:(fun e u _ ->
+      if not is_bridge.(e) then Hashtbl.replace class_cyclic cls.(u) ());
+  (* per-node charge computed for cyclic components *)
+  let depth_in_class = Array.make n 0 in
+  let class_charge = Array.make n 0 in
+  (* charge of the cyclic machinery at each X node *)
+  let in_x = Array.make n false in
+  (* handle cyclic classes *)
+  let handled = Hashtbl.create 64 in
+  for v = 0 to n - 1 do
+    let c = cls.(v) in
+    if Hashtbl.mem class_cyclic c && not (Hashtbl.mem handled c) then begin
+      Hashtbl.replace handled c ();
+      (* root = min id node of the class *)
+      let root = ref v in
+      (* find min-id node: scan the class by BFS over non-bridge edges *)
+      let members = ref [] in
+      let seen = Hashtbl.create 64 in
+      let q = Queue.create () in
+      Hashtbl.replace seen v ();
+      Queue.add v q;
+      while not (Queue.is_empty q) do
+        let x = Queue.take q in
+        members := x :: !members;
+        if ids.(x) < ids.(!root) then root := x;
+        Array.iter
+          (fun h ->
+            let e = G.edge_of_half h in
+            let w = G.half_node g (G.mate h) in
+            if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem seen w)
+            then begin
+              Hashtbl.replace seen w ();
+              Queue.add w q
+            end)
+          (G.halves g x)
+      done;
+      match find_class_cycle g is_bridge cls c !root with
+      | None -> () (* cannot happen: cyclic class contains a cycle *)
+      | Some cycle_halves ->
+        List.iter (fun h -> orient_half out h) cycle_halves;
+        let cycle_len = List.length cycle_halves in
+        let on_cycle = Hashtbl.create 16 in
+        List.iter
+          (fun h -> Hashtbl.replace on_cycle (G.half_node g h) ())
+          cycle_halves;
+        (* BFS inside the class from the cycle; every non-cycle class node
+           points toward the cycle *)
+        let dist = Hashtbl.create 64 in
+        let q = Queue.create () in
+        Hashtbl.iter
+          (fun x () ->
+            Hashtbl.replace dist x 0;
+            Queue.add x q)
+          on_cycle;
+        let max_depth = ref 0 in
+        while not (Queue.is_empty q) do
+          let x = Queue.take q in
+          let d = Hashtbl.find dist x in
+          if d > !max_depth then max_depth := d;
+          Array.iter
+            (fun h ->
+              let e = G.edge_of_half h in
+              let w = G.half_node g (G.mate h) in
+              if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem dist w)
+              then begin
+                Hashtbl.replace dist w (d + 1);
+                (* w -> x : half at w is the mate of h *)
+                orient_half out (G.mate h);
+                Queue.add w q
+              end)
+            (G.halves g x)
+        done;
+        List.iter
+          (fun x ->
+            in_x.(x) <- true;
+            depth_in_class.(x) <- (try Hashtbl.find dist x with Not_found -> 0);
+            class_charge.(x) <- depth_in_class.(x) + cycle_len)
+          !members
+    end
+  done;
+  (* multi-source BFS from X across all edges: the bridge forest hanging
+     off the cyclic region points toward it *)
+  let dist_x = Array.make n (-1) in
+  let src_x = Array.make n (-1) in
+  let q = Queue.create () in
+  for v = 0 to n - 1 do
+    if in_x.(v) then begin
+      dist_x.(v) <- 0;
+      src_x.(v) <- v;
+      Queue.add v q
+    end
+  done;
+  while not (Queue.is_empty q) do
+    let v = Queue.take q in
+    Array.iter
+      (fun h ->
+        let w = G.half_node g (G.mate h) in
+        if dist_x.(w) < 0 then begin
+          dist_x.(w) <- dist_x.(v) + 1;
+          src_x.(w) <- src_x.(v);
+          (* w -> v *)
+          orient_half out (G.mate h);
+          Queue.add w q
+        end)
+      (G.halves g v)
+  done;
+  (* tree components (no node reached from X) *)
+  for c = 0 to ncomp - 1 do
+    let nodes = comp_nodes.(c) in
+    match nodes with
+    | [] -> ()
+    | first :: _ ->
+      if dist_x.(first) < 0 && comp_edges.(c) > 0 then begin
+        let diameter = solve_tree_component g ids out nodes in
+        List.iter (fun v -> Meter.charge meter v diameter) nodes
+      end
+  done;
+  (* charges for the cyclic region *)
+  for v = 0 to n - 1 do
+    if dist_x.(v) >= 0 then
+      Meter.charge meter v (dist_x.(v) + class_charge.(src_x.(v)))
+  done;
+  (out, meter)
+
+(* ------------------------------------------------------------------ *)
+(* Randomized solver                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let solve_randomized inst =
+  let g = inst.Instance.graph in
+  let ids = inst.Instance.ids in
+  let rand = inst.Instance.rand in
+  let n = G.n g in
+  let out = Labeling.const g ~v:() ~e:() ~b:In in
+  let meter = Meter.create n in
+  (* random initial orientation: the side-0 node flips a private coin
+     indexed by the port the edge occupies at it *)
+  for e = 0 to G.m g - 1 do
+    let h = 2 * e in
+    let node = G.half_node g h in
+    let port = G.half_port g h in
+    if Randomness.bit rand ~node ~idx:port then begin
+      out.b.(h) <- Out;
+      out.b.(G.mate h) <- In
+    end
+    else begin
+      out.b.(h) <- In;
+      out.b.(G.mate h) <- Out
+    end
+  done;
+  Meter.charge_all meter 1;
+  let out_deg = Array.make n 0 in
+  for h = 0 to (2 * G.m g) - 1 do
+    if out.b.(h) = Out then
+      out_deg.(G.half_node g h) <- out_deg.(G.half_node g h) + 1
+  done;
+  let is_sink v = G.degree g v >= 3 && out_deg.(v) = 0 in
+  let sinks =
+    List.sort
+      (fun a b -> compare ids.(a) ids.(b))
+      (List.filter is_sink (List.init n (fun v -> v)))
+  in
+  let set_half h o =
+    let node = G.half_node g h in
+    (match (out.b.(h), o) with
+    | In, Out -> out_deg.(node) <- out_deg.(node) + 1
+    | Out, In -> out_deg.(node) <- out_deg.(node) - 1
+    | In, In | Out, Out -> ());
+    out.b.(h) <- o
+  in
+  let repair u =
+    if is_sink u then begin
+      (* BFS for the nearest node that can afford to lose an out-edge *)
+      let parent_half = Hashtbl.create 64 in
+      let dist = Hashtbl.create 64 in
+      Hashtbl.replace dist u 0;
+      let q = Queue.create () in
+      Queue.add u q;
+      let target = ref None in
+      while !target = None && not (Queue.is_empty q) do
+        let v = Queue.take q in
+        let d = Hashtbl.find dist v in
+        let hs = G.halves g v in
+        let i = ref 0 in
+        while !target = None && !i < Array.length hs do
+          let h = hs.(!i) in
+          incr i;
+          let w = G.half_node g (G.mate h) in
+          if w <> v && not (Hashtbl.mem dist w) then begin
+            Hashtbl.replace dist w (d + 1);
+            Hashtbl.replace parent_half w h;
+            if out_deg.(w) >= 2 || G.degree g w <= 2 then target := Some w
+            else Queue.add w q
+          end
+        done
+      done;
+      match !target with
+      | None -> () (* impossible in any component with a degree-3 sink *)
+      | Some z ->
+        (* flip the path u -> z to point away from u *)
+        let rec path v acc =
+          match Hashtbl.find_opt parent_half v with
+          | None -> acc
+          | Some h -> path (G.half_node g h) (h :: acc)
+        in
+        let halves = path z [] in
+        let len = List.length halves in
+        List.iter
+          (fun h ->
+            (* h is at the node closer to u: point it away from u *)
+            set_half h Out;
+            set_half (G.mate h) In)
+          halves;
+        (* charge everyone on the path (and the endpoints) *)
+        List.iter
+          (fun h ->
+            Meter.charge meter (G.half_node g h) (len + 1);
+            Meter.charge meter (G.half_node g (G.mate h)) (len + 1))
+          halves
+    end
+  in
+  List.iter repair sinks;
+  (out, meter)
+
+let hard_instance rng ~n =
+  let n = if n mod 2 = 0 then n else n + 1 in
+  Repro_graph.Generators.random_regular rng ~n ~d:3

@@ -1,0 +1,9 @@
+(** The constant-time landscape point: every node outputs [Ok].
+
+    The simplest possible LCL — O(1) deterministic and randomized — used
+    as the baseline row of the Figure 1 landscape. *)
+
+type output = (unit, unit, unit) Repro_lcl.Labeling.t
+
+val problem : (unit, unit, unit, unit, unit, unit) Repro_lcl.Ne_lcl.t
+val solve : Repro_local.Instance.t -> output * Repro_local.Meter.t

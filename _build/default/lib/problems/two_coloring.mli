@@ -1,0 +1,26 @@
+(** Proper 2-coloring — the [Θ(n)] "global" row of the Figure 1 landscape.
+
+    2-coloring a bipartite graph is an LCL whose complexity is global:
+    even on a cycle, a node's color depends on the parity of its distance
+    to a reference node, so both deterministic and randomized algorithms
+    need [Θ(n)] rounds (no o(n)-round algorithm can agree on parity
+    between far-apart nodes).
+
+    Solver: BFS 2-coloring per component, anchored at the minimum-id node;
+    each node is charged its component's eccentricity estimate, because a
+    gather-based node must see the anchor (and in the worst case the whole
+    component) to learn its parity. Only defined on bipartite graphs. *)
+
+type output = (int, unit, unit) Repro_lcl.Labeling.t
+
+val problem : (unit, unit, unit, int, unit, unit) Repro_lcl.Ne_lcl.t
+
+val is_valid : Repro_graph.Multigraph.t -> output -> bool
+
+val is_bipartite : Repro_graph.Multigraph.t -> bool
+
+val solve : Repro_local.Instance.t -> output * Repro_local.Meter.t
+(** @raise Invalid_argument on non-bipartite graphs. *)
+
+val hard_instance : n:int -> Repro_graph.Multigraph.t
+(** An even cycle: the classical global-complexity family. *)

@@ -1,0 +1,87 @@
+type model =
+  | Constant
+  | LogStar
+  | LogLog
+  | Log
+  | LogTimesLogLog
+  | LogSquared
+  | LogCubed
+  | Linear
+
+let all_models =
+  [ Constant; LogStar; LogLog; Log; LogTimesLogLog; LogSquared; LogCubed; Linear ]
+
+let model_name = function
+  | Constant -> "1"
+  | LogStar -> "log* n"
+  | LogLog -> "log log n"
+  | Log -> "log n"
+  | LogTimesLogLog -> "log n · log log n"
+  | LogSquared -> "log² n"
+  | LogCubed -> "log³ n"
+  | Linear -> "n"
+
+let log2 x = log x /. log 2.0
+
+let rec log_star_f x acc = if x <= 1.0 then acc else log_star_f (log2 x) (acc +. 1.0)
+
+let eval_model m n =
+  let fn = float_of_int (max n 4) in
+  let l = log2 fn in
+  match m with
+  | Constant -> 1.0
+  | LogStar -> log_star_f fn 0.0
+  | LogLog -> log2 (max 2.0 l)
+  | Log -> l
+  | LogTimesLogLog -> l *. log2 (max 2.0 l)
+  | LogSquared -> l *. l
+  | LogCubed -> l *. l *. l
+  | Linear -> fn
+
+type fit = {
+  model : model;
+  coefficient : float;
+  rmse : float;
+}
+
+let fit_one model points =
+  (* least squares through the origin: a = Σxy / Σx² *)
+  let sxy = ref 0.0 and sxx = ref 0.0 in
+  List.iter
+    (fun (n, y) ->
+      let x = eval_model model n in
+      sxy := !sxy +. (x *. y);
+      sxx := !sxx +. (x *. x))
+    points;
+  let a = if !sxx = 0.0 then 0.0 else !sxy /. !sxx in
+  let err = ref 0.0 and count = ref 0 in
+  List.iter
+    (fun (n, y) ->
+      let pred = a *. eval_model model n in
+      let denom = max 1.0 (abs_float y) in
+      let e = (pred -. y) /. denom in
+      err := !err +. (e *. e);
+      incr count)
+    points;
+  let rmse = if !count = 0 then infinity else sqrt (!err /. float_of_int !count) in
+  { model; coefficient = a; rmse }
+
+let best_fit points =
+  match
+    List.sort
+      (fun f1 f2 -> compare f1.rmse f2.rmse)
+      (List.map (fun m -> fit_one m points) all_models)
+  with
+  | best :: _ -> best
+  | [] -> invalid_arg "Fit.best_fit: no models"
+
+let pp_fit fmt f =
+  Format.fprintf fmt "%.2f · %s (rel. rmse %.3f)" f.coefficient
+    (model_name f.model) f.rmse
+
+let growth_ratio points =
+  match List.sort (fun (a, _) (b, _) -> compare a b) points with
+  | [] | [ _ ] -> 1.0
+  | (_, y0) :: rest ->
+    let _, y1 = List.nth rest (List.length rest - 1) in
+    if y0 = 0.0 then infinity else y1 /. y0

@@ -1,0 +1,36 @@
+(** Least-squares fits of round-complexity curves against the growth
+    models of the paper's landscape. Used by the benchmark harness to turn
+    "who wins and by what factor" into numbers in EXPERIMENTS.md. *)
+
+type model =
+  | Constant        (** T(n) = a *)
+  | LogStar         (** T(n) = a·log* n *)
+  | LogLog          (** T(n) = a·log log n *)
+  | Log             (** T(n) = a·log n *)
+  | LogTimesLogLog  (** T(n) = a·log n·log log n *)
+  | LogSquared      (** T(n) = a·log² n *)
+  | LogCubed        (** T(n) = a·log³ n *)
+  | Linear          (** T(n) = a·n *)
+
+val all_models : model list
+val model_name : model -> string
+val eval_model : model -> int -> float
+(** The model's basis function at n (coefficient 1). *)
+
+type fit = {
+  model : model;
+  coefficient : float;  (** a: the least-squares scale *)
+  rmse : float;         (** relative root-mean-square error *)
+}
+
+val fit_one : model -> (int * float) list -> fit
+(** Least-squares coefficient for one model over (n, T(n)) points. *)
+
+val best_fit : (int * float) list -> fit
+(** The model with the smallest relative error. At least two points with
+    distinct n are required for the comparison to be meaningful. *)
+
+val pp_fit : Format.formatter -> fit -> unit
+
+val growth_ratio : (int * float) list -> float
+(** [T(n_max) / T(n_min)] — the raw who-wins factor across the sweep. *)

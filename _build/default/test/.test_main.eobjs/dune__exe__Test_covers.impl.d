@@ -1,0 +1,1 @@
+test/test_covers.ml: Alcotest Array List QCheck QCheck_alcotest Random Repro_graph Repro_local Repro_problems

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Filename Format List Printf Repro_experiments String Sys

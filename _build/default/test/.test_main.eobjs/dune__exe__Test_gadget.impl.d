@@ -1,0 +1,1 @@
+test/test_gadget.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Random Repro_gadget Repro_graph Repro_lcl Repro_local

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Format List Printf QCheck QCheck_alcotest Random Repro_graph

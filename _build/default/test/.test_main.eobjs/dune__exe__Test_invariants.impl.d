@@ -1,0 +1,1 @@
+test/test_invariants.ml: Alcotest Array List QCheck QCheck_alcotest Random Repro_gadget Repro_graph Repro_lcl Repro_local Repro_padding Repro_problems

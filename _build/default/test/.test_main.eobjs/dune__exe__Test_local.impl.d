@@ -1,0 +1,1 @@
+test/test_local.ml: Alcotest Array Hashtbl List QCheck QCheck_alcotest Random Repro_graph Repro_local

@@ -1,0 +1,1 @@
+test/test_message_passing.ml: Alcotest Array Either List Printf QCheck QCheck_alcotest Random Repro_graph Repro_lcl Repro_local Repro_problems

@@ -1,0 +1,1 @@
+test/test_padding.ml: Alcotest Array Hashtbl List Printf QCheck QCheck_alcotest Random Repro_gadget Repro_graph Repro_lcl Repro_local Repro_padding Repro_problems

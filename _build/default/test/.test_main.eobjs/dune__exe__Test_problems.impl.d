@@ -1,0 +1,1 @@
+test/test_problems.ml: Alcotest Array List Printf QCheck QCheck_alcotest Random Repro_graph Repro_lcl Repro_local Repro_problems

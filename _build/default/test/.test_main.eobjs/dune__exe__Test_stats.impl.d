@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Filename List Printf Random Repro_graph Repro_stats String Sys

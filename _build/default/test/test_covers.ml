@@ -1,0 +1,157 @@
+(* Tests for view trees and covering maps (the PN-model
+   indistinguishability machinery). *)
+
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Covers = Repro_graph.Covers
+module VT = Repro_local.View_tree
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let unit_payload _ = ()
+
+let test_view_radius0 () =
+  let g = Gen.path 3 in
+  let v0 = VT.build g ~payload:(fun v -> v) ~radius:0 0 in
+  let v1 = VT.build g ~payload:(fun v -> v) ~radius:0 1 in
+  check "distinct payloads" false (VT.equal v0 v1);
+  let u0 = VT.build g ~payload:unit_payload ~radius:0 0 in
+  let u1 = VT.build g ~payload:unit_payload ~radius:0 1 in
+  check "identical without payloads" true (VT.equal u0 u1)
+
+let test_view_degree_separates () =
+  let g = Gen.path 3 in
+  (* radius 1: endpoint (deg 1) vs middle (deg 2) *)
+  let u0 = VT.build g ~payload:unit_payload ~radius:1 0 in
+  let u1 = VT.build g ~payload:unit_payload ~radius:1 1 in
+  check "degree separates at radius 1" false (VT.equal u0 u1)
+
+let test_view_classes_path () =
+  let g = Gen.path 5 in
+  let _, k0 = VT.classes g ~payload:unit_payload ~radius:0 in
+  let _, k2 = VT.classes g ~payload:unit_payload ~radius:2 in
+  check_int "radius 0: one class" 1 k0;
+  (* by radius 2, position relative to the ends separates nodes (port
+     numbers come from construction order, so even mirror pairs may
+     split) *)
+  check "some separation" true (k2 >= 3);
+  check "bounded by n" true (k2 <= 5)
+
+let test_view_ids_separate_everything () =
+  let g = Gen.cycle 6 in
+  let _, k = VT.classes g ~payload:(fun v -> v) ~radius:1 in
+  check_int "ids separate all" 6 k
+
+let test_distinct_counts_monotone () =
+  let rng = Random.State.make [| 3 |] in
+  let g = Gen.random_simple_regular rng ~n:14 ~d:3 in
+  let counts = VT.distinct_counts g ~payload:unit_payload ~max_radius:4 in
+  let rec mono = function
+    | a :: (b :: _ as rest) -> a <= b && mono rest
+    | _ -> true
+  in
+  check "monotone refinement" true (mono counts);
+  check_int "starts at 1" 1 (List.hd counts)
+
+(* covers *)
+
+let test_identity_is_covering () =
+  let g = Gen.cycle 5 in
+  check "identity" true (Covers.is_covering_map ~cover:g ~base:g (fun v -> v))
+
+let test_wrong_map_rejected () =
+  let g = Gen.cycle 5 in
+  check "constant map rejected" false
+    (Covers.is_covering_map ~cover:g ~base:g (fun _ -> 0))
+
+let test_bdc_odd_cycle () =
+  let c5 = Gen.cycle 5 in
+  let lift, phi = Covers.double_cover_bipartite c5 in
+  check_int "doubled" 10 (G.n lift);
+  check "is covering" true (Covers.is_covering_map ~cover:lift ~base:c5 phi);
+  check "bipartite" true (Repro_problems.Two_coloring.is_bipartite lift);
+  (* BDC of an odd cycle is the connected 2n-cycle *)
+  let _, k = Repro_graph.Traversal.components lift in
+  check_int "connected" 1 k
+
+let test_bdc_even_cycle_disconnects () =
+  let c6 = Gen.cycle 6 in
+  let lift, phi = Covers.double_cover_bipartite c6 in
+  check "is covering" true (Covers.is_covering_map ~cover:lift ~base:c6 phi);
+  let _, k = Repro_graph.Traversal.components lift in
+  check_int "two components" 2 k
+
+let test_lift_k4 () =
+  let k4 = Gen.complete 4 in
+  let lift, phi = Covers.cyclic_lift k4 ~k:3 ~shift:(fun e -> e) in
+  check_int "tripled" 12 (G.n lift);
+  check "is covering" true (Covers.is_covering_map ~cover:lift ~base:k4 phi);
+  Array.iter
+    (fun v -> check_int "degree preserved" 3 (G.degree lift v))
+    (Array.init 12 (fun v -> v))
+
+let test_lift_rejects_loop_shift () =
+  let g = G.of_edges ~n:1 [ (0, 0) ] in
+  check "raises" true
+    (try
+       ignore (Covers.cyclic_lift g ~k:2 ~shift:(fun _ -> 1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_covered_nodes_equal_views () =
+  (* the indistinguishability lemma: all copies of a node in a lift have
+     equal views at every radius (without identifiers) *)
+  let k4 = Gen.complete 4 in
+  let lift, _ = Covers.cyclic_lift k4 ~k:3 ~shift:(fun e -> e) in
+  for base_v = 0 to 3 do
+    let views =
+      List.init 3 (fun i ->
+          VT.build lift ~payload:unit_payload ~radius:4 ((base_v * 3) + i))
+    in
+    match views with
+    | v0 :: rest ->
+      List.iter (fun v -> check "fiber equal" true (VT.equal v0 v)) rest
+    | [] -> ()
+  done
+
+let test_cover_views_match_base () =
+  (* a covered node's view equals its image's view at every radius *)
+  let c5 = Gen.cycle 5 in
+  let lift, phi = Covers.double_cover_bipartite c5 in
+  for v = 0 to G.n lift - 1 do
+    for r = 0 to 4 do
+      let vl = VT.build lift ~payload:unit_payload ~radius:r v in
+      let vb = VT.build c5 ~payload:unit_payload ~radius:r (phi v) in
+      check "view matches base" true (VT.equal vl vb)
+    done
+  done
+
+let prop_lift_always_covers =
+  QCheck.Test.make ~name:"cyclic lifts are covering maps" ~count:40
+    QCheck.(triple (int_range 3 10) (int_range 1 4) (int_range 0 1000))
+    (fun (n, k, seed) ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.random_simple_regular rng ~n:(2 * ((n + 1) / 2)) ~d:3 in
+      let lift, phi = Covers.cyclic_lift g ~k ~shift:(fun e -> e) in
+      Covers.is_covering_map ~cover:lift ~base:g phi)
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_lift_always_covers ]
+
+let suite =
+  [
+    ("view radius 0", `Quick, test_view_radius0);
+    ("view degree separates", `Quick, test_view_degree_separates);
+    ("view classes on a path", `Quick, test_view_classes_path);
+    ("view ids separate", `Quick, test_view_ids_separate_everything);
+    ("distinct counts monotone", `Quick, test_distinct_counts_monotone);
+    ("identity covering", `Quick, test_identity_is_covering);
+    ("wrong map rejected", `Quick, test_wrong_map_rejected);
+    ("BDC odd cycle", `Quick, test_bdc_odd_cycle);
+    ("BDC even cycle disconnects", `Quick, test_bdc_even_cycle_disconnects);
+    ("3-lift of K4", `Quick, test_lift_k4);
+    ("lift rejects loop shift", `Quick, test_lift_rejects_loop_shift);
+    ("fibers have equal views", `Quick, test_covered_nodes_equal_views);
+    ("cover views match base", `Quick, test_cover_views_match_base);
+  ]
+  @ qcheck_tests

@@ -1,0 +1,346 @@
+(* Tests for the multigraph substrate: construction, half-edge navigation,
+   traversals, generators, bridges. *)
+
+module G = Repro_graph.Multigraph
+module T = Repro_graph.Traversal
+module Gen = Repro_graph.Generators
+module Bridges = Repro_graph.Bridges
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* construction and navigation *)
+
+let test_empty () =
+  let g = Gen.empty 5 in
+  check_int "n" 5 (G.n g);
+  check_int "m" 0 (G.m g);
+  check_int "deg" 0 (G.degree g 3)
+
+let test_single_edge () =
+  let g = G.of_edges ~n:2 [ (0, 1) ] in
+  check_int "m" 1 (G.m g);
+  check_int "deg0" 1 (G.degree g 0);
+  let u, v = G.endpoints g 0 in
+  check_int "u" 0 u;
+  check_int "v" 1 v;
+  check_int "neighbor" 1 (G.neighbor g 0 0);
+  check_int "neighbor back" 0 (G.neighbor g 1 0)
+
+let test_self_loop () =
+  let g = G.of_edges ~n:1 [ (0, 0) ] in
+  check_int "deg" 2 (G.degree g 0);
+  check "loop" true (G.has_self_loop g 0);
+  check "not simple" false (G.is_simple g);
+  (* the two halves sit on two distinct ports of node 0 *)
+  let h0 = G.half_at g 0 0 and h1 = G.half_at g 0 1 in
+  check_int "mate" h1 (G.mate h0);
+  check_int "same edge" (G.edge_of_half h0) (G.edge_of_half h1)
+
+let test_parallel_edges () =
+  let g = G.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+  check_int "m" 2 (G.m g);
+  check_int "deg" 2 (G.degree g 0);
+  check "not simple" false (G.is_simple g);
+  check "no loop" false (G.has_self_loop g 0)
+
+let test_port_numbering () =
+  (* ports are assigned in edge order *)
+  let g = G.of_edges ~n:3 [ (0, 1); (0, 2); (1, 2) ] in
+  check_int "p0 of 0 -> 1" 1 (G.neighbor g 0 0);
+  check_int "p1 of 0 -> 2" 2 (G.neighbor g 0 1);
+  check_int "p0 of 1 -> 0" 0 (G.neighbor g 1 0);
+  check_int "p1 of 1 -> 2" 2 (G.neighbor g 1 1);
+  (* half_port/half_at are inverse *)
+  for v = 0 to 2 do
+    for p = 0 to G.degree g v - 1 do
+      let h = G.half_at g v p in
+      check_int "port roundtrip" p (G.half_port g h);
+      check_int "node of half" v (G.half_node g h)
+    done
+  done
+
+let test_mate_involution () =
+  let g = Gen.complete 5 in
+  for h = 0 to (2 * G.m g) - 1 do
+    check_int "mate involutive" h (G.mate (G.mate h))
+  done
+
+let test_equal_structure () =
+  let g1 = Gen.cycle 4 and g2 = Gen.cycle 4 and g3 = Gen.path 4 in
+  check "equal" true (G.equal_structure g1 g2);
+  check "different" false (G.equal_structure g1 g3)
+
+(* ------------------------------------------------------------------ *)
+(* traversal *)
+
+let test_bfs_path () =
+  let g = Gen.path 6 in
+  let d = T.bfs g 0 in
+  Array.iteri (fun v dv -> check_int (Printf.sprintf "d(%d)" v) v dv) d
+
+let test_bfs_disconnected () =
+  let g = Gen.disjoint_union [ Gen.path 3; Gen.path 2 ] in
+  let d = T.bfs g 0 in
+  check_int "unreachable" (-1) d.(4)
+
+let test_distance_cycle () =
+  let g = Gen.cycle 10 in
+  check_int "antipodal" 5 (T.distance g 0 5);
+  check_int "near" 1 (T.distance g 0 9)
+
+let test_diameter () =
+  check_int "path" 9 (T.diameter (Gen.path 10));
+  check_int "cycle" 5 (T.diameter (Gen.cycle 10));
+  check_int "complete" 1 (T.diameter (Gen.complete 6));
+  check_int "star" 2 (T.diameter (Gen.star 7))
+
+let test_components () =
+  let g = Gen.disjoint_union [ Gen.cycle 3; Gen.path 4; Gen.empty 2 ] in
+  let comp, k = T.components g in
+  check_int "count" 4 k;
+  check_int "first comp" comp.(0) comp.(2);
+  check "separate" true (comp.(0) <> comp.(3))
+
+let test_ball () =
+  let g = Gen.path 10 in
+  let ball = T.ball_nodes g 5 ~radius:2 in
+  check_int "ball size" 5 (List.length ball);
+  check "contains center" true (List.mem 5 ball);
+  check "contains 3" true (List.mem 3 ball);
+  check "excludes 2" false (List.mem 2 ball)
+
+let test_girth () =
+  check_int "triangle" 3 (T.girth (Gen.cycle 3));
+  check_int "c10" 10 (T.girth (Gen.cycle 10));
+  check_int "forest" max_int (T.girth (Gen.path 5));
+  check_int "self-loop" 1 (T.girth (G.of_edges ~n:2 [ (0, 1); (1, 1) ]));
+  check_int "parallel" 2 (T.girth (G.of_edges ~n:2 [ (0, 1); (0, 1) ]));
+  check_int "prism" 4 (T.girth (Gen.prism 10));
+  check_int "complete" 3 (T.girth (Gen.complete 5))
+
+let test_induced () =
+  let g = Gen.cycle 6 in
+  let sub, to_g, of_g = T.induced g [ 0; 1; 2 ] in
+  check_int "nodes" 3 (G.n sub);
+  check_int "edges" 2 (G.m sub);
+  check_int "mapping" 1 to_g.(of_g.(1));
+  check_int "outside" (-1) of_g.(4)
+
+(* ------------------------------------------------------------------ *)
+(* generators *)
+
+let test_regular_degrees () =
+  let rng = Random.State.make [| 1 |] in
+  let g = Gen.random_regular rng ~n:100 ~d:3 in
+  check_int "n" 100 (G.n g);
+  for v = 0 to 99 do
+    check_int "degree" 3 (G.degree g v)
+  done
+
+let test_simple_regular () =
+  let rng = Random.State.make [| 2 |] in
+  let g = Gen.random_simple_regular rng ~n:50 ~d:3 in
+  check "simple" true (G.is_simple g);
+  for v = 0 to 49 do
+    check_int "degree" 3 (G.degree g v)
+  done
+
+let test_tree_of_cycles () =
+  let g = Gen.tree_of_cycles ~depth:4 ~cycle_len:7 in
+  check_int "n" (15 * 7) (G.n g);
+  (* min degree 3 *)
+  for v = 0 to G.n g - 1 do
+    check ("deg>=3 at " ^ string_of_int v) true (G.degree g v >= 3)
+  done;
+  let _, k = T.components g in
+  check_int "connected" 1 k
+
+let test_torus () =
+  let g = Gen.torus 4 5 in
+  check_int "n" 20 (G.n g);
+  for v = 0 to 19 do
+    check_int "4-regular" 4 (G.degree g v)
+  done
+
+let test_balanced_tree () =
+  let g = Gen.balanced_tree ~arity:2 ~height:3 in
+  check_int "n" 15 (G.n g);
+  check_int "m" 14 (G.m g);
+  check_int "root degree" 2 (G.degree g 0);
+  check_int "girth" max_int (T.girth g)
+
+let test_grid () =
+  let g = Gen.grid 3 4 in
+  check_int "n" 12 (G.n g);
+  check_int "m" ((2 * 4) + (3 * 3)) (G.m g);
+  check_int "girth" 4 (T.girth g)
+
+(* ------------------------------------------------------------------ *)
+(* bridges *)
+
+let test_bridges_path () =
+  let g = Gen.path 5 in
+  let b = Bridges.bridges g in
+  Array.iter (fun x -> check "all bridges" true x) b
+
+let test_bridges_cycle () =
+  let g = Gen.cycle 5 in
+  let b = Bridges.bridges g in
+  Array.iter (fun x -> check "no bridges" false x) b
+
+let test_bridges_barbell () =
+  (* two triangles joined by one edge: only the joining edge is a bridge *)
+  let g =
+    G.of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (0, 3) ]
+  in
+  let b = Bridges.bridges g in
+  check_int "one bridge" 1
+    (Array.fold_left (fun a x -> if x then a + 1 else a) 0 b);
+  check "the join" true b.(6)
+
+let test_bridges_parallel () =
+  let g = G.of_edges ~n:2 [ (0, 1); (0, 1) ] in
+  let b = Bridges.bridges g in
+  check "parallel not bridge 0" false b.(0);
+  check "parallel not bridge 1" false b.(1)
+
+let test_bridges_self_loop () =
+  let g = G.of_edges ~n:2 [ (0, 1); (1, 1) ] in
+  let b = Bridges.bridges g in
+  check "loop not bridge" false b.(1);
+  check "pendant is bridge" true b.(0)
+
+let test_2ecc () =
+  let g =
+    G.of_edges ~n:6
+      [ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3); (0, 3) ]
+  in
+  let cls, _ = Bridges.two_edge_connected_components g in
+  check "triangle together" true (cls.(0) = cls.(1) && cls.(1) = cls.(2));
+  check "other triangle" true (cls.(3) = cls.(4) && cls.(4) = cls.(5));
+  check "separated" true (cls.(0) <> cls.(3))
+
+(* ------------------------------------------------------------------ *)
+(* property tests *)
+
+let small_graph_gen =
+  QCheck.Gen.(
+    sized_size (int_range 1 30) (fun n ->
+        let n = max 1 n in
+        list_size (int_range 0 (3 * n)) (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+        >|= fun edges -> G.of_edges ~n edges))
+
+let arbitrary_graph =
+  QCheck.make ~print:(fun g -> Format.asprintf "%a" G.pp g) small_graph_gen
+
+let prop_degree_sum =
+  QCheck.Test.make ~name:"sum of degrees = 2m" ~count:200 arbitrary_graph
+    (fun g ->
+      let sum = G.fold_nodes g ~init:0 ~f:(fun acc v -> acc + G.degree g v) in
+      sum = 2 * G.m g)
+
+let prop_mate_consistent =
+  QCheck.Test.make ~name:"half-edge tables consistent" ~count:200
+    arbitrary_graph (fun g ->
+      let ok = ref true in
+      for h = 0 to (2 * G.m g) - 1 do
+        let v = G.half_node g h in
+        if G.half_at g v (G.half_port g h) <> h then ok := false
+      done;
+      !ok)
+
+let prop_bfs_triangle =
+  QCheck.Test.make ~name:"bfs satisfies triangle inequality on edges"
+    ~count:100 arbitrary_graph (fun g ->
+      if G.n g = 0 then true
+      else begin
+        let d = T.bfs g 0 in
+        G.fold_edges g ~init:true ~f:(fun acc _ u v ->
+            acc
+            && (d.(u) < 0 || d.(v) < 0 || abs (d.(u) - d.(v)) <= 1))
+      end)
+
+let prop_components_edges =
+  QCheck.Test.make ~name:"edges stay within components" ~count:200
+    arbitrary_graph (fun g ->
+      let comp, _ = T.components g in
+      G.fold_edges g ~init:true ~f:(fun acc _ u v -> acc && comp.(u) = comp.(v)))
+
+let prop_induced_subset =
+  QCheck.Test.make ~name:"induced keeps exactly the internal edges"
+    ~count:200 arbitrary_graph (fun g ->
+      if G.n g < 2 then true
+      else begin
+        let nodes = List.init (G.n g / 2) (fun i -> i) in
+        let sub, to_g, of_g = T.induced g nodes in
+        let expected =
+          G.fold_edges g ~init:0 ~f:(fun acc _ u v ->
+              if of_g.(u) >= 0 && of_g.(v) >= 0 then acc + 1 else acc)
+        in
+        G.m sub = expected
+        && G.fold_edges sub ~init:true ~f:(fun acc _ u v ->
+               acc && to_g.(u) < G.n g && to_g.(v) < G.n g)
+      end)
+
+let prop_girth_forest =
+  QCheck.Test.make ~name:"girth = max_int iff acyclic" ~count:100
+    arbitrary_graph (fun g ->
+      let acyclic =
+        let comp, k = T.components g in
+        let sizes = Array.make k 0 in
+        Array.iter (fun c -> sizes.(c) <- sizes.(c) + 1) comp;
+        let medges = Array.make k 0 in
+        G.iter_edges g ~f:(fun _ u _ -> medges.(comp.(u)) <- medges.(comp.(u)) + 1);
+        let ok = ref true in
+        for c = 0 to k - 1 do
+          if medges.(c) >= sizes.(c) then ok := false
+        done;
+        !ok
+      in
+      (T.girth g = max_int) = acyclic)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_degree_sum;
+      prop_mate_consistent;
+      prop_bfs_triangle;
+      prop_components_edges;
+      prop_induced_subset;
+      prop_girth_forest;
+    ]
+
+let suite =
+  [
+    ("empty", `Quick, test_empty);
+    ("single edge", `Quick, test_single_edge);
+    ("self-loop", `Quick, test_self_loop);
+    ("parallel edges", `Quick, test_parallel_edges);
+    ("port numbering", `Quick, test_port_numbering);
+    ("mate involution", `Quick, test_mate_involution);
+    ("equal structure", `Quick, test_equal_structure);
+    ("bfs path", `Quick, test_bfs_path);
+    ("bfs disconnected", `Quick, test_bfs_disconnected);
+    ("distance cycle", `Quick, test_distance_cycle);
+    ("diameter", `Quick, test_diameter);
+    ("components", `Quick, test_components);
+    ("ball", `Quick, test_ball);
+    ("girth", `Quick, test_girth);
+    ("induced", `Quick, test_induced);
+    ("random regular degrees", `Quick, test_regular_degrees);
+    ("random simple regular", `Quick, test_simple_regular);
+    ("tree of cycles", `Quick, test_tree_of_cycles);
+    ("torus", `Quick, test_torus);
+    ("balanced tree", `Quick, test_balanced_tree);
+    ("grid", `Quick, test_grid);
+    ("bridges path", `Quick, test_bridges_path);
+    ("bridges cycle", `Quick, test_bridges_cycle);
+    ("bridges barbell", `Quick, test_bridges_barbell);
+    ("bridges parallel", `Quick, test_bridges_parallel);
+    ("bridges self-loop", `Quick, test_bridges_self_loop);
+    ("2ecc", `Quick, test_2ecc);
+  ]
+  @ qcheck_tests

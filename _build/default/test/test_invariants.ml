@@ -1,0 +1,171 @@
+(* Cross-stack invariants: properties that tie several subsystems
+   together (provenance round-trips, meter laws, solver/checker and
+   backend agreement, padding composability across families). *)
+
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Labeling = Repro_lcl.Labeling
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+module Ball = Repro_local.Ball
+module GL = Repro_gadget.Labels
+module GB = Repro_gadget.Build
+module Fam = Repro_gadget.Family
+module SO = Repro_problems.Sinkless_orientation
+module Spec = Repro_padding.Spec
+module PG = Repro_padding.Padded_graph
+module Pi = Repro_padding.Pi_prime
+module H = Repro_padding.Hierarchy
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* padded provenance round-trips *)
+
+let prop_padded_provenance =
+  QCheck.Test.make ~name:"padded provenance round-trips" ~count:25
+    QCheck.(pair (int_range 3 10) (int_range 2 5))
+    (fun (base_n, height) ->
+      let base = Gen.cycle base_n in
+      let gadget = GB.gadget ~delta:3 ~height in
+      let pg = PG.build base ~delta:3 ~gadget_for:(fun _ -> gadget) in
+      let ok = ref true in
+      (* every padded node maps to a base node whose gadget contains it *)
+      for pv = 0 to G.n pg.PG.padded - 1 do
+        let bv = pg.PG.base_node_of.(pv) in
+        let off = pg.PG.node_offset.(bv) in
+        if pv < off || pv >= off + G.n gadget.GL.graph then ok := false
+      done;
+      (* base edges map to port edges connecting the right gadgets *)
+      G.iter_edges base ~f:(fun e bu bv ->
+          let pe = pg.PG.port_edge_of.(e) in
+          if not pg.PG.edge_is_port.(pe) then ok := false;
+          let pu, pv = G.endpoints pg.PG.padded pe in
+          let pair = (pg.PG.base_node_of.(pu), pg.PG.base_node_of.(pv)) in
+          if pair <> (bu, bv) && pair <> (bv, bu) then ok := false);
+      (* half_gad and half_base partition the halves *)
+      for h = 0 to (2 * G.m pg.PG.padded) - 1 do
+        let g' = pg.PG.half_gad.(h) >= 0 and b' = pg.PG.half_base.(h) >= 0 in
+        if g' = b' then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* meter laws *)
+
+let prop_meter_max_monotone =
+  QCheck.Test.make ~name:"meter keeps per-node maxima" ~count:100
+    QCheck.(small_list (pair (int_range 0 9) (int_range 0 50)))
+    (fun charges ->
+      let m = Meter.create 10 in
+      let best = Array.make 10 0 in
+      List.iter
+        (fun (v, r) ->
+          Meter.charge m v r;
+          if r > best.(v) then best.(v) <- r)
+        charges;
+      Array.for_all (fun x -> x)
+        (Array.init 10 (fun v -> Meter.radius m v = best.(v)))
+      && Meter.max_radius m = Array.fold_left max 0 best
+      && List.fold_left (fun a (_, c) -> a + c) 0 (Meter.histogram m) = 10)
+
+(* ------------------------------------------------------------------ *)
+(* ball vs flood agreement on random multigraphs *)
+
+let prop_ball_flood_agree =
+  QCheck.Test.make ~name:"ball membership = flood reachability" ~count:30
+    QCheck.(pair (int_range 4 24) (int_range 0 3))
+    (fun (n, radius) ->
+      let rng = Random.State.make [| n + radius |] in
+      let g = Gen.random_regular rng ~n:(2 * (n / 2)) ~d:3 in
+      let inst = Instance.create g in
+      let by_round =
+        Repro_local.Message_passing.flood_gather inst ~radius (fun v -> v)
+      in
+      let ok = ref true in
+      for v = 0 to min 4 (G.n g - 1) do
+        let ball = Ball.gather g ~center:v ~radius in
+        let heard =
+          v :: List.concat (Array.to_list by_round.(v)) |> List.sort_uniq compare
+        in
+        let members =
+          Array.to_list ball.Ball.to_global |> List.sort compare
+        in
+        if heard <> members then ok := false
+      done;
+      !ok)
+
+(* ------------------------------------------------------------------ *)
+(* solver valid ⟹ distributed checker accepts, for every landscape
+   problem on one shared instance family *)
+
+let prop_all_solvers_checked_distributedly =
+  QCheck.Test.make ~name:"all solvers pass the distributed checker"
+    ~count:20
+    QCheck.(int_range 0 10000)
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = Gen.random_simple_regular rng ~n:40 ~d:3 in
+      let inst = Instance.create ~seed g in
+      let unit_input = Labeling.const g ~v:() ~e:() ~b:() in
+      let so_out, _ = SO.solve_deterministic inst in
+      let col_out, _ = Repro_problems.Coloring.solve inst in
+      let mis_out, _ = Repro_problems.Mis.solve inst in
+      let mat_out, _ = Repro_problems.Matching.solve inst in
+      let dc p out =
+        (Repro_lcl.Distributed_check.run p inst ~input:unit_input ~output:out)
+          .Repro_lcl.Distributed_check.all_accept
+      in
+      dc SO.problem so_out
+      && dc (Repro_problems.Coloring.problem ~delta:3) col_out
+      && dc Repro_problems.Mis.problem mis_out
+      && dc Repro_problems.Matching.problem mat_out)
+
+(* ------------------------------------------------------------------ *)
+(* padding composability: mixed families *)
+
+let test_mixed_family_hierarchy () =
+  (* pad with the log family, then pad the result with the linear family:
+     the spec machinery composes across families *)
+  let lvl2 = Pi.pad H.sinkless_orientation in
+  let mixed = Pi.pad_with (Fam.linear_family ~delta:(Pi.delta_of lvl2)) lvl2 in
+  let stats = Spec.run_hard (Spec.Packed mixed) ~seed:31 ~target:800 in
+  check "mixed det valid" true stats.Spec.det_valid;
+  check "mixed rand valid" true stats.Spec.rand_valid;
+  check "det dominates" true (stats.Spec.det_rounds >= stats.Spec.rand_rounds)
+
+let test_linear_then_log () =
+  let lin1 = Pi.pad_with (Fam.linear_family ~delta:3) H.sinkless_orientation in
+  let mixed = Pi.pad lin1 in
+  let stats = Spec.run_hard (Spec.Packed mixed) ~seed:32 ~target:800 in
+  check "lin-then-log det valid" true stats.Spec.det_valid;
+  check "lin-then-log rand valid" true stats.Spec.rand_valid
+
+(* ------------------------------------------------------------------ *)
+(* determinism: same seed, same everything *)
+
+let test_runs_deterministic () =
+  let a = Spec.run_hard (H.level 2) ~seed:77 ~target:700 in
+  let b = Spec.run_hard (H.level 2) ~seed:77 ~target:700 in
+  check "identical stats" true (a = b);
+  let c = Spec.run_hard (H.level 2) ~seed:78 ~target:700 in
+  (* different seed: same det complexity class but typically different
+     randomized execution; at minimum the run must stay valid *)
+  check "other seed valid" true (c.Spec.det_valid && c.Spec.rand_valid)
+
+let qcheck_tests =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      prop_padded_provenance;
+      prop_meter_max_monotone;
+      prop_ball_flood_agree;
+      prop_all_solvers_checked_distributedly;
+    ]
+
+let suite =
+  [
+    ("mixed family hierarchy (log then linear)", `Slow, test_mixed_family_hierarchy);
+    ("mixed family hierarchy (linear then log)", `Slow, test_linear_then_log);
+    ("runs deterministic", `Quick, test_runs_deterministic);
+  ]
+  @ qcheck_tests

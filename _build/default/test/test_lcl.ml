@@ -1,0 +1,125 @@
+(* Tests for the ne-LCL formalism: labelings, views, the checker. *)
+
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Labeling = Repro_lcl.Labeling
+module Ne_lcl = Repro_lcl.Ne_lcl
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let test_labeling_sizes () =
+  let g = Gen.cycle 4 in
+  let l = Labeling.const g ~v:0 ~e:"x" ~b:true in
+  check "matches" true (Labeling.matches g l);
+  check_int "v" 4 (Array.length l.Labeling.v);
+  check_int "e" 4 (Array.length l.Labeling.e);
+  check_int "b" 8 (Array.length l.Labeling.b)
+
+let test_labeling_init_map_zip () =
+  let g = Gen.path 3 in
+  let l = Labeling.init g ~v:(fun v -> v) ~e:(fun e -> e * 10) ~b:(fun h -> h) in
+  check_int "v1" 1 l.Labeling.v.(1);
+  check_int "e1" 10 l.Labeling.e.(1);
+  let m = Labeling.map ~fv:(fun x -> x + 1) ~fe:string_of_int ~fb:(fun x -> -x) l in
+  check_int "mapped v" 2 m.Labeling.v.(1);
+  Alcotest.(check string) "mapped e" "10" m.Labeling.e.(1);
+  let z = Labeling.zip l m in
+  check "zip pairs" true (z.Labeling.v.(1) = (1, 2))
+
+let test_labeling_copy_isolated () =
+  let g = Gen.path 3 in
+  let l = Labeling.const g ~v:0 ~e:() ~b:() in
+  let c = Labeling.copy l in
+  c.Labeling.v.(0) <- 9;
+  check_int "original unchanged" 0 l.Labeling.v.(0)
+
+(* a toy ne-LCL: node outputs must equal their degree; halves must carry
+   the same parity on both sides *)
+let toy : (unit, unit, unit, int, unit, bool) Ne_lcl.t =
+  {
+    Ne_lcl.name = "toy";
+    check_node = (fun nv -> nv.Ne_lcl.v_out = nv.Ne_lcl.degree);
+    check_edge = (fun ev -> ev.Ne_lcl.bu_out = ev.Ne_lcl.bw_out);
+  }
+
+let test_checker_accepts () =
+  let g = Gen.cycle 5 in
+  let input = Labeling.const g ~v:() ~e:() ~b:() in
+  let output = Labeling.init g ~v:(fun v -> G.degree g v) ~e:(fun _ -> ()) ~b:(fun _ -> true) in
+  check "valid" true (Ne_lcl.is_valid toy g ~input ~output)
+
+let test_checker_rejects_node () =
+  let g = Gen.cycle 5 in
+  let input = Labeling.const g ~v:() ~e:() ~b:() in
+  let output = Labeling.init g ~v:(fun v -> if v = 3 then 99 else 2) ~e:(fun _ -> ()) ~b:(fun _ -> false) in
+  let vs = Ne_lcl.violations toy g ~input ~output in
+  check_int "one violation" 1 (List.length vs);
+  check "is node 3" true (vs = [ Ne_lcl.Node 3 ])
+
+let test_checker_rejects_edge () =
+  let g = Gen.path 3 in
+  let input = Labeling.const g ~v:() ~e:() ~b:() in
+  let output = Labeling.init g ~v:(fun v -> G.degree g v) ~e:(fun _ -> ()) ~b:(fun h -> h = 0) in
+  let vs = Ne_lcl.violations toy g ~input ~output in
+  check "contains edge 0" true (List.mem (Ne_lcl.Edge 0) vs)
+
+let test_node_view_ports () =
+  let g = G.of_edges ~n:3 [ (0, 1); (0, 2) ] in
+  let input = Labeling.init g ~v:(fun v -> v) ~e:(fun e -> e) ~b:(fun h -> h) in
+  let output = Labeling.const g ~v:() ~e:() ~b:() in
+  let nv = Ne_lcl.node_view g ~input ~output 0 in
+  check_int "degree" 2 nv.Ne_lcl.degree;
+  check_int "own input" 0 nv.Ne_lcl.v_in;
+  check "edge inputs in port order" true (nv.Ne_lcl.e_in = [| 0; 1 |]);
+  check "half inputs are own sides" true (nv.Ne_lcl.b_in = [| 0; 2 |])
+
+let test_edge_view_sides () =
+  let g = G.of_edges ~n:2 [ (0, 1) ] in
+  let input = Labeling.init g ~v:(fun v -> v * 10) ~e:(fun _ -> 5) ~b:(fun h -> h) in
+  let output = Labeling.const g ~v:() ~e:() ~b:() in
+  let ev = Ne_lcl.edge_view g ~input ~output 0 in
+  check "not loop" false ev.Ne_lcl.self_loop;
+  check_int "u input" 0 ev.Ne_lcl.u_in;
+  check_int "w input" 10 ev.Ne_lcl.w_in;
+  check_int "bu" 0 ev.Ne_lcl.bu_in;
+  check_int "bw" 1 ev.Ne_lcl.bw_in
+
+let test_edge_view_self_loop () =
+  let g = G.of_edges ~n:1 [ (0, 0) ] in
+  let input = Labeling.const g ~v:7 ~e:() ~b:() in
+  let output = Labeling.const g ~v:() ~e:() ~b:() in
+  let ev = Ne_lcl.edge_view g ~input ~output 0 in
+  check "loop" true ev.Ne_lcl.self_loop;
+  check_int "same node both sides" ev.Ne_lcl.u_in ev.Ne_lcl.w_in
+
+let prop_checker_counts =
+  (* flipping exactly one node output of a valid toy solution produces
+     exactly one node violation *)
+  QCheck.Test.make ~name:"single mutation -> single node violation" ~count:100
+    QCheck.(pair (int_range 3 20) (int_range 0 1000))
+    (fun (n, pick) ->
+      let g = Gen.cycle n in
+      let input = Labeling.const g ~v:() ~e:() ~b:() in
+      let output =
+        Labeling.init g ~v:(fun v -> G.degree g v) ~e:(fun _ -> ()) ~b:(fun _ -> true)
+      in
+      let v = pick mod n in
+      output.Labeling.v.(v) <- 99;
+      Ne_lcl.violations toy g ~input ~output = [ Ne_lcl.Node v ])
+
+let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_checker_counts ]
+
+let suite =
+  [
+    ("labeling sizes", `Quick, test_labeling_sizes);
+    ("labeling init/map/zip", `Quick, test_labeling_init_map_zip);
+    ("labeling copy isolation", `Quick, test_labeling_copy_isolated);
+    ("checker accepts", `Quick, test_checker_accepts);
+    ("checker rejects node", `Quick, test_checker_rejects_node);
+    ("checker rejects edge", `Quick, test_checker_rejects_edge);
+    ("node view ports", `Quick, test_node_view_ports);
+    ("edge view sides", `Quick, test_edge_view_sides);
+    ("edge view self-loop", `Quick, test_edge_view_self_loop);
+  ]
+  @ qcheck_tests

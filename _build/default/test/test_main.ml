@@ -1,0 +1,17 @@
+let () =
+  Alcotest.run "repro"
+    [
+      ("graph", Test_graph.suite);
+      ("local", Test_local.suite);
+      ("lcl", Test_lcl.suite);
+      ("problems", Test_problems.suite);
+      ("gadget", Test_gadget.suite);
+      ("padding", Test_padding.suite);
+      ("message-passing", Test_message_passing.suite);
+      ("extra-problems", Test_extra_problems.suite);
+      ("stats", Test_stats.suite);
+      ("covers", Test_covers.suite);
+      ("family", Test_family.suite);
+      ("experiments", Test_experiments.suite);
+      ("invariants", Test_invariants.suite);
+    ]

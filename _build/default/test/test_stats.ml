@@ -1,0 +1,122 @@
+(* Tests for the curve-fitting statistics and the DOT exporter. *)
+
+module Fit = Repro_stats.Fit
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Dot = Repro_graph.Dot
+
+let check = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+let synth model coeff sizes =
+  List.map (fun n -> (n, coeff *. Fit.eval_model model n)) sizes
+
+let sizes = [ 100; 1000; 10_000; 100_000; 1_000_000 ]
+
+let test_fit_recovers_log () =
+  let f = Fit.best_fit (synth Fit.Log 3.0 sizes) in
+  check "model" true (f.Fit.model = Fit.Log);
+  check "coefficient" true (abs_float (f.Fit.coefficient -. 3.0) < 0.01);
+  check "rmse tiny" true (f.Fit.rmse < 1e-6)
+
+let test_fit_recovers_log_squared () =
+  let f = Fit.best_fit (synth Fit.LogSquared 0.5 sizes) in
+  check "model" true (f.Fit.model = Fit.LogSquared)
+
+let test_fit_recovers_linear () =
+  let f = Fit.best_fit (synth Fit.Linear 2.0 sizes) in
+  check "model" true (f.Fit.model = Fit.Linear)
+
+let test_fit_recovers_loglog () =
+  let f = Fit.best_fit (synth Fit.LogLog 4.0 sizes) in
+  check "model" true (f.Fit.model = Fit.LogLog)
+
+let test_fit_distinguishes_log_from_log2 () =
+  (* log²n data must not be fitted by log n better *)
+  let pts = synth Fit.LogSquared 1.0 sizes in
+  let flog = Fit.fit_one Fit.Log pts in
+  let flog2 = Fit.fit_one Fit.LogSquared pts in
+  check "log2 fits better" true (flog2.Fit.rmse < flog.Fit.rmse)
+
+let test_fit_noise_tolerant () =
+  let rng = Random.State.make [| 1 |] in
+  let pts =
+    List.map
+      (fun n ->
+        let y = 2.0 *. Fit.eval_model Fit.Log n in
+        (n, y *. (0.95 +. (0.1 *. Random.State.float rng 1.0))))
+      sizes
+  in
+  let f = Fit.best_fit pts in
+  check "still log-ish" true
+    (f.Fit.model = Fit.Log || f.Fit.model = Fit.LogTimesLogLog)
+
+let test_growth_ratio () =
+  let r = Fit.growth_ratio [ (10, 5.0); (1000, 20.0); (100, 10.0) ] in
+  check "sorted by n" true (abs_float (r -. 4.0) < 1e-9)
+
+let test_log_star_model () =
+  check "log* grows very slowly" true
+    (Fit.eval_model Fit.LogStar 1_000_000 <= 5.0)
+
+(* dot *)
+
+let test_dot_basic () =
+  let g = G.of_edges ~n:2 [ (0, 1) ] in
+  let s = Dot.to_dot g in
+  check "has header" true (String.length s > 0 && String.sub s 0 7 = "graph g");
+  let contains sub str =
+    let ls = String.length sub and l = String.length str in
+    let rec go i = i + ls <= l && (String.sub str i ls = sub || go (i + 1)) in
+    go 0
+  in
+  check "has edge" true (contains "n0 -- n1" s)
+
+let test_dot_labels_and_multi () =
+  let g = G.of_edges ~n:2 [ (0, 1); (0, 1); (1, 1) ] in
+  let s =
+    Dot.to_dot ~node_label:(fun v -> Printf.sprintf "v%d" v)
+      ~edge_label:(fun e -> Printf.sprintf "e%d" e)
+      g
+  in
+  let count_sub sub str =
+    let ls = String.length sub and l = String.length str in
+    let rec go i acc =
+      if i + ls > l then acc
+      else go (i + 1) (if String.sub str i ls = sub then acc + 1 else acc)
+    in
+    go 0 0
+  in
+  check "two parallel edges" true (count_sub "n0 -- n1" s = 2);
+  check "self-loop present" true (count_sub "n1 -- n1" s = 1);
+  check "labels present" true (count_sub "\"e2\"" s = 1)
+
+let test_dot_write_file () =
+  let g = Gen.cycle 3 in
+  let path = Filename.temp_file "repro" ".dot" in
+  Dot.write_file ~path g;
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  close_in ic;
+  Sys.remove path;
+  check "file non-empty" true (len > 10)
+
+let test_model_names () =
+  check_string "log name" "log n" (Fit.model_name Fit.Log);
+  check_string "const name" "1" (Fit.model_name Fit.Constant)
+
+let suite =
+  [
+    ("fit recovers log", `Quick, test_fit_recovers_log);
+    ("fit recovers log^2", `Quick, test_fit_recovers_log_squared);
+    ("fit recovers linear", `Quick, test_fit_recovers_linear);
+    ("fit recovers loglog", `Quick, test_fit_recovers_loglog);
+    ("fit separates log vs log^2", `Quick, test_fit_distinguishes_log_from_log2);
+    ("fit noise tolerant", `Quick, test_fit_noise_tolerant);
+    ("growth ratio", `Quick, test_growth_ratio);
+    ("log* model", `Quick, test_log_star_model);
+    ("dot basic", `Quick, test_dot_basic);
+    ("dot labels and multigraph", `Quick, test_dot_labels_and_multi);
+    ("dot write file", `Quick, test_dot_write_file);
+    ("model names", `Quick, test_model_names);
+  ]
