@@ -4,10 +4,20 @@
    per figure/theorem — see DESIGN.md's index); this executable runs them
    all at full size, prints their tables and plots, and appends the
    Bechamel wall-clock micro-benchmarks. EXPERIMENTS.md records the
-   paper-vs-measured analysis of a reference run. *)
+   paper-vs-measured analysis of a reference run.
+
+   Modes:
+     (default)        full experiment run + console micro-benchmarks
+     --json           micro-benchmarks only, each measured sequentially
+                      (1 domain) and in parallel (REPRO_DOMAINS or 4
+                      domains), written to BENCH_parallel.json — the
+                      machine-readable perf trajectory across PRs
+     --quick          shrink instances and quotas (the `dune runtest`
+                      smoke invocation uses `--json --quick`) *)
 
 module G = Core.Graph.Multigraph
 module Instance = Core.Local.Instance
+module Pool = Core.Local.Pool
 module SO = Core.Problems.Sinkless_orientation
 module GB = Core.Gadget.Build
 module GC = Core.Gadget.Check
@@ -22,64 +32,159 @@ module Runs = Repro_experiments.Runs
 let section name =
   Printf.printf "\n==================== %s ====================\n" name
 
-let w_bechamel () =
-  section "W-bechamel (wall-clock micro-benchmarks)";
-  let open Bechamel in
+(* name, instance size, workload; names are stable across PRs (and across
+   --quick, which shrinks the instances) so the JSON trajectory lines up *)
+type case = { name : string; n : int; run : unit -> unit }
+
+let cases ~quick () =
   let rng = Random.State.make [| 11 |] in
-  let g3k = SO.hard_instance rng ~n:3000 in
+  let n_so = if quick then 600 else 3000 in
+  let height = if quick then 6 else 8 in
+  let g3k = SO.hard_instance rng ~n:n_so in
   let inst3k = Instance.create g3k in
-  let gadget8 = GB.gadget ~delta:3 ~height:8 in
+  let gadget8 = GB.gadget ~delta:3 ~height in
+  let gadget_n = G.n gadget8.GL.graph in
   let so = H.sinkless_orientation in
   let so' = Pi.pad so in
-  let pg, pinp = Pi.hard_instance_parts so rng ~base_target:30 ~gadget_target:60 in
+  let base_target, gadget_target = if quick then (10, 20) else (30, 60) in
+  let pg, pinp = Pi.hard_instance_parts so rng ~base_target ~gadget_target in
   let pinst = Instance.create pg.PG.padded in
-  let tests =
-    [
-      Test.make ~name:"ball-gather-r10-3k"
-        (Staged.stage (fun () ->
-             ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10)));
-      Test.make ~name:"so-det-3k"
-        (Staged.stage (fun () -> ignore (SO.solve_deterministic inst3k)));
-      Test.make ~name:"so-rand-3k"
-        (Staged.stage (fun () -> ignore (SO.solve_randomized inst3k)));
-      Test.make ~name:"gadget-build-h8"
-        (Staged.stage (fun () -> ignore (GB.gadget ~delta:3 ~height:8)));
-      Test.make ~name:"gadget-check-h8"
-        (Staged.stage (fun () -> ignore (GC.is_valid ~delta:3 gadget8)));
-      Test.make ~name:"verifier-h8"
-        (Staged.stage (fun () ->
-             ignore (V.run ~delta:3 ~n:(G.n gadget8.GL.graph) gadget8)));
-      Test.make ~name:"pi2-solve-det"
-        (Staged.stage (fun () -> ignore (so'.Spec.solve_det pinst pinp)));
-    ]
-  in
+  [
+    {
+      name = "ball-gather-r10-3k";
+      n = n_so;
+      run = (fun () -> ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10));
+    };
+    {
+      name = "so-det-3k";
+      n = n_so;
+      run = (fun () -> ignore (SO.solve_deterministic inst3k));
+    };
+    {
+      name = "so-rand-3k";
+      n = n_so;
+      run = (fun () -> ignore (SO.solve_randomized inst3k));
+    };
+    {
+      name = "gadget-build-h8";
+      n = gadget_n;
+      run = (fun () -> ignore (GB.gadget ~delta:3 ~height));
+    };
+    {
+      name = "gadget-check-h8";
+      n = gadget_n;
+      run = (fun () -> ignore (GC.is_valid ~delta:3 gadget8));
+    };
+    {
+      name = "verifier-h8";
+      n = gadget_n;
+      run = (fun () -> ignore (V.run ~delta:3 ~n:gadget_n gadget8));
+    };
+    {
+      name = "pi2-solve-det";
+      n = G.n pg.PG.padded;
+      run = (fun () -> ignore (so'.Spec.solve_det pinst pinp));
+    };
+  ]
+
+let estimate ~quota ~limit case =
+  let open Bechamel in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:100 ~quota:(Time.second 0.5) () in
+  let cfg = Benchmark.cfg ~limit ~quota:(Time.second quota) () in
+  let test = Test.make ~name:case.name (Staged.stage case.run) in
+  let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
+  let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+  Hashtbl.fold
+    (fun _ o acc ->
+      match Analyze.OLS.estimates o with Some [ t ] -> Some t | _ -> acc)
+    results None
+
+let w_bechamel () =
+  section "W-bechamel (wall-clock micro-benchmarks)";
   List.iter
-    (fun test ->
-      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ]) in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
-      Hashtbl.iter
-        (fun name o ->
-          match Analyze.OLS.estimates o with
-          | Some [ t ] -> Printf.printf "%-24s %14.0f ns/run\n" name t
-          | Some _ | None -> Printf.printf "%-24s (no estimate)\n" name)
-        results)
-    tests
+    (fun case ->
+      match estimate ~quota:0.5 ~limit:100 case with
+      | Some t -> Printf.printf "%-24s %14.0f ns/run\n" case.name t
+      | None -> Printf.printf "%-24s (no estimate)\n" case.name)
+    (cases ~quick:false ())
+
+(* --json: measure every case under 1 domain and under [domains], write
+   BENCH_parallel.json in the current directory *)
+let run_json ~quick () =
+  let domains =
+    match Sys.getenv_opt "REPRO_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> k
+      | Some _ | None -> 4)
+    | None -> max 4 (Domain.recommended_domain_count ())
+  in
+  let quota = if quick then 0.05 else 0.5 in
+  let limit = if quick then 20 else 100 in
+  let cases = cases ~quick () in
+  let measured =
+    List.map
+      (fun case ->
+        Pool.set_size 1;
+        let seq = estimate ~quota ~limit case in
+        Pool.set_size domains;
+        let par = estimate ~quota ~limit case in
+        Pool.set_size 1;
+        Printf.printf "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run\n"
+          case.name case.n
+          (match seq with Some t -> Printf.sprintf "%.0f" t | None -> "-")
+          domains
+          (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-");
+        (case, seq, par))
+      cases
+  in
+  let file = "BENCH_parallel.json" in
+  let oc = open_out file in
+  let field = function
+    | Some t -> Printf.sprintf "%.1f" t
+    | None -> "null"
+  in
+  (* cores records oversubscription: speedup is only physically possible
+     when domains <= cores (a 1-core container shows slowdowns) *)
+  Printf.fprintf oc
+    "{\n  \"schema\": \"repro-bench-parallel/1\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
+    domains
+    (Domain.recommended_domain_count ())
+    quick;
+  List.iteri
+    (fun i (case, seq, par) ->
+      let speedup =
+        match (seq, par) with
+        | Some s, Some p when p > 0.0 -> Printf.sprintf "%.3f" (s /. p)
+        | _ -> "null"
+      in
+      Printf.fprintf oc
+        "    {\"name\": %S, \"n\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s}%s\n"
+        case.name case.n (field seq) (field par) speedup
+        (if i = List.length measured - 1 then "" else ","))
+    measured;
+  Printf.fprintf oc "  ]\n}\n";
+  close_out oc;
+  Printf.printf "wrote %s (domains=%d, quick=%b)\n" file domains quick
 
 let () =
-  Printf.printf "Reproduction harness: every table/figure of the paper.\n";
-  Printf.printf
-    "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)\n";
-  let t0 = Unix.gettimeofday () in
-  List.iter
-    (fun (e : Runs.experiment) ->
-      section (Printf.sprintf "%s (%s)" e.Runs.id e.Runs.doc);
-      Runs.run_and_print ~quick:false e)
-    Runs.all;
-  w_bechamel ();
-  Printf.printf "\nAll experiment sections completed in %.1f s.\n"
-    (Unix.gettimeofday () -. t0)
+  let args = Array.to_list Sys.argv in
+  let quick = List.mem "--quick" args in
+  if List.mem "--json" args then run_json ~quick ()
+  else begin
+    Printf.printf "Reproduction harness: every table/figure of the paper.\n";
+    Printf.printf
+      "(see DESIGN.md for the experiment index, EXPERIMENTS.md for analysis)\n";
+    let t0 = Unix.gettimeofday () in
+    List.iter
+      (fun (e : Runs.experiment) ->
+        section (Printf.sprintf "%s (%s)" e.Runs.id e.Runs.doc);
+        Runs.run_and_print ~quick:false e)
+      Runs.all;
+    w_bechamel ();
+    Printf.printf "\nAll experiment sections completed in %.1f s.\n"
+      (Unix.gettimeofday () -. t0)
+  end

@@ -1,6 +1,7 @@
 module G = Repro_graph.Multigraph
 module T = Repro_graph.Traversal
 module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
 open Labels
 
 let proof_radius ~n =
@@ -131,23 +132,24 @@ let run ~delta ~n (t : Labels.t) =
       if comp.(v) = c && da.(v) > da.(!b) then b := v
     done;
     let db = T.bfs g !b in
-    for v = 0 to size - 1 do
-      if comp.(v) = c then ecc_est.(v) <- max da.(v) db.(v)
-    done
+    Pool.parallel_for ~n:size (fun v ->
+        if comp.(v) = c then ecc_est.(v) <- max da.(v) db.(v))
   done;
   let cap = size in
-  for u = 0 to size - 1 do
-    if err.(u) then begin
-      out.(u) <- Psi.Error;
-      Meter.charge meter u 2
-    end
-    else if dist_err.(u) > radius then begin
-      out.(u) <- Psi.Ok;
-      Meter.charge meter u (min radius ecc_est.(u))
-    end
-    else begin
-      out.(u) <- Psi.Ptr (pointer_for t err u ~cap);
-      Meter.charge meter u (min radius ecc_est.(u))
-    end
-  done;
+  (* the per-node verdicts are independent: pointer_for only reads the
+     labelled gadget and the precomputed err/dist tables, and each node
+     writes its own output and meter slot — the verifier's hot loop *)
+  Pool.parallel_for ~n:size (fun u ->
+      if err.(u) then begin
+        out.(u) <- Psi.Error;
+        Meter.charge meter u 2
+      end
+      else if dist_err.(u) > radius then begin
+        out.(u) <- Psi.Ok;
+        Meter.charge meter u (min radius ecc_est.(u))
+      end
+      else begin
+        out.(u) <- Psi.Ptr (pointer_for t err u ~cap);
+        Meter.charge meter u (min radius ecc_est.(u))
+      end);
   (out, meter)

@@ -1,3 +1,9 @@
+(* The checker is a one-round algorithm on the message-passing engine, so
+   the per-node constraint evaluations run on the engine's domain pool
+   (Message_passing.run parallelizes both phases of the round); the
+   verdicts are deterministic for every pool size because each node's
+   check reads only its own labels and the messages delivered to it. *)
+
 module G = Repro_graph.Multigraph
 module MP = Repro_local.Message_passing
 

@@ -5,6 +5,7 @@ type t = {
   graph : G.t;
   center : int;
   to_global : int array;
+  global_index : (int, int) Hashtbl.t;
   dist : int array;
   radius : int;
   complete : bool;
@@ -25,15 +26,17 @@ let gather g ~center ~radius =
              (G.halves g v))
       pairs
   in
-  { graph = sub; center = of_global.(center); to_global; dist; radius; complete }
+  let global_index = Hashtbl.create (2 * Array.length to_global) in
+  Array.iteri (fun local v -> Hashtbl.replace global_index v local) to_global;
+  {
+    graph = sub;
+    center = of_global.(center);
+    to_global;
+    global_index;
+    dist;
+    radius;
+    complete;
+  }
 
-let of_global b v =
-  (* to_global is small; linear scan is fine for ball sizes *)
-  let rec find i =
-    if i >= Array.length b.to_global then None
-    else if b.to_global.(i) = v then Some i
-    else find (i + 1)
-  in
-  find 0
-
-let mem_global b v = of_global b v <> None
+let of_global b v = Hashtbl.find_opt b.global_index v
+let mem_global b v = Hashtbl.mem b.global_index v

@@ -14,6 +14,8 @@ type t = private {
   graph : Repro_graph.Multigraph.t;      (** induced subgraph, locally renumbered *)
   center : int;              (** local index of the ball's center *)
   to_global : int array;     (** local node -> global node *)
+  global_index : (int, int) Hashtbl.t;
+      (** inverse of [to_global]: global node -> local node *)
   dist : int array;          (** local node -> distance from center *)
   radius : int;              (** the requested radius *)
   complete : bool;           (** true if the ball is a whole component *)
@@ -22,6 +24,7 @@ type t = private {
 val gather : Repro_graph.Multigraph.t -> center:int -> radius:int -> t
 
 val of_global : t -> int -> int option
-(** Local index of a global node, if inside the ball. *)
+(** Local index of a global node, if inside the ball. O(1) via the
+    [global_index] inverse table (solvers call this in inner loops). *)
 
 val mem_global : t -> int -> bool

@@ -12,6 +12,17 @@ type 'out result = {
   max_rounds : int;
 }
 
+(* Both phases of a round are embarrassingly parallel over nodes, and each
+   phase writes only index-owned locations:
+
+   - send: node [v] writes the mailbox slots [mate h] for its own halves
+     [h]; every half belongs to exactly one node, so the written slots
+     partition the mailbox. It reads only [states.(v)] and [halted.(v)],
+     which receive wrote in the *previous* phase (a pool barrier apart).
+   - receive: node [v] reads the mailbox (frozen during this phase) and
+     writes [states/outputs/halted/rounds] at its own index only.
+
+   Hence any Pool size is bit-identical to the sequential loop. *)
 let run ?limit inst alg =
   let g = inst.Instance.graph in
   let n = G.n g in
@@ -21,36 +32,45 @@ let run ?limit inst alg =
   let rounds = Array.make n 0 in
   let halted = Array.make n false in
   let remaining = ref n in
+  (* one mailbox per half-edge for the whole run: the message sent into a
+     half arrives at its mate. A halted node stops sending; its final
+     messages simply stay in place (last-message-repeated, see the .mli),
+     so slots written in round 0 remain valid forever. *)
+  let mail = Array.make (2 * G.m g) None in
   (* round 0 gives nodes a chance to halt without communicating *)
   let round = ref 0 in
   let deliver () =
-    (* mailbox per half-edge: message sent into a half arrives at its mate *)
-    let mail = Array.make (2 * G.m g) None in
-    for v = 0 to n - 1 do
-      Array.iteri
-        (fun p h ->
-          mail.(G.mate h) <- Some (alg.send states.(v) ~round:!round ~port:p))
-        (G.halves g v)
-    done;
-    for v = 0 to n - 1 do
-      if not halted.(v) then begin
-        let msgs =
-          Array.map
-            (fun h ->
-              match mail.(h) with
-              | Some m -> m
-              | None -> assert false)
-            (G.halves g v)
-        in
-        match alg.receive states.(v) ~round:!round msgs with
-        | Either.Left st -> states.(v) <- st
-        | Either.Right out ->
-          outputs.(v) <- Some out;
-          halted.(v) <- true;
-          rounds.(v) <- !round + 1;
-          decr remaining
-      end
-    done
+    let r = !round in
+    Pool.parallel_for ~n (fun v ->
+        if not halted.(v) then
+          Array.iteri
+            (fun p h ->
+              mail.(G.mate h) <- Some (alg.send states.(v) ~round:r ~port:p))
+            (G.halves g v));
+    let newly_halted =
+      Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
+          if halted.(v) then 0
+          else begin
+            let msgs =
+              Array.map
+                (fun h ->
+                  match mail.(h) with
+                  | Some m -> m
+                  | None -> assert false)
+                (G.halves g v)
+            in
+            match alg.receive states.(v) ~round:r msgs with
+            | Either.Left st ->
+              states.(v) <- st;
+              0
+            | Either.Right out ->
+              outputs.(v) <- Some out;
+              halted.(v) <- true;
+              rounds.(v) <- r + 1;
+              1
+          end)
+    in
+    remaining := !remaining - newly_halted
   in
   while !remaining > 0 && !round < limit do
     deliver ();
@@ -65,32 +85,31 @@ let run ?limit inst alg =
   in
   { outputs; rounds; max_rounds = Array.fold_left max 0 rounds }
 
+(* Receiver-centric flooding: in each round, node [w] pulls the snapshot
+   of every neighbour's knowledge and updates only its own tables, so the
+   per-node work is independent and schedule-oblivious. *)
 let flood_gather inst ~radius payload =
   let g = inst.Instance.graph in
   let n = G.n g in
   let known = Array.init n (fun _ -> Hashtbl.create 8) in
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
-  for v = 0 to n - 1 do
-    Hashtbl.replace known.(v) (payload v) ()
-  done;
+  Pool.parallel_for ~n (fun v -> Hashtbl.replace known.(v) (payload v) ());
+  let outgoing = Array.make n [] in
   for r = 0 to radius - 1 do
     (* snapshot: everyone sends its current knowledge *)
-    let outgoing =
-      Array.init n (fun v ->
-          Hashtbl.fold (fun p () acc -> p :: acc) known.(v) [])
-    in
-    for v = 0 to n - 1 do
-      Array.iter
-        (fun h ->
-          let w = G.half_node g (G.mate h) in
-          List.iter
-            (fun p ->
-              if not (Hashtbl.mem known.(w) p) then begin
-                Hashtbl.replace known.(w) p ();
-                by_round.(w).(r) <- p :: by_round.(w).(r)
-              end)
-            outgoing.(v))
-        (G.halves g v)
-    done
+    Pool.parallel_for ~n (fun v ->
+        outgoing.(v) <- Hashtbl.fold (fun p () acc -> p :: acc) known.(v) []);
+    Pool.parallel_for ~n (fun w ->
+        Array.iter
+          (fun h ->
+            let v = G.half_node g (G.mate h) in
+            List.iter
+              (fun p ->
+                if not (Hashtbl.mem known.(w) p) then begin
+                  Hashtbl.replace known.(w) p ();
+                  by_round.(w).(r) <- p :: by_round.(w).(r)
+                end)
+              outgoing.(v))
+          (G.halves g w))
   done;
   by_round

@@ -13,7 +13,28 @@
     the unbounded-bandwidth LOCAL model. The engine records the number of
     rounds each node ran before halting — by the equivalence of §2 this is
     the same complexity measure as {!Meter} tracks for gather-based
-    solvers, and the two backends are cross-checked in the test suite. *)
+    solvers, and the two backends are cross-checked in the test suite.
+
+    {2 Halted-sender semantics}
+
+    A node that has halted no longer computes messages: its neighbours
+    keep receiving the {e last} message it sent on each port
+    (last-message-repeated). Operationally the engine keeps one mailbox
+    slot per half-edge for the whole run and a halted sender's final
+    messages simply stay in place. This is the natural LOCAL-model
+    reading — a halted node's state is frozen, so a state-determined
+    message would be frozen too — and it makes [send] a dead call after
+    halting, which both the sequential and the parallel engine exploit.
+    The one observable difference from recomputing [send] on a frozen
+    state: a [send] that depends on [~round] after halting is never
+    observed. Algorithms should not do that.
+
+    {2 Parallel execution}
+
+    Both phases of a round run as {!Pool.parallel_for} loops over nodes
+    (the LOCAL model is embarrassingly parallel by definition); results
+    are bit-identical for every pool size, see the determinism contract
+    in {!Pool} and the equality suite in [test/test_parallel.ml]. *)
 
 type ('state, 'msg, 'out) algorithm = {
   init : Instance.t -> int -> 'state;
@@ -50,4 +71,6 @@ val flood_gather :
     class). Used to realize gather-based algorithms over the engine and to
     cross-check {!Ball}. [result.(v).(d)] holds payloads of nodes at
     distance exactly [d+1 <= radius] (with multiplicity along paths
-    collapsed to set semantics by payload equality). *)
+    collapsed to set semantics by payload equality). The per-round lists
+    are in no specified order, but the order is deterministic: it depends
+    only on the instance, never on the pool size. *)

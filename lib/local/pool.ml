@@ -1,0 +1,239 @@
+(* A persistent work-sharing pool on raw Domain.spawn + Atomic.
+
+   One job is in flight at a time (the engine's loops are issued from the
+   main domain, one after another). A job is a chunked index range plus a
+   body; workers and the calling domain race on an atomic chunk counter
+   until the range drains. Workers park on a condition variable between
+   jobs, so an idle pool costs nothing.
+
+   Completion is tracked per chunk, not per worker: the dispatching
+   domain returns as soon as every chunk has run, even if some workers
+   have not yet been scheduled at all — they will find the range drained
+   and go back to sleep. This keeps dispatch latency at "time to run the
+   chunks", with no straggler wait.
+
+   Determinism does not depend on the schedule: every chunk is executed
+   exactly once, chunks run their indices in ascending order, and callers
+   only write index-owned locations (see pool.mli). The atomic
+   completed-counter gives the happens-before edge that makes the
+   workers' plain-array writes visible to the caller. *)
+
+type job = {
+  chunks : int;
+  chunk_size : int;
+  total : int;
+  next : int Atomic.t; (* next chunk index to claim *)
+  completed : int Atomic.t; (* chunks fully executed *)
+  body : int -> int -> unit; (* [body lo hi]: indices [lo, hi) *)
+  failed : exn option Atomic.t;
+}
+
+type pool = {
+  mutex : Mutex.t;
+  work : Condition.t; (* a new job (or shutdown) is available *)
+  finished : Condition.t; (* the last chunk of the current job is done *)
+  mutable job : job option;
+  mutable epoch : int; (* bumped once per job *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+}
+
+let sequential_cutoff = 16
+
+let env_size =
+  lazy
+    (match Sys.getenv_opt "REPRO_DOMAINS" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some k when k >= 1 -> min k 64
+      | Some _ | None -> Domain.recommended_domain_count ())
+    | None -> Domain.recommended_domain_count ())
+
+let requested = ref None
+let state : pool option ref = ref None
+
+(* true while a loop is in flight; a parallel_for issued from inside a
+   body (any domain) falls back to a sequential loop instead of
+   deadlocking on the single-job pool *)
+let busy = ref false
+
+let size () =
+  match !requested with Some k -> k | None -> Lazy.force env_size
+
+(* claim and run chunks until the range drains; after a body raises, the
+   remaining chunks are still claimed (so the completed count drains) but
+   their bodies are skipped *)
+let run_job pool job =
+  let rec claim () =
+    let c = Atomic.fetch_and_add job.next 1 in
+    if c < job.chunks then begin
+      (if Atomic.get job.failed = None then
+         try job.body (c * job.chunk_size)
+               (min job.total ((c * job.chunk_size) + job.chunk_size))
+         with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+      if Atomic.fetch_and_add job.completed 1 = job.chunks - 1 then begin
+        (* last chunk overall: wake the dispatcher if it is waiting *)
+        Mutex.lock pool.mutex;
+        Condition.signal pool.finished;
+        Mutex.unlock pool.mutex
+      end;
+      claim ()
+    end
+  in
+  claim ()
+
+let worker pool =
+  let last_epoch = ref 0 in
+  let running = ref true in
+  while !running do
+    Mutex.lock pool.mutex;
+    while (not pool.stop) && pool.epoch = !last_epoch do
+      Condition.wait pool.work pool.mutex
+    done;
+    if pool.stop then begin
+      Mutex.unlock pool.mutex;
+      running := false
+    end
+    else begin
+      let job = match pool.job with Some j -> j | None -> assert false in
+      last_epoch := pool.epoch;
+      Mutex.unlock pool.mutex;
+      run_job pool job
+    end
+  done
+
+let shutdown () =
+  match !state with
+  | None -> ()
+  | Some pool ->
+    state := None;
+    Mutex.lock pool.mutex;
+    pool.stop <- true;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex;
+    Array.iter Domain.join pool.workers
+
+let () = at_exit shutdown
+
+let set_size k =
+  requested := Some (max 1 k);
+  shutdown ()
+
+(* spawn (size - 1) workers; the calling domain is the pool's last member *)
+let ensure_pool () =
+  let sz = size () in
+  if sz <= 1 then None
+  else
+    match !state with
+    | Some pool when Array.length pool.workers = sz - 1 -> Some pool
+    | other ->
+      if other <> None then shutdown ();
+      let pool =
+        {
+          mutex = Mutex.create ();
+          work = Condition.create ();
+          finished = Condition.create ();
+          job = None;
+          epoch = 0;
+          stop = false;
+          workers = [||];
+        }
+      in
+      pool.workers <-
+        Array.init (sz - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+      state := Some pool;
+      Some pool
+
+let dispatch pool job =
+  Mutex.lock pool.mutex;
+  pool.job <- Some job;
+  pool.epoch <- pool.epoch + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  run_job pool job;
+  Mutex.lock pool.mutex;
+  while Atomic.get job.completed < job.chunks do
+    Condition.wait pool.finished pool.mutex
+  done;
+  (* pool.job is left in place: a worker that only wakes up now finds the
+     drained range, claims nothing, and parks again for the next epoch *)
+  Mutex.unlock pool.mutex
+
+let chunk_layout ?chunk ~n sz =
+  let chunk_size =
+    match chunk with
+    | Some c when c >= 1 -> c
+    | Some _ | None -> max 1 (1 + ((n - 1) / (8 * sz)))
+  in
+  (chunk_size, 1 + ((n - 1) / chunk_size))
+
+let run_parallel ?chunk ~n ~make_body ~seq () =
+  if n <= 0 then seq ()
+  else
+    let sz = size () in
+    if sz <= 1 || n < sequential_cutoff || !busy then seq ()
+    else
+      match ensure_pool () with
+      | None -> seq ()
+      | Some pool ->
+        let chunk_size, chunks = chunk_layout ?chunk ~n sz in
+        let job =
+          {
+            chunks;
+            chunk_size;
+            total = n;
+            next = Atomic.make 0;
+            completed = Atomic.make 0;
+            body = make_body ~chunk_size;
+            failed = Atomic.make None;
+          }
+        in
+        busy := true;
+        Fun.protect
+          ~finally:(fun () -> busy := false)
+          (fun () -> dispatch pool job);
+        (match Atomic.get job.failed with Some e -> raise e | None -> ())
+
+let parallel_for ?chunk ~n f =
+  run_parallel ?chunk ~n
+    ~make_body:(fun ~chunk_size:_ lo hi ->
+      for i = lo to hi - 1 do
+        f i
+      done)
+    ~seq:(fun () ->
+      for i = 0 to n - 1 do
+        f i
+      done)
+    ()
+
+let parallel_for_reduce ?chunk ~n ~neutral ~combine f =
+  if n <= 0 then neutral
+  else begin
+    let fold lo hi =
+      let acc = ref neutral in
+      for i = lo to hi - 1 do
+        acc := combine !acc (f i)
+      done;
+      !acc
+    in
+    (* sized at dispatch time inside make_body; one slot per chunk *)
+    let partial = ref [||] in
+    run_parallel ?chunk ~n
+      ~make_body:(fun ~chunk_size ->
+        let chunks = 1 + ((n - 1) / chunk_size) in
+        partial := Array.make chunks neutral;
+        let slots = !partial in
+        fun lo hi -> slots.(lo / chunk_size) <- fold lo hi)
+      ~seq:(fun () -> partial := [| fold 0 n |])
+      ();
+    Array.fold_left combine neutral !partial
+  end
+
+let tabulate ?chunk n f =
+  if n <= 0 then [||]
+  else begin
+    let first = f 0 in
+    let a = Array.make n first in
+    parallel_for ?chunk ~n:(n - 1) (fun i -> a.(i + 1) <- f (i + 1));
+    a
+  end

@@ -1,0 +1,76 @@
+(** A work-sharing domain pool: the multicore execution layer of the
+    simulator.
+
+    The LOCAL model is embarrassingly parallel by definition — in every
+    round each node acts on its own state and its own mailbox — so the
+    engine's hot loops are all "for every node/edge, do independent
+    work". This module turns those loops into chunked parallel loops over
+    a small set of worker domains (raw [Domain.spawn] + [Atomic]; no
+    external dependencies).
+
+    {2 Determinism contract}
+
+    Parallel execution must be bit-identical to sequential execution.
+    The pool guarantees: every index in [0, n) is executed exactly once,
+    and no index is executed twice. The {e caller} guarantees: the body
+    for index [i] writes only to locations owned by [i] (its own array
+    slots), and reads only locations that no other index writes during
+    the same loop. Under that discipline the schedule cannot be observed,
+    so any domain count — including 1 — produces the same result, and
+    [test/test_parallel.ml] asserts exactly this for every solver.
+
+    For {!parallel_for_reduce}, [combine] must be associative with
+    [neutral] as identity; partial results are combined in ascending
+    chunk order, so associativity makes the result independent of the
+    chunk layout.
+
+    {2 Configuration}
+
+    The pool size is read from the [REPRO_DOMAINS] environment variable
+    (default: [Domain.recommended_domain_count ()]). Size 1 — and any
+    loop shorter than the sequential cutoff — runs the plain sequential
+    loop on the calling domain, with no pool involvement at all.
+
+    Loops must be issued from one domain at a time (the engine's main
+    domain); a [parallel_for] issued from inside a running loop body
+    degrades safely to a sequential loop rather than deadlocking. *)
+
+val size : unit -> int
+(** Configured domain count: [set_size] override if any, else
+    [REPRO_DOMAINS], else [Domain.recommended_domain_count ()]. *)
+
+val set_size : int -> unit
+(** Override the pool size at runtime (used by the bench harness to
+    measure sequential vs. parallel in one process, and by the
+    determinism tests). Shuts down any running workers; the next loop
+    lazily respawns them at the new size. [set_size 1] is a full
+    fallback to sequential execution. *)
+
+val parallel_for : ?chunk:int -> n:int -> (int -> unit) -> unit
+(** [parallel_for ~n f] runs [f i] for every [i] in [0, n), split into
+    chunks of [?chunk] indices (default: [n / (8 * size)], at least 1)
+    shared over the worker domains via an atomic chunk counter. Each
+    chunk runs its indices in ascending order. The first exception
+    raised by any body is re-raised on the calling domain after the
+    loop drains. *)
+
+val parallel_for_reduce :
+  ?chunk:int ->
+  n:int ->
+  neutral:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+(** [parallel_for_reduce ~n ~neutral ~combine f] folds [f 0 ... f (n-1)]
+    with [combine], computing per-chunk partials in parallel and
+    combining them in ascending chunk order. [combine] must be
+    associative with [neutral] as identity. *)
+
+val tabulate : ?chunk:int -> int -> (int -> 'a) -> 'a array
+(** [tabulate n f] is [Array.init n f] with the slots filled in
+    parallel. [f 0] is evaluated first on the calling domain (to seed
+    the array); [f] must therefore be safe to call out of order. *)
+
+val shutdown : unit -> unit
+(** Join all worker domains. Safe to call at any quiescent point; the
+    next parallel loop respawns the pool. Registered with [at_exit]. *)

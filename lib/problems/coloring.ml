@@ -3,6 +3,7 @@ module Labeling = Repro_lcl.Labeling
 module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
 
 type output = (int, unit, unit) Labeling.t
 
@@ -40,7 +41,7 @@ let solve inst =
   (* out-edges of v: halves whose far endpoint has a larger id;
      forest index of such a half = its rank among v's out-halves *)
   let out_halves =
-    Array.init n (fun v ->
+    Pool.tabulate n (fun v ->
         Array.of_list
           (List.filter
              (fun h -> ids.(G.half_node g (G.mate h)) > ids.(v))
@@ -49,7 +50,7 @@ let solve inst =
   (* parent.(i).(v) = parent of v in forest i, or -1 *)
   let parent =
     Array.init delta (fun i ->
-        Array.init n (fun v ->
+        Pool.tabulate n (fun v ->
             if i < Array.length out_halves.(v) then
               G.half_node g (G.mate out_halves.(v).(i))
             else -1))
@@ -77,7 +78,7 @@ let solve inst =
       if mx < 6 then continue := false
       else begin
         let next =
-          Array.init n (fun v ->
+          Pool.tabulate n (fun v ->
               let p = parent.(i).(v) in
               if p < 0 then
                 (* roots: pretend a parent colored differently *)
@@ -98,7 +99,7 @@ let solve inst =
          color in {0,1,2} different from their own old color (their
          children now all wear that old color) *)
       let shifted =
-        Array.init n (fun v ->
+        Pool.tabulate n (fun v ->
             let p = parent.(i).(v) in
             if p >= 0 then color.(p)
             else if color.(v) = 0 then 1
@@ -109,7 +110,7 @@ let solve inst =
       (* recolor class x: avoid parent's color and the (single) color all
          children share after the shift *)
       let next =
-        Array.init n (fun v ->
+        Pool.tabulate n (fun v ->
             if color.(v) <> x then color.(v)
             else begin
               let avoid1 =
@@ -138,7 +139,7 @@ let solve inst =
     pow3.(i) <- 3 * pow3.(i - 1)
   done;
   let color =
-    Array.init n (fun v ->
+    Pool.tabulate n (fun v ->
         let c = ref 0 in
         for i = 0 to delta - 1 do
           c := !c + (forest_color.(i).(v) * pow3.(i))
@@ -147,9 +148,11 @@ let solve inst =
   in
   (* sanity: combined coloring is proper because every edge is in some
      forest, where its two endpoints got different 3-colors *)
+  (* each greedy step reads only the previous round's colors, so the
+     per-node recoloring runs on the pool *)
   for cls = pow3.(delta) - 1 downto delta + 1 do
     let next =
-      Array.init n (fun v ->
+      Pool.tabulate n (fun v ->
           if color.(v) <> cls then color.(v)
           else begin
             let used = Array.make (delta + 1) false in

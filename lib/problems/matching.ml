@@ -3,6 +3,7 @@ module Labeling = Repro_lcl.Labeling
 module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
 
 type output = (bool, bool, unit) Labeling.t
 
@@ -64,17 +65,29 @@ let solve inst =
   let palette = delta * (delta + 2) * delta * (delta + 2) in
   let matched = Array.make (G.m g) false in
   let node_matched = Array.make (G.n g) false in
+  (* color every edge once (the old sweep recomputed edge_color for all m
+     edges in each of the palette classes), bucket by class, then run one
+     parallel step per class: same-class edges never share an endpoint
+     (the edge coloring is proper), so each edge reads and writes only
+     endpoints no other edge of its class touches *)
+  let edge_class = Pool.tabulate (G.m g) edge_color in
+  let bucket = Array.make palette [] in
+  for e = G.m g - 1 downto 0 do
+    bucket.(edge_class.(e)) <- e :: bucket.(edge_class.(e))
+  done;
   for cls = 0 to palette - 1 do
-    G.iter_edges g ~f:(fun e u v ->
-        if
-          edge_color e = cls
-          && (not node_matched.(u))
-          && not node_matched.(v)
-        then begin
-          matched.(e) <- true;
-          node_matched.(u) <- true;
-          node_matched.(v) <- true
-        end)
+    match bucket.(cls) with
+    | [] -> ()
+    | edges ->
+      let edges = Array.of_list edges in
+      Pool.parallel_for ~n:(Array.length edges) (fun i ->
+          let e = edges.(i) in
+          let u, v = G.endpoints g e in
+          if (not node_matched.(u)) && not node_matched.(v) then begin
+            matched.(e) <- true;
+            node_matched.(u) <- true;
+            node_matched.(v) <- true
+          end)
   done;
   (* the sweep is one round per palette class *)
   Meter.charge_all meter (Meter.max_radius meter + palette);

@@ -3,6 +3,7 @@ module Labeling = Repro_lcl.Labeling
 module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
 
 type half_out = { mine : bool; claim : bool }
 type output = (bool, unit, half_out) Labeling.t
@@ -43,13 +44,18 @@ let solve inst =
   let delta = max 1 (G.max_degree g) in
   let members = Array.make n false in
   let blocked = Array.make n false in
+  (* one parallel step per color class: two nodes of the same class are
+     never adjacent (the coloring is proper), so within a class no node's
+     [blocked] flag is read while it is written — a class member's flag
+     could only be set by an adjacent member of the same class. Writes to
+     a shared non-member neighbour all store [true] (idempotent), so any
+     pool size produces the same set. *)
   for cls = 0 to delta do
-    for v = 0 to n - 1 do
-      if coloring.Labeling.v.(v) = cls && not blocked.(v) then begin
-        members.(v) <- true;
-        List.iter (fun w -> blocked.(w) <- true) (G.neighbors g v)
-      end
-    done
+    Pool.parallel_for ~n (fun v ->
+        if coloring.Labeling.v.(v) = cls && not blocked.(v) then begin
+          members.(v) <- true;
+          List.iter (fun w -> blocked.(w) <- true) (G.neighbors g v)
+        end)
   done;
   Meter.charge_all meter (Meter.max_radius meter + delta + 1);
   (of_members g members, meter)

@@ -5,6 +5,7 @@ module Labeling = Repro_lcl.Labeling
 module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
 module Randomness = Repro_local.Randomness
 
 type orientation = Out | In
@@ -189,12 +190,10 @@ let solve_deterministic inst =
   let ids = inst.Instance.ids in
   let n = G.n g in
   let out = Labeling.const g ~v:() ~e:() ~b:In in
-  (* default: side 0 out, side 1 in *)
-  for e = 0 to G.m g - 1 do
-    out.e.(e) <- ();
-    out.b.(2 * e) <- Out;
-    out.b.((2 * e) + 1) <- In
-  done;
+  (* default: side 0 out, side 1 in (each edge owns its two halves) *)
+  Pool.parallel_for ~n:(G.m g) (fun e ->
+      out.b.(2 * e) <- Out;
+      out.b.((2 * e) + 1) <- In);
   let meter = Meter.create n in
   let comp, ncomp = T.components g in
   (* edges per component *)
@@ -326,10 +325,9 @@ let solve_deterministic inst =
       end
   done;
   (* charges for the cyclic region *)
-  for v = 0 to n - 1 do
-    if dist_x.(v) >= 0 then
-      Meter.charge meter v (dist_x.(v) + class_charge.(src_x.(v)))
-  done;
+  Pool.parallel_for ~n (fun v ->
+      if dist_x.(v) >= 0 then
+        Meter.charge meter v (dist_x.(v) + class_charge.(src_x.(v))));
   (out, meter)
 
 (* ------------------------------------------------------------------ *)
@@ -344,26 +342,26 @@ let solve_randomized inst =
   let out = Labeling.const g ~v:() ~e:() ~b:In in
   let meter = Meter.create n in
   (* random initial orientation: the side-0 node flips a private coin
-     indexed by the port the edge occupies at it *)
-  for e = 0 to G.m g - 1 do
-    let h = 2 * e in
-    let node = G.half_node g h in
-    let port = G.half_port g h in
-    if Randomness.bit rand ~node ~idx:port then begin
-      out.b.(h) <- Out;
-      out.b.(G.mate h) <- In
-    end
-    else begin
-      out.b.(h) <- In;
-      out.b.(G.mate h) <- Out
-    end
-  done;
+     indexed by the port the edge occupies at it (per-node randomness is
+     seed-indexed, so the flips are schedule-oblivious) *)
+  Pool.parallel_for ~n:(G.m g) (fun e ->
+      let h = 2 * e in
+      let node = G.half_node g h in
+      let port = G.half_port g h in
+      if Randomness.bit rand ~node ~idx:port then begin
+        out.b.(h) <- Out;
+        out.b.(G.mate h) <- In
+      end
+      else begin
+        out.b.(h) <- In;
+        out.b.(G.mate h) <- Out
+      end);
   Meter.charge_all meter 1;
   let out_deg = Array.make n 0 in
-  for h = 0 to (2 * G.m g) - 1 do
-    if out.b.(h) = Out then
-      out_deg.(G.half_node g h) <- out_deg.(G.half_node g h) + 1
-  done;
+  Pool.parallel_for ~n (fun v ->
+      let d = ref 0 in
+      Array.iter (fun h -> if out.b.(h) = Out then incr d) (G.halves g v);
+      out_deg.(v) <- !d);
   let is_sink v = G.degree g v >= 3 && out_deg.(v) = 0 in
   let sinks =
     List.sort

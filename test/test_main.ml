@@ -14,4 +14,5 @@ let () =
       ("family", Test_family.suite);
       ("experiments", Test_experiments.suite);
       ("invariants", Test_invariants.suite);
+      ("parallel", Test_parallel.suite);
     ]

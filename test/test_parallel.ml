@@ -1,0 +1,238 @@
+(* Determinism suite for the multicore execution layer: every solver and
+   engine entry point must produce bit-identical results for every pool
+   size (the Pool determinism contract), plus chunking edge cases and
+   pool mechanics. *)
+
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Pool = Repro_local.Pool
+module Instance = Repro_local.Instance
+module MP = Repro_local.Message_passing
+module DC = Repro_lcl.Distributed_check
+module SO = Repro_problems.Sinkless_orientation
+module Coloring = Repro_problems.Coloring
+module Mis = Repro_problems.Mis
+module Matching = Repro_problems.Matching
+module GB = Repro_gadget.Build
+module GL = Repro_gadget.Labels
+module Corrupt = Repro_gadget.Corrupt
+module V = Repro_gadget.Verifier
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let sizes = [ 2; 4 ]
+
+(* run [compute] sequentially, then at 2 and 4 domains, and require
+   structural equality of the results; always restores size 1 *)
+let across_sizes name compute =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 1;
+      let base = compute () in
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          check (Printf.sprintf "%s: %d domains = sequential" name s) true
+            (base = compute ()))
+        sizes)
+
+(* ------------------------------------------------------------------ *)
+(* pool mechanics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_parallel_for_covers () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          (* n = 0, n < domain count, n < cutoff, chunk boundaries *)
+          List.iter
+            (fun n ->
+              let hits = Array.make (max n 1) 0 in
+              Pool.parallel_for ~n (fun i -> hits.(i) <- hits.(i) + 1);
+              for i = 0 to n - 1 do
+                check_int (Printf.sprintf "size %d n %d hit %d" s n i) 1
+                  hits.(i)
+              done)
+            [ 0; 1; 2; 3; 15; 16; 17; 100; 1000 ])
+        (1 :: sizes))
+
+let test_chunk_edge_cases () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 4;
+      (* one chunk larger than the range: workers find nothing to steal *)
+      let hits = Array.make 20 0 in
+      Pool.parallel_for ~chunk:64 ~n:20 (fun i -> hits.(i) <- hits.(i) + 1);
+      check "chunk > n covers" true (Array.for_all (fun c -> c = 1) hits);
+      (* chunk of 1: more chunks than domains *)
+      let hits = Array.make 33 0 in
+      Pool.parallel_for ~chunk:1 ~n:33 (fun i -> hits.(i) <- hits.(i) + 1);
+      check "chunk = 1 covers" true (Array.for_all (fun c -> c = 1) hits);
+      (* n smaller than the domain count *)
+      let hits = Array.make 2 0 in
+      Pool.parallel_for ~chunk:1 ~n:2 (fun i -> hits.(i) <- hits.(i) + 1);
+      check "n < domains covers" true (Array.for_all (fun c -> c = 1) hits))
+
+let test_reduce () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          List.iter
+            (fun n ->
+              let sum =
+                Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + )
+                  (fun i -> i)
+              in
+              check_int (Printf.sprintf "sum size %d n %d" s n)
+                (n * (n - 1) / 2)
+                sum;
+              let mx =
+                Pool.parallel_for_reduce ~n ~neutral:min_int ~combine:max
+                  (fun i -> (i * 7919) mod 1009)
+              in
+              let seq_mx = ref min_int in
+              for i = 0 to n - 1 do
+                seq_mx := max !seq_mx ((i * 7919) mod 1009)
+              done;
+              check_int (Printf.sprintf "max size %d n %d" s n) !seq_mx mx)
+            [ 0; 1; 7; 64; 1000 ])
+        (1 :: sizes))
+
+let test_tabulate () =
+  across_sizes "tabulate" (fun () ->
+      Pool.tabulate 777 (fun i -> (i * i) - (3 * i)))
+
+let test_exception_propagates () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 4;
+      check "body exception reraised" true
+        (try
+           Pool.parallel_for ~n:1000 (fun i ->
+               if i = 500 then failwith "boom");
+           false
+         with Failure m -> m = "boom");
+      (* the pool survives a failed job *)
+      let sum =
+        Pool.parallel_for_reduce ~n:100 ~neutral:0 ~combine:( + ) (fun i -> i)
+      in
+      check_int "pool usable after failure" 4950 sum)
+
+let test_nested_falls_back () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 2;
+      let hits = Array.make 4096 0 in
+      Pool.parallel_for ~n:64 (fun i ->
+          (* a loop issued from inside a running body must degrade to a
+             sequential loop, not deadlock *)
+          Pool.parallel_for ~n:64 (fun j ->
+              let k = (64 * i) + j in
+              hits.(k) <- hits.(k) + 1));
+      check "nested loops cover" true (Array.for_all (fun c -> c = 1) hits))
+
+(* ------------------------------------------------------------------ *)
+(* engine and solver equality                                         *)
+(* ------------------------------------------------------------------ *)
+
+let so_instance ?(n = 120) ?(seed = 3) () =
+  let rng = Random.State.make [| 41 + n + seed |] in
+  Instance.create ~seed (SO.hard_instance rng ~n)
+
+let test_message_passing_equal () =
+  (* id-flooding eccentricity: states are lists, exercises send/receive *)
+  let ecc : (int list * int, int list, int) MP.algorithm =
+    {
+      MP.init = (fun inst v -> ([ Instance.id inst v ], 0));
+      send = (fun (known, _) ~round:_ ~port:_ -> known);
+      receive =
+        (fun (known, stable) ~round:_ msgs ->
+          let fresh =
+            Array.fold_left
+              (fun acc l ->
+                List.filter (fun x -> not (List.mem x known)) l @ acc)
+              [] msgs
+            |> List.sort_uniq compare
+          in
+          if fresh = [] then Either.Right stable
+          else Either.Left (fresh @ known, stable + 1));
+    }
+  in
+  across_sizes "mp ecc" (fun () ->
+      let r = MP.run (so_instance ~n:60 ()) ecc in
+      (r.MP.outputs, r.MP.rounds, r.MP.max_rounds))
+
+let test_flood_gather_equal () =
+  across_sizes "flood_gather" (fun () ->
+      MP.flood_gather (so_instance ~n:60 ()) ~radius:4 (fun v -> v))
+
+let test_so_deterministic_equal () =
+  across_sizes "so det" (fun () -> SO.solve_deterministic (so_instance ()))
+
+let test_so_randomized_equal () =
+  across_sizes "so rand" (fun () -> SO.solve_randomized (so_instance ()))
+
+let mixed_graph () =
+  let rng = Random.State.make [| 97 |] in
+  Gen.random_simple_regular rng ~n:90 ~d:4
+
+let test_coloring_equal () =
+  across_sizes "coloring" (fun () ->
+      Coloring.solve (Instance.create (mixed_graph ())))
+
+let test_mis_equal () =
+  across_sizes "mis" (fun () -> Mis.solve (Instance.create (mixed_graph ())))
+
+let test_matching_equal () =
+  across_sizes "matching" (fun () ->
+      Matching.solve (Instance.create (mixed_graph ())))
+
+let test_verifier_equal () =
+  let delta = 3 in
+  let valid = GB.gadget ~delta ~height:5 in
+  let rng = Random.State.make [| 13 |] in
+  let corrupted, _ = Corrupt.random rng valid in
+  List.iter
+    (fun (label, gadget) ->
+      across_sizes
+        (Printf.sprintf "verifier %s" label)
+        (fun () ->
+          V.run ~delta ~n:(G.n gadget.GL.graph) gadget))
+    [ ("valid", valid); ("corrupted", corrupted) ]
+
+let test_distributed_check_equal () =
+  let inst = so_instance ~n:100 () in
+  let g = inst.Instance.graph in
+  let out, _ = SO.solve_deterministic inst in
+  across_sizes "distributed check" (fun () ->
+      let v = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
+      (v.DC.accepts, v.DC.all_accept, v.DC.rounds))
+
+let suite =
+  [
+    ("parallel_for covers every index once", `Quick, test_parallel_for_covers);
+    ("chunking edge cases", `Quick, test_chunk_edge_cases);
+    ("parallel_for_reduce", `Quick, test_reduce);
+    ("tabulate = Array.init", `Quick, test_tabulate);
+    ("exceptions propagate, pool survives", `Quick, test_exception_propagates);
+    ("nested loops fall back", `Quick, test_nested_falls_back);
+    ("engine: outputs/rounds equal", `Quick, test_message_passing_equal);
+    ("engine: flood_gather equal", `Quick, test_flood_gather_equal);
+    ("SO deterministic equal", `Quick, test_so_deterministic_equal);
+    ("SO randomized equal", `Quick, test_so_randomized_equal);
+    ("coloring equal", `Quick, test_coloring_equal);
+    ("MIS equal", `Quick, test_mis_equal);
+    ("matching equal", `Quick, test_matching_equal);
+    ("gadget verifier equal", `Quick, test_verifier_equal);
+    ("distributed checker equal", `Quick, test_distributed_check_equal);
+  ]
