@@ -1,0 +1,76 @@
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/1
+   schema. CI's bench-smoke job (and the runtest smoke rule) runs this
+   right after `main.exe --json --quick`, so a malformed bench file fails
+   the pipeline instead of silently corrupting the perf trajectory.
+
+   Usage: check_bench.exe [FILE]   (default: BENCH_parallel.json) *)
+
+module J = Repro_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let get name j = match J.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_int name j = match J.to_int (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not an integer" name
+
+let as_bool name j = match J.to_bool (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a boolean" name
+
+let as_str name j = match J.to_str (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a string" name
+
+(* seq/par estimates and speedup may be null (bechamel yielded no
+   estimate); anything else must be a number *)
+let check_num_or_null ~ctx name j =
+  match get name j with
+  | J.Null -> ()
+  | v -> (
+    match J.to_float v with
+    | Some _ -> ()
+    | None -> fail "%s: field %S is neither a number nor null" ctx name)
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" file e
+  in
+  let j = match J.of_string contents with
+    | Ok j -> j
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  let schema = as_str "schema" j in
+  if schema <> "repro-bench-parallel/1" then
+    fail "unexpected schema %S (want repro-bench-parallel/1)" schema;
+  let domains = as_int "domains" j in
+  if domains < 1 then fail "domains = %d, want >= 1" domains;
+  let cores = as_int "cores" j in
+  if cores < 1 then fail "cores = %d, want >= 1" cores;
+  ignore (as_bool "quick" j);
+  let results = match J.to_list (get "results" j) with
+    | Some l -> l
+    | None -> fail "field \"results\" is not an array"
+  in
+  if results = [] then fail "empty \"results\" array";
+  let seen = Hashtbl.create 16 in
+  List.iteri
+    (fun i r ->
+      let ctx = Printf.sprintf "results[%d]" i in
+      let name = as_str "name" r in
+      if name = "" then fail "%s: empty case name" ctx;
+      if Hashtbl.mem seen name then fail "%s: duplicate case name %S" ctx name;
+      Hashtbl.replace seen name ();
+      let n = as_int "n" r in
+      if n <= 0 then fail "%s (%s): n = %d, want > 0" ctx name n;
+      check_num_or_null ~ctx "seq_ns_per_run" r;
+      check_num_or_null ~ctx "par_ns_per_run" r;
+      check_num_or_null ~ctx "speedup" r)
+    results;
+  Printf.printf "%s: ok (%d cases, domains=%d, cores=%d)\n" file
+    (List.length results) domains cores

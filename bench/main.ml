@@ -27,6 +27,8 @@ module Spec = Core.Padding.Spec
 module Pi = Core.Padding.Pi_prime
 module PG = Core.Padding.Padded_graph
 module H = Core.Padding.Hierarchy
+module DC = Core.Lcl.Distributed_check
+module Obs = Core.Obs
 module Runs = Repro_experiments.Runs
 
 let section name =
@@ -49,6 +51,10 @@ let cases ~quick () =
   let base_target, gadget_target = if quick then (10, 20) else (30, 60) in
   let pg, pinp = Pi.hard_instance_parts so rng ~base_target ~gadget_target in
   let pinst = Instance.create pg.PG.padded in
+  (* a fixed valid output for the distributed-checker cases, computed once
+     so the benchmark measures only the one-round engine run *)
+  let so_out, _ = SO.solve_deterministic inst3k in
+  let so_inp = SO.trivial_input g3k in
   [
     {
       name = "ball-gather-r10-3k";
@@ -84,6 +90,26 @@ let cases ~quick () =
       name = "pi2-solve-det";
       n = G.n pg.PG.padded;
       run = (fun () -> ignore (so'.Spec.solve_det pinst pinp));
+    };
+    (* the telemetry overhead pair: the same one-round engine workload
+       with the registry disabled (the gated fast path — this is the
+       overhead-when-disabled measurement) and with a live trace *)
+    {
+      name = "dcheck-so-3k";
+      n = n_so;
+      run =
+        (fun () ->
+          ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out));
+    };
+    {
+      name = "dcheck-so-3k-traced";
+      n = n_so;
+      run =
+        (fun () ->
+          Obs.Trace.start ();
+          ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out);
+          ignore (Obs.Trace.finish ());
+          Obs.Registry.disable ());
     };
   ]
 

@@ -22,6 +22,9 @@ module Psi = Core.Gadget.Psi
 module Spec = Core.Padding.Spec
 module ND = Core.Problems.Network_decomposition
 
+module Obs = Core.Obs
+module DC = Core.Lcl.Distributed_check
+
 open Cmdliner
 
 (* ------------------------------------------------------------------ *)
@@ -29,8 +32,40 @@ open Cmdliner
 let seed_arg =
   Arg.(value & opt int 1 & info [ "s"; "seed" ] ~docv:"SEED" ~doc:"Random seed.")
 
+(* telemetry flags, shared by every subcommand: --trace FILE records a
+   JSONL trace of the run (schema: DESIGN.md §9), --stats prints the
+   counter/histogram summary afterwards *)
+let obs_args =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:"Write a JSONL telemetry trace of the run to $(docv).")
+  in
+  let stats =
+    Arg.(
+      value & flag
+      & info [ "stats" ] ~doc:"Print the telemetry summary after the run.")
+  in
+  Term.(const (fun t s -> (t, s)) $ trace $ stats)
+
+let with_obs ~label (trace, stats) f =
+  if stats || trace <> None then Obs.Registry.enable ();
+  if trace <> None then Obs.Trace.start ~label ();
+  let result = f () in
+  (match trace with
+  | Some file ->
+    let events = Obs.Trace.finish () in
+    Obs.Trace.write_jsonl file events;
+    Printf.printf "wrote %s (%d events)\n" file (List.length events)
+  | None -> ());
+  if stats then Format.printf "%a@." Obs.Summary.pp ();
+  result
+
 let landscape_cmd =
-  let run sizes =
+  let run sizes obs =
+    with_obs ~label:"landscape" obs @@ fun () ->
     Printf.printf "%-26s" "problem";
     List.iter (fun n -> Printf.printf "%9d" n) sizes;
     print_newline ();
@@ -73,10 +108,11 @@ let landscape_cmd =
   in
   Cmd.v
     (Cmd.info "landscape" ~doc:"Measured Figure-1 landscape rows.")
-    Term.(const run $ sizes)
+    Term.(const run $ sizes $ obs_args)
 
 let hierarchy_cmd =
-  let run level target seed =
+  let run level target seed obs =
+    with_obs ~label:"hierarchy" obs @@ fun () ->
     let stats = Spec.run_hard (Core.pi level) ~seed ~target in
     Printf.printf "problem:        %s\n" (Spec.packed_name (Core.pi level));
     Printf.printf "instance size:  %d\n" stats.Spec.n;
@@ -96,7 +132,7 @@ let hierarchy_cmd =
   in
   Cmd.v
     (Cmd.info "hierarchy" ~doc:"Run Π^i on a hard instance (Theorem 11).")
-    Term.(const run $ level $ target $ seed_arg)
+    Term.(const run $ level $ target $ seed_arg $ obs_args)
 
 let corrupt_conv =
   let parse s =
@@ -115,7 +151,8 @@ let corrupt_conv =
   Arg.conv (parse, print)
 
 let gadget_cmd =
-  let run height delta corrupt dot seed =
+  let run height delta corrupt dot seed obs =
+    with_obs ~label:"gadget" obs @@ fun () ->
     let t = GB.gadget ~delta ~height in
     let t =
       match corrupt with
@@ -172,28 +209,37 @@ let gadget_cmd =
   in
   Cmd.v
     (Cmd.info "gadget" ~doc:"Build, check and prove a (log,Δ)-gadget.")
-    Term.(const run $ height $ delta $ corrupt $ dot $ seed_arg)
+    Term.(const run $ height $ delta $ corrupt $ dot $ seed_arg $ obs_args)
 
 let solve_so_cmd =
-  let run n seed =
+  let run n seed obs =
+    with_obs ~label:"solve-so" obs @@ fun () ->
     let rng = Random.State.make [| seed |] in
     let g = SO.hard_instance rng ~n in
     let inst = Instance.create ~seed g in
     let out_d, m_d = SO.solve_deterministic inst in
     let out_r, m_r = SO.solve_randomized inst in
+    (* validity via the distributed one-round checker — the LOCAL-model
+       reading of "the output is locally checkable", and the reason a
+       --trace of this command contains message_passing round events *)
+    let dc out =
+      (DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out)
+        .DC.all_accept
+    in
     Printf.printf "n=%d (3-regular)\n" (G.n g);
-    Printf.printf "deterministic: valid=%b rounds=%d\n" (SO.is_valid g out_d)
+    Printf.printf "deterministic: valid=%b rounds=%d\n" (dc out_d)
       (Meter.max_radius m_d);
-    Printf.printf "randomized:    valid=%b rounds=%d\n" (SO.is_valid g out_r)
+    Printf.printf "randomized:    valid=%b rounds=%d\n" (dc out_r)
       (Meter.max_radius m_r)
   in
   let n = Arg.(value & opt int 10000 & info [ "n" ] ~docv:"N" ~doc:"Nodes.") in
   Cmd.v
     (Cmd.info "solve-so" ~doc:"Sinkless orientation, both solvers.")
-    Term.(const run $ n $ seed_arg)
+    Term.(const run $ n $ seed_arg $ obs_args)
 
 let decompose_cmd =
-  let run n p seed =
+  let run n p seed obs =
+    with_obs ~label:"decompose" obs @@ fun () ->
     let rng = Random.State.make [| seed |] in
     let g = Gen.random_regular rng ~n ~d:3 in
     let inst = Instance.create ~seed g in
@@ -211,7 +257,7 @@ let decompose_cmd =
   in
   Cmd.v
     (Cmd.info "decompose" ~doc:"(C,D) network decompositions (the open question).")
-    Term.(const run $ n $ p $ seed_arg)
+    Term.(const run $ n $ p $ seed_arg $ obs_args)
 
 let experiment_cmd =
   let module Runs = Repro_experiments.Runs in

@@ -5,7 +5,8 @@
     - {!Lcl}: the node-edge-checkable LCL formalism.
     - {!Problems}: sinkless orientation, coloring, MIS — the landscape.
     - {!Gadget}: the (log, Δ)-gadget family of Section 4.
-    - {!Padding}: padded LCLs (Section 3) and the Π^i hierarchy (Section 5). *)
+    - {!Padding}: padded LCLs (Section 3) and the Π^i hierarchy (Section 5).
+    - {!Obs}: round-level telemetry — counters, histograms, JSONL traces. *)
 
 module Graph = Repro_graph
 module Local = Repro_local
@@ -13,6 +14,7 @@ module Lcl = Repro_lcl
 module Problems = Repro_problems
 module Gadget = Repro_gadget
 module Padding = Repro_padding
+module Obs = Repro_obs
 
 (** [pi i] is the LCL Π^i of Theorem 11: deterministic complexity
     [Θ(log^i n)], randomized [Θ(log^{i-1} n · log log n)]. *)

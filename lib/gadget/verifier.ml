@@ -2,7 +2,16 @@ module G = Repro_graph.Multigraph
 module T = Repro_graph.Traversal
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
+module Obs = Repro_obs
 open Labels
+
+(* per-node verdict tallies bumped from the hot parallel loop: atomic
+   adds, and the verdict multiset is pool-size-independent, so the
+   totals are too *)
+let m_runs = Obs.Registry.counter "gadget.verifier.runs"
+let m_err = Obs.Registry.counter "gadget.verifier.error_nodes"
+let m_ok = Obs.Registry.counter "gadget.verifier.ok_nodes"
+let m_ptr = Obs.Registry.counter "gadget.verifier.pointer_nodes"
 
 let proof_radius ~n =
   let rec log2_ceil x acc = if x <= 1 then acc else log2_ceil ((x + 1) / 2) (acc + 1) in
@@ -87,6 +96,7 @@ let pointer_for t err u ~cap : Psi.pointer =
     else Psi.PUp
 
 let run ~delta ~n (t : Labels.t) =
+  Obs.Counter.incr m_runs;
   let g = t.graph in
   let size = G.n g in
   let radius = proof_radius ~n in
@@ -142,14 +152,17 @@ let run ~delta ~n (t : Labels.t) =
   Pool.parallel_for ~n:size (fun u ->
       if err.(u) then begin
         out.(u) <- Psi.Error;
+        Obs.Counter.incr m_err;
         Meter.charge meter u 2
       end
       else if dist_err.(u) > radius then begin
         out.(u) <- Psi.Ok;
+        Obs.Counter.incr m_ok;
         Meter.charge meter u (min radius ecc_est.(u))
       end
       else begin
         out.(u) <- Psi.Ptr (pointer_for t err u ~cap);
+        Obs.Counter.incr m_ptr;
         Meter.charge meter u (min radius ecc_est.(u))
       end);
   (out, meter)

@@ -6,6 +6,10 @@
 
 module G = Repro_graph.Multigraph
 module MP = Repro_local.Message_passing
+module Obs = Repro_obs
+
+let m_runs = Obs.Registry.counter "lcl.dcheck.runs"
+let m_rejects = Obs.Registry.counter "lcl.dcheck.rejecting_nodes"
 
 type verdict = {
   accepts : bool array;
@@ -69,6 +73,10 @@ let run p inst ~input ~output =
     }
   in
   let result = MP.run inst alg in
+  Obs.Counter.incr m_runs;
+  if Obs.Registry.enabled () then
+    Obs.Counter.add m_rejects
+      (Array.fold_left (fun a ok -> if ok then a else a + 1) 0 result.MP.outputs);
   {
     accepts = result.MP.outputs;
     all_accept = Array.for_all (fun x -> x) result.MP.outputs;

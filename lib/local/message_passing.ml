@@ -1,4 +1,33 @@
 module G = Repro_graph.Multigraph
+module Obs = Repro_obs
+
+(* engine telemetry; every update below is a no-op while the registry is
+   disabled. Round events additionally need the trace recorder active.
+   The rng/pool metrics are shared-by-name with Randomness and Pool, so
+   the engine can report per-round deltas of counters it does not own. *)
+let m_runs = Obs.Registry.counter "local.mp.runs"
+let m_rounds = Obs.Registry.counter "local.mp.rounds"
+let m_messages = Obs.Registry.counter "local.mp.messages"
+let m_bytes = Obs.Registry.counter "local.mp.payload_bytes"
+let m_flood_runs = Obs.Registry.counter "local.flood.runs"
+let m_flood_rounds = Obs.Registry.counter "local.flood.rounds"
+let m_flood_messages = Obs.Registry.counter "local.flood.messages"
+let m_flood_bytes = Obs.Registry.counter "local.flood.payload_bytes"
+let m_rng = Obs.Registry.counter "local.rng.draws"
+let m_chunks = Obs.Registry.counter "local.pool.chunks"
+let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
+
+(* transmitted size of a payload: its reachable heap words, as bytes.
+   Deterministic for structurally equal values, so safe to record under
+   the seq-vs-par telemetry contract. *)
+let payload_bytes (v : 'a) =
+  Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+(* snapshot of the delta-reported counters, taken at round boundaries *)
+let obs_marks () =
+  ( Obs.Counter.value m_rng,
+    Obs.Counter.value m_chunks,
+    Obs.Counter.value m_chunk_ns )
 
 type ('state, 'msg, 'out) algorithm = {
   init : Instance.t -> int -> 'state;
@@ -37,16 +66,47 @@ let run ?limit inst alg =
      messages simply stay in place (last-message-repeated, see the .mli),
      so slots written in round 0 remain valid forever. *)
   let mail = Array.make (2 * G.m g) None in
+  Obs.Counter.incr m_runs;
   (* round 0 gives nodes a chance to halt without communicating *)
   let round = ref 0 in
   let deliver () =
     let r = !round in
+    let traced = Obs.Trace.active () in
+    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
     Pool.parallel_for ~n (fun v ->
         if not halted.(v) then
           Array.iteri
             (fun p h ->
               mail.(G.mate h) <- Some (alg.send states.(v) ~round:r ~port:p))
             (G.halves g v));
+    (* round accounting, taken between the two phases: the active set is
+       exactly the pre-receive [halted] complement, and each active node
+       sends one message per port and reads one message per port, so the
+       messages sent this round equal the mailbox sizes summed over
+       active receivers. Runs on the main domain while the workers are
+       parked; skipped entirely (down to one branch) when disabled. *)
+    let msgs = ref 0 and receivers = ref 0 in
+    let mbox_max = ref 0 and bytes = ref 0 in
+    if Obs.Registry.enabled () then begin
+      for v = 0 to n - 1 do
+        if not halted.(v) then begin
+          let halves = G.halves g v in
+          let d = Array.length halves in
+          msgs := !msgs + d;
+          incr receivers;
+          if d > !mbox_max then mbox_max := d;
+          Array.iter
+            (fun h ->
+              match mail.(G.mate h) with
+              | Some msg -> bytes := !bytes + payload_bytes msg
+              | None -> ())
+            halves
+        end
+      done;
+      Obs.Counter.incr m_rounds;
+      Obs.Counter.add m_messages !msgs;
+      Obs.Counter.add m_bytes !bytes
+    end;
     let newly_halted =
       Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
           if halted.(v) then 0
@@ -70,7 +130,25 @@ let run ?limit inst alg =
               1
           end)
     in
-    remaining := !remaining - newly_halted
+    remaining := !remaining - newly_halted;
+    (* the trace event closes after the receive phase so its rng/chunk
+       deltas cover the whole round, both phases included *)
+    if traced then begin
+      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      Obs.Trace.emit
+        (Obs.Trace.Round
+           {
+             engine = "message_passing";
+             round = r;
+             messages = !msgs;
+             payload_bytes = !bytes;
+             mailbox_max = !mbox_max;
+             mailbox_mean = float_of_int !msgs /. float_of_int (max 1 !receivers);
+             rng_draws = rng1 - rng0;
+             chunks = chunks1 - chunks0;
+             chunk_ns = chunk_ns1 - chunk_ns0;
+           })
+    end
   in
   while !remaining > 0 && !round < limit do
     deliver ();
@@ -91,14 +169,32 @@ let run ?limit inst alg =
 let flood_gather inst ~radius payload =
   let g = inst.Instance.graph in
   let n = G.n g in
+  Obs.Counter.incr m_flood_runs;
   let known = Array.init n (fun _ -> Hashtbl.create 8) in
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
   Pool.parallel_for ~n (fun v -> Hashtbl.replace known.(v) (payload v) ());
   let outgoing = Array.make n [] in
   for r = 0 to radius - 1 do
+    let traced = Obs.Trace.active () in
+    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
     (* snapshot: everyone sends its current knowledge *)
     Pool.parallel_for ~n (fun v ->
         outgoing.(v) <- Hashtbl.fold (fun p () acc -> p :: acc) known.(v) []);
+    (* round accounting between snapshot and pull: in message terms node
+       [v] sends its snapshot once per incident half, so every node's
+       mailbox holds one message per port — degree-shaped, every round *)
+    let msgs = ref 0 and mbox_max = ref 0 and bytes = ref 0 in
+    if Obs.Registry.enabled () then begin
+      for v = 0 to n - 1 do
+        let d = Array.length (G.halves g v) in
+        msgs := !msgs + d;
+        if d > !mbox_max then mbox_max := d;
+        if d > 0 then bytes := !bytes + (d * payload_bytes outgoing.(v))
+      done;
+      Obs.Counter.incr m_flood_rounds;
+      Obs.Counter.add m_flood_messages !msgs;
+      Obs.Counter.add m_flood_bytes !bytes
+    end;
     Pool.parallel_for ~n (fun w ->
         Array.iter
           (fun h ->
@@ -110,6 +206,22 @@ let flood_gather inst ~radius payload =
                   by_round.(w).(r) <- p :: by_round.(w).(r)
                 end)
               outgoing.(v))
-          (G.halves g w))
+          (G.halves g w));
+    if traced then begin
+      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      Obs.Trace.emit
+        (Obs.Trace.Round
+           {
+             engine = "flood_gather";
+             round = r;
+             messages = !msgs;
+             payload_bytes = !bytes;
+             mailbox_max = !mbox_max;
+             mailbox_mean = float_of_int !msgs /. float_of_int (max 1 n);
+             rng_draws = rng1 - rng0;
+             chunks = chunks1 - chunks0;
+             chunk_ns = chunk_ns1 - chunk_ns0;
+           })
+    end
   done;
   by_round

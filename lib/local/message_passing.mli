@@ -34,7 +34,17 @@
     Both phases of a round run as {!Pool.parallel_for} loops over nodes
     (the LOCAL model is embarrassingly parallel by definition); results
     are bit-identical for every pool size, see the determinism contract
-    in {!Pool} and the equality suite in [test/test_parallel.ml]. *)
+    in {!Pool} and the equality suite in [test/test_parallel.ml].
+
+    {2 Telemetry}
+
+    When the {!Repro_obs.Registry} is enabled, both [run] and
+    [flood_gather] maintain the [local.mp.*] / [local.flood.*] counters
+    (rounds, messages, payload bytes), and when a {!Repro_obs.Trace} is
+    recording they emit one [Round] event per round with per-round
+    message counts, mailbox statistics, RNG-draw and pool-chunk deltas
+    — the schema is documented in DESIGN.md §9. Disabled, the
+    instrumentation is a single branch per round. *)
 
 type ('state, 'msg, 'out) algorithm = {
   init : Instance.t -> int -> 'state;

@@ -16,11 +16,17 @@ let mean_radius m =
   if Array.length m = 0 then 0.0
   else float_of_int (Array.fold_left ( + ) 0 m) /. float_of_int (Array.length m)
 
+(* radii are small non-negative ints (bounded by max_radius), so a
+   counting array beats the old hashtable-and-sort: one pass to count,
+   one bounded pass to collect, no per-element allocation *)
 let histogram m =
-  let tbl = Hashtbl.create 16 in
-  Array.iter
-    (fun r ->
-      let c = try Hashtbl.find tbl r with Not_found -> 0 in
-      Hashtbl.replace tbl r (c + 1))
-    m;
-  List.sort compare (Hashtbl.fold (fun r c acc -> (r, c) :: acc) tbl [])
+  if Array.length m = 0 then []
+  else begin
+    let counts = Array.make (max_radius m + 1) 0 in
+    Array.iter (fun r -> counts.(r) <- counts.(r) + 1) m;
+    let acc = ref [] in
+    for r = Array.length counts - 1 downto 0 do
+      if counts.(r) > 0 then acc := (r, counts.(r)) :: !acc
+    done;
+    !acc
+  end

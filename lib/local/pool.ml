@@ -18,6 +18,18 @@
    completed-counter gives the happens-before edge that makes the
    workers' plain-array writes visible to the caller. *)
 
+module Obs = Repro_obs
+
+(* dispatch telemetry; all no-ops while the registry is disabled. The
+   engine reads chunk/chunk_ns deltas around each round to fill the
+   timing fields of its trace events — both are schedule-dependent and
+   excluded from the determinism contract (see Obs.Trace). *)
+let m_jobs = Obs.Registry.counter "local.pool.jobs"
+let m_seq_loops = Obs.Registry.counter "local.pool.seq_loops"
+let m_chunks = Obs.Registry.counter "local.pool.chunks"
+let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
+let m_chunk_hist = Obs.Registry.histogram "local.pool.chunk_ns.hist"
+
 type job = {
   chunks : int;
   chunk_size : int;
@@ -67,10 +79,20 @@ let run_job pool job =
   let rec claim () =
     let c = Atomic.fetch_and_add job.next 1 in
     if c < job.chunks then begin
-      (if Atomic.get job.failed = None then
-         try job.body (c * job.chunk_size)
-               (min job.total ((c * job.chunk_size) + job.chunk_size))
-         with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+      (if Atomic.get job.failed = None then begin
+         let timed = Obs.Registry.enabled () in
+         let t0 = if timed then Obs.Clock.now_ns () else 0 in
+         (try
+            job.body (c * job.chunk_size)
+              (min job.total ((c * job.chunk_size) + job.chunk_size))
+          with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+         if timed then begin
+           let dt = Obs.Clock.now_ns () - t0 in
+           Obs.Counter.incr m_chunks;
+           Obs.Counter.add m_chunk_ns dt;
+           Obs.Histogram.observe m_chunk_hist dt
+         end
+       end);
       if Atomic.fetch_and_add job.completed 1 = job.chunks - 1 then begin
         (* last chunk overall: wake the dispatcher if it is waiting *)
         Mutex.lock pool.mutex;
@@ -168,6 +190,10 @@ let chunk_layout ?chunk ~n sz =
   (chunk_size, 1 + ((n - 1) / chunk_size))
 
 let run_parallel ?chunk ~n ~make_body ~seq () =
+  let seq () =
+    Obs.Counter.incr m_seq_loops;
+    seq ()
+  in
   if n <= 0 then seq ()
   else
     let sz = size () in
@@ -188,6 +214,7 @@ let run_parallel ?chunk ~n ~make_body ~seq () =
             failed = Atomic.make None;
           }
         in
+        Obs.Counter.incr m_jobs;
         busy := true;
         Fun.protect
           ~finally:(fun () -> busy := false)

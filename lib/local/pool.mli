@@ -33,7 +33,16 @@
 
     Loops must be issued from one domain at a time (the engine's main
     domain); a [parallel_for] issued from inside a running loop body
-    degrades safely to a sequential loop rather than deadlocking. *)
+    degrades safely to a sequential loop rather than deadlocking.
+
+    {2 Telemetry}
+
+    With the {!Repro_obs.Registry} enabled, the pool counts dispatched
+    jobs, sequential fallbacks and chunks, and records per-chunk wall
+    time ([local.pool.*]). Chunk counts and times depend on the pool
+    size and schedule, so they are timing data only — excluded from the
+    determinism contract and from {!Repro_obs.Trace}'s deterministic
+    projection. *)
 
 val size : unit -> int
 (** Configured domain count: [set_size] override if any, else

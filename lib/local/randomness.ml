@@ -1,5 +1,10 @@
 type t = { seed : int64 }
 
+(* every derived draw (bit/int/float) funnels through bits64, so one
+   counter measures the total randomness consumed by a run; the draw
+   multiset is schedule-oblivious, so the count is too *)
+let m_draws = Repro_obs.Registry.counter "local.rng.draws"
+
 let create ~seed = { seed = Int64.of_int seed }
 
 (* splitmix64 finalizer *)
@@ -9,6 +14,7 @@ let mix z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let bits64 t ~node ~idx =
+  Repro_obs.Counter.incr m_draws;
   let x = Int64.add t.seed (Int64.mul (Int64.of_int node) 0x9e3779b97f4a7c15L) in
   let x = Int64.add x (Int64.mul (Int64.of_int idx) 0xd1b54a32d192ed03L) in
   mix (mix x)

@@ -1,0 +1,5 @@
+(* Wall-clock nanoseconds for chunk timing. [Unix.gettimeofday] has
+   microsecond granularity, which is plenty for telemetry (timing fields
+   are excluded from the determinism contract anyway, see Trace). *)
+
+let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)

@@ -1,0 +1,4 @@
+(** Wall-clock time for telemetry timing fields. *)
+
+val now_ns : unit -> int
+(** Nanoseconds since the epoch (microsecond granularity). *)

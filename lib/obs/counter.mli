@@ -1,0 +1,21 @@
+(** A monotonic event counter, safe to bump from any pool domain.
+
+    All mutation is gated on the global telemetry switch: while the
+    registry is disabled, {!incr} and {!add} are a load-and-branch no-op,
+    which is what keeps always-on instrumentation out of the hot paths'
+    profiles. Use {!Registry.counter} to obtain (and share) instances by
+    name; [make] is exposed for unregistered scratch counters in tests. *)
+
+type t
+
+val make : string -> t
+val name : t -> string
+
+val incr : t -> unit
+(** No-op while telemetry is disabled. *)
+
+val add : t -> int -> unit
+(** [add c k] adds [k]; no-op while telemetry is disabled. *)
+
+val value : t -> int
+val reset : t -> unit

@@ -1,0 +1,11 @@
+(* The single global on/off switch of the telemetry subsystem. Kept in
+   its own leaf module so that {!Counter} and {!Histogram} can read it
+   without depending on {!Registry} (which depends on them).
+
+   The flag is a plain [bool ref]: it is only toggled from the main
+   domain between runs, and worker domains merely read it. A stale read
+   during a toggle is benign — at worst a handful of increments from the
+   old regime land in the new one, and toggling mid-run is not part of
+   the telemetry contract (see DESIGN.md §9). *)
+
+let on = ref false

@@ -1,0 +1,4 @@
+(** Internal: the global enabled flag. Use {!Registry.enable} /
+    {!Registry.disable} instead of touching this directly. *)
+
+val on : bool ref

@@ -1,0 +1,77 @@
+(* A power-of-two-bucket histogram on atomic cells: bucket [b] (b >= 1)
+   counts observations in [2^(b-1), 2^b); bucket 0 counts values <= 0...1.
+   63 buckets cover the whole non-negative int range, so observation is
+   branch-light and allocation-free. *)
+
+type t = {
+  name : string;
+  cells : int Atomic.t array;
+  count : int Atomic.t;
+  sum : int Atomic.t;
+  max : int Atomic.t;
+}
+
+type snapshot = {
+  count : int;
+  sum : int;
+  max : int;
+  buckets : (int * int) list;
+}
+
+let n_buckets = 63
+
+let make name =
+  {
+    name;
+    cells = Array.init n_buckets (fun _ -> Atomic.make 0);
+    count = Atomic.make 0;
+    sum = Atomic.make 0;
+    max = Atomic.make 0;
+  }
+
+let name h = h.name
+
+(* index of the bucket holding [v]: the bit-length of [v] *)
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let rec bits v acc = if v = 0 then acc else bits (v lsr 1) (acc + 1) in
+    min (n_buckets - 1) (bits v 0)
+  end
+
+(* lower bound of bucket [b] *)
+let bucket_lo b = if b = 0 then 0 else 1 lsl (b - 1)
+
+let rec store_max cell v =
+  let cur = Atomic.get cell in
+  if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
+
+let observe h v =
+  if !Gate.on then begin
+    ignore (Atomic.fetch_and_add h.cells.(bucket_of v) 1);
+    ignore (Atomic.fetch_and_add h.count 1);
+    ignore (Atomic.fetch_and_add h.sum v);
+    store_max h.max v
+  end
+
+let count (h : t) = Atomic.get h.count
+let sum (h : t) = Atomic.get h.sum
+let max_value (h : t) = Atomic.get h.max
+
+let mean h =
+  let c = count h in
+  if c = 0 then 0.0 else float_of_int (sum h) /. float_of_int c
+
+let snapshot h =
+  let buckets = ref [] in
+  for b = n_buckets - 1 downto 0 do
+    let c = Atomic.get h.cells.(b) in
+    if c > 0 then buckets := (bucket_lo b, c) :: !buckets
+  done;
+  { count = count h; sum = sum h; max = max_value h; buckets = !buckets }
+
+let reset h =
+  Array.iter (fun c -> Atomic.set c 0) h.cells;
+  Atomic.set h.count 0;
+  Atomic.set h.sum 0;
+  Atomic.set h.max 0

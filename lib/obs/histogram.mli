@@ -1,0 +1,30 @@
+(** A lock-free power-of-two-bucket histogram for non-negative samples
+    (path lengths, chunk wall times, ...). Like {!Counter}, observation
+    is a no-op while telemetry is disabled and is safe from any pool
+    domain; count/sum/bucket totals are schedule-independent. *)
+
+type t
+
+type snapshot = {
+  count : int;
+  sum : int;
+  max : int;
+  buckets : (int * int) list;
+      (** [(lower_bound, count)] for each non-empty bucket, ascending;
+          bucket with lower bound [2^k] holds samples in [2^k, 2^(k+1)),
+          the bucket with lower bound 0 holds samples [<= 1]. *)
+}
+
+val make : string -> t
+val name : t -> string
+
+val observe : t -> int -> unit
+(** Record one sample; no-op while telemetry is disabled. Negative
+    samples land in the lowest bucket. *)
+
+val count : t -> int
+val sum : t -> int
+val max_value : t -> int
+val mean : t -> float
+val snapshot : t -> snapshot
+val reset : t -> unit

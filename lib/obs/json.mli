@@ -1,0 +1,31 @@
+(** A minimal self-contained JSON tree with an exact printer/parser pair
+    (integers stay integers), used for the JSONL trace format and the
+    bench schema checker. Not a general-purpose JSON library: strings
+    are expected to be ASCII/UTF-8, and numbers round-trip through
+    OCaml's [int]/[float]. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Single-line rendering (no embedded newlines — JSONL-safe). *)
+
+val of_string : string -> (t, string) result
+
+(** {2 Accessors} — all total, returning [None] on shape mismatch. *)
+
+val member : string -> t -> t option
+val to_int : t -> int option
+
+val to_float : t -> float option
+(** Accepts both [Float] and [Int]. *)
+
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

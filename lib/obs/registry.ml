@@ -1,0 +1,54 @@
+type metric = C of Counter.t | H of Histogram.t
+
+let mutex = Mutex.create ()
+let metrics : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let enable () = Gate.on := true
+let disable () = Gate.on := false
+let enabled () = !Gate.on
+
+let locked f =
+  Mutex.lock mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mutex) f
+
+let counter name =
+  locked (fun () ->
+      match Hashtbl.find_opt metrics name with
+      | Some (C c) -> c
+      | Some (H _) ->
+        invalid_arg (Printf.sprintf "Registry.counter: %S is a histogram" name)
+      | None ->
+        let c = Counter.make name in
+        Hashtbl.replace metrics name (C c);
+        c)
+
+let histogram name =
+  locked (fun () ->
+      match Hashtbl.find_opt metrics name with
+      | Some (H h) -> h
+      | Some (C _) ->
+        invalid_arg (Printf.sprintf "Registry.histogram: %S is a counter" name)
+      | None ->
+        let h = Histogram.make name in
+        Hashtbl.replace metrics name (H h);
+        h)
+
+let sorted_fold f =
+  let items = locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) metrics []) in
+  List.sort compare (List.filter_map f items)
+
+let counters () =
+  sorted_fold (function
+    | C c -> Some (Counter.name c, Counter.value c)
+    | H _ -> None)
+
+let histograms () =
+  sorted_fold (function
+    | H h -> Some (Histogram.name h, Histogram.snapshot h)
+    | C _ -> None)
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ -> function C c -> Counter.reset c | H h -> Histogram.reset h)
+        metrics)

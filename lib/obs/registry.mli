@@ -1,0 +1,35 @@
+(** The process-wide metric registry and the telemetry on/off switch.
+
+    Instrumented layers obtain their metrics here by name at module
+    initialization time; looking a name up twice returns the same
+    instance, which is how independent layers share a metric (e.g. the
+    engine reads the pool's chunk counters to compute per-round deltas).
+
+    Names are dot-separated, [layer.component.metric] — the full scheme
+    is documented in DESIGN.md §9.
+
+    While disabled (the default), every counter increment and histogram
+    observation in the codebase is a load-and-branch no-op; enabling
+    costs nothing retroactively, so a CLI flag can switch telemetry on
+    for one run without rebuilding. *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+val enabled : unit -> bool
+
+val counter : string -> Counter.t
+(** Find-or-create. @raise Invalid_argument if the name is registered as
+    a histogram. *)
+
+val histogram : string -> Histogram.t
+(** Find-or-create. @raise Invalid_argument if the name is registered as
+    a counter. *)
+
+val counters : unit -> (string * int) list
+(** All registered counters with their current values, sorted by name. *)
+
+val histograms : unit -> (string * Histogram.snapshot) list
+(** All registered histograms with their snapshots, sorted by name. *)
+
+val reset : unit -> unit
+(** Zero every registered metric (used between traced runs). *)

@@ -1,0 +1,57 @@
+(* Text rendering of the registry and of recorded traces: the --stats
+   output of bin/repro and a human-readable companion to the JSONL
+   export. *)
+
+let pp_counters fmt () =
+  let counters = List.filter (fun (_, v) -> v <> 0) (Registry.counters ()) in
+  if counters <> [] then begin
+    Format.fprintf fmt "@[<v>telemetry counters:@,";
+    let width =
+      List.fold_left (fun w (name, _) -> max w (String.length name)) 0 counters
+    in
+    List.iter
+      (fun (name, v) -> Format.fprintf fmt "  %-*s %12d@," width name v)
+      counters;
+    Format.fprintf fmt "@]"
+  end
+
+let pp_histograms fmt () =
+  let hists =
+    List.filter
+      (fun ((_, s) : string * Histogram.snapshot) -> s.count <> 0)
+      (Registry.histograms ())
+  in
+  if hists <> [] then begin
+    Format.fprintf fmt "@[<v>telemetry histograms:@,";
+    List.iter
+      (fun (name, (s : Histogram.snapshot)) ->
+        Format.fprintf fmt "  %s: count=%d sum=%d mean=%.1f max=%d@," name
+          s.count s.sum
+          (if s.count = 0 then 0.0 else float_of_int s.sum /. float_of_int s.count)
+          s.max;
+        List.iter
+          (fun (lo, c) -> Format.fprintf fmt "    >= %-12d %d@," lo c)
+          s.buckets)
+      hists;
+    Format.fprintf fmt "@]"
+  end
+
+let pp fmt () =
+  pp_counters fmt ();
+  Format.pp_print_cut fmt ();
+  pp_histograms fmt ()
+
+let pp_trace fmt evs =
+  Format.fprintf fmt "@[<v>%-16s %6s %10s %12s %6s %8s %8s %8s@," "engine"
+    "round" "messages" "bytes" "mbox" "mean" "rng" "chunks";
+  List.iter
+    (function
+      | Trace.Round r ->
+        Format.fprintf fmt "%-16s %6d %10d %12d %6d %8.1f %8d %8d@," r.engine
+          r.round r.messages r.payload_bytes r.mailbox_max r.mailbox_mean
+          r.rng_draws r.chunks
+      | Trace.Meta { label; n } ->
+        Format.fprintf fmt "meta: label=%S n=%d@," label n
+      | Trace.Counter _ -> ())
+    evs;
+  Format.fprintf fmt "@]"

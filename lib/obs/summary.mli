@@ -1,0 +1,12 @@
+(** Text rendering of telemetry: counter/histogram tables for [--stats]
+    and a per-round table for recorded traces. *)
+
+val pp : Format.formatter -> unit -> unit
+(** Registry summary: all non-zero counters and histograms. *)
+
+val pp_counters : Format.formatter -> unit -> unit
+val pp_histograms : Format.formatter -> unit -> unit
+
+val pp_trace : Format.formatter -> Trace.event list -> unit
+(** One table row per [Round] event; [Counter] events are omitted (use
+    {!pp} for those). *)

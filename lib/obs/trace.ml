@@ -1,0 +1,204 @@
+type round = {
+  engine : string;
+  round : int;
+  messages : int;
+  payload_bytes : int;
+  mailbox_max : int;
+  mailbox_mean : float;
+  rng_draws : int;
+  chunks : int;
+  chunk_ns : int;
+}
+
+type event =
+  | Meta of { label : string; n : int }
+  | Round of round
+  | Counter of { name : string; value : int }
+
+(* ------------------------------------------------------------------ *)
+(* recorder                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Events are emitted from the main domain only (the engines emit
+   between parallel phases), so a plain accumulator list suffices. *)
+let buf : event list ref = ref []
+let recording = ref false
+let base : (string * int) list ref = ref []
+
+let active () = !recording
+let emit e = if !recording then buf := e :: !buf
+
+let start ?(label = "") ?(n = 0) () =
+  Registry.enable ();
+  buf := [];
+  base := Registry.counters ();
+  recording := true;
+  if label <> "" || n > 0 then emit (Meta { label; n })
+
+let events () = List.rev !buf
+
+let finish () =
+  (* close the trace with the per-trace counter deltas, so every trace
+     file is self-contained: its Counter lines are the totals consumed
+     between start and finish, not process-lifetime values *)
+  let deltas =
+    List.filter_map
+      (fun (name, v) ->
+        let b = match List.assoc_opt name !base with Some b -> b | None -> 0 in
+        if v - b <> 0 then Some (Counter { name; value = v - b }) else None)
+      (Registry.counters ())
+  in
+  List.iter emit deltas;
+  recording := false;
+  let evs = List.rev !buf in
+  buf := [];
+  base := [];
+  evs
+
+(* ------------------------------------------------------------------ *)
+(* JSONL encoding                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let event_to_json = function
+  | Meta { label; n } ->
+    Json.Obj
+      [ ("type", Json.String "meta"); ("label", Json.String label); ("n", Json.Int n) ]
+  | Round r ->
+    Json.Obj
+      [
+        ("type", Json.String "round");
+        ("engine", Json.String r.engine);
+        ("round", Json.Int r.round);
+        ("messages", Json.Int r.messages);
+        ("payload_bytes", Json.Int r.payload_bytes);
+        ("mailbox_max", Json.Int r.mailbox_max);
+        ("mailbox_mean", Json.Float r.mailbox_mean);
+        ("rng_draws", Json.Int r.rng_draws);
+        ("chunks", Json.Int r.chunks);
+        ("chunk_ns", Json.Int r.chunk_ns);
+      ]
+  | Counter { name; value } ->
+    Json.Obj
+      [
+        ("type", Json.String "counter");
+        ("name", Json.String name);
+        ("value", Json.Int value);
+      ]
+
+let event_of_json j =
+  let str key =
+    match Option.bind (Json.member key j) Json.to_str with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "missing string field %S" key)
+  in
+  let int key =
+    match Option.bind (Json.member key j) Json.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "missing int field %S" key)
+  in
+  let float key =
+    match Option.bind (Json.member key j) Json.to_float with
+    | Some f -> Ok f
+    | None -> Error (Printf.sprintf "missing float field %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* kind = str "type" in
+  match kind with
+  | "meta" ->
+    let* label = str "label" in
+    let* n = int "n" in
+    Ok (Meta { label; n })
+  | "round" ->
+    let* engine = str "engine" in
+    let* round = int "round" in
+    let* messages = int "messages" in
+    let* payload_bytes = int "payload_bytes" in
+    let* mailbox_max = int "mailbox_max" in
+    let* mailbox_mean = float "mailbox_mean" in
+    let* rng_draws = int "rng_draws" in
+    let* chunks = int "chunks" in
+    let* chunk_ns = int "chunk_ns" in
+    Ok
+      (Round
+         {
+           engine;
+           round;
+           messages;
+           payload_bytes;
+           mailbox_max;
+           mailbox_mean;
+           rng_draws;
+           chunks;
+           chunk_ns;
+         })
+  | "counter" ->
+    let* name = str "name" in
+    let* value = int "value" in
+    Ok (Counter { name; value })
+  | other -> Error (Printf.sprintf "unknown event type %S" other)
+
+let write_jsonl path evs =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      List.iter
+        (fun e ->
+          output_string oc (Json.to_string (event_to_json e));
+          output_char oc '\n')
+        evs)
+
+let read_jsonl path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let rec go lineno acc =
+        match input_line ic with
+        | exception End_of_file -> Ok (List.rev acc)
+        | "" -> go (lineno + 1) acc
+        | line -> (
+          match Json.of_string line with
+          | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+          | Ok j -> (
+            match event_of_json j with
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg)
+            | Ok e -> go (lineno + 1) (e :: acc)))
+      in
+      go 1 [])
+
+(* ------------------------------------------------------------------ *)
+(* analysis                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let is_pool_counter name =
+  String.length name >= 11 && String.sub name 0 11 = "local.pool."
+
+let deterministic_projection evs =
+  List.filter_map
+    (function
+      | Round r -> Some (Round { r with chunks = 0; chunk_ns = 0 })
+      | Counter { name; _ } when is_pool_counter name -> None
+      | e -> Some e)
+    evs
+
+let deterministic_equal a b =
+  deterministic_projection a = deterministic_projection b
+
+let total_messages ?engine evs =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Round r
+        when (match engine with None -> true | Some e' -> r.engine = e') ->
+        acc + r.messages
+      | _ -> acc)
+    0 evs
+
+let counter_value name evs =
+  List.fold_left
+    (fun acc e ->
+      match e with
+      | Counter c when c.name = name -> Some c.value
+      | _ -> acc)
+    None evs

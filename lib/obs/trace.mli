@@ -1,0 +1,74 @@
+(** Per-round structured trace of a simulation run, exported as JSON
+    lines.
+
+    A trace is a sequence of events: an optional [Meta] header, one
+    [Round] event per engine round (emitted by {!Repro_local.Message_passing}
+    for both the state-machine engine and [flood_gather]), and a closing
+    block of [Counter] events holding the per-trace deltas of every
+    registry counter — so the file is self-contained and the invariant
+    "the round messages sum to the engine's message total" can be checked
+    from the file alone.
+
+    {2 Determinism}
+
+    Everything in a [Round] except [chunks] and [chunk_ns] depends only
+    on the instance and the algorithm, never on the pool size; the two
+    excepted fields describe how the pool happened to execute the round.
+    {!deterministic_projection} drops exactly those fields (and the
+    [local.pool.*] counters), and the telemetry determinism suite in
+    [test/test_obs.ml] asserts the projection is identical for
+    sequential and parallel runs. *)
+
+type round = {
+  engine : string;  (** ["message_passing"] or ["flood_gather"] *)
+  round : int;
+  messages : int;  (** messages sent this round (active senders only) *)
+  payload_bytes : int;  (** heap words of all payloads sent, in bytes *)
+  mailbox_max : int;  (** largest mailbox read by an active node *)
+  mailbox_mean : float;  (** mean mailbox size over active nodes *)
+  rng_draws : int;  (** {!Repro_local.Randomness} draws during the round *)
+  chunks : int;  (** pool chunks dispatched (timing data, see above) *)
+  chunk_ns : int;  (** total chunk wall time (timing data, see above) *)
+}
+
+type event =
+  | Meta of { label : string; n : int }
+  | Round of round
+  | Counter of { name : string; value : int }
+
+(** {2 Recorder} — main-domain only; the engines emit between parallel
+    phases. *)
+
+val start : ?label:string -> ?n:int -> unit -> unit
+(** Clear the buffer, enable the registry, snapshot counter values and
+    begin recording; emits a [Meta] event when [label]/[n] are given. *)
+
+val active : unit -> bool
+val emit : event -> unit
+(** Dropped unless recording. *)
+
+val events : unit -> event list
+(** Events recorded so far, oldest first. *)
+
+val finish : unit -> event list
+(** Append the per-trace counter deltas, stop recording, and return the
+    full trace (the registry stays enabled; disable it via
+    {!Registry.disable} if telemetry should go quiet again). *)
+
+(** {2 JSONL} *)
+
+val event_to_json : event -> Json.t
+val event_of_json : Json.t -> (event, string) result
+val write_jsonl : string -> event list -> unit
+val read_jsonl : string -> (event list, string) result
+
+(** {2 Analysis} *)
+
+val deterministic_projection : event list -> event list
+val deterministic_equal : event list -> event list -> bool
+
+val total_messages : ?engine:string -> event list -> int
+(** Sum of [messages] over [Round] events (of [engine] if given). *)
+
+val counter_value : string -> event list -> int option
+(** Value of the last [Counter] event with that name, if any. *)

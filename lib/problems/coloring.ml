@@ -4,6 +4,11 @@ module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
+module Obs = Repro_obs
+
+let m_runs = Obs.Registry.counter "problems.coloring.runs"
+let m_rounds = Obs.Registry.counter "problems.coloring.rounds"
+let m_cv_rounds = Obs.Registry.counter "problems.coloring.cv_rounds"
 
 type output = (int, unit, unit) Labeling.t
 
@@ -28,6 +33,7 @@ let lowest_diff_bit a b =
   go 0
 
 let solve inst =
+  Obs.Counter.incr m_runs;
   let g = inst.Instance.graph in
   let ids = inst.Instance.ids in
   let n = G.n g in
@@ -166,6 +172,8 @@ let solve inst =
     Array.blit next 0 color 0 n;
     incr rounds
   done;
+  Obs.Counter.add m_cv_rounds !max_forest_rounds;
+  Obs.Counter.add m_rounds !rounds;
   Meter.charge_all meter !rounds;
   let out = Labeling.init g ~v:(fun v -> color.(v)) ~e:(fun _ -> ()) ~b:(fun _ -> ()) in
   (out, meter)

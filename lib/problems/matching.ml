@@ -4,6 +4,11 @@ module Ne_lcl = Repro_lcl.Ne_lcl
 module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
+module Obs = Repro_obs
+
+let m_runs = Obs.Registry.counter "problems.matching.runs"
+let m_matched = Obs.Registry.counter "problems.matching.matched_edges"
+let m_classes = Obs.Registry.counter "problems.matching.palette_classes"
 
 type output = (bool, bool, unit) Labeling.t
 
@@ -44,6 +49,7 @@ let is_valid g output =
   Ne_lcl.is_valid problem g ~input ~output
 
 let solve inst =
+  Obs.Counter.incr m_runs;
   let g = inst.Instance.graph in
   let coloring, meter = Coloring.solve inst in
   let color v = coloring.Labeling.v.(v) in
@@ -89,6 +95,11 @@ let solve inst =
             node_matched.(v) <- true
           end)
   done;
+  if Obs.Registry.enabled () then begin
+    Obs.Counter.add m_classes palette;
+    Obs.Counter.add m_matched
+      (Array.fold_left (fun a b -> if b then a + 1 else a) 0 matched)
+  end;
   (* the sweep is one round per palette class *)
   Meter.charge_all meter (Meter.max_radius meter + palette);
   (of_edges g matched, meter)

@@ -7,6 +7,17 @@ module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module Randomness = Repro_local.Randomness
+module Obs = Repro_obs
+
+(* solver telemetry (no-ops while the registry is disabled); counts and
+   histogram totals are schedule-oblivious, see DESIGN.md §9 *)
+let m_det_runs = Obs.Registry.counter "problems.so.det.runs"
+let m_det_trees = Obs.Registry.counter "problems.so.det.tree_components"
+let m_det_cyclic = Obs.Registry.counter "problems.so.det.cyclic_classes"
+let m_rand_runs = Obs.Registry.counter "problems.so.rand.runs"
+let m_rand_sinks = Obs.Registry.counter "problems.so.rand.initial_sinks"
+let m_rand_flips = Obs.Registry.counter "problems.so.rand.half_flips"
+let m_rand_len = Obs.Registry.histogram "problems.so.rand.repair_len"
 
 type orientation = Out | In
 
@@ -186,6 +197,7 @@ let find_class_cycle g is_bridge cls c root =
     Some (!down_v @ [ h ] @ List.rev !up_w)
 
 let solve_deterministic inst =
+  Obs.Counter.incr m_det_runs;
   let g = inst.Instance.graph in
   let ids = inst.Instance.ids in
   let n = G.n g in
@@ -220,6 +232,7 @@ let solve_deterministic inst =
     let c = cls.(v) in
     if Hashtbl.mem class_cyclic c && not (Hashtbl.mem handled c) then begin
       Hashtbl.replace handled c ();
+      Obs.Counter.incr m_det_cyclic;
       (* root = min id node of the class *)
       let root = ref v in
       (* find min-id node: scan the class by BFS over non-bridge edges *)
@@ -320,6 +333,7 @@ let solve_deterministic inst =
     | [] -> ()
     | first :: _ ->
       if dist_x.(first) < 0 && comp_edges.(c) > 0 then begin
+        Obs.Counter.incr m_det_trees;
         let diameter = solve_tree_component g ids out nodes in
         List.iter (fun v -> Meter.charge meter v diameter) nodes
       end
@@ -335,6 +349,7 @@ let solve_deterministic inst =
 (* ------------------------------------------------------------------ *)
 
 let solve_randomized inst =
+  Obs.Counter.incr m_rand_runs;
   let g = inst.Instance.graph in
   let ids = inst.Instance.ids in
   let rand = inst.Instance.rand in
@@ -368,6 +383,7 @@ let solve_randomized inst =
       (fun a b -> compare ids.(a) ids.(b))
       (List.filter is_sink (List.init n (fun v -> v)))
   in
+  Obs.Counter.add m_rand_sinks (List.length sinks);
   let set_half h o =
     let node = G.half_node g h in
     (match (out.b.(h), o) with
@@ -413,6 +429,8 @@ let solve_randomized inst =
         in
         let halves = path z [] in
         let len = List.length halves in
+        Obs.Counter.add m_rand_flips len;
+        Obs.Histogram.observe m_rand_len len;
         List.iter
           (fun h ->
             (* h is at the node closer to u: point it away from u *)

@@ -110,6 +110,25 @@ let test_meter () =
   let hist = Meter.histogram m in
   check_int "histogram buckets" 2 (List.length hist)
 
+let test_meter_histogram_contents () =
+  let m = Meter.create 6 in
+  (* radii: [3; 0; 5; 0; 3; 3] *)
+  Meter.charge m 0 3;
+  Meter.charge m 2 5;
+  Meter.charge m 4 3;
+  Meter.charge m 5 3;
+  Alcotest.(check (list (pair int int)))
+    "exact buckets, ascending"
+    [ (0, 2); (3, 3); (5, 1) ]
+    (Meter.histogram m);
+  check "mean radius" true (abs_float (Meter.mean_radius m -. 14.0 /. 6.0) < 1e-9)
+
+let test_meter_empty () =
+  let m = Meter.create 0 in
+  check_int "max radius of empty meter" 0 (Meter.max_radius m);
+  Alcotest.(check (list (pair int int))) "empty histogram" [] (Meter.histogram m);
+  check "empty mean is finite" true (Meter.mean_radius m = 0.0)
+
 (* ball *)
 
 let test_ball_path () =
@@ -212,6 +231,8 @@ let suite =
     ("randomness bounds", `Quick, test_randomness_bounds);
     ("randomness bit balance", `Quick, test_randomness_bit_balance);
     ("meter", `Quick, test_meter);
+    ("meter histogram contents", `Quick, test_meter_histogram_contents);
+    ("meter empty", `Quick, test_meter_empty);
     ("ball path", `Quick, test_ball_path);
     ("ball whole component", `Quick, test_ball_whole_component);
     ("ball complete graph", `Quick, test_ball_preserves_structure);

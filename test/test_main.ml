@@ -15,4 +15,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("invariants", Test_invariants.suite);
       ("parallel", Test_parallel.suite);
+      ("obs", Test_obs.suite);
     ]

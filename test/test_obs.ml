@@ -1,0 +1,171 @@
+(* Tests for the telemetry subsystem: counter/histogram arithmetic, the
+   disabled-registry no-op contract, find-or-create sharing, JSONL
+   round-trips, the trace-vs-counter message invariant, and the
+   seq-vs-par deterministic-projection invariant. *)
+
+module Obs = Repro_obs
+module G = Repro_graph.Multigraph
+module Instance = Repro_local.Instance
+module Pool = Repro_local.Pool
+module SO = Repro_problems.Sinkless_orientation
+module DC = Repro_lcl.Distributed_check
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* every test that enables the registry must switch it back off, or it
+   would change the timing profile of the suites that run after it *)
+let with_enabled f =
+  Fun.protect ~finally:(fun () -> Obs.Registry.disable ()) (fun () ->
+      Obs.Registry.enable ();
+      f ())
+
+(* counters *)
+
+let test_counter_arithmetic () =
+  let c = Obs.Counter.make "test.scratch.counter" in
+  Alcotest.(check string) "name" "test.scratch.counter" (Obs.Counter.name c);
+  Obs.Counter.incr c;
+  Obs.Counter.add c 41;
+  check_int "disabled mutation is a no-op" 0 (Obs.Counter.value c);
+  with_enabled (fun () ->
+      Obs.Counter.incr c;
+      Obs.Counter.add c 5;
+      check_int "incr + add" 6 (Obs.Counter.value c));
+  Obs.Counter.reset c;
+  check_int "reset" 0 (Obs.Counter.value c)
+
+(* histograms *)
+
+let test_histogram_arithmetic () =
+  let h = Obs.Histogram.make "test.scratch.hist" in
+  Obs.Histogram.observe h 100;
+  check_int "disabled observation is a no-op" 0 (Obs.Histogram.count h);
+  with_enabled (fun () ->
+      List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 8 ];
+      check_int "count" 5 (Obs.Histogram.count h);
+      check_int "sum" 14 (Obs.Histogram.sum h);
+      check_int "max" 8 (Obs.Histogram.max_value h);
+      check "mean" true (abs_float (Obs.Histogram.mean h -. 2.8) < 1e-9);
+      let s = Obs.Histogram.snapshot h in
+      Alcotest.(check (list (pair int int)))
+        "power-of-two buckets, ascending"
+        [ (0, 1); (1, 1); (2, 2); (8, 1) ]
+        s.Obs.Histogram.buckets);
+  Obs.Histogram.reset h;
+  check_int "reset count" 0 (Obs.Histogram.count h);
+  check_int "reset sum" 0 (Obs.Histogram.sum h)
+
+(* registry *)
+
+let test_registry_sharing () =
+  let a = Obs.Registry.counter "test.registry.shared" in
+  let b = Obs.Registry.counter "test.registry.shared" in
+  check "find-or-create returns the same instance" true (a == b);
+  with_enabled (fun () ->
+      Obs.Counter.add a 3;
+      check_int "both handles see the value" 3 (Obs.Counter.value b));
+  check "kind mismatch raises" true
+    (match Obs.Registry.histogram "test.registry.shared" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check "registered and listed" true
+    (List.mem_assoc "test.registry.shared" (Obs.Registry.counters ()))
+
+(* JSONL *)
+
+let test_jsonl_round_trip () =
+  let events =
+    [
+      Obs.Trace.Meta { label = "unit"; n = 42 };
+      Obs.Trace.Round
+        {
+          engine = "message_passing";
+          round = 0;
+          messages = 17;
+          payload_bytes = 680;
+          mailbox_max = 3;
+          mailbox_mean = 2.125;
+          rng_draws = 5;
+          chunks = 2;
+          chunk_ns = 12345;
+        };
+      Obs.Trace.Counter { name = "local.mp.messages"; value = 17 };
+    ]
+  in
+  let file = Filename.temp_file "repro_trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      Obs.Trace.write_jsonl file events;
+      match Obs.Trace.read_jsonl file with
+      | Error e -> Alcotest.failf "read_jsonl: %s" e
+      | Ok back ->
+        check "round-trips exactly" true (back = events);
+        check_int "total messages" 17 (Obs.Trace.total_messages back);
+        check_int "counter lookup" 17
+          (match Obs.Trace.counter_value "local.mp.messages" back with
+          | Some v -> v
+          | None -> -1))
+
+let test_json_parser_rejects_garbage () =
+  check "truncated object" true
+    (Result.is_error (Obs.Json.of_string "{\"a\": 1"));
+  check "trailing junk" true (Result.is_error (Obs.Json.of_string "1 2"));
+  check "bare word" true (Result.is_error (Obs.Json.of_string "telemetry"))
+
+(* the tentpole invariant: a traced run's per-round message counts sum to
+   the engine's own message counter delta *)
+
+let traced_dcheck ~n ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let g = SO.hard_instance rng ~n in
+  let inst = Instance.create ~seed g in
+  let out, _ = SO.solve_randomized inst in
+  Obs.Trace.start ~label:"test" ~n ();
+  Fun.protect
+    ~finally:(fun () -> Obs.Registry.disable ())
+    (fun () ->
+      let v = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
+      check "output accepted" true v.DC.all_accept;
+      Obs.Trace.finish ())
+
+let test_trace_messages_match_counter () =
+  let events = traced_dcheck ~n:300 ~seed:7 () in
+  let per_round = Obs.Trace.total_messages ~engine:"message_passing" events in
+  check "trace has rounds" true (per_round > 0);
+  check_int "round sums equal the engine counter delta" per_round
+    (match Obs.Trace.counter_value "local.mp.messages" events with
+    | Some v -> v
+    | None -> -1)
+
+(* seq-vs-par: the deterministic projection of a traced run must not
+   depend on the pool size (pool/chunk data is excluded by design) *)
+
+let test_trace_seq_par_identical () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 1;
+      let seq = traced_dcheck ~n:300 ~seed:11 () in
+      check "sequential trace nonempty" true (seq <> []);
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          let par = traced_dcheck ~n:300 ~seed:11 () in
+          check
+            (Printf.sprintf "projection identical at pool size %d" s)
+            true
+            (Obs.Trace.deterministic_equal seq par))
+        [ 2; 4 ])
+
+let suite =
+  [
+    ("counter arithmetic and gating", `Quick, test_counter_arithmetic);
+    ("histogram arithmetic and gating", `Quick, test_histogram_arithmetic);
+    ("registry find-or-create", `Quick, test_registry_sharing);
+    ("jsonl round-trip", `Quick, test_jsonl_round_trip);
+    ("json parser rejects garbage", `Quick, test_json_parser_rejects_garbage);
+    ("trace messages match counter", `Quick, test_trace_messages_match_counter);
+    ("seq-vs-par telemetry", `Quick, test_trace_seq_par_identical);
+  ]
