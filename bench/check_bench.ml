@@ -45,6 +45,19 @@ let () =
     | Ok j -> j
     | Error e -> fail "%s: parse error: %s" file e
   in
+  (* the schema is closed: an unknown top-level key means the writer and
+     this checker have drifted apart, which must fail loudly rather than
+     let unvalidated data into the perf trajectory *)
+  let allowed = [ "schema"; "domains"; "cores"; "quick"; "results" ] in
+  (match j with
+  | J.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k allowed) then
+          fail "unknown top-level key %S (allowed: %s)" k
+            (String.concat ", " allowed))
+      fields
+  | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
   if schema <> "repro-bench-parallel/1" then
     fail "unexpected schema %S (want repro-bench-parallel/1)" schema;
@@ -72,5 +85,13 @@ let () =
       check_num_or_null ~ctx "par_ns_per_run" r;
       check_num_or_null ~ctx "speedup" r)
     results;
+  (* the telemetry overhead story needs all three dcheck legs: gated-off
+     baseline, live trace, and provenance audit *)
+  if Hashtbl.mem seen "dcheck-so-3k" then begin
+    if not (Hashtbl.mem seen "dcheck-so-3k-traced") then
+      fail "dcheck-so-3k present without its dcheck-so-3k-traced leg";
+    if not (Hashtbl.mem seen "dcheck-so-3k-audited") then
+      fail "dcheck-so-3k present without its dcheck-so-3k-audited leg"
+  end;
   Printf.printf "%s: ok (%d cases, domains=%d, cores=%d)\n" file
     (List.length results) domains cores

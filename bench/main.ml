@@ -111,6 +111,20 @@ let cases ~quick () =
           ignore (Obs.Trace.finish ());
           Obs.Registry.disable ());
     };
+    (* same workload with provenance audit mode armed: the third leg of
+       the overhead story — per-message influence tracking vs the gated
+       fast path (dcheck-so-3k) and vs a live trace *)
+    {
+      name = "dcheck-so-3k-audited";
+      n = n_so;
+      run =
+        (fun () ->
+          Obs.Provenance.start ();
+          ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out);
+          match Obs.Provenance.take () with
+          | Some _ -> ()
+          | None -> failwith "dcheck-so-3k-audited: engine submitted no audit");
+    };
   ]
 
 let estimate ~quota ~limit case =

@@ -5,6 +5,8 @@
      repro gadget -H 6 [-c kind]     build/check/prove a gadget
      repro solve-so -n 10000         sinkless orientation, both solvers
      repro decompose -n 5000         network decompositions
+     repro audit all -n 1000         locality certificates for every solver
+     repro trace-report t.jsonl      recheck a recorded trace offline
 *)
 
 module G = Core.Graph.Multigraph
@@ -52,14 +54,17 @@ let obs_args =
 
 let with_obs ~label (trace, stats) f =
   if stats || trace <> None then Obs.Registry.enable ();
-  if trace <> None then Obs.Trace.start ~label ();
-  let result = f () in
-  (match trace with
-  | Some file ->
-    let events = Obs.Trace.finish () in
-    Obs.Trace.write_jsonl file events;
-    Printf.printf "wrote %s (%d events)\n" file (List.length events)
-  | None -> ());
+  let result =
+    match trace with
+    | None -> f ()
+    | Some file ->
+      (* Trace.record aborts the recorder if f raises, so a failed run
+         cannot leave it armed and polluting the next trace *)
+      let result, events = Obs.Trace.record ~label f in
+      Obs.Trace.write_jsonl file events;
+      Printf.printf "wrote %s (%d events)\n" file (List.length events);
+      result
+  in
   if stats then Format.printf "%a@." Obs.Summary.pp ();
   result
 
@@ -312,6 +317,166 @@ let experiment_cmd =
     (Cmd.info "experiment" ~doc:"Run one experiment from the paper's index.")
     Term.(ret (const run $ id $ quick $ csv_dir))
 
+(* ------------------------------------------------------------------ *)
+
+module AC = Core.Problems.Audit_catalog
+module Prov = Core.Obs.Provenance
+
+(* the gadget verifier needs the gadget layer, so its audit entry lives
+   here rather than in the catalog (repro_problems does not depend on
+   repro_gadget) *)
+let verifier_entry : AC.entry =
+  {
+    AC.a_name = "verifier";
+    a_doc = "gadget prover V, O(log n) on a (log,Δ)-gadget (§4.5)";
+    a_run =
+      (fun ~seed:_ ~n ->
+        (* smallest gadget with at least n nodes — size is exponential in
+           the height, so a linear scan is cheap *)
+        let rec pick h =
+          let t = GB.gadget ~delta:3 ~height:h in
+          if G.n t.GL.graph >= n || h >= 14 then t else pick (h + 1)
+        in
+        let t = pick 2 in
+        let _, _, cert = V.audited_run ~delta:3 ~n:(G.n t.GL.graph) t in
+        cert);
+  }
+
+let audit_entries = AC.all @ [ verifier_entry ]
+
+let audit_cmd =
+  let run problem n seed cert_file obs =
+    let selected =
+      if problem = "all" then Ok audit_entries
+      else
+        match List.find_opt (fun e -> e.AC.a_name = problem) audit_entries with
+        | Some e -> Ok [ e ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown problem %S (try: all, %s)" problem
+               (String.concat ", "
+                  (List.map (fun e -> e.AC.a_name) audit_entries)))
+    in
+    match selected with
+    | Error msg -> `Error (false, msg)
+    | Ok entries ->
+      with_obs ~label:"audit" obs @@ fun () ->
+      let certs =
+        List.map
+          (fun e ->
+            let cert = e.AC.a_run ~seed ~n in
+            Format.printf "%a@." Obs.Summary.pp_certificate cert;
+            cert)
+          entries
+      in
+      (match cert_file with
+      | Some file ->
+        let events =
+          List.concat_map
+            (fun (c : Prov.certificate) ->
+              Obs.Trace.Meta { label = "audit:" ^ c.Prov.c_label; n = c.Prov.c_n }
+              :: Prov.to_events c)
+            certs
+        in
+        Obs.Trace.write_jsonl file events;
+        Printf.printf "wrote %s (%d events)\n" file (List.length events)
+      | None -> ());
+      let failed = List.filter (fun c -> not c.Prov.c_ok) certs in
+      if failed = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d certificate(s) FAILED"
+              (List.length failed) (List.length certs) )
+  in
+  let problem =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"PROBLEM"
+          ~doc:"Solver to audit (or $(b,all)). Try an unknown name to list.")
+  in
+  let n =
+    Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Instance size.")
+  in
+  let cert_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cert" ] ~docv:"FILE"
+          ~doc:"Write the certificates as JSONL audit/cert events to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "audit"
+       ~doc:
+         "Run solvers under the locality provenance auditor and certify \
+          that every node's influence stayed within its declared ball.")
+    Term.(ret (const run $ problem $ n $ seed_arg $ cert_file $ obs_args))
+
+let trace_report_cmd =
+  let run file against =
+    match Obs.Trace.read_jsonl file with
+    | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
+    | Ok events -> (
+      Format.printf "%a@." Obs.Summary.pp_trace events;
+      let counters =
+        List.filter_map
+          (function
+            | Obs.Trace.Counter { name; value } -> Some (name, value)
+            | _ -> None)
+          events
+      in
+      if counters <> [] then begin
+        Printf.printf "trace counters:\n";
+        List.iter (fun (name, v) -> Printf.printf "  %-40s %d\n" name v) counters
+      end;
+      let failures = Obs.Trace.check_invariants events in
+      let failures =
+        failures
+        @
+        match against with
+        | None -> []
+        | Some file2 -> (
+          match Obs.Trace.read_jsonl file2 with
+          | Error msg -> [ Printf.sprintf "%s: %s" file2 msg ]
+          | Ok events2 ->
+            if Obs.Trace.deterministic_equal events events2 then begin
+              Printf.printf "deterministic projection matches %s\n" file2;
+              []
+            end
+            else [ Printf.sprintf "deterministic projection differs from %s" file2 ])
+      in
+      match failures with
+      | [] ->
+        Printf.printf "invariants: PASS (%d events)\n" (List.length events);
+        `Ok ()
+      | fs ->
+        List.iter (fun f -> Printf.printf "FAIL: %s\n" f) fs;
+        `Error (false, Printf.sprintf "%d invariant failure(s)" (List.length fs))
+    )
+  in
+  let file =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"JSONL trace to analyze.")
+  in
+  let against =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "against" ] ~docv:"FILE2"
+          ~doc:
+            "Also check that the deterministic projection matches $(docv) \
+             (e.g. the same run at a different REPRO_DOMAINS).")
+  in
+  Cmd.v
+    (Cmd.info "trace-report"
+       ~doc:
+         "Recompute trace invariants offline from a recorded JSONL file: \
+          round/counter consistency, audit balls, certificate summaries.")
+    Term.(ret (const run $ file $ against))
+
 let () =
   let doc = "Reproduction of 'How much does randomness help with locally checkable problems?' (PODC 2020)" in
   exit
@@ -319,5 +484,5 @@ let () =
        (Cmd.group (Cmd.info "repro" ~doc)
           [
             landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd;
-            decompose_cmd; experiment_cmd;
+            decompose_cmd; experiment_cmd; audit_cmd; trace_report_cmd;
           ]))

@@ -166,3 +166,14 @@ let run ~delta ~n (t : Labels.t) =
         Meter.charge meter u (min radius ecc_est.(u))
       end);
   (out, meter)
+
+(* run the prover, then certify its declared per-node radii as an actual
+   engine flood on the gadget graph (see Repro_local.Audit) *)
+let audited_run ~delta ~n t =
+  let out, meter = run ~delta ~n t in
+  let inst = Repro_local.Instance.create t.graph in
+  let cert =
+    Repro_local.Audit.run_flood ~label:"gadget.verifier" inst
+      ~declared:(Meter.declared meter)
+  in
+  (out, meter, cert)

@@ -24,4 +24,16 @@ val run :
   Psi.out array * Repro_local.Meter.t
 (** Solve Ψ on every connected component of the labeled graph. *)
 
+val audited_run :
+  delta:int ->
+  n:int ->
+  Labels.t ->
+  Psi.out array * Repro_local.Meter.t * Repro_obs.Provenance.certificate
+(** [run], then a radius certificate for the declared per-node bounds:
+    the meter's charges are replayed as an actual engine flood on the
+    gadget graph under the locality provenance auditor
+    ({!Repro_local.Audit.run_flood}), so the certificate checks that a
+    [T_v]-round execution keeps every node inside its radius-[T_v]
+    ball — [T_v ≤ proof_radius n] by the meter contract above. *)
+
 val is_all_ok : Psi.out array -> bool

@@ -82,3 +82,11 @@ let run p inst ~input ~output =
     all_accept = Array.for_all (fun x -> x) result.MP.outputs;
     rounds = result.MP.max_rounds;
   }
+
+(* the checker's declared bound: one round, by the definition of an LCL *)
+let declared_rounds = 1
+
+let audited_run ?(label = "lcl.dcheck") p inst ~input ~output =
+  Repro_local.Audit.certify_run ~label inst
+    ~declared:(fun _ -> declared_rounds)
+    (fun () -> run p inst ~input ~output)

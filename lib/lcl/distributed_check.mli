@@ -23,3 +23,21 @@ val run :
   input:('vi, 'ei, 'bi) Labeling.t ->
   output:('vo, 'eo, 'bo) Labeling.t ->
   verdict
+
+val declared_rounds : int
+(** [1]: the round bound the checker declares to the provenance
+    auditor — LCLs are constant-radius checkable by definition. *)
+
+val audited_run :
+  ?label:string ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Ne_lcl.t ->
+  Repro_local.Instance.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  verdict * Repro_obs.Provenance.certificate
+(** [run] under the locality provenance auditor
+    ({!Repro_local.Audit.certify_run}): the engine tracks per-message
+    influence and the certificate checks every node's influence stayed
+    within its radius-{!declared_rounds} ball. Unlike the gather-based
+    solvers (audited by replaying their declared bounds as a flood),
+    this audits the actual messages of the actual checker algorithm. *)

@@ -1,0 +1,64 @@
+(** The locality provenance auditor: turn "this algorithm ran in T
+    rounds" into a checkable certificate "every output was derived from
+    within radius T" (the defining LOCAL-model invariant, paper §2).
+
+    This module is the graph-aware wiring around
+    {!Repro_obs.Provenance}: it arms audit mode, runs an algorithm on
+    the {!Message_passing} engine (which tracks per-message influence
+    sets), and certifies the submitted influence against per-node
+    declared round bounds using BFS distances — i.e. it checks
+    [influence(v) ⊆ Ball(v, T_v)] for every node, exactly the
+    containment {!Ball.gather} realizes constructively.
+
+    Two entry points:
+
+    - {!certify_run} audits an arbitrary engine run (e.g. the
+      distributed checker, which natively runs on the engine and
+      declares one round).
+    - {!run_flood} executes a metered solver's declared bounds as an
+      actual engine run: every node floods its identity and halts after
+      its declared number of rounds, so the engine-observed influence
+      must stay within the declared ball. This is how gather-based
+      solvers (sinkless orientation, coloring, MIS, matching, the
+      gadget verifier) are audited — a LOCAL algorithm with round bound
+      [T_v] is, by the §2 equivalence, exactly a [T_v]-round
+      full-information flood followed by a local decision.
+
+    Certificates are deterministic for every pool size (the influence
+    tracking obeys the engine's per-slot ownership discipline), which
+    the parallel test suite asserts at 1/2/4 domains. *)
+
+val certify_run :
+  ?label:string ->
+  Instance.t ->
+  declared:(int -> int) ->
+  (unit -> 'a) ->
+  'a * Repro_obs.Provenance.certificate
+(** [certify_run inst ~declared f] arms audit mode, runs [f ()] (which
+    must execute exactly one engine run on [inst] — the last engine run
+    wins if there are several), and certifies the submitted influence
+    sets against [declared v] using BFS distances in [inst]'s graph.
+    If [f] raises, the audit is aborted and the exception re-raised.
+    @raise Failure if [f] triggered no engine run. *)
+
+val run_flood :
+  ?label:string ->
+  Instance.t ->
+  declared:(int -> int) ->
+  Repro_obs.Provenance.certificate
+(** [run_flood inst ~declared] runs the canonical full-information
+    algorithm under audit: node [v] sends its identity every round and
+    halts after [max 1 (declared v)] rounds. The resulting certificate
+    checks that the engine delivered no information from outside any
+    node's declared ball. *)
+
+val non_local_flood :
+  ?label:string ->
+  Instance.t ->
+  declared:(int -> int) ->
+  overshoot:int ->
+  Repro_obs.Provenance.certificate
+(** A deliberately non-local run, for tests and demos: nodes keep
+    listening [overshoot] rounds longer than they declare, so on any
+    graph with nodes beyond the declared radius the certificate fails,
+    naming the offending node, the leaked source and its distance. *)

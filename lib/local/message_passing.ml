@@ -66,6 +66,25 @@ let run ?limit inst alg =
      messages simply stay in place (last-message-repeated, see the .mli),
      so slots written in round 0 remain valid forever. *)
   let mail = Array.make (2 * G.m g) None in
+  (* provenance audit (disarmed: one boolean load per run, no
+     allocation). Influence sets mirror the mailbox ownership exactly:
+     the send phase copies the sender's set into its mates' slots, the
+     receive phase unions a node's slots into its own set — so each set
+     is written by one loop index per phase and the audit is
+     bit-identical for every pool size, like the messages themselves. *)
+  let audit = Obs.Provenance.active () in
+  let inf_state =
+    if audit then
+      Array.init n (fun v ->
+          let b = Obs.Provenance.Bitset.create n in
+          Obs.Provenance.Bitset.add b v;
+          b)
+    else [||]
+  in
+  let inf_mail =
+    if audit then Array.init (2 * G.m g) (fun _ -> Obs.Provenance.Bitset.create n)
+    else [||]
+  in
   Obs.Counter.incr m_runs;
   (* round 0 gives nodes a chance to halt without communicating *)
   let round = ref 0 in
@@ -74,11 +93,18 @@ let run ?limit inst alg =
     let traced = Obs.Trace.active () in
     let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
     Pool.parallel_for ~n (fun v ->
-        if not halted.(v) then
+        if not halted.(v) then begin
           Array.iteri
             (fun p h ->
               mail.(G.mate h) <- Some (alg.send states.(v) ~round:r ~port:p))
-            (G.halves g v));
+            (G.halves g v);
+          if audit then
+            Array.iter
+              (fun h ->
+                Obs.Provenance.Bitset.blit ~src:inf_state.(v)
+                  ~dst:inf_mail.(G.mate h))
+              (G.halves g v)
+        end);
     (* round accounting, taken between the two phases: the active set is
        exactly the pre-receive [halted] complement, and each active node
        sends one message per port and reads one message per port, so the
@@ -111,6 +137,12 @@ let run ?limit inst alg =
       Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
           if halted.(v) then 0
           else begin
+            if audit then
+              Array.iter
+                (fun h ->
+                  Obs.Provenance.Bitset.union_into ~into:inf_state.(v)
+                    inf_mail.(h))
+                (G.halves g v);
             let msgs =
               Array.map
                 (fun h ->
@@ -161,6 +193,14 @@ let run ?limit inst alg =
   let outputs =
     Array.map (function Some o -> o | None -> assert false) outputs
   in
+  if audit then
+    Obs.Provenance.submit
+      {
+        Obs.Provenance.engine = "message_passing";
+        n;
+        influence = inf_state;
+        rounds_active = Array.copy rounds;
+      };
   { outputs; rounds; max_rounds = Array.fold_left max 0 rounds }
 
 (* Receiver-centric flooding: in each round, node [w] pulls the snapshot
@@ -174,12 +214,30 @@ let flood_gather inst ~radius payload =
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
   Pool.parallel_for ~n (fun v -> Hashtbl.replace known.(v) (payload v) ());
   let outgoing = Array.make n [] in
+  (* audit mode: one influence set per node plus one per-node snapshot
+     taken in the send phase, mirroring [outgoing] — same per-index
+     ownership as the payload tables, so pool-size independent *)
+  let audit = Obs.Provenance.active () in
+  let inf_state =
+    if audit then
+      Array.init n (fun v ->
+          let b = Obs.Provenance.Bitset.create n in
+          Obs.Provenance.Bitset.add b v;
+          b)
+    else [||]
+  in
+  let inf_out =
+    if audit then Array.init n (fun _ -> Obs.Provenance.Bitset.create n)
+    else [||]
+  in
   for r = 0 to radius - 1 do
     let traced = Obs.Trace.active () in
     let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
     (* snapshot: everyone sends its current knowledge *)
     Pool.parallel_for ~n (fun v ->
-        outgoing.(v) <- Hashtbl.fold (fun p () acc -> p :: acc) known.(v) []);
+        outgoing.(v) <- Hashtbl.fold (fun p () acc -> p :: acc) known.(v) [];
+        if audit then
+          Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
     (* round accounting between snapshot and pull: in message terms node
        [v] sends its snapshot once per incident half, so every node's
        mailbox holds one message per port — degree-shaped, every round *)
@@ -199,6 +257,8 @@ let flood_gather inst ~radius payload =
         Array.iter
           (fun h ->
             let v = G.half_node g (G.mate h) in
+            if audit then
+              Obs.Provenance.Bitset.union_into ~into:inf_state.(w) inf_out.(v);
             List.iter
               (fun p ->
                 if not (Hashtbl.mem known.(w) p) then begin
@@ -224,4 +284,12 @@ let flood_gather inst ~radius payload =
            })
     end
   done;
+  if audit then
+    Obs.Provenance.submit
+      {
+        Obs.Provenance.engine = "flood_gather";
+        n;
+        influence = inf_state;
+        rounds_active = Array.make n radius;
+      };
   by_round

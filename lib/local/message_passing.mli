@@ -44,7 +44,20 @@
     recording they emit one [Round] event per round with per-round
     message counts, mailbox statistics, RNG-draw and pool-chunk deltas
     — the schema is documented in DESIGN.md §9. Disabled, the
-    instrumentation is a single branch per round. *)
+    instrumentation is a single branch per round.
+
+    {2 Provenance audit}
+
+    When {!Repro_obs.Provenance} is armed, both engines additionally
+    track, per node and per in-flight message, the set of origin nodes
+    whose initial state has reached it: the send phase copies the
+    sender's influence set into the delivered slots, the receive phase
+    unions a node's slots into its own set, and at halt the engine
+    submits the per-node sets and active-round counts for radius
+    certification (DESIGN.md §10). The tracking obeys the same per-slot
+    ownership discipline as the mailboxes, so audits are bit-identical
+    for every pool size; disarmed (the default) the cost is one boolean
+    load per run. *)
 
 type ('state, 'msg, 'out) algorithm = {
   init : Instance.t -> int -> 'state;

@@ -15,7 +15,15 @@ val charge : t -> int -> int -> unit
     keeps the maximum over all charges for [v]. *)
 
 val charge_all : t -> int -> unit
+
 val radius : t -> int -> int
+
+val declared : t -> int -> int
+(** [radius] floored at 1 — the per-node round bound a metered run
+    declares to the provenance auditor ({!Audit}): the engine always
+    delivers the radius-1 neighborhood before a node can first halt, so
+    an engine-run certificate can never be tighter than one round. *)
+
 val max_radius : t -> int
 val mean_radius : t -> float
 val histogram : t -> (int * int) list

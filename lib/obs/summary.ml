@@ -52,6 +52,38 @@ let pp_trace fmt evs =
           r.rng_draws r.chunks
       | Trace.Meta { label; n } ->
         Format.fprintf fmt "meta: label=%S n=%d@," label n
-      | Trace.Counter _ -> ())
+      | Trace.Cert c ->
+        Format.fprintf fmt
+          "cert: label=%S engine=%s nodes=%d declared=%d max_influence=%d violations=%d %s@,"
+          c.label c.engine c.nodes c.declared c.max_influence_radius
+          c.violations
+          (if c.ok then "PASS" else "FAIL")
+      | Trace.Counter _ | Trace.Audit _ -> ())
     evs;
+  Format.fprintf fmt "@]"
+
+(* the `repro audit` table: influence-radius histogram against the
+   declared (theoretical) bound, plus the verdict and any violations *)
+let pp_certificate fmt (c : Provenance.certificate) =
+  Format.fprintf fmt "@[<v>certificate %S (engine %s, n=%d): %s@," c.Provenance.c_label
+    c.Provenance.c_engine c.Provenance.c_n
+    (if c.Provenance.c_ok then "PASS" else "FAIL");
+  Format.fprintf fmt "  declared radius (max over nodes): %d@," c.Provenance.c_declared;
+  Format.fprintf fmt "  max influence radius:             %d@,"
+    c.Provenance.c_max_influence_radius;
+  Format.fprintf fmt "  influence-radius histogram (radius: nodes, declared T = %d):@,"
+    c.Provenance.c_declared;
+  List.iter
+    (fun (r, k) -> Format.fprintf fmt "    %4d: %d@," r k)
+    c.Provenance.c_histogram;
+  (match c.Provenance.c_violations with
+  | [] -> ()
+  | vs ->
+    Format.fprintf fmt "  violations (%d):@," (List.length vs);
+    List.iteri
+      (fun i v ->
+        if i < 8 then Format.fprintf fmt "    %a@," Provenance.pp_violation v)
+      vs;
+    if List.length vs > 8 then
+      Format.fprintf fmt "    ... and %d more@," (List.length vs - 8));
   Format.fprintf fmt "@]"

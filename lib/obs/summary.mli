@@ -8,5 +8,10 @@ val pp_counters : Format.formatter -> unit -> unit
 val pp_histograms : Format.formatter -> unit -> unit
 
 val pp_trace : Format.formatter -> Trace.event list -> unit
-(** One table row per [Round] event; [Counter] events are omitted (use
-    {!pp} for those). *)
+(** One table row per [Round] event, plus one line per [Cert] summary;
+    [Counter] and per-node [Audit] events are omitted (use {!pp} and
+    {!pp_certificate} for those). *)
+
+val pp_certificate : Format.formatter -> Provenance.certificate -> unit
+(** The [repro audit] report: verdict, influence-radius histogram
+    against the declared bound, and the first few violations. *)

@@ -14,6 +14,22 @@ type event =
   | Meta of { label : string; n : int }
   | Round of round
   | Counter of { name : string; value : int }
+  | Audit of {
+      node : int;
+      rounds_active : int;
+      influence_radius : int;
+      ball_radius : int;
+      influence_size : int;
+    }
+  | Cert of {
+      label : string;
+      engine : string;
+      nodes : int;
+      declared : int;
+      max_influence_radius : int;
+      violations : int;
+      ok : bool;
+    }
 
 (* ------------------------------------------------------------------ *)
 (* recorder                                                           *)
@@ -37,6 +53,13 @@ let start ?(label = "") ?(n = 0) () =
 
 let events () = List.rev !buf
 
+let abort () =
+  (* drop everything: a run that raised mid-trace must not leak its
+     events or counter baselines into the next recording *)
+  recording := false;
+  buf := [];
+  base := []
+
 let finish () =
   (* close the trace with the per-trace counter deltas, so every trace
      file is self-contained: its Counter lines are the totals consumed
@@ -54,6 +77,16 @@ let finish () =
   buf := [];
   base := [];
   evs
+
+let record ?label ?n f =
+  start ?label ?n ();
+  match f () with
+  | x -> (x, finish ())
+  | exception e ->
+    (* the protective finalizer: without it the recorder stays armed and
+       the next run silently inherits stale events and baselines *)
+    abort ();
+    raise e
 
 (* ------------------------------------------------------------------ *)
 (* JSONL encoding                                                     *)
@@ -83,6 +116,28 @@ let event_to_json = function
         ("type", Json.String "counter");
         ("name", Json.String name);
         ("value", Json.Int value);
+      ]
+  | Audit a ->
+    Json.Obj
+      [
+        ("type", Json.String "audit");
+        ("node", Json.Int a.node);
+        ("rounds_active", Json.Int a.rounds_active);
+        ("influence_radius", Json.Int a.influence_radius);
+        ("ball_radius", Json.Int a.ball_radius);
+        ("influence_size", Json.Int a.influence_size);
+      ]
+  | Cert c ->
+    Json.Obj
+      [
+        ("type", Json.String "cert");
+        ("label", Json.String c.label);
+        ("engine", Json.String c.engine);
+        ("nodes", Json.Int c.nodes);
+        ("declared", Json.Int c.declared);
+        ("max_influence_radius", Json.Int c.max_influence_radius);
+        ("violations", Json.Int c.violations);
+        ("ok", Json.Bool c.ok);
       ]
 
 let event_of_json j =
@@ -135,6 +190,27 @@ let event_of_json j =
     let* name = str "name" in
     let* value = int "value" in
     Ok (Counter { name; value })
+  | "audit" ->
+    let* node = int "node" in
+    let* rounds_active = int "rounds_active" in
+    let* influence_radius = int "influence_radius" in
+    let* ball_radius = int "ball_radius" in
+    let* influence_size = int "influence_size" in
+    Ok (Audit { node; rounds_active; influence_radius; ball_radius; influence_size })
+  | "cert" ->
+    let bool key =
+      match Option.bind (Json.member key j) Json.to_bool with
+      | Some b -> Ok b
+      | None -> Error (Printf.sprintf "missing bool field %S" key)
+    in
+    let* label = str "label" in
+    let* engine = str "engine" in
+    let* nodes = int "nodes" in
+    let* declared = int "declared" in
+    let* max_influence_radius = int "max_influence_radius" in
+    let* violations = int "violations" in
+    let* ok = bool "ok" in
+    Ok (Cert { label; engine; nodes; declared; max_influence_radius; violations; ok })
   | other -> Error (Printf.sprintf "unknown event type %S" other)
 
 let write_jsonl path evs =
@@ -202,3 +278,69 @@ let counter_value name evs =
       | Counter c when c.name = name -> Some c.value
       | _ -> acc)
     None evs
+
+(* The offline re-check of the recorded invariants: everything here is
+   recomputable from the JSONL file alone (the point of the per-trace
+   counter deltas), so `repro trace-report` can audit a trace long after
+   the run. Returns human-readable failure messages; [] means PASS. *)
+let check_invariants evs =
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  (* 1. per-engine round message sums equal the engine's counter delta *)
+  List.iter
+    (fun (engine, counter) ->
+      let sum = total_messages ~engine evs in
+      let has_rounds =
+        List.exists (function Round r -> r.engine = engine | _ -> false) evs
+      in
+      match counter_value counter evs with
+      | Some v when has_rounds && v <> sum ->
+        fail "%s: round message sum %d <> counter %s = %d" engine sum counter v
+      | Some v when (not has_rounds) && v <> 0 ->
+        fail "%s: counter %s = %d but the trace has no %s rounds" engine counter
+          v engine
+      | None when has_rounds ->
+        fail "%s: rounds recorded but counter %s is missing" engine counter
+      | _ -> ())
+    [
+      ("message_passing", "local.mp.messages");
+      ("flood_gather", "local.flood.messages");
+    ];
+  (* 2. round numbering starts at 0 and increases within an engine run *)
+  let last : (string, int) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (function
+      | Round r ->
+        let prev = Option.value ~default:(-1) (Hashtbl.find_opt last r.engine) in
+        if r.round <> prev + 1 && r.round <> 0 then
+          fail "%s: round %d follows round %d" r.engine r.round prev;
+        Hashtbl.replace last r.engine r.round
+      | _ -> ())
+    evs;
+  (* 3. audit records respect their declared balls, and the certificate
+     summaries agree with the per-node records they close *)
+  let audit_violations = ref 0 and audit_nodes = ref 0 in
+  let cert_violations = ref 0 and certs = ref 0 in
+  List.iter
+    (function
+      | Audit a ->
+        incr audit_nodes;
+        if a.influence_radius > a.ball_radius then incr audit_violations
+      | Cert c ->
+        incr certs;
+        cert_violations := !cert_violations + c.violations;
+        if c.ok <> (c.violations = 0) then
+          fail "cert %S: ok=%b but violations=%d" c.label c.ok c.violations
+      | _ -> ())
+    evs;
+  if !audit_nodes > 0 && !certs = 0 then
+    fail "audit records without a closing cert event";
+  (* a cert violation is a (node, leaked source) pair, so a violating
+     node contributes at least one — counts need not match exactly *)
+  if !certs > 0 && !cert_violations < !audit_violations then
+    fail "cert events report %d violation pair(s) but %d audit record(s) violate"
+      !cert_violations !audit_violations;
+  if !certs > 0 && !cert_violations > 0 && !audit_violations = 0 then
+    fail "cert events report %d violation pair(s) but no audit record violates"
+      !cert_violations;
+  List.rev !failures

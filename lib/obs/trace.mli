@@ -35,6 +35,25 @@ type event =
   | Meta of { label : string; n : int }
   | Round of round
   | Counter of { name : string; value : int }
+  | Audit of {
+      node : int;
+      rounds_active : int;
+      influence_radius : int;
+          (** max distance to an origin that influenced the node *)
+      ball_radius : int;  (** the declared bound being certified *)
+      influence_size : int;
+    }
+      (** One per node of an audited run — emitted by
+          {!Provenance.to_events} from a radius certificate. *)
+  | Cert of {
+      label : string;
+      engine : string;
+      nodes : int;
+      declared : int;
+      max_influence_radius : int;
+      violations : int;  (** (node, leaked source) pairs *)
+      ok : bool;
+    }  (** Closing summary of a radius certificate. *)
 
 (** {2 Recorder} — main-domain only; the engines emit between parallel
     phases. *)
@@ -55,6 +74,17 @@ val finish : unit -> event list
     full trace (the registry stays enabled; disable it via
     {!Registry.disable} if telemetry should go quiet again). *)
 
+val abort : unit -> unit
+(** Stop recording and drop the buffer and counter baselines. Call this
+    when an engine raises mid-run while a trace is active — otherwise
+    the recorder stays armed and the next run's trace silently inherits
+    stale events and baselines. *)
+
+val record : ?label:string -> ?n:int -> (unit -> 'a) -> 'a * event list
+(** [record f] runs [f] between {!start} and {!finish} with a protective
+    finalizer: if [f] raises, the recorder is {!abort}ed before the
+    exception is re-raised. The preferred way to trace one run. *)
+
 (** {2 JSONL} *)
 
 val event_to_json : event -> Json.t
@@ -72,3 +102,11 @@ val total_messages : ?engine:string -> event list -> int
 
 val counter_value : string -> event list -> int option
 (** Value of the last [Counter] event with that name, if any. *)
+
+val check_invariants : event list -> string list
+(** Recompute the recorded invariants offline, from the events alone:
+    per-engine round message sums equal the engine's counter delta,
+    round numbering is consecutive, audit records respect their declared
+    balls, and certificate summaries agree with the records they close.
+    Returns failure messages; [[]] means the trace is consistent. This
+    is the engine behind [repro trace-report]. *)

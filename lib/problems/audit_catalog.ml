@@ -1,0 +1,83 @@
+module Gen = Repro_graph.Generators
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+module Audit = Repro_local.Audit
+module DC = Repro_lcl.Distributed_check
+module SO = Sinkless_orientation
+
+type entry = {
+  a_name : string;
+  a_doc : string;
+  a_run : seed:int -> n:int -> Repro_obs.Provenance.certificate;
+}
+
+(* run a metered solver, then replay its measured per-node radii as an
+   engine flood under the provenance auditor *)
+let metered name solve inst =
+  let _, m = solve inst in
+  Audit.run_flood ~label:name inst ~declared:(Meter.declared m)
+
+let hard_so seed n =
+  let rng = Random.State.make [| seed |] in
+  let g = SO.hard_instance rng ~n in
+  Instance.create ~seed g
+
+let simple_regular seed n =
+  let rng = Random.State.make [| seed |] in
+  let g = Gen.random_simple_regular rng ~n ~d:3 in
+  Instance.create ~seed g
+
+let all =
+  [
+    {
+      a_name = "so-det";
+      a_doc = "sinkless orientation, deterministic Θ(log n) on 3-regular";
+      a_run =
+        (fun ~seed ~n ->
+          metered "so-det" SO.solve_deterministic (hard_so seed n));
+    };
+    {
+      a_name = "so-rand";
+      a_doc = "sinkless orientation, randomized repair on 3-regular";
+      a_run =
+        (fun ~seed ~n -> metered "so-rand" SO.solve_randomized (hard_so seed n));
+    };
+    {
+      a_name = "coloring";
+      a_doc = "(Δ+1)-coloring, O(log* n) on simple 3-regular";
+      a_run =
+        (fun ~seed ~n ->
+          metered "coloring" Coloring.solve (simple_regular seed n));
+    };
+    {
+      a_name = "mis";
+      a_doc = "maximal independent set, O(log* n + Δ) on simple 3-regular";
+      a_run = (fun ~seed ~n -> metered "mis" Mis.solve (simple_regular seed n));
+    };
+    {
+      a_name = "matching";
+      a_doc = "maximal matching, O(log* n) on simple 3-regular";
+      a_run =
+        (fun ~seed ~n ->
+          metered "matching" Matching.solve (simple_regular seed n));
+    };
+    {
+      a_name = "dcheck";
+      a_doc = "distributed one-round checker on an SO solution (native audit)";
+      a_run =
+        (fun ~seed ~n ->
+          let inst = hard_so seed n in
+          let g = inst.Instance.graph in
+          let output, _ = SO.solve_deterministic inst in
+          let verdict, cert =
+            DC.audited_run SO.problem inst ~input:(SO.trivial_input g)
+              ~output
+          in
+          if not verdict.DC.all_accept then
+            failwith "audit_catalog: dcheck rejected a valid SO solution";
+          cert);
+    };
+  ]
+
+let names = List.map (fun e -> e.a_name) all
+let find name = List.find_opt (fun e -> e.a_name = name) all

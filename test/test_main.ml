@@ -16,4 +16,5 @@ let () =
       ("invariants", Test_invariants.suite);
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
+      ("provenance", Test_provenance.suite);
     ]

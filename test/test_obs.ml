@@ -112,7 +112,39 @@ let test_json_parser_rejects_garbage () =
   check "truncated object" true
     (Result.is_error (Obs.Json.of_string "{\"a\": 1"));
   check "trailing junk" true (Result.is_error (Obs.Json.of_string "1 2"));
-  check "bare word" true (Result.is_error (Obs.Json.of_string "telemetry"))
+  check "bare word" true (Result.is_error (Obs.Json.of_string "telemetry"));
+  check "trailing garbage after object" true
+    (Result.is_error (Obs.Json.of_string "{\"a\": 1} x"));
+  check "trailing garbage after array" true
+    (Result.is_error (Obs.Json.of_string "[1, 2],"))
+
+(* printer/parser exactness on the shapes the trace format exercises *)
+
+let json_round_trip j =
+  match Obs.Json.of_string (Obs.Json.to_string j) with
+  | Ok back -> back = j
+  | Error _ -> false
+
+let test_json_value_round_trips () =
+  let module J = Obs.Json in
+  check "string escapes" true
+    (json_round_trip
+       (J.String "quote \" backslash \\ newline \n tab \t cr \r nul \x00"));
+  check "non-ascii bytes survive" true
+    (json_round_trip (J.String "ball \xe2\x8a\x86 radius"));
+  check "nested arrays" true
+    (json_round_trip (J.List [ J.List [ J.Int 1; J.List [] ]; J.List [ J.Null ] ]));
+  check "nested objects" true
+    (json_round_trip
+       (J.Obj
+          [
+            ("a", J.Obj [ ("b", J.List [ J.Bool true; J.Float 2.5 ]) ]);
+            ("empty", J.Obj []);
+          ]));
+  check "max_int" true (json_round_trip (J.Int max_int));
+  check "min_int" true (json_round_trip (J.Int min_int));
+  check "ints stay ints" true
+    (match Obs.Json.of_string "7" with Ok (J.Int 7) -> true | _ -> false)
 
 (* the tentpole invariant: a traced run's per-round message counts sum to
    the engine's own message counter delta *)
@@ -129,6 +161,29 @@ let traced_dcheck ~n ~seed () =
       let v = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
       check "output accepted" true v.DC.all_accept;
       Obs.Trace.finish ())
+
+(* regression: an engine raising mid-run under --trace must not leave the
+   recorder armed (it used to, silently polluting the next trace) *)
+
+let test_trace_record_disarms_on_raise () =
+  (try
+     ignore
+       (Obs.Trace.record ~label:"leak" (fun () -> failwith "mid-run crash"))
+   with Failure _ -> ());
+  Fun.protect
+    ~finally:(fun () -> Obs.Registry.disable ())
+    (fun () ->
+      check "recorder disarmed after raise" false (Obs.Trace.active ());
+      (* the next trace starts from a clean buffer and clean baselines *)
+      let events = traced_dcheck ~n:120 ~seed:21 () in
+      let stale =
+        List.exists
+          (function Obs.Trace.Meta { label; _ } -> label = "leak" | _ -> false)
+          events
+      in
+      check "no stale events inherited" false stale;
+      check "fresh trace still consistent" true
+        (Obs.Trace.check_invariants events = []))
 
 let test_trace_messages_match_counter () =
   let events = traced_dcheck ~n:300 ~seed:7 () in
@@ -166,6 +221,8 @@ let suite =
     ("registry find-or-create", `Quick, test_registry_sharing);
     ("jsonl round-trip", `Quick, test_jsonl_round_trip);
     ("json parser rejects garbage", `Quick, test_json_parser_rejects_garbage);
+    ("json value round-trips", `Quick, test_json_value_round_trips);
+    ("trace record disarms on raise", `Quick, test_trace_record_disarms_on_raise);
     ("trace messages match counter", `Quick, test_trace_messages_match_counter);
     ("seq-vs-par telemetry", `Quick, test_trace_seq_par_identical);
   ]
