@@ -1,0 +1,99 @@
+(* Validate a `repro fuzz --json` document against the repro-fuzz/1
+   schema. CI's fuzz-smoke job (and the runtest smoke rule) runs this
+   right after `repro fuzz all --json`, so a malformed summary fails the
+   pipeline instead of silently passing an empty or drifted report.
+
+   Usage: check_fuzz.exe [FILE]   (default: FUZZ_smoke.json) *)
+
+module J = Repro_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let get name j = match J.member name j with
+  | Some v -> v
+  | None -> fail "missing field %S" name
+
+let as_int name j = match J.to_int (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not an integer" name
+
+let as_bool name j = match J.to_bool (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a boolean" name
+
+let as_str name j = match J.to_str (get name j) with
+  | Some v -> v
+  | None -> fail "field %S is not a string" name
+
+let check_keys ~ctx ~allowed j =
+  match j with
+  | J.Obj fields ->
+    List.iter
+      (fun (k, _) ->
+        if not (List.mem k allowed) then
+          fail "%s: unknown key %S (allowed: %s)" ctx k
+            (String.concat ", " allowed))
+      fields
+  | _ -> fail "%s is not a JSON object" ctx
+
+let () =
+  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "FUZZ_smoke.json" in
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" file e
+  in
+  let j = match J.of_string contents with
+    | Ok j -> j
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  (* closed schema: writer/checker drift must fail loudly *)
+  check_keys ~ctx:"top level"
+    ~allowed:[ "schema"; "seed"; "count"; "ok"; "targets" ] j;
+  let schema = as_str "schema" j in
+  if schema <> "repro-fuzz/1" then
+    fail "unexpected schema %S (want repro-fuzz/1)" schema;
+  ignore (as_int "seed" j);
+  let count = as_int "count" j in
+  if count < 1 then fail "count = %d, want >= 1" count;
+  let all_ok = as_bool "ok" j in
+  let targets = match J.to_list (get "targets" j) with
+    | Some l -> l
+    | None -> fail "field \"targets\" is not an array"
+  in
+  if targets = [] then fail "empty \"targets\" array";
+  let seen = Hashtbl.create 16 in
+  let any_failed = ref false in
+  List.iteri
+    (fun i t ->
+      let ctx = Printf.sprintf "targets[%d]" i in
+      check_keys ~ctx ~allowed:[ "name"; "cases"; "ok"; "failure" ] t;
+      let name = as_str "name" t in
+      if name = "" then fail "%s: empty target name" ctx;
+      if Hashtbl.mem seen name then fail "%s: duplicate target %S" ctx name;
+      Hashtbl.replace seen name ();
+      let cases = as_int "cases" t in
+      if cases < 1 then fail "%s (%s): cases = %d, want >= 1" ctx name cases;
+      let ok = as_bool "ok" t in
+      if not ok then any_failed := true;
+      match (ok, J.member "failure" t) with
+      | true, Some _ -> fail "%s (%s): ok target carries a failure" ctx name
+      | false, None -> fail "%s (%s): failed target without failure detail" ctx name
+      | true, None -> ()
+      | false, Some f ->
+        let fctx = Printf.sprintf "%s (%s).failure" ctx name in
+        check_keys ~ctx:fctx
+          ~allowed:[ "case"; "reason"; "index"; "replay_seed"; "shrink_steps"; "size" ] f;
+        if as_str "case" f = "" then fail "%s: empty counterexample" fctx;
+        if as_str "reason" f = "" then fail "%s: empty reason" fctx;
+        let index = as_int "index" f in
+        if index < 0 || index >= cases then
+          fail "%s: index %d out of range [0,%d)" fctx index cases;
+        ignore (as_int "replay_seed" f);
+        if as_int "shrink_steps" f < 0 then fail "%s: negative shrink_steps" fctx)
+    targets;
+  if all_ok && !any_failed then fail "top-level ok=true but a target failed";
+  if (not all_ok) && not !any_failed then
+    fail "top-level ok=false but every target passed";
+  Printf.printf "%s: ok (%d targets, %d cases each%s)\n" file
+    (List.length targets) count
+    (if all_ok then "" else ", FAILURES RECORDED")

@@ -7,6 +7,7 @@
      repro decompose -n 5000         network decompositions
      repro audit all -n 1000         locality certificates for every solver
      repro trace-report t.jsonl      recheck a recorded trace offline
+     repro fuzz all -n 200 -s 42     property-based differential fuzzing
 *)
 
 module G = Core.Graph.Multigraph
@@ -477,6 +478,110 @@ let trace_report_cmd =
           round/counter consistency, audit balls, certificate summaries.")
     Term.(ret (const run $ file $ against))
 
+(* ------------------------------------------------------------------ *)
+
+module Fuzz = Core.Fuzz
+
+let fuzz_cmd =
+  let run target count seed json out obs =
+    let selected =
+      if target = "all" then Ok Fuzz.Targets.all
+      else
+        match Fuzz.Targets.find target with
+        | Some t -> Ok [ t ]
+        | None ->
+          Error
+            (Printf.sprintf "unknown target %S (try: all, %s)" target
+               (String.concat ", " Fuzz.Targets.names))
+    in
+    match selected with
+    | Error msg -> `Error (false, msg)
+    | Ok targets ->
+      (match !Fuzz.Oracle.planted_bug with
+      | Some b when not (List.mem b Fuzz.Oracle.known_bugs) ->
+        Printf.eprintf "warning: REPRO_FUZZ_BREAK=%S is not a known bug (known: %s)\n"
+          b
+          (String.concat ", " Fuzz.Oracle.known_bugs)
+      | _ -> ());
+      with_obs ~label:"fuzz" obs @@ fun () ->
+      let reports =
+        List.map (fun t -> Fuzz.Targets.run t ~count ~seed) targets
+      in
+      if json then
+        print_endline
+          (Obs.Json.to_string (Fuzz.Targets.json_summary ~seed ~count reports))
+      else
+        List.iter
+          (fun (r : Fuzz.Prop.report) ->
+            Format.printf "%a@." Fuzz.Prop.pp_report r;
+            match r.Fuzz.Prop.r_failure with
+            | Some f ->
+              Printf.printf "  rerun: repro fuzz %s -n 1 --seed %d\n"
+                r.Fuzz.Prop.r_name f.Fuzz.Prop.f_replay_seed
+            | None -> ())
+          reports;
+      let failures =
+        List.filter_map (fun (r : Fuzz.Prop.report) -> r.Fuzz.Prop.r_failure)
+          reports
+      in
+      (match out with
+      | Some file ->
+        let events =
+          List.concat_map
+            (fun (r : Fuzz.Prop.report) ->
+              match r.Fuzz.Prop.r_failure with
+              | None -> []
+              | Some _ -> [ Fuzz.Targets.json_of_report r ])
+            reports
+        in
+        let oc = open_out file in
+        List.iter (fun j -> output_string oc (Obs.Json.to_string j ^ "\n")) events;
+        close_out oc;
+        if events <> [] then
+          Printf.printf "wrote %s (%d shrunk counterexample(s))\n" file
+            (List.length events)
+      | None -> ());
+      if failures = [] then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf "%d of %d fuzz target(s) FAILED" (List.length failures)
+              (List.length targets) )
+  in
+  let target =
+    Arg.(
+      value
+      & pos 0 string "all"
+      & info [] ~docv:"TARGET"
+          ~doc:"Fuzz target (or $(b,all)). Try an unknown name to list.")
+  in
+  let count =
+    Arg.(value & opt int 200 & info [ "n"; "cases" ] ~docv:"CASES" ~doc:"Cases per target.")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Print a deterministic repro-fuzz/1 JSON summary instead of text.")
+  in
+  let out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE"
+          ~doc:"Write shrunk counterexamples as JSONL to $(docv) (for CI artifacts).")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Structure-aware property-based fuzzing: generate graph / gadget / \
+          padded instances and fail on any disagreement between independent \
+          implementations (solver vs sequential vs distributed checker, \
+          sequential vs parallel engine, gadget Check vs Verifier, locality \
+          certificates). Failures shrink to minimal counterexamples and \
+          print a replay seed; runs are deterministic for a fixed seed.")
+    Term.(ret (const run $ target $ count $ seed_arg $ json $ out $ obs_args))
+
 let () =
   let doc = "Reproduction of 'How much does randomness help with locally checkable problems?' (PODC 2020)" in
   exit
@@ -485,4 +590,5 @@ let () =
           [
             landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd;
             decompose_cmd; experiment_cmd; audit_cmd; trace_report_cmd;
+            fuzz_cmd;
           ]))

@@ -6,7 +6,8 @@
     - {!Problems}: sinkless orientation, coloring, MIS — the landscape.
     - {!Gadget}: the (log, Δ)-gadget family of Section 4.
     - {!Padding}: padded LCLs (Section 3) and the Π^i hierarchy (Section 5).
-    - {!Obs}: round-level telemetry — counters, histograms, JSONL traces. *)
+    - {!Obs}: round-level telemetry — counters, histograms, JSONL traces.
+    - {!Fuzz}: property-based fuzzing + differential oracles ([repro fuzz]). *)
 
 module Graph = Repro_graph
 module Local = Repro_local
@@ -15,6 +16,7 @@ module Problems = Repro_problems
 module Gadget = Repro_gadget
 module Padding = Repro_padding
 module Obs = Repro_obs
+module Fuzz = Repro_fuzz
 
 (** [pi i] is the LCL Π^i of Theorem 11: deterministic complexity
     [Θ(log^i n)], randomized [Θ(log^{i-1} n · log log n)]. *)

@@ -1,0 +1,54 @@
+type 'a t = Rng.t -> 'a Shrink.tree
+
+let run g rng = g rng
+let root g rng = Shrink.root (g rng)
+let return x _ = Shrink.pure x
+let map f g rng = Shrink.map f (g rng)
+
+let bind g f rng =
+  let r1, r2 = Rng.split rng in
+  Shrink.bind (g r1) (fun x -> f x r2)
+
+let ( let* ) = bind
+
+let map2 f a b rng =
+  let r1, r2 = Rng.split rng in
+  Shrink.bind (a r1) (fun x -> Shrink.map (f x) (b r2))
+
+let pair a b = map2 (fun x y -> (x, y)) a b
+
+let triple a b c =
+  map2 (fun x (y, z) -> (x, y, z)) a (pair b c)
+
+let int_origin ~origin lo hi rng =
+  let origin = min hi (max lo origin) in
+  let x, _ = Rng.int_in rng ~lo ~hi in
+  Shrink.int_towards ~origin x
+
+let int_range lo hi = int_origin ~origin:lo lo hi
+
+let bool_ rng =
+  let b, _ = Rng.bool rng in
+  if b then Shrink.Node (true, Seq.return (Shrink.pure false)) else Shrink.pure false
+
+let choose xs =
+  if xs = [] then invalid_arg "Gen.choose: empty list";
+  map (List.nth xs) (int_range 0 (List.length xs - 1))
+
+let opt g rng =
+  let b, rng = Rng.bool rng in
+  if b then
+    let (Shrink.Node (x, cs)) = g rng in
+    Shrink.Node
+      ( Some x,
+        Seq.cons (Shrink.pure None) (Seq.map (Shrink.map (fun v -> Some v)) cs) )
+  else Shrink.pure None
+
+let list ~min ~max g rng =
+  let len, rng = Rng.int_in rng ~lo:min ~hi:max in
+  let trees = List.init len (fun i -> g (Rng.fork rng i)) in
+  Shrink.interleave ~min_len:min trees
+
+let seed rng = Shrink.int_towards ~origin:0 (Rng.to_seed rng mod 1_000_003)
+
+let no_shrink g rng = Shrink.pure (Shrink.root (g rng))

@@ -1,0 +1,50 @@
+(** Generator combinators with integrated shrinking.
+
+    A generator is a pure function from a splittable {!Rng} state to a
+    {!Shrink.tree} of values; composing generators splits the state, so
+    every sub-generator owns an independent replayable stream. Ranges are
+    explicit ([int_range lo hi]) rather than driven by a global size
+    parameter — the fuzz targets know their domains. *)
+
+type 'a t
+
+val run : 'a t -> Rng.t -> 'a Shrink.tree
+(** Generate one shrink tree (deterministic in the state). *)
+
+val root : 'a t -> Rng.t -> 'a
+(** [run] without the shrink candidates. *)
+
+val return : 'a -> 'a t
+val map : ('a -> 'b) -> 'a t -> 'b t
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+val ( let* ) : 'a t -> ('a -> 'b t) -> 'b t
+val pair : 'a t -> 'b t -> ('a * 'b) t
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+val int_range : int -> int -> int t
+(** Uniform in the inclusive range, shrinking toward the lower bound. *)
+
+val int_origin : origin:int -> int -> int -> int t
+(** Uniform in the inclusive range, shrinking toward [origin] (clamped
+    into the range). *)
+
+val bool_ : bool t
+(** Shrinks toward [false]. *)
+
+val choose : 'a list -> 'a t
+(** Uniform element, shrinking toward the head. @raise Invalid_argument
+    on the empty list. *)
+
+val opt : 'a t -> 'a option t
+(** [None] half the time; shrinks toward [None]. *)
+
+val list : min:int -> max:int -> 'a t -> 'a list t
+(** Length uniform in [min..max]; shrinks by dropping elements (never
+    below [min]) and by shrinking elements. *)
+
+val seed : int t
+(** A well-mixed non-negative integer that shrinks toward 0 — for cases
+    that feed a [Random.State.t]-based builder. *)
+
+val no_shrink : 'a t -> 'a t

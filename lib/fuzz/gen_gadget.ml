@@ -1,0 +1,61 @@
+module GB = Repro_gadget.Build
+module GL = Repro_gadget.Labels
+module Check = Repro_gadget.Check
+module Corrupt = Repro_gadget.Corrupt
+module G = Repro_graph.Multigraph
+
+type case = {
+  delta : int;
+  height : int;
+  corruption : (int * int) option;
+}
+
+let norm c = { c with delta = max 1 c.delta; height = max 2 c.height }
+
+let pp_case fmt c =
+  let c = norm c in
+  Format.fprintf fmt "{delta=%d; height=%d; %s}" c.delta c.height
+    (match c.corruption with
+    | None -> "valid"
+    | Some (ki, s) ->
+      let kind = List.nth Corrupt.all_kinds (ki mod List.length Corrupt.all_kinds) in
+      Format.asprintf "corrupt=%a seed=%d" Corrupt.pp_kind kind s)
+
+let nodes_of c =
+  let c = norm c in
+  GB.gadget_size ~delta:c.delta ~height:c.height
+
+let build c =
+  let c = norm c in
+  let t = GB.gadget ~delta:c.delta ~height:c.height in
+  match c.corruption with
+  | None -> (t, None)
+  | Some (ki, s) ->
+    let kind = List.nth Corrupt.all_kinds (ki mod List.length Corrupt.all_kinds) in
+    (* some operators can no-op into a still-valid labeling; walk nearby
+       seeds so a corrupted case is always actually invalid *)
+    let rec attempt tries s =
+      if tries >= 50 then
+        Corrupt.random_traced (Random.State.make [| s |]) t
+      else
+        let t', fault = Corrupt.apply_traced (Random.State.make [| s |]) kind t in
+        if Check.is_valid ~delta:c.delta t' then attempt (tries + 1) (s + 1)
+        else (t', fault)
+    in
+    let t', fault = attempt 0 s in
+    (t', Some fault)
+
+let gen ?(max_delta = 4) ?(max_height = 4) ~corrupted () =
+  let open Gen in
+  let* delta = int_range 1 max_delta in
+  let* height = int_range 2 max_height in
+  let* corruption =
+    let c =
+      pair (int_range 0 (List.length Corrupt.all_kinds - 1)) (int_range 0 9999)
+    in
+    match corrupted with
+    | Some true -> map (fun x -> Some x) c
+    | Some false -> return None
+    | None -> opt c
+  in
+  return { delta; height; corruption }

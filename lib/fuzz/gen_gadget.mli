@@ -1,0 +1,31 @@
+(** Generators for (d, Δ)-gadget instances and their corruptions.
+
+    A case is a construction recipe — Δ, sub-gadget height, and an
+    optional corruption (operator kind + seed) — so every shrink is
+    again a buildable gadget: the shrinker lowers Δ and the height
+    toward the smallest legal gadget and simplifies the corruption seed
+    while {!build} keeps the instance well-formed by construction. *)
+
+type case = {
+  delta : int;  (** ≥ 1 *)
+  height : int;  (** ≥ 2 (the {!Repro_gadget.Build} minimum) *)
+  corruption : (int * int) option;
+      (** [(kind_index, seed)]: apply [List.nth Corrupt.all_kinds
+          (kind_index mod length)] with a [Random.State] from [seed],
+          retrying nearby seeds until {!Repro_gadget.Check} actually
+          rejects (some operators can no-op); [None] = valid gadget *)
+}
+
+val pp_case : Format.formatter -> case -> unit
+
+val nodes_of : case -> int
+
+val build : case -> Repro_gadget.Labels.t * Repro_gadget.Corrupt.fault option
+(** Materialize the gadget; [Some fault] iff a corruption was applied
+    (then the gadget is guaranteed invalid, with the touched nodes named
+    in the fault). *)
+
+val gen : ?max_delta:int -> ?max_height:int -> corrupted:bool option -> unit -> case Gen.t
+(** Δ in [1..max_delta] (default 4), height in [2..max_height] (default
+    4). [corrupted = Some true] always plants a fault, [Some false]
+    never, [None] mixes 50/50 (shrinking toward uncorrupted). *)

@@ -1,0 +1,258 @@
+module G = Repro_graph.Multigraph
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+module Pool = Repro_local.Pool
+module MP = Repro_local.Message_passing
+module Audit = Repro_local.Audit
+module Labeling = Repro_lcl.Labeling
+module Ne_lcl = Repro_lcl.Ne_lcl
+module DC = Repro_lcl.Distributed_check
+module SO = Repro_problems.Sinkless_orientation
+module Coloring = Repro_problems.Coloring
+module Mis = Repro_problems.Mis
+module Matching = Repro_problems.Matching
+module Two = Repro_problems.Two_coloring
+module ND = Repro_problems.Network_decomposition
+module GL = Repro_gadget.Labels
+module Check = Repro_gadget.Check
+module Corrupt = Repro_gadget.Corrupt
+module V = Repro_gadget.Verifier
+module Psi = Repro_gadget.Psi
+module NP = Repro_gadget.Ne_psi
+module Spec = Repro_padding.Spec
+module H = Repro_padding.Hierarchy
+module Prov = Repro_obs.Provenance
+
+type verdict = (unit, string) result
+
+let known_bugs = [ "so-edge-clause" ]
+
+let planted_bug = ref (Sys.getenv_opt "REPRO_FUZZ_BREAK")
+
+let ( let& ) v f = match v with Ok () -> f () | Error _ as e -> e
+
+let require cond msg = if cond then Ok () else Error msg
+
+let requiref cond fmt = Format.kasprintf (require cond) fmt
+
+(* ------------------------------------------------------------------ *)
+
+let unit_input g = Labeling.const g ~v:() ~e:() ~b:()
+
+let dc_accepts problem inst out =
+  (DC.run problem inst ~input:(unit_input inst.Instance.graph) ~output:out)
+    .DC.all_accept
+
+let so_solvers (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let check label (out : SO.output) =
+    let& () = requiref (SO.is_valid g out) "%s: sequential checker rejects" label in
+    let& () =
+      requiref (SO.count_sinks g out = 0) "%s: %d sinks left" label
+        (SO.count_sinks g out)
+    in
+    requiref (dc_accepts SO.problem inst out) "%s: distributed checker rejects"
+      label
+  in
+  let out_d, _ = SO.solve_deterministic inst in
+  let& () = check "so-det" out_d in
+  let out_r, _ = SO.solve_randomized inst in
+  check "so-rand" out_r
+
+let colorful (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let delta = G.max_degree g in
+  let col, _ = Coloring.solve inst in
+  let& () = require (Coloring.is_valid g col) "coloring: sequential checker rejects" in
+  let& () =
+    require
+      (dc_accepts (Coloring.problem ~delta) inst col)
+      "coloring: distributed checker rejects"
+  in
+  let mis, _ = Mis.solve inst in
+  let& () = require (Mis.is_valid g mis) "mis: sequential checker rejects" in
+  let& () = require (dc_accepts Mis.problem inst mis) "mis: distributed checker rejects" in
+  let mat, _ = Matching.solve inst in
+  let& () = require (Matching.is_valid g mat) "matching: sequential checker rejects" in
+  require (dc_accepts Matching.problem inst mat) "matching: distributed checker rejects"
+
+let two_coloring (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let& () = require (Two.is_bipartite g) "generator produced a non-bipartite graph" in
+  let inst = Instance.create ~seed g in
+  let out, _ = Two.solve inst in
+  let& () = require (Two.is_valid g out) "2-coloring: sequential checker rejects" in
+  require (dc_accepts Two.problem inst out) "2-coloring: distributed checker rejects"
+
+let decompose (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let ls = ND.linial_saks inst ~p:0.5 in
+  let& () = require (ND.is_valid g ls) "linial-saks decomposition invalid" in
+  let gr = ND.greedy inst in
+  require (ND.is_valid g gr) "greedy decomposition invalid"
+
+(* ------------------------------------------------------------------ *)
+(* checker-vs-checker differential (the planted-bug oracle) *)
+
+let so_seq_problem () =
+  match !planted_bug with
+  | Some "so-edge-clause" ->
+    (* the deliberately broken copy: accepts any edge labeling *)
+    { SO.problem with Ne_lcl.check_edge = (fun _ -> true) }
+  | _ -> SO.problem
+
+let flip_half (out : SO.output) h =
+  let b = Array.copy out.Labeling.b in
+  b.(h) <- (match b.(h) with SO.Out -> SO.In | SO.In -> SO.Out);
+  { out with Labeling.b }
+
+let dcheck (recipe, seed, mutate) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let out, _ = SO.solve_deterministic inst in
+  let out, mutated =
+    match mutate with
+    | Some h when G.m g > 0 -> (flip_half out (h mod (2 * G.m g)), true)
+    | _ -> (out, false)
+  in
+  let seq_ok =
+    Ne_lcl.is_valid (so_seq_problem ()) g ~input:(unit_input g) ~output:out
+  in
+  let dist_ok = dc_accepts SO.problem inst out in
+  let& () =
+    requiref (seq_ok = dist_ok)
+      "checkers disagree: sequential says %b, distributed says %b" seq_ok dist_ok
+  in
+  requiref (dist_ok = not mutated)
+    "verdict %b but output was %s" dist_ok
+    (if mutated then "corrupted" else "produced by the solver")
+
+(* ------------------------------------------------------------------ *)
+(* pool-size differential *)
+
+let engines (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let run () =
+    let out, m = SO.solve_deterministic inst in
+    let fl = MP.flood_gather inst ~radius:3 (fun v -> v) in
+    (out, Meter.max_radius m, Meter.histogram m, fl)
+  in
+  let saved = Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size saved)
+    (fun () ->
+      Pool.set_size 1;
+      let base = run () in
+      let rec go = function
+        | [] -> Ok ()
+        | s :: rest ->
+          Pool.set_size s;
+          let& () =
+            requiref (run () = base) "%d-domain run differs from sequential" s
+          in
+          go rest
+      in
+      go [ 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* gadget: Check × Verifier × Psi × Ne_psi *)
+
+let bfs_dist g src =
+  let n = G.n g in
+  let d = Array.make n (-1) in
+  let q = Queue.create () in
+  d.(src) <- 0;
+  Queue.add src q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun w ->
+        if d.(w) < 0 then begin
+          d.(w) <- d.(u) + 1;
+          Queue.add w q
+        end)
+      (G.neighbors g u)
+  done;
+  d
+
+let gadget (case : Gen_gadget.case) =
+  let delta = max 1 case.Gen_gadget.delta in
+  let t, fault = Gen_gadget.build case in
+  let n = G.n t.GL.graph in
+  let structurally_valid = Check.is_valid ~delta t in
+  let& () =
+    requiref
+      (structurally_valid = (fault = None))
+      "Check says %s but a fault %s planted"
+      (if structurally_valid then "valid" else "invalid")
+      (if fault = None then "was not" else "was")
+  in
+  let out, _ = V.run ~delta ~n t in
+  let& () =
+    requiref
+      (Psi.is_valid ~delta t out)
+      "verifier output does not satisfy Psi"
+  in
+  let sol, _ = NP.prove ~delta ~n t in
+  let& () =
+    requiref (NP.is_valid ~delta t sol) "node-edge proof rejected by Ne_psi"
+  in
+  match fault with
+  | None ->
+    requiref (V.is_all_ok out) "verifier claims error on a valid gadget"
+  | Some f ->
+    let& () =
+      requiref (not (V.is_all_ok out)) "verifier claims GadOk on a corrupted gadget"
+    in
+    (* every Error of the proof must localize the planted fault *)
+    let dists = List.map (bfs_dist t.GL.graph) f.Corrupt.f_sites in
+    let errors = ref [] in
+    Array.iteri (fun v o -> if o = Psi.Error then errors := v :: !errors) out;
+    let& () = require (!errors <> []) "corrupted gadget but no Error output" in
+    let far =
+      List.filter
+        (fun v ->
+          List.for_all
+            (fun d -> d.(v) < 0 || d.(v) > Corrupt.fault_radius)
+            dists)
+        !errors
+    in
+    requiref (far = [])
+      "Error nodes %s are farther than %d from the fault (%s)"
+      (String.concat "," (List.map string_of_int far))
+      Corrupt.fault_radius
+      (Format.asprintf "%a" Corrupt.pp_fault f)
+
+(* ------------------------------------------------------------------ *)
+
+let padding (level, target, seed) =
+  let stats = Spec.run_hard (H.level level) ~seed ~target in
+  let& () =
+    requiref stats.Spec.det_valid "deterministic padded solution invalid (n=%d)"
+      stats.Spec.n
+  in
+  requiref stats.Spec.rand_valid "randomized padded solution invalid (n=%d)"
+    stats.Spec.n
+
+let provenance (reg, seed) =
+  let g = Gen_graph.to_regular reg in
+  let inst = Instance.create ~seed g in
+  let out, m = SO.solve_deterministic inst in
+  let cert =
+    Audit.run_flood ~label:"fuzz-so-det" inst ~declared:(Meter.declared m)
+  in
+  let& () =
+    requiref cert.Prov.c_ok "solver flood certificate failed (%d violations)"
+      (List.length cert.Prov.c_violations)
+  in
+  let verdict, cert2 =
+    DC.audited_run ~label:"fuzz-dcheck" SO.problem inst ~input:(unit_input g)
+      ~output:out
+  in
+  let& () = require verdict.DC.all_accept "distributed checker rejects solver output" in
+  requiref cert2.Prov.c_ok "checker certificate failed (%d violations)"
+    (List.length cert2.Prov.c_violations)

@@ -1,0 +1,71 @@
+(** The differential oracles: each takes a generated case and
+    cross-checks several independent implementations, failing on any
+    disagreement. The oracle matrix (DESIGN.md §11):
+
+    - solver output × {!Repro_lcl.Ne_lcl} sequential check ×
+      {!Repro_lcl.Distributed_check} engine run, per landscape problem;
+    - sequential (pool size 1) × parallel (2, 4 domains) engine runs;
+    - gadget {!Repro_gadget.Check} × {!Repro_gadget.Verifier} +
+      {!Repro_gadget.Psi} (a corrupted gadget must be rejected by both,
+      with the error proof localizing the planted fault) ×
+      {!Repro_gadget.Ne_psi};
+    - padded Π' instances solved and validated through
+      {!Repro_padding.Spec.run_hard};
+    - locality provenance certificates on fuzzed runs
+      ({!Repro_local.Audit}, {!Repro_lcl.Distributed_check.audited_run}).
+
+    All oracles are deterministic functions of the case (instances carry
+    explicit seeds), which is what makes shrinking and replay sound. *)
+
+val planted_bug : string option ref
+(** Test-only fault injection: when set to a known bug name, one clause
+    of one {e copy} of a checker is dropped, so the differential harness
+    must catch the disagreement (the acceptance gate for the whole
+    subsystem — see [test/test_fuzz.ml] and DESIGN.md §11). Initialized
+    from the [REPRO_FUZZ_BREAK] environment variable. Never set outside
+    tests. *)
+
+val known_bugs : string list
+(** Currently: ["so-edge-clause"] — the sequential copy of the sinkless
+    orientation checker accepts any edge labeling. *)
+
+(** {1 Oracles} — [Error] carries the disagreement description. *)
+
+type verdict = (unit, string) result
+
+val so_solvers : Gen_graph.recipe * int -> verdict
+(** Both SO solvers on an arbitrary multigraph: output valid by the
+    sequential checker, zero sinks, and the distributed checker accepts. *)
+
+val colorful : Gen_graph.recipe * int -> verdict
+(** Coloring, MIS and matching on a simple graph: each output valid by
+    its sequential checker and accepted by the distributed checker. *)
+
+val two_coloring : Gen_graph.recipe * int -> verdict
+(** 2-coloring on a bipartite recipe: valid + distributed agreement. *)
+
+val decompose : Gen_graph.recipe * int -> verdict
+(** Linial–Saks and greedy network decompositions both valid. *)
+
+val dcheck : Gen_graph.recipe * int * int option -> verdict
+(** The checker-vs-checker differential: solve SO, optionally corrupt
+    one half-edge output (the [int option] picks the half), then demand
+    the sequential {!Repro_lcl.Ne_lcl} verdict and the engine-run
+    {!Repro_lcl.Distributed_check} verdict agree — and that the verdict
+    is "reject" exactly when a corruption was actually applied. This is
+    the oracle that catches the [so-edge-clause] planted bug. *)
+
+val engines : Gen_graph.recipe * int -> verdict
+(** Pool-size differential: SO (det) outputs, meters and a flood-gather
+    must be identical at 1, 2 and 4 domains. *)
+
+val gadget : Gen_gadget.case -> verdict
+(** Check × Verifier × Psi × Ne_psi as described above. *)
+
+val padding : int * int * int -> verdict
+(** [(level, target, seed)]: Π^level on a fresh hard instance — both
+    solvers' outputs must validate. *)
+
+val provenance : Gen_graph.regular * int -> verdict
+(** Certificates: replay the SO-det meter as an audited flood, and run
+    the distributed checker natively under audit; both must certify. *)

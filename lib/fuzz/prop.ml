@@ -1,0 +1,105 @@
+type 'a t = {
+  p_name : string;
+  p_gen : 'a Gen.t;
+  p_show : 'a -> string;
+  p_size : ('a -> int) option;
+  p_law : 'a -> (unit, string) result;
+}
+
+let make ~name ?size_of ~show gen law =
+  { p_name = name; p_gen = gen; p_show = show; p_size = size_of; p_law = law }
+
+let law_bool pred x = if pred x then Ok () else Error "property false"
+
+type failure = {
+  f_case : string;
+  f_reason : string;
+  f_index : int;
+  f_replay_seed : int;
+  f_shrink_steps : int;
+  f_size : int option;
+}
+
+type report = {
+  r_name : string;
+  r_count : int;
+  r_seed : int;
+  r_failure : failure option;
+}
+
+(* case 0 replays the base seed unchanged; later cases decorrelate by a
+   large odd multiplier (Rng.of_seed mixes, so arithmetic structure in
+   the derived seeds cannot leak into the streams) *)
+let case_seed seed i = (seed + (i * 0x9E3779B97F4A7C)) land max_int
+
+let eval law x =
+  match law x with
+  | Ok () -> Ok ()
+  | Error e -> Error e
+  | exception e -> Error (Printf.sprintf "exception: %s" (Printexc.to_string e))
+
+(* greedy descent: repeatedly move to the first child that still fails *)
+let shrink ~budget law tree reason0 =
+  let evals = ref 0 in
+  let steps = ref 0 in
+  let rec go tree reason =
+    let rec first_failing cs =
+      if !evals >= budget then None
+      else
+        match cs () with
+        | Seq.Nil -> None
+        | Seq.Cons (c, rest) -> (
+          incr evals;
+          match eval law (Shrink.root c) with
+          | Ok () -> first_failing rest
+          | Error e -> Some (c, e))
+    in
+    match first_failing (Shrink.children tree) with
+    | None -> (Shrink.root tree, reason, !steps)
+    | Some (c, e) ->
+      incr steps;
+      go c e
+  in
+  go tree reason0
+
+let run ?(max_shrink_evals = 3000) ~count ~seed prop =
+  let failure = ref None in
+  let i = ref 0 in
+  while !failure = None && !i < count do
+    let cs = case_seed seed !i in
+    let tree = Gen.run prop.p_gen (Rng.of_seed cs) in
+    (match eval prop.p_law (Shrink.root tree) with
+    | Ok () -> ()
+    | Error reason ->
+      let small, reason, steps =
+        shrink ~budget:max_shrink_evals prop.p_law tree reason
+      in
+      failure :=
+        Some
+          {
+            f_case = prop.p_show small;
+            f_reason = reason;
+            f_index = !i;
+            f_replay_seed = cs;
+            f_shrink_steps = steps;
+            f_size = Option.map (fun f -> f small) prop.p_size;
+          });
+    incr i
+  done;
+  { r_name = prop.p_name; r_count = !i; r_seed = seed; r_failure = !failure }
+
+let pp_report fmt r =
+  match r.r_failure with
+  | None ->
+    Format.fprintf fmt "%-16s %4d cases  PASS" r.r_name r.r_count
+  | Some f ->
+    Format.fprintf fmt "%-16s %4d cases  FAIL (case %d)@\n" r.r_name r.r_count
+      f.f_index;
+    Format.fprintf fmt "  counterexample (%d shrink steps%s):@\n    %s@\n"
+      f.f_shrink_steps
+      (match f.f_size with
+      | Some s -> Printf.sprintf ", size %d" s
+      | None -> "")
+      f.f_case;
+    Format.fprintf fmt "  reason: %s@\n" f.f_reason;
+    Format.fprintf fmt "  replay: --seed %d -n 1" f.f_replay_seed

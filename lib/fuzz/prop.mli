@@ -1,0 +1,60 @@
+(** Properties: a named generator + law, with a deterministic runner
+    that shrinks failures to minimal counterexamples and prints a replay
+    seed.
+
+    Replay contract: case [i] of [run ~count ~seed] is generated from the
+    derived seed [case_seed seed i], and that derived seed is what a
+    failure reports — running the same property with [~count:1] and the
+    reported seed regenerates exactly the failing case (the CLI prints
+    the corresponding [repro fuzz] command line). *)
+
+type 'a t = {
+  p_name : string;
+  p_gen : 'a Gen.t;
+  p_show : 'a -> string;
+  p_size : ('a -> int) option;
+      (** domain-size metric of a case (e.g. node count), for reports and
+          smallness assertions *)
+  p_law : 'a -> (unit, string) result;
+      (** [Error reason] or an exception is a failing case *)
+}
+
+val make :
+  name:string ->
+  ?size_of:('a -> int) ->
+  show:('a -> string) ->
+  'a Gen.t ->
+  ('a -> (unit, string) result) ->
+  'a t
+
+val law_bool : ('a -> bool) -> 'a -> (unit, string) result
+(** Adapt a boolean predicate ([false] becomes [Error "property false"]). *)
+
+type failure = {
+  f_case : string;  (** printed shrunk counterexample *)
+  f_reason : string;
+  f_index : int;  (** index of the originally failing case *)
+  f_replay_seed : int;  (** regenerates the case with [~count:1] *)
+  f_shrink_steps : int;  (** accepted shrink steps *)
+  f_size : int option;  (** metric of the shrunk case *)
+}
+
+type report = {
+  r_name : string;
+  r_count : int;  (** cases executed (stops at the first failure) *)
+  r_seed : int;
+  r_failure : failure option;
+}
+
+val case_seed : int -> int -> int
+(** [case_seed seed i]: the derived seed of case [i]. [case_seed s 0 = s]. *)
+
+val run : ?max_shrink_evals:int -> count:int -> seed:int -> 'a t -> report
+(** Run [count] cases. On the first failing case, shrink greedily —
+    descend into the first shrink candidate that still fails, capped at
+    [max_shrink_evals] law evaluations (default 3000) — and report the
+    minimal counterexample found. *)
+
+val pp_report : Format.formatter -> report -> unit
+(** Human-readable summary; on failure includes the counterexample, the
+    failure reason and the replay seed. Deterministic (no timings). *)

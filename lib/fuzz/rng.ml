@@ -1,0 +1,57 @@
+(* SplitMix64 with the gamma-repair of the OOPSLA 2014 paper. All state
+   is immutable; drawing returns the advanced state. *)
+
+type t = { seed : int64; gamma : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+(* MurmurHash3-style 64-bit finalizer (mix64 variant 13) *)
+let mix64 z =
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let popcount64 z =
+  let c = ref 0 in
+  for i = 0 to 63 do
+    if Int64.logand (Int64.shift_right_logical z i) 1L = 1L then incr c
+  done;
+  !c
+
+(* gammas must be odd, with enough bit transitions to mix well *)
+let mix_gamma z =
+  let z = Int64.logor (mix64 z) 1L in
+  let transitions = popcount64 (Int64.logxor z (Int64.shift_right_logical z 1)) in
+  if transitions < 24 then Int64.logxor z 0xAAAAAAAAAAAAAAAAL else z
+
+let of_seed s = { seed = mix64 (Int64.of_int s); gamma = golden_gamma }
+
+let next_int64 t =
+  let seed = Int64.add t.seed t.gamma in
+  (mix64 seed, { t with seed })
+
+let split t =
+  let s1 = Int64.add t.seed t.gamma in
+  let s2 = Int64.add s1 t.gamma in
+  ({ seed = mix64 s1; gamma = mix_gamma s2 }, { t with seed = s2 })
+
+let fork t i =
+  let s = Int64.add t.seed (Int64.mul t.gamma (Int64.of_int (2 * i + 1))) in
+  { seed = mix64 s; gamma = mix_gamma (Int64.lognot s) }
+
+let int_in t ~lo ~hi =
+  if lo > hi then invalid_arg "Rng.int_in: lo > hi";
+  let x, t = next_int64 t in
+  let range = hi - lo + 1 in
+  (* mask to 62 bits so the conversion is non-negative on 64-bit OCaml;
+     modulo bias is < 2^-40 for the small ranges fuzzing uses *)
+  let v = Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL) in
+  (lo + (v mod range), t)
+
+let bool t =
+  let x, t = next_int64 t in
+  (Int64.logand x 1L = 1L, t)
+
+let to_seed t =
+  let x, _ = next_int64 t in
+  Int64.to_int (Int64.logand x 0x3FFFFFFFFFFFFFFFL)

@@ -1,0 +1,36 @@
+(** Splittable pseudo-random streams for the fuzzing subsystem.
+
+    A purely functional SplitMix64 (Steele, Lea, Flood — "Fast splittable
+    pseudorandom number generators", OOPSLA 2014): a state is a pair
+    (seed, gamma); drawing advances the seed by gamma and mixes; [split]
+    derives a statistically independent stream. Purity is what makes
+    integrated shrinking replayable — re-running a generator on the same
+    state yields the same value, so a shrink candidate can re-generate
+    sub-structures deterministically.
+
+    Everything in [lib/fuzz] threads one of these explicitly; no global
+    RNG ([Random.self_init] is banned repo-wide, see README). *)
+
+type t
+
+val of_seed : int -> t
+(** Deterministic state from an integer seed. *)
+
+val split : t -> t * t
+(** Two independent streams; neither equals the input stream. *)
+
+val fork : t -> int -> t
+(** [fork t i] is the [i]-th of an indexed family of independent streams
+    derived from [t] — used to give each list element / record field its
+    own stream without sequential dependence. *)
+
+val next_int64 : t -> int64 * t
+
+val int_in : t -> lo:int -> hi:int -> int * t
+(** Uniform in the inclusive range. @raise Invalid_argument if [lo > hi]. *)
+
+val bool : t -> bool * t
+
+val to_seed : t -> int
+(** A well-mixed non-negative integer drawn from the stream — for handing
+    to consumers that want a plain seed (e.g. [Random.State.make]). *)

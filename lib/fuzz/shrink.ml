@@ -1,0 +1,63 @@
+type 'a tree = Node of 'a * 'a tree Seq.t
+
+let root (Node (x, _)) = x
+let children (Node (_, cs)) = cs
+let pure x = Node (x, Seq.empty)
+
+let rec map f (Node (x, cs)) = Node (f x, Seq.map (map f) cs)
+
+let rec bind (Node (x, cs)) f =
+  let (Node (y, ys)) = f x in
+  Node (y, Seq.append (Seq.map (fun c -> bind c f) cs) ys)
+
+(* halving differences between [x] and [origin]: origin itself first,
+   then midpoints approaching x; empty when x = origin *)
+let candidates_towards ~origin x =
+  if x = origin then Seq.empty
+  else
+    Seq.unfold
+      (fun d -> if d = 0 then None else Some (x - d, d / 2))
+      (x - origin)
+
+let rec int_towards ~origin x =
+  Node (x, Seq.map (int_towards ~origin) (candidates_towards ~origin x))
+
+(* all ways to remove one aligned chunk of [k] consecutive elements *)
+let rec removes k xs =
+  let n = List.length xs in
+  if k <= 0 || k > n then Seq.empty
+  else
+    let rec take_drop i = function
+      | rest when i = 0 -> ([], rest)
+      | [] -> ([], [])
+      | x :: rest ->
+        let a, b = take_drop (i - 1) rest in
+        (x :: a, b)
+    in
+    let head, tail = take_drop k xs in
+    Seq.cons tail (Seq.map (fun rest -> head @ rest) (removes k tail))
+
+let halvings n = Seq.unfold (fun k -> if k = 0 then None else Some (k, k / 2)) n
+
+let rec interleave ?(min_len = 0) trees =
+  let roots = List.map root trees in
+  let n = List.length trees in
+  let drops =
+    halvings n
+    |> Seq.concat_map (fun k ->
+           if n - k < min_len then Seq.empty else removes k trees)
+    |> Seq.map (fun ts -> interleave ~min_len ts)
+  in
+  let shrink_elt =
+    List.to_seq trees
+    |> Seq.mapi (fun i t -> (i, t))
+    |> Seq.concat_map (fun (i, t) ->
+           children t
+           |> Seq.map (fun c ->
+                  interleave ~min_len
+                    (List.mapi (fun j t' -> if j = i then c else t') trees)))
+  in
+  Node (roots, Seq.append drops shrink_elt)
+
+let rec filter p (Node (x, cs)) =
+  Node (x, Seq.filter_map (fun c -> if p (root c) then Some (filter p c) else None) cs)

@@ -1,0 +1,33 @@
+(** Integrated shrinking: every generated value is the root of a lazy
+    rose tree whose children are smaller candidate values (Hedgehog's
+    design). Shrinking a failing case walks the tree greedily — descend
+    into the first child that still fails, repeat — so generators and
+    shrinkers can never drift apart, and [Gen.bind] keeps sub-structures
+    consistent while outer values shrink. *)
+
+type 'a tree = Node of 'a * 'a tree Seq.t
+
+val root : 'a tree -> 'a
+val children : 'a tree -> 'a tree Seq.t
+
+val pure : 'a -> 'a tree
+(** No shrink candidates. *)
+
+val map : ('a -> 'b) -> 'a tree -> 'b tree
+
+val bind : 'a tree -> ('a -> 'b tree) -> 'b tree
+(** Monadic composition: children shrink the outer value first (re-running
+    the continuation on the shrunk value), then the inner one. *)
+
+val int_towards : origin:int -> int -> int tree
+(** Shrink candidates for an int: [origin] first, then binary halvings
+    toward the value. Works for values on either side of [origin]. *)
+
+val interleave : ?min_len:int -> 'a tree list -> 'a list tree
+(** A list tree from element trees: candidates drop aligned chunks of
+    halving sizes (never below [min_len], default 0), then shrink
+    individual elements left to right. *)
+
+val filter : ('a -> bool) -> 'a tree -> 'a tree
+(** Prune candidate subtrees whose root fails the predicate (the root of
+    the input tree is kept regardless). *)

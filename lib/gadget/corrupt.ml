@@ -76,12 +76,25 @@ let rebuild_edges t ~drop ~extra =
     !half_entries;
   with_truthful_flags { graph; nodes = t.nodes; halves; half_color2; half_flags }
 
-let apply rng kind t =
+type fault = { f_kind : kind; f_sites : int list }
+
+let pp_fault fmt { f_kind; f_sites } =
+  Format.fprintf fmt "%a at nodes [%s]" pp_kind f_kind
+    (String.concat "; " (List.map string_of_int f_sites))
+
+(* the widest constraint view is the 4-hop follow_path of rule 3h plus
+   one hop of flag/color replication *)
+let fault_radius = 5
+
+let apply_traced rng kind t =
   let g = t.graph in
   let n = G.n g in
+  let sites_of_half h = [ G.half_node g h; G.half_node g (G.mate h) ] in
   match kind with
   | Relabel_half ->
-    with_truthful_flags (relabel_half t (random_half rng t) (random_label rng))
+    let h = random_half rng t in
+    ( with_truthful_flags (relabel_half t h (random_label rng)),
+      { f_kind = kind; f_sites = sites_of_half h } )
   | Wrong_index ->
     let v = Random.State.int rng n in
     let nl = t.nodes.(v) in
@@ -90,14 +103,15 @@ let apply rng kind t =
       | Index i -> Index (if i = 1 then 2 else 1)
       | Center -> Index 1
     in
-    relabel_node t v { nl with kind = kind' }
+    (relabel_node t v { nl with kind = kind' }, { f_kind = kind; f_sites = [ v ] })
   | Fake_port ->
     let rec pick tries =
       let v = Random.State.int rng n in
       if t.nodes.(v).port = None || tries > 50 then v else pick (tries + 1)
     in
     let v = pick 0 in
-    relabel_node t v { (t.nodes.(v)) with port = Some 1 }
+    ( relabel_node t v { (t.nodes.(v)) with port = Some 1 },
+      { f_kind = kind; f_sites = [ v ] } )
   | Drop_port ->
     let rec pick tries v =
       if tries > 10 * n then v
@@ -106,35 +120,48 @@ let apply rng kind t =
         if t.nodes.(w).port <> None then w else pick (tries + 1) v
     in
     let v = pick 0 0 in
-    relabel_node t v { (t.nodes.(v)) with port = None }
+    ( relabel_node t v { (t.nodes.(v)) with port = None },
+      { f_kind = kind; f_sites = [ v ] } )
   | Extra_edge ->
     let u = Random.State.int rng n and v = Random.State.int rng n in
-    rebuild_edges t ~drop:[] ~extra:[ (u, v, random_label rng, random_label rng) ]
+    ( rebuild_edges t ~drop:[] ~extra:[ (u, v, random_label rng, random_label rng) ],
+      { f_kind = kind; f_sites = [ u; v ] } )
   | Drop_edge ->
-    if G.m g = 0 then t
-    else rebuild_edges t ~drop:[ Random.State.int rng (G.m g) ] ~extra:[]
-  | Parallel_edge ->
-    if G.m g = 0 then t
+    if G.m g = 0 then (t, { f_kind = kind; f_sites = [] })
     else begin
       let e = Random.State.int rng (G.m g) in
       let u, v = G.endpoints g e in
-      rebuild_edges t ~drop:[]
-        ~extra:[ (u, v, t.halves.(2 * e), t.halves.((2 * e) + 1)) ]
+      ( rebuild_edges t ~drop:[ e ] ~extra:[],
+        { f_kind = kind; f_sites = [ u; v ] } )
+    end
+  | Parallel_edge ->
+    if G.m g = 0 then (t, { f_kind = kind; f_sites = [] })
+    else begin
+      let e = Random.State.int rng (G.m g) in
+      let u, v = G.endpoints g e in
+      ( rebuild_edges t ~drop:[]
+          ~extra:[ (u, v, t.halves.(2 * e), t.halves.((2 * e) + 1)) ],
+        { f_kind = kind; f_sites = [ u; v ] } )
     end
   | Stale_flags ->
     let h = random_half rng t in
     let f = t.half_flags.(h) in
     let half_flags = Array.copy t.half_flags in
     half_flags.(h) <- { f with f_right = not f.f_right };
-    { t with half_flags }
+    ({ t with half_flags }, { f_kind = kind; f_sites = sites_of_half h })
   | Bad_color ->
     let v = Random.State.int rng n in
     let c = t.nodes.(v).color2 in
-    (match G.neighbors g v with
-    | w :: _ -> relabel_node t v { (t.nodes.(v)) with color2 = t.nodes.(w).color2 }
-    | [] -> relabel_node t v { (t.nodes.(v)) with color2 = c + 1 })
+    let t' =
+      match G.neighbors g v with
+      | w :: _ -> relabel_node t v { (t.nodes.(v)) with color2 = t.nodes.(w).color2 }
+      | [] -> relabel_node t v { (t.nodes.(v)) with color2 = c + 1 }
+    in
+    (t', { f_kind = kind; f_sites = [ v ] })
 
-let random rng t =
+let apply rng kind t = fst (apply_traced rng kind t)
+
+let random_traced rng t =
   let delta =
     Array.fold_left
       (fun acc (nl : node_label) ->
@@ -145,8 +172,13 @@ let random rng t =
     if tries > 100 then failwith "Corrupt.random: could not invalidate gadget"
     else begin
       let kind = List.nth all_kinds (Random.State.int rng (List.length all_kinds)) in
-      let t' = apply rng kind t in
-      if Check.is_valid ~delta t' then go (tries + 1) else (t', kind)
+      let t', fault = apply_traced rng kind t in
+      if Check.is_valid ~delta t' then go (tries + 1) else (t', fault)
     end
   in
   go 0
+
+let random rng t =
+  let t', fault = random_traced rng t in
+  (t', fault.f_kind)
+

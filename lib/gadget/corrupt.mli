@@ -20,14 +20,38 @@ val all_kinds : kind list
 
 val pp_kind : Format.formatter -> kind -> unit
 
+type fault = {
+  f_kind : kind;
+  f_sites : int list;
+      (** the nodes whose incident labels / edges the corruption touched,
+          in the corrupted graph's node numbering (node ids are preserved
+          by every operator) — the ground truth for fault-localization
+          tests: any {!Check} violation must lie within
+          {!fault_radius} of a site *)
+}
+
+val pp_fault : Format.formatter -> fault -> unit
+
+val fault_radius : int
+(** The declared localization radius: every §4.2/§4.3 constraint reads a
+    view of at most this many hops, so a single corruption of a valid
+    gadget can only create violations within [fault_radius] of the
+    touched nodes (asserted by the mutation-coverage tests). *)
+
 val apply : Random.State.t -> kind -> Labels.t -> Labels.t
 (** Apply one corruption. The result usually violates some constraint of
     {!Check}; callers that need a guaranteed-invalid gadget should test
     with {!Check.is_valid} and retry (a random relabel can occasionally
     recreate a valid labeling). *)
 
+val apply_traced : Random.State.t -> kind -> Labels.t -> Labels.t * fault
+(** [apply] plus the fault record naming the touched nodes. *)
+
 val random : Random.State.t -> Labels.t -> Labels.t * kind
 (** Apply a uniformly random corruption kind, retrying (up to 100 times)
     until {!Check.is_valid} fails. Raises [Failure] if it cannot invalidate
     the gadget (practically impossible on real gadgets). The required
     [delta] for the validity check is taken as the number of ports. *)
+
+val random_traced : Random.State.t -> Labels.t -> Labels.t * fault
+(** {!random} with the fault record. *)

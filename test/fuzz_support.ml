@@ -1,0 +1,18 @@
+(* Alcotest adapter for Fuzz properties: a failing property renders its
+   shrunk counterexample, reason and replay seed in the assertion
+   message, so a red CI run is immediately reproducible with
+   `repro fuzz` or a one-off `Prop.run ~count:1 ~seed:<replay>`. *)
+
+module Prop = Repro_fuzz.Prop
+
+let default_seed = 42
+
+let run ?(seed = default_seed) ~count prop () =
+  let r = Prop.run ~count ~seed prop in
+  match r.Prop.r_failure with
+  | None -> ()
+  | Some _ -> Alcotest.fail (Format.asprintf "%a" Prop.pp_report r)
+
+(* one alcotest case per property, preserving the property's name *)
+let case ?(speed = `Quick) ?seed ~count prop =
+  (prop.Prop.p_name, speed, run ?seed ~count prop)

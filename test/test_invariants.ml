@@ -1,6 +1,11 @@
 (* Cross-stack invariants: properties that tie several subsystems
    together (provenance round-trips, meter laws, solver/checker and
-   backend agreement, padding composability across families). *)
+   backend agreement, padding composability across families).
+
+   The properties run on the in-tree Fuzz combinators (lib/fuzz), so a
+   failure here shrinks to a minimal counterexample and prints a replay
+   seed instead of a bare `false`. Case counts are floors inherited from
+   the original QCheck versions. *)
 
 module G = Repro_graph.Multigraph
 module Gen = Repro_graph.Generators
@@ -16,6 +21,8 @@ module Spec = Repro_padding.Spec
 module PG = Repro_padding.Padded_graph
 module Pi = Repro_padding.Pi_prime
 module H = Repro_padding.Hierarchy
+module FGen = Repro_fuzz.Gen
+module Prop = Repro_fuzz.Prop
 
 let check = Alcotest.(check bool)
 
@@ -23,39 +30,52 @@ let check = Alcotest.(check bool)
 (* padded provenance round-trips *)
 
 let prop_padded_provenance =
-  QCheck.Test.make ~name:"padded provenance round-trips" ~count:25
-    QCheck.(pair (int_range 3 10) (int_range 2 5))
+  Prop.make ~name:"padded provenance round-trips"
+    ~size_of:(fun (base_n, height) -> base_n * height)
+    ~show:(fun (base_n, height) ->
+      Printf.sprintf "{base_n=%d; height=%d}" base_n height)
+    (FGen.pair (FGen.int_range 3 10) (FGen.int_range 2 5))
     (fun (base_n, height) ->
       let base = Gen.cycle base_n in
       let gadget = GB.gadget ~delta:3 ~height in
       let pg = PG.build base ~delta:3 ~gadget_for:(fun _ -> gadget) in
-      let ok = ref true in
+      let err = ref None in
+      let fail fmt = Printf.ksprintf (fun s -> if !err = None then err := Some s) fmt in
       (* every padded node maps to a base node whose gadget contains it *)
       for pv = 0 to G.n pg.PG.padded - 1 do
         let bv = pg.PG.base_node_of.(pv) in
         let off = pg.PG.node_offset.(bv) in
-        if pv < off || pv >= off + G.n gadget.GL.graph then ok := false
+        if pv < off || pv >= off + G.n gadget.GL.graph then
+          fail "padded node %d outside gadget of base node %d" pv bv
       done;
       (* base edges map to port edges connecting the right gadgets *)
       G.iter_edges base ~f:(fun e bu bv ->
           let pe = pg.PG.port_edge_of.(e) in
-          if not pg.PG.edge_is_port.(pe) then ok := false;
+          if not pg.PG.edge_is_port.(pe) then fail "edge %d not a port edge" e;
           let pu, pv = G.endpoints pg.PG.padded pe in
           let pair = (pg.PG.base_node_of.(pu), pg.PG.base_node_of.(pv)) in
-          if pair <> (bu, bv) && pair <> (bv, bu) then ok := false);
+          if pair <> (bu, bv) && pair <> (bv, bu) then
+            fail "edge %d connects the wrong gadgets" e);
       (* half_gad and half_base partition the halves *)
       for h = 0 to (2 * G.m pg.PG.padded) - 1 do
         let g' = pg.PG.half_gad.(h) >= 0 and b' = pg.PG.half_base.(h) >= 0 in
-        if g' = b' then ok := false
+        if g' = b' then fail "half %d is %s" h (if g' then "both" else "neither")
       done;
-      !ok)
+      match !err with None -> Ok () | Some e -> Error e)
 
 (* ------------------------------------------------------------------ *)
 (* meter laws *)
 
 let prop_meter_max_monotone =
-  QCheck.Test.make ~name:"meter keeps per-node maxima" ~count:100
-    QCheck.(small_list (pair (int_range 0 9) (int_range 0 50)))
+  Prop.make ~name:"meter keeps per-node maxima"
+    ~size_of:List.length
+    ~show:(fun charges ->
+      "["
+      ^ String.concat "; "
+          (List.map (fun (v, r) -> Printf.sprintf "(%d,%d)" v r) charges)
+      ^ "]")
+    (FGen.list ~min:0 ~max:20
+       (FGen.pair (FGen.int_range 0 9) (FGen.int_range 0 50)))
     (fun charges ->
       let m = Meter.create 10 in
       let best = Array.make 10 0 in
@@ -64,17 +84,22 @@ let prop_meter_max_monotone =
           Meter.charge m v r;
           if r > best.(v) then best.(v) <- r)
         charges;
-      Array.for_all (fun x -> x)
-        (Array.init 10 (fun v -> Meter.radius m v = best.(v)))
-      && Meter.max_radius m = Array.fold_left max 0 best
-      && List.fold_left (fun a (_, c) -> a + c) 0 (Meter.histogram m) = 10)
+      if
+        Array.for_all (fun x -> x)
+          (Array.init 10 (fun v -> Meter.radius m v = best.(v)))
+        && Meter.max_radius m = Array.fold_left max 0 best
+        && List.fold_left (fun a (_, c) -> a + c) 0 (Meter.histogram m) = 10
+      then Ok ()
+      else Error "meter disagrees with the reference maxima")
 
 (* ------------------------------------------------------------------ *)
 (* ball vs flood agreement on random multigraphs *)
 
 let prop_ball_flood_agree =
-  QCheck.Test.make ~name:"ball membership = flood reachability" ~count:30
-    QCheck.(pair (int_range 4 24) (int_range 0 3))
+  Prop.make ~name:"ball membership = flood reachability"
+    ~size_of:(fun (n, _) -> n)
+    ~show:(fun (n, radius) -> Printf.sprintf "{n=%d; radius=%d}" n radius)
+    (FGen.pair (FGen.int_range 4 24) (FGen.int_range 0 3))
     (fun (n, radius) ->
       let rng = Random.State.make [| n + radius |] in
       let g = Gen.random_regular rng ~n:(2 * (n / 2)) ~d:3 in
@@ -82,7 +107,7 @@ let prop_ball_flood_agree =
       let by_round =
         Repro_local.Message_passing.flood_gather inst ~radius (fun v -> v)
       in
-      let ok = ref true in
+      let err = ref None in
       for v = 0 to min 4 (G.n g - 1) do
         let ball = Ball.gather g ~center:v ~radius in
         let heard =
@@ -91,18 +116,19 @@ let prop_ball_flood_agree =
         let members =
           Array.to_list ball.Ball.to_global |> List.sort compare
         in
-        if heard <> members then ok := false
+        if heard <> members && !err = None then
+          err := Some (Printf.sprintf "ball(%d) has %d members, flood heard %d"
+                         v (List.length members) (List.length heard))
       done;
-      !ok)
+      match !err with None -> Ok () | Some e -> Error e)
 
 (* ------------------------------------------------------------------ *)
 (* solver valid ⟹ distributed checker accepts, for every landscape
    problem on one shared instance family *)
 
 let prop_all_solvers_checked_distributedly =
-  QCheck.Test.make ~name:"all solvers pass the distributed checker"
-    ~count:20
-    QCheck.(int_range 0 10000)
+  Prop.make ~name:"all solvers pass the distributed checker"
+    ~show:string_of_int (FGen.int_range 0 10000)
     (fun seed ->
       let rng = Random.State.make [| seed |] in
       let g = Gen.random_simple_regular rng ~n:40 ~d:3 in
@@ -112,14 +138,18 @@ let prop_all_solvers_checked_distributedly =
       let col_out, _ = Repro_problems.Coloring.solve inst in
       let mis_out, _ = Repro_problems.Mis.solve inst in
       let mat_out, _ = Repro_problems.Matching.solve inst in
-      let dc p out =
-        (Repro_lcl.Distributed_check.run p inst ~input:unit_input ~output:out)
-          .Repro_lcl.Distributed_check.all_accept
+      let dc name p out =
+        if
+          (Repro_lcl.Distributed_check.run p inst ~input:unit_input ~output:out)
+            .Repro_lcl.Distributed_check.all_accept
+        then Ok ()
+        else Error (name ^ ": distributed checker rejects solver output")
       in
-      dc SO.problem so_out
-      && dc (Repro_problems.Coloring.problem ~delta:3) col_out
-      && dc Repro_problems.Mis.problem mis_out
-      && dc Repro_problems.Matching.problem mat_out)
+      let ( let& ) v f = match v with Ok () -> f () | Error _ as e -> e in
+      let& () = dc "so" SO.problem so_out in
+      let& () = dc "coloring" (Repro_problems.Coloring.problem ~delta:3) col_out in
+      let& () = dc "mis" Repro_problems.Mis.problem mis_out in
+      dc "matching" Repro_problems.Matching.problem mat_out)
 
 (* ------------------------------------------------------------------ *)
 (* padding composability: mixed families *)
@@ -153,14 +183,13 @@ let test_runs_deterministic () =
      randomized execution; at minimum the run must stay valid *)
   check "other seed valid" true (c.Spec.det_valid && c.Spec.rand_valid)
 
-let qcheck_tests =
-  List.map QCheck_alcotest.to_alcotest
-    [
-      prop_padded_provenance;
-      prop_meter_max_monotone;
-      prop_ball_flood_agree;
-      prop_all_solvers_checked_distributedly;
-    ]
+let prop_tests =
+  [
+    Fuzz_support.case ~count:25 prop_padded_provenance;
+    Fuzz_support.case ~count:100 prop_meter_max_monotone;
+    Fuzz_support.case ~count:30 prop_ball_flood_agree;
+    Fuzz_support.case ~count:20 prop_all_solvers_checked_distributedly;
+  ]
 
 let suite =
   [
@@ -168,4 +197,4 @@ let suite =
     ("mixed family hierarchy (linear then log)", `Slow, test_linear_then_log);
     ("runs deterministic", `Quick, test_runs_deterministic);
   ]
-  @ qcheck_tests
+  @ prop_tests

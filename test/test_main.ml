@@ -17,4 +17,6 @@ let () =
       ("parallel", Test_parallel.suite);
       ("obs", Test_obs.suite);
       ("provenance", Test_provenance.suite);
+      ("fuzz", Test_fuzz.suite);
+      ("mutation", Test_mutation.suite);
     ]
