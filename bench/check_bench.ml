@@ -1,4 +1,4 @@
-(* Validate a BENCH_parallel.json against the repro-bench-parallel/1
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/2
    schema. CI's bench-smoke job (and the runtest smoke rule) runs this
    right after `main.exe --json --quick`, so a malformed bench file fails
    the pipeline instead of silently corrupting the perf trajectory.
@@ -59,8 +59,8 @@ let () =
       fields
   | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
-  if schema <> "repro-bench-parallel/1" then
-    fail "unexpected schema %S (want repro-bench-parallel/1)" schema;
+  if schema <> "repro-bench-parallel/2" then
+    fail "unexpected schema %S (want repro-bench-parallel/2)" schema;
   let domains = as_int "domains" j in
   if domains < 1 then fail "domains = %d, want >= 1" domains;
   let cores = as_int "cores" j in
@@ -81,9 +81,21 @@ let () =
       Hashtbl.replace seen name ();
       let n = as_int "n" r in
       if n <= 0 then fail "%s (%s): n = %d, want > 0" ctx name n;
+      let rounds = as_int "rounds" r in
+      if rounds < 1 then fail "%s (%s): rounds = %d, want >= 1" ctx name rounds;
       check_num_or_null ~ctx "seq_ns_per_run" r;
       check_num_or_null ~ctx "par_ns_per_run" r;
-      check_num_or_null ~ctx "speedup" r)
+      check_num_or_null ~ctx "speedup" r;
+      (* the allocation columns are measured directly (Gc deltas), never
+         null; minor words cannot be negative *)
+      let as_num fname =
+        match J.to_float (get fname r) with
+        | Some v -> v
+        | None -> fail "%s (%s): field %S is not a number" ctx name fname
+      in
+      if as_num "minor_words_per_round" < 0.0 then
+        fail "%s (%s): negative minor_words_per_round" ctx name;
+      ignore (as_num "promoted_words_per_round"))
     results;
   (* the telemetry overhead story needs all three dcheck legs: gated-off
      baseline, live trace, and provenance audit *)

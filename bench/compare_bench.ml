@@ -1,0 +1,128 @@
+(* Compare a freshly measured BENCH_parallel.json against the committed
+   baseline and gate the perf trajectory.
+
+   Usage: compare_bench.exe BASELINE CURRENT
+
+   Hard failures (exit 1):
+     - either file fails to parse or is not repro-bench-parallel/2
+     - a baseline case is missing from the current run (the trajectory
+       would silently lose a data point)
+     - a case's normalized minor-heap allocation regresses by more than
+       2x. Allocation is compared per round per node
+       (minor_words_per_round / n), which makes a --quick run (n=600,
+       height 6) comparable against the committed full-size baseline
+       (n=3000, height 8): the engine's per-node allocation is
+       size-independent, and the 2x tolerance absorbs the residual
+       fixed costs that don't scale with n.
+
+   Wall-clock is advisory only: timings on shared CI runners are too
+   noisy to gate on, so seq-time ratios above the advisory threshold are
+   printed as warnings but never fail the run. Allocation counts are
+   deterministic, which is what makes them gateable. *)
+
+module J = Repro_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+(* a regression must be this many times the baseline to hard-fail;
+   allocation below this floor (words per round per node) is noise from
+   one-time setup and never gated *)
+let alloc_ratio_limit = 2.0
+let alloc_floor = 0.05
+let wallclock_advisory_ratio = 1.5
+
+type row = {
+  n : int;
+  seq_ns : float option;
+  minor_per_round : float;
+}
+
+let load file =
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" file e
+  in
+  let j =
+    match J.of_string contents with
+    | Ok j -> j
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  let get name j =
+    match J.member name j with
+    | Some v -> v
+    | None -> fail "%s: missing field %S" file name
+  in
+  (match J.to_str (get "schema" j) with
+  | Some "repro-bench-parallel/2" -> ()
+  | Some s -> fail "%s: schema %S (want repro-bench-parallel/2)" file s
+  | None -> fail "%s: schema is not a string" file);
+  let results =
+    match J.to_list (get "results" j) with
+    | Some l -> l
+    | None -> fail "%s: \"results\" is not an array" file
+  in
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun r ->
+      let name =
+        match J.to_str (get "name" r) with
+        | Some s -> s
+        | None -> fail "%s: case name is not a string" file
+      in
+      let num fname =
+        match J.to_float (get fname r) with
+        | Some v -> v
+        | None -> fail "%s (%s): field %S is not a number" file name fname
+      in
+      let n = int_of_float (num "n") in
+      let seq_ns =
+        match get "seq_ns_per_run" r with J.Null -> None | v -> J.to_float v
+      in
+      Hashtbl.replace tbl name
+        { n; seq_ns; minor_per_round = num "minor_words_per_round" })
+    results;
+  tbl
+
+let () =
+  if Array.length Sys.argv <> 3 then
+    fail "usage: compare_bench.exe BASELINE CURRENT";
+  let baseline = load Sys.argv.(1) in
+  let current = load Sys.argv.(2) in
+  let failures = ref 0 in
+  let checked = ref 0 in
+  Hashtbl.iter
+    (fun name (b : row) ->
+      match Hashtbl.find_opt current name with
+      | None ->
+        incr failures;
+        Printf.eprintf "FAIL: case %S present in baseline but missing from current run\n" name
+      | Some (c : row) ->
+        incr checked;
+        (* allocation gate: per round per node *)
+        let b_norm = b.minor_per_round /. float_of_int (max 1 b.n) in
+        let c_norm = c.minor_per_round /. float_of_int (max 1 c.n) in
+        if c_norm > alloc_floor && c_norm > alloc_ratio_limit *. b_norm then begin
+          incr failures;
+          Printf.eprintf
+            "FAIL: %s: minor words/round/node %.3f vs baseline %.3f (> %.1fx)\n"
+            name c_norm b_norm alloc_ratio_limit
+        end
+        else
+          Printf.printf "ok    %-24s alloc %.3f w/round/node (baseline %.3f)\n"
+            name c_norm b_norm;
+        (* wall-clock: advisory only, and only comparable at equal n *)
+        (match (b.seq_ns, c.seq_ns) with
+        | Some bt, Some ct
+          when b.n = c.n && bt > 0.0 && ct /. bt > wallclock_advisory_ratio ->
+          Printf.printf
+            "WARN  %-24s seq %.0f ns vs baseline %.0f ns (advisory only)\n"
+            name ct bt
+        | _ -> ()))
+    baseline;
+  if !failures > 0 then begin
+    Printf.eprintf "compare_bench: %d failure(s) across %d case(s)\n" !failures
+      !checked;
+    exit 1
+  end;
+  Printf.printf "compare_bench: ok (%d cases gated against %s)\n" !checked
+    Sys.argv.(1)

@@ -35,8 +35,12 @@ let section name =
   Printf.printf "\n==================== %s ====================\n" name
 
 (* name, instance size, workload; names are stable across PRs (and across
-   --quick, which shrinks the instances) so the JSON trajectory lines up *)
-type case = { name : string; n : int; run : unit -> unit }
+   --quick, which shrinks the instances) so the JSON trajectory lines up.
+   [rounds] is the fixed divisor for the per-round allocation columns: the
+   communication rounds the workload simulates (1 for one-round checkers
+   and non-round workloads), NOT a measured quantity — keeping it constant
+   per case makes the per-round numbers comparable across PRs *)
+type case = { name : string; n : int; rounds : int; run : unit -> unit }
 
 let cases ~quick () =
   let rng = Random.State.make [| 11 |] in
@@ -59,36 +63,43 @@ let cases ~quick () =
     {
       name = "ball-gather-r10-3k";
       n = n_so;
+      rounds = 10;
       run = (fun () -> ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10));
     };
     {
       name = "so-det-3k";
       n = n_so;
+      rounds = 1;
       run = (fun () -> ignore (SO.solve_deterministic inst3k));
     };
     {
       name = "so-rand-3k";
       n = n_so;
+      rounds = 1;
       run = (fun () -> ignore (SO.solve_randomized inst3k));
     };
     {
       name = "gadget-build-h8";
       n = gadget_n;
+      rounds = 1;
       run = (fun () -> ignore (GB.gadget ~delta:3 ~height));
     };
     {
       name = "gadget-check-h8";
       n = gadget_n;
+      rounds = 1;
       run = (fun () -> ignore (GC.is_valid ~delta:3 gadget8));
     };
     {
       name = "verifier-h8";
       n = gadget_n;
+      rounds = 1;
       run = (fun () -> ignore (V.run ~delta:3 ~n:gadget_n gadget8));
     };
     {
       name = "pi2-solve-det";
       n = G.n pg.PG.padded;
+      rounds = 1;
       run = (fun () -> ignore (so'.Spec.solve_det pinst pinp));
     };
     (* the telemetry overhead pair: the same one-round engine workload
@@ -97,6 +108,7 @@ let cases ~quick () =
     {
       name = "dcheck-so-3k";
       n = n_so;
+      rounds = 1;
       run =
         (fun () ->
           ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out));
@@ -104,6 +116,7 @@ let cases ~quick () =
     {
       name = "dcheck-so-3k-traced";
       n = n_so;
+      rounds = 1;
       run =
         (fun () ->
           Obs.Trace.start ();
@@ -117,6 +130,7 @@ let cases ~quick () =
     {
       name = "dcheck-so-3k-audited";
       n = n_so;
+      rounds = 1;
       run =
         (fun () ->
           Obs.Provenance.start ();
@@ -141,6 +155,28 @@ let estimate ~quota ~limit case =
     (fun _ o acc ->
       match Analyze.OLS.estimates o with Some [ t ] -> Some t | _ -> acc)
     results None
+
+(* allocation per round, measured on the dispatching domain with the pool
+   at size 1 (Gc counters are per-domain, so a multi-domain run would
+   undercount); one warm-up run first so one-time caches and pool setup
+   don't pollute the delta *)
+let alloc_stats case =
+  Pool.set_size 1;
+  case.run ();
+  let reps = 3 in
+  (* Gc.minor_words () (not quick_stat) for the minor column: it is the
+     only counter that includes the words sitting un-collected in the
+     current young region *)
+  let m0 = Gc.minor_words () and s0 = Gc.quick_stat () in
+  for _ = 1 to reps do
+    case.run ()
+  done;
+  let m1 = Gc.minor_words () and s1 = Gc.quick_stat () in
+  let per_round words =
+    words /. float_of_int reps /. float_of_int case.rounds
+  in
+  ( per_round (m1 -. m0),
+    per_round (s1.Gc.promoted_words -. s0.Gc.promoted_words) )
 
 let w_bechamel () =
   section "W-bechamel (wall-clock micro-benchmarks)";
@@ -172,13 +208,15 @@ let run_json ~quick () =
         let seq = estimate ~quota ~limit case in
         Pool.set_size domains;
         let par = estimate ~quota ~limit case in
-        Pool.set_size 1;
-        Printf.printf "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run\n"
+        let minor_w, promoted_w = alloc_stats case in
+        Printf.printf
+          "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run   minor %12.1f w/round\n"
           case.name case.n
           (match seq with Some t -> Printf.sprintf "%.0f" t | None -> "-")
           domains
-          (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-");
-        (case, seq, par))
+          (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-")
+          minor_w;
+        (case, seq, par, minor_w, promoted_w))
       cases
   in
   let file = "BENCH_parallel.json" in
@@ -190,20 +228,21 @@ let run_json ~quick () =
   (* cores records oversubscription: speedup is only physically possible
      when domains <= cores (a 1-core container shows slowdowns) *)
   Printf.fprintf oc
-    "{\n  \"schema\": \"repro-bench-parallel/1\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
+    "{\n  \"schema\": \"repro-bench-parallel/2\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
     domains
     (Domain.recommended_domain_count ())
     quick;
   List.iteri
-    (fun i (case, seq, par) ->
+    (fun i (case, seq, par, minor_w, promoted_w) ->
       let speedup =
         match (seq, par) with
         | Some s, Some p when p > 0.0 -> Printf.sprintf "%.3f" (s /. p)
         | _ -> "null"
       in
       Printf.fprintf oc
-        "    {\"name\": %S, \"n\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s}%s\n"
-        case.name case.n (field seq) (field par) speedup
+        "    {\"name\": %S, \"n\": %d, \"rounds\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s, \"minor_words_per_round\": %.1f, \"promoted_words_per_round\": %.1f}%s\n"
+        case.name case.n case.rounds (field seq) (field par) speedup minor_w
+        promoted_w
         (if i = List.length measured - 1 then "" else ","))
     measured;
   Printf.fprintf oc "  ]\n}\n";

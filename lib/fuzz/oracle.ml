@@ -158,6 +158,54 @@ let engines (recipe, seed) =
       in
       go [ 2; 4 ])
 
+(* differential for the arena-mailbox engine: MP.run (flat epoch-tagged
+   mailboxes, scratch receive buffers) vs MP.run_boxed (the pre-arena
+   option-mailbox engine, kept exactly for this oracle). Two algorithms
+   so both message representations are exercised: heap payloads (int
+   lists) and unboxed-capable ones (floats). *)
+let flood_ids_alg : (int list * int, int list, int) MP.algorithm =
+  {
+    MP.init = (fun inst v -> ([ Instance.id inst v ], 0));
+    send = (fun (known, _) ~round:_ ~port:_ -> known);
+    receive =
+      (fun (known, stable) ~round:_ msgs ->
+        let fresh =
+          Array.fold_left
+            (fun acc l -> List.filter (fun x -> not (List.mem x known)) l @ acc)
+            [] msgs
+          |> List.sort_uniq compare
+        in
+        if fresh = [] then Either.Right stable
+        else Either.Left (fresh @ known, stable + 1));
+  }
+
+let float_sum_alg : (float, float, float) MP.algorithm =
+  {
+    MP.init = (fun _ v -> float_of_int (v + 1));
+    send = (fun x ~round:_ ~port:_ -> x);
+    receive =
+      (fun x ~round msgs ->
+        let s = Array.fold_left ( +. ) x msgs in
+        if round >= 2 then Either.Right s else Either.Left s);
+  }
+
+let flat_vs_boxed (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let a = MP.run inst flood_ids_alg in
+  let b = MP.run_boxed inst flood_ids_alg in
+  let& () = require (a.MP.outputs = b.MP.outputs) "flood outputs differ" in
+  let& () = require (a.MP.rounds = b.MP.rounds) "flood per-node rounds differ" in
+  let& () =
+    requiref
+      (a.MP.max_rounds = b.MP.max_rounds)
+      "flood max_rounds: flat %d, boxed %d" a.MP.max_rounds b.MP.max_rounds
+  in
+  let fa = MP.run inst float_sum_alg in
+  let fb = MP.run_boxed inst float_sum_alg in
+  let& () = require (fa.MP.outputs = fb.MP.outputs) "float outputs differ" in
+  require (fa.MP.rounds = fb.MP.rounds) "float per-node rounds differ"
+
 (* ------------------------------------------------------------------ *)
 (* gadget: Check × Verifier × Psi × Ne_psi *)
 

@@ -59,6 +59,12 @@ val engines : Gen_graph.recipe * int -> verdict
 (** Pool-size differential: SO (det) outputs, meters and a flood-gather
     must be identical at 1, 2 and 4 domains. *)
 
+val flat_vs_boxed : Gen_graph.recipe * int -> verdict
+(** Engine differential: {!Repro_local.Message_passing.run} (flat
+    epoch-tagged arena mailboxes) vs [run_boxed] (the pre-arena engine
+    kept as an oracle) — identical outputs, per-node round counts and
+    [max_rounds], on both heap (int list) and float messages. *)
+
 val gadget : Gen_gadget.case -> verdict
 (** Check × Verifier × Psi × Ne_psi as described above. *)
 

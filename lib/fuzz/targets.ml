@@ -45,6 +45,10 @@ let dcheck_prop =
 let engines_prop =
   graph_prop ~name:"engines" ~shape:Gen_graph.Any ~max_n:30 Oracle.engines
 
+let flat_vs_boxed_prop =
+  graph_prop ~name:"engine-flat-vs-boxed" ~shape:Gen_graph.Any ~max_n:30
+    Oracle.flat_vs_boxed
+
 let gadget_prop =
   Prop.make ~name:"gadget" ~size_of:Gen_gadget.nodes_of
     ~show:(show_of Gen_gadget.pp_case)
@@ -100,6 +104,11 @@ let all =
       t_name = "engines";
       t_doc = "pool-size differential: 1 = 2 = 4 domains, outputs and meters";
       t_prop = P engines_prop;
+    };
+    {
+      t_name = "engine-flat-vs-boxed";
+      t_doc = "arena-mailbox engine vs the boxed oracle engine: identical outputs and round counts";
+      t_prop = P flat_vs_boxed_prop;
     };
     {
       t_name = "gadget";

@@ -40,11 +40,12 @@ let pp_node_kind fmt = function
   | Index i -> Format.fprintf fmt "Index_%d" i
 
 let half_with t v l =
-  let hs = G.halves t.graph v in
+  let d = G.degree t.graph v in
   let rec find i =
-    if i >= Array.length hs then None
-    else if t.halves.(hs.(i)) = l then Some hs.(i)
-    else find (i + 1)
+    if i >= d then None
+    else
+      let h = G.half_at t.graph v i in
+      if t.halves.(h) = l then Some h else find (i + 1)
   in
   find 0
 
@@ -103,21 +104,22 @@ let relabel_node t v nl =
   nodes.(v) <- nl;
   (* keep half replication in sync with the color *)
   let half_color2 = Array.copy t.half_color2 in
-  Array.iter (fun h -> half_color2.(h) <- nl.color2) (G.halves t.graph v);
+  G.iter_halves t.graph v ~f:(fun h -> half_color2.(h) <- nl.color2);
   { t with nodes; half_color2 }
 
 let true_flags t v =
-  let hs = G.halves t.graph v in
-  let has l = Array.exists (fun h -> t.halves.(h) = l) hs in
+  let has l =
+    G.fold_halves t.graph v ~init:false ~f:(fun acc h ->
+        acc || t.halves.(h) = l)
+  in
   { f_right = has Right; f_left = has Left; f_child = has LChild || has RChild }
 
 let flags_ok t =
   let ok = ref true in
   for v = 0 to G.n t.graph - 1 do
     let f = true_flags t v in
-    Array.iter
-      (fun h -> if t.half_flags.(h) <> f then ok := false)
-      (G.halves t.graph v)
+    G.iter_halves t.graph v ~f:(fun h ->
+        if t.half_flags.(h) <> f then ok := false)
   done;
   !ok
 
@@ -125,6 +127,6 @@ let with_truthful_flags t =
   let half_flags = Array.copy t.half_flags in
   for v = 0 to G.n t.graph - 1 do
     let f = true_flags t v in
-    Array.iter (fun h -> half_flags.(h) <- f) (G.halves t.graph v)
+    G.iter_halves t.graph v ~f:(fun h -> half_flags.(h) <- f)
   done;
   { t with half_flags }

@@ -114,14 +114,12 @@ let run ~delta ~n (t : Labels.t) =
   done;
   while not (Queue.is_empty q) do
     let v = Queue.take q in
-    Array.iter
-      (fun h ->
+    G.iter_halves g v ~f:(fun h ->
         let w = G.half_node g (G.mate h) in
         if dist_err.(w) = max_int then begin
           dist_err.(w) <- dist_err.(v) + 1;
           Queue.add w q
         end)
-      (G.halves g v)
   done;
   (* eccentricity estimate per component by double sweep *)
   let ecc_est = Array.make size 0 in

@@ -21,9 +21,8 @@ let bridges g =
         match !stack with
         | [] -> ()
         | (v, in_edge, next) :: rest ->
-          let hs = G.halves g v in
-          if !next < Array.length hs then begin
-            let h = hs.(!next) in
+          if !next < G.degree g v then begin
+            let h = G.half_at g v !next in
             incr next;
             let e = G.edge_of_half h in
             let w = G.half_node g (G.mate h) in
@@ -63,15 +62,13 @@ let two_edge_connected_components g =
       Queue.add s q;
       while not (Queue.is_empty q) do
         let v = Queue.take q in
-        Array.iter
-          (fun h ->
+        G.iter_halves g v ~f:(fun h ->
             let e = G.edge_of_half h in
             let w = G.half_node g (G.mate h) in
             if (not is_bridge.(e)) && cls.(w) < 0 then begin
               cls.(w) <- !k;
               Queue.add w q
             end)
-          (G.halves g v)
       done;
       incr k
     end

@@ -2,20 +2,62 @@ type node = int
 type edge = int
 type half = int
 
+(* CSR (compressed sparse row) half-edge layout: the half-edges of node
+   [v] live in the contiguous slice [ports.(ports_off.(v)) ..
+   ports.(ports_off.(v+1) - 1)], in port order. A node's port [p] is
+   therefore [ports.(ports_off.(v) + p)], its degree is the offset
+   difference, and every adjacency walk is a linear scan of one flat int
+   array — no per-node array objects, no pointer chasing. The port of a
+   half-edge is not stored; it is recovered by scanning its node's slice
+   (O(degree), and every graph here is bounded-degree). *)
 type t = {
   n : int;
   m : int;
-  half_node : int array;       (* length 2m: node of each half-edge *)
-  half_port : int array;       (* length 2m: port of each half-edge *)
-  ports : int array array;     (* ports.(v).(p) = half-edge id *)
+  half_node : int array; (* length 2m: node of each half-edge *)
+  ports_off : int array; (* length n+1: CSR offsets into [ports] *)
+  ports : int array;     (* length 2m: half ids grouped by node, port order *)
 }
+
+(* Build the CSR arrays from a filled [half_node]: ports are assigned in
+   half-edge order (the half of edge e at u gets the next free port of u;
+   for a self-loop the side 2e gets the smaller port), exactly the
+   numbering the old array-of-arrays builder produced. [ports_off] is
+   used as the running fill cursor and shifted back afterwards. *)
+let csr_of_half_node ~n ~m half_node =
+  let ports_off = Array.make (n + 1) 0 in
+  for h = 0 to (2 * m) - 1 do
+    let v = half_node.(h) in
+    ports_off.(v) <- ports_off.(v) + 1
+  done;
+  (* prefix sums: ports_off.(v) <- start of v's slice *)
+  let run = ref 0 in
+  for v = 0 to n - 1 do
+    let d = ports_off.(v) in
+    ports_off.(v) <- !run;
+    run := !run + d
+  done;
+  ports_off.(n) <- !run;
+  let ports = Array.make (2 * m) 0 in
+  (* ascending fill, ports_off doubling as the per-node cursor: after
+     this loop ports_off.(v) holds the END of v's slice *)
+  for h = 0 to (2 * m) - 1 do
+    let v = half_node.(h) in
+    ports.(ports_off.(v)) <- h;
+    ports_off.(v) <- ports_off.(v) + 1
+  done;
+  (* shift the cursors back into offsets: end of v = start of v+1 *)
+  for v = n downto 1 do
+    ports_off.(v) <- ports_off.(v - 1)
+  done;
+  ports_off.(0) <- 0;
+  (ports_off, ports)
 
 module Builder = struct
   type graph = t
 
   type t = {
     size : int;
-    mutable edges : (int * int) list;  (* reversed *)
+    mutable edges : (int * int) list; (* reversed *)
     mutable count : int;
   }
 
@@ -34,26 +76,14 @@ module Builder = struct
   let build b : graph =
     let m = b.count in
     let half_node = Array.make (2 * m) 0 in
-    let half_port = Array.make (2 * m) 0 in
-    let deg = Array.make b.size 0 in
-    let edges = Array.of_list (List.rev b.edges) in
-    Array.iteri
-      (fun e (u, v) ->
+    List.iteri
+      (fun i (u, v) ->
+        let e = m - 1 - i in
         half_node.(2 * e) <- u;
         half_node.((2 * e) + 1) <- v)
-      edges;
-    (* Assign ports in edge order: the half of edge e at u gets the next
-       free port of u; for a self-loop the side 2e gets the smaller port. *)
-    for h = 0 to (2 * m) - 1 do
-      let v = half_node.(h) in
-      half_port.(h) <- deg.(v);
-      deg.(v) <- deg.(v) + 1
-    done;
-    let ports = Array.init b.size (fun v -> Array.make deg.(v) (-1)) in
-    for h = 0 to (2 * m) - 1 do
-      ports.(half_node.(h)).(half_port.(h)) <- h
-    done;
-    { n = b.size; m; half_node; half_port; ports }
+      b.edges;
+    let ports_off, ports = csr_of_half_node ~n:b.size ~m half_node in
+    { n = b.size; m; half_node; ports_off; ports }
 end
 
 let of_edges ~n edges =
@@ -61,16 +91,37 @@ let of_edges ~n edges =
   List.iter (fun (u, v) -> ignore (Builder.add_edge b u v)) edges;
   Builder.build b
 
+(* allocation-free constructor for callers (ball gathering, induced
+   subgraphs) that already know the half->node map; [half_node] is owned
+   by the graph afterwards *)
+let of_half_node ~n ~m half_node =
+  if Array.length half_node <> 2 * m then
+    invalid_arg "Multigraph.of_half_node: half_node length <> 2m";
+  let ports_off, ports = csr_of_half_node ~n ~m half_node in
+  { n; m; half_node; ports_off; ports }
+
 let n g = g.n
 let m g = g.m
 let mate h = h lxor 1
 let edge_of_half h = h / 2
 let halves_of_edge e = (2 * e, (2 * e) + 1)
 let half_node g h = g.half_node.(h)
-let half_port g h = g.half_port.(h)
-let half_at g v p = g.ports.(v).(p)
+let half_at g v p = g.ports.(g.ports_off.(v) + p)
 let endpoints g e = (g.half_node.(2 * e), g.half_node.((2 * e) + 1))
-let degree g v = Array.length g.ports.(v)
+let degree g v = g.ports_off.(v + 1) - g.ports_off.(v)
+
+(* recover the port of [h] by scanning its node's slice: O(degree), only
+   used off the hot paths (hot loops walk ports in order and already
+   know the port) *)
+let half_port g h =
+  let v = g.half_node.(h) in
+  let lo = g.ports_off.(v) and hi = g.ports_off.(v + 1) in
+  let rec find i =
+    if i >= hi then invalid_arg "Multigraph.half_port: detached half"
+    else if g.ports.(i) = h then i - lo
+    else find (i + 1)
+  in
+  find lo
 
 let max_degree g =
   let best = ref 0 in
@@ -79,11 +130,43 @@ let max_degree g =
   done;
   !best
 
-let halves g v = g.ports.(v)
-let neighbor g v p = g.half_node.(mate g.ports.(v).(p))
+let ports_off g = g.ports_off
+let ports_flat g = g.ports
+let halves g v = Array.sub g.ports g.ports_off.(v) (degree g v)
 
+let iter_halves g v ~f =
+  for i = g.ports_off.(v) to g.ports_off.(v + 1) - 1 do
+    f g.ports.(i)
+  done
+
+let iter_ports g v ~f =
+  let lo = g.ports_off.(v) in
+  for i = lo to g.ports_off.(v + 1) - 1 do
+    f (i - lo) g.ports.(i)
+  done
+
+let fold_halves g v ~init ~f =
+  let acc = ref init in
+  for i = g.ports_off.(v) to g.ports_off.(v + 1) - 1 do
+    acc := f !acc g.ports.(i)
+  done;
+  !acc
+
+let neighbor g v p = g.half_node.(mate (half_at g v p))
+
+let iter_neighbors g v ~f =
+  for i = g.ports_off.(v) to g.ports_off.(v + 1) - 1 do
+    f g.half_node.(mate g.ports.(i))
+  done
+
+(* single pass, consing directly off the CSR slice in reverse port order *)
 let neighbors g v =
-  Array.to_list (Array.map (fun h -> g.half_node.(mate h)) g.ports.(v))
+  let lo = g.ports_off.(v) in
+  let acc = ref [] in
+  for i = g.ports_off.(v + 1) - 1 downto lo do
+    acc := g.half_node.(mate g.ports.(i)) :: !acc
+  done;
+  !acc
 
 let fold_nodes g ~init ~f =
   let acc = ref init in
@@ -92,22 +175,30 @@ let fold_nodes g ~init ~f =
   done;
   !acc
 
+(* read the endpoints straight from half_node: going through [endpoints]
+   would box a tuple per edge *)
 let fold_edges g ~init ~f =
   let acc = ref init in
   for e = 0 to g.m - 1 do
-    let u, v = endpoints g e in
-    acc := f !acc e u v
+    acc := f !acc e g.half_node.(2 * e) g.half_node.((2 * e) + 1)
   done;
   !acc
 
 let iter_edges g ~f =
   for e = 0 to g.m - 1 do
-    let u, v = endpoints g e in
-    f e u v
+    f e g.half_node.(2 * e) g.half_node.((2 * e) + 1)
   done
 
 let has_self_loop g v =
-  Array.exists (fun h -> g.half_node.(mate h) = v) g.ports.(v)
+  let rec scan i =
+    i < g.ports_off.(v + 1)
+    && (g.half_node.(mate g.ports.(i)) = v || scan (i + 1))
+  in
+  scan g.ports_off.(v)
+
+(* the annotation makes the sort monomorphic: int comparisons compile to
+   direct machine compares instead of the polymorphic compare walk *)
+let int_compare (a : int) (b : int) = compare a b
 
 let is_simple g =
   let ok = ref true in
@@ -116,12 +207,19 @@ let is_simple g =
     if u = v then ok := false
   done;
   if !ok then begin
-    (* parallel edges: sort each adjacency and look for duplicates *)
+    (* parallel edges: sort each adjacency (one reused scratch buffer)
+       and look for duplicates *)
+    let buf = Array.make (max 1 (max_degree g)) 0 in
     let v = ref 0 in
     while !ok && !v < g.n do
-      let ns = Array.map (fun h -> g.half_node.(mate h)) g.ports.(!v) in
-      Array.sort compare ns;
-      for i = 1 to Array.length ns - 1 do
+      let d = degree g !v in
+      let lo = g.ports_off.(!v) in
+      for i = 0 to d - 1 do
+        buf.(i) <- g.half_node.(mate g.ports.(lo + i))
+      done;
+      let ns = if d = Array.length buf then buf else Array.sub buf 0 d in
+      Array.sort int_compare ns;
+      for i = 1 to d - 1 do
         if ns.(i) = ns.(i - 1) then ok := false
       done;
       incr v
@@ -132,7 +230,8 @@ let is_simple g =
 let equal_structure g1 g2 =
   g1.n = g2.n && g1.m = g2.m
   && g1.half_node = g2.half_node
-  && g1.half_port = g2.half_port
+  && g1.ports_off = g2.ports_off
+  && g1.ports = g2.ports
 
 let pp fmt g =
   Format.fprintf fmt "@[<v>graph n=%d m=%d" g.n g.m;

@@ -8,7 +8,17 @@
     [2 e] and [2 e + 1] are the two sides of edge [e], and [mate h = h lxor 1]
     maps a half-edge to the opposite side. A self-loop is an edge whose two
     half-edges sit at the same node (on two distinct ports). Half-edges are
-    exactly the paper's set [B] of incident node-edge pairs. *)
+    exactly the paper's set [B] of incident node-edge pairs.
+
+    {2 Flat CSR layout}
+
+    Adjacency is stored in compressed-sparse-row form: one flat [int]
+    array of half-edge ids grouped by node (port order), plus an offset
+    array. Every adjacency walk is a contiguous scan of flat int memory
+    and the per-node iterators below ({!iter_halves}, {!iter_ports},
+    {!iter_neighbors}, {!fold_halves}) allocate nothing. {!halves} now
+    {e copies} a node's slice; hot loops should use the iterators or
+    {!half_at} instead. *)
 
 type t
 
@@ -36,6 +46,14 @@ end
 val of_edges : n:int -> (node * node) list -> t
 (** [of_edges ~n edges] builds a graph; ports are assigned in list order. *)
 
+val of_half_node : n:int -> m:int -> int array -> t
+(** [of_half_node ~n ~m half_node] builds a graph directly from a
+    half-edge/node incidence array of length [2 m] ([half_node.(2 e)] and
+    [half_node.(2 e + 1)] are the endpoints of edge [e]); ports are
+    assigned in half-edge order, exactly as {!Builder.build} would.
+    The array is owned by the graph afterwards — do not mutate it.
+    This is the allocation-lean path used by ball gathering. *)
+
 (** {1 Sizes} *)
 
 val n : t -> int
@@ -52,10 +70,11 @@ val half_node : t -> half -> node
 (** Node at which a half-edge sits. *)
 
 val half_port : t -> half -> int
-(** Port number of a half-edge at its node. *)
+(** Port number of a half-edge at its node. O(degree) — the port is
+    recovered by scanning the node's CSR slice, not stored. *)
 
 val half_at : t -> node -> int -> half
-(** [half_at g v p] is the half-edge on port [p] of [v]. *)
+(** [half_at g v p] is the half-edge on port [p] of [v]. O(1). *)
 
 val endpoints : t -> edge -> node * node
 
@@ -63,15 +82,44 @@ val endpoints : t -> edge -> node * node
 
 val degree : t -> node -> int
 val max_degree : t -> int
+
 val halves : t -> node -> half array
-(** Half-edges of a node in port order. Do not mutate. *)
+(** Half-edges of a node in port order. Allocates a fresh copy of the
+    node's CSR slice on every call — fine for tests and cold paths; hot
+    loops should use {!iter_halves} / {!iter_ports} / {!fold_halves}. *)
+
+val iter_halves : t -> node -> f:(half -> unit) -> unit
+(** Apply [f] to each half-edge of a node in port order. No allocation
+    beyond the closure. *)
+
+val iter_ports : t -> node -> f:(int -> half -> unit) -> unit
+(** [iter_ports g v ~f] calls [f p h] for each port [p] and its
+    half-edge [h], in port order. No allocation beyond the closure. *)
+
+val fold_halves : t -> node -> init:'a -> f:('a -> half -> 'a) -> 'a
 
 val neighbor : t -> node -> int -> node
 (** [neighbor g v p] is the node at the far end of port [p] of [v]
     (which is [v] itself for a self-loop). *)
 
+val iter_neighbors : t -> node -> f:(node -> unit) -> unit
+(** Far ends of all ports in port order (duplicates kept), without
+    building a list. *)
+
 val neighbors : t -> node -> node list
-(** Far ends of all ports, in port order (duplicates kept). *)
+(** Far ends of all ports, in port order (duplicates kept). Single-pass
+    list construction. *)
+
+(** {1 Raw CSR access}
+
+    For engine hot loops that want to walk adjacency without even a
+    closure: node [v]'s half-edges are
+    [(ports_flat g).(i)] for [i] in [(ports_off g).(v) ..
+    (ports_off g).(v+1) - 1], in port order. Do not mutate either
+    array. *)
+
+val ports_off : t -> int array
+val ports_flat : t -> int array
 
 (** {1 Folds and iteration} *)
 

@@ -2,21 +2,30 @@ module G = Multigraph
 
 type node = G.node
 
+(* All hot traversals use a flat int-array queue ([queue.(0..tail)], head
+   index walks forward) instead of Stdlib.Queue: no per-element cell
+   allocation, and the frontier is scanned as contiguous ints. *)
+
 let bfs g s =
-  let dist = Array.make (G.n g) (-1) in
-  let q = Queue.create () in
+  let n = G.n g in
+  let dist = Array.make n (-1) in
+  let queue = Array.make n 0 in
+  let off = G.ports_off g and prt = G.ports_flat g in
   dist.(s) <- 0;
-  Queue.add s q;
-  while not (Queue.is_empty q) do
-    let v = Queue.take q in
-    Array.iter
-      (fun h ->
-        let w = G.half_node g (G.mate h) in
-        if dist.(w) < 0 then begin
-          dist.(w) <- dist.(v) + 1;
-          Queue.add w q
-        end)
-      (G.halves g v)
+  queue.(0) <- s;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let v = queue.(!head) in
+    incr head;
+    let dv = dist.(v) + 1 in
+    for i = off.(v) to off.(v + 1) - 1 do
+      let w = G.half_node g (G.mate prt.(i)) in
+      if dist.(w) < 0 then begin
+        dist.(w) <- dv;
+        queue.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   dist
 
@@ -31,14 +40,12 @@ let bfs_bounded g s ~radius =
     let d = Hashtbl.find dist v in
     order := (v, d) :: !order;
     if d < radius then
-      Array.iter
-        (fun h ->
+      G.iter_halves g v ~f:(fun h ->
           let w = G.half_node g (G.mate h) in
           if not (Hashtbl.mem dist w) then begin
             Hashtbl.replace dist w (d + 1);
             Queue.add w q
           end)
-        (G.halves g v)
   done;
   List.rev !order
 
@@ -58,23 +65,27 @@ let diameter g =
   !best
 
 let components g =
-  let comp = Array.make (G.n g) (-1) in
+  let n = G.n g in
+  let comp = Array.make n (-1) in
+  let queue = Array.make (max 1 n) 0 in
+  let off = G.ports_off g and prt = G.ports_flat g in
   let k = ref 0 in
-  for s = 0 to G.n g - 1 do
+  for s = 0 to n - 1 do
     if comp.(s) < 0 then begin
-      let q = Queue.create () in
       comp.(s) <- !k;
-      Queue.add s q;
-      while not (Queue.is_empty q) do
-        let v = Queue.take q in
-        Array.iter
-          (fun h ->
-            let w = G.half_node g (G.mate h) in
-            if comp.(w) < 0 then begin
-              comp.(w) <- !k;
-              Queue.add w q
-            end)
-          (G.halves g v)
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
+      while !head < !tail do
+        let v = queue.(!head) in
+        incr head;
+        for i = off.(v) to off.(v + 1) - 1 do
+          let w = G.half_node g (G.mate prt.(i)) in
+          if comp.(w) < 0 then begin
+            comp.(w) <- !k;
+            queue.(!tail) <- w;
+            incr tail
+          end
+        done
       done;
       incr k
     end
@@ -83,52 +94,66 @@ let components g =
 
 let component_nodes g s = ball_nodes g s ~radius:max_int
 
+let int_compare (a : int) (b : int) = compare a b
+
 (* Shortest cycle through BFS from every node, with the standard edge-based
    refinement: when BFS from s meets an edge {v,w} with both endpoints
    visited, a cycle of length dist v + dist w + 1 exists (for a non-tree
    edge). Self-loops and parallel edges are caught directly. *)
 let girth g =
+  let n = G.n g in
   let best = ref max_int in
   (* self-loops and parallel edges *)
-  for v = 0 to G.n g - 1 do
+  for v = 0 to n - 1 do
     if G.has_self_loop g v then best := min !best 1
   done;
   if !best > 2 then begin
-    for v = 0 to G.n g - 1 do
-      let ns = Array.map (fun h -> G.half_node g (G.mate h)) (G.halves g v) in
-      Array.sort compare ns;
-      for i = 1 to Array.length ns - 1 do
+    let buf = Array.make (max 1 (G.max_degree g)) 0 in
+    for v = 0 to n - 1 do
+      let d = G.degree g v in
+      for p = 0 to d - 1 do
+        buf.(p) <- G.neighbor g v p
+      done;
+      let ns = if d = Array.length buf then buf else Array.sub buf 0 d in
+      Array.sort int_compare ns;
+      for i = 1 to d - 1 do
         if ns.(i) = ns.(i - 1) && ns.(i) <> v then best := min !best 2
       done
     done
   end;
   if !best > 2 then begin
     (* BFS from each node; track the parent edge to avoid walking back. *)
-    for s = 0 to G.n g - 1 do
-      let dist = Array.make (G.n g) (-1) in
-      let par_edge = Array.make (G.n g) (-1) in
-      let q = Queue.create () in
+    let dist = Array.make n (-1) in
+    let par_edge = Array.make n (-1) in
+    let queue = Array.make (max 1 n) 0 in
+    let off = G.ports_off g and prt = G.ports_flat g in
+    for s = 0 to n - 1 do
+      Array.fill dist 0 n (-1);
+      Array.fill par_edge 0 n (-1);
       dist.(s) <- 0;
-      Queue.add s q;
+      queue.(0) <- s;
+      let head = ref 0 and tail = ref 1 in
       let continue = ref true in
-      while !continue && not (Queue.is_empty q) do
-        let v = Queue.take q in
-        Array.iter
-          (fun h ->
-            let e = G.edge_of_half h in
-            let w = G.half_node g (G.mate h) in
-            if e <> par_edge.(v) then begin
-              if dist.(w) < 0 then begin
-                dist.(w) <- dist.(v) + 1;
-                par_edge.(w) <- e;
-                Queue.add w q
-              end
-              else begin
-                let c = dist.(v) + dist.(w) + 1 in
-                if c < !best then best := c
-              end
-            end)
-          (G.halves g v);
+      while !continue && !head < !tail do
+        let v = queue.(!head) in
+        incr head;
+        for i = off.(v) to off.(v + 1) - 1 do
+          let h = prt.(i) in
+          let e = G.edge_of_half h in
+          let w = G.half_node g (G.mate h) in
+          if e <> par_edge.(v) then begin
+            if dist.(w) < 0 then begin
+              dist.(w) <- dist.(v) + 1;
+              par_edge.(w) <- e;
+              queue.(!tail) <- w;
+              incr tail
+            end
+            else begin
+              let c = dist.(v) + dist.(w) + 1 in
+              if c < !best then best := c
+            end
+          end
+        done;
         if dist.(v) * 2 > !best then continue := false
       done
     done

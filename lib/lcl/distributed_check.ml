@@ -2,10 +2,23 @@
    the per-node constraint evaluations run on the engine's domain pool
    (Message_passing.run parallelizes both phases of the round); the
    verdicts are deterministic for every pool size because each node's
-   check reads only its own labels and the messages delivered to it. *)
+   check reads only its own labels and the messages delivered to it.
+
+   Messages are plain ints: a node sends, on each port, the id of its own
+   half-edge on that port. In the unbounded-bandwidth LOCAL model the
+   far side's labels travel for free, and since both endpoints of the
+   simulation share the [input]/[output] labelings, the received half id
+   is enough to reconstruct exactly the record the old engine shipped
+   ([v]/[b] labels of the far side) by indexing the shared labelings —
+   the verdicts are bit-identical, only the allocation (and the traced
+   payload bytes: an immediate has no reachable heap words) changes.
+   Constraint views are per-domain scratch records refilled in place
+   (Ne_lcl.fill_node_view / fill_edge_view), so a full check allocates
+   O(domains . max_degree), not O(n + m). *)
 
 module G = Repro_graph.Multigraph
 module MP = Repro_local.Message_passing
+module Pool = Repro_local.Pool
 module Obs = Repro_obs
 
 let m_runs = Obs.Registry.counter "lcl.dcheck.runs"
@@ -17,59 +30,68 @@ type verdict = {
   rounds : int;
 }
 
-(* what a node tells each neighbor: its node labels plus the labels of its
-   side of the connecting edge *)
-type ('vi, 'vo, 'bi, 'bo) msg = {
-  m_v_in : 'vi;
-  m_v_out : 'vo;
-  m_b_in : 'bi;
-  m_b_out : 'bo;
-}
-
 let run p inst ~input ~output =
   let g = inst.Repro_local.Instance.graph in
-  let alg : (int, _ msg, bool) MP.algorithm =
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let slots = Pool.worker_slots () in
+  (* per-domain scratch views, created lazily from real label values
+     (node views additionally per degree: their arrays are
+     degree-sized) *)
+  let nv_scratch = Array.init slots (fun _ -> Array.make (G.max_degree g + 1) None) in
+  let ev_scratch = Array.make slots None in
+  let alg : (int, int, bool) MP.algorithm =
     {
       MP.init = (fun _ v -> v);
-      send =
-        (fun v ~round:_ ~port ->
-          let h = G.half_at g v port in
-          {
-            m_v_in = input.Labeling.v.(v);
-            m_v_out = output.Labeling.v.(v);
-            m_b_in = input.Labeling.b.(h);
-            m_b_out = output.Labeling.b.(h);
-          });
+      send = (fun v ~round:_ ~port -> G.half_at g v port);
       receive =
         (fun v ~round:_ msgs ->
+          let wi = Pool.worker_index () in
+          let lo = off.(v) in
+          let d = off.(v + 1) - lo in
           (* the node constraint needs only local labels *)
-          let node_ok = p.Ne_lcl.check_node (Ne_lcl.node_view g ~input ~output v) in
-          (* each incident edge's constraint, using the received far side *)
+          let nv =
+            match nv_scratch.(wi).(d) with
+            | Some nv ->
+              Ne_lcl.fill_node_view g ~input ~output nv v;
+              nv
+            | None ->
+              let nv = Ne_lcl.node_view g ~input ~output v in
+              nv_scratch.(wi).(d) <- Some nv;
+              nv
+          in
+          let node_ok = p.Ne_lcl.check_node nv in
+          (* each incident edge's constraint, using the received far
+             side: msgs.(port) is the sender's half, i.e. the mate of
+             our half on that port *)
           let edges_ok = ref true in
-          Array.iteri
-            (fun port h ->
-              let e = G.edge_of_half h in
-              let m = msgs.(port) in
-              (* reconstruct the edge view with this node as side u *)
-              let view : _ Ne_lcl.edge_view =
-                {
-                  Ne_lcl.self_loop = G.half_node g (G.mate h) = v;
-                  u_in = input.Labeling.v.(v);
-                  u_out = output.Labeling.v.(v);
-                  w_in = m.m_v_in;
-                  w_out = m.m_v_out;
-                  ee_in = input.Labeling.e.(e);
-                  ee_out = output.Labeling.e.(e);
-                  bu_in = input.Labeling.b.(h);
-                  bu_out = output.Labeling.b.(h);
-                  bw_in = m.m_b_in;
-                  bw_out = m.m_b_out;
-                }
-              in
-              if not (p.Ne_lcl.check_edge view) then edges_ok := false)
-            (G.halves g v);
-          Either.Right (node_ok && !edges_ok))
-      ;
+          for i = 0 to d - 1 do
+            let h = prt.(lo + i) in
+            let hw = msgs.(i) in
+            let e = G.edge_of_half h in
+            let w = G.half_node g hw in
+            let ev =
+              match ev_scratch.(wi) with
+              | Some ev -> ev
+              | None ->
+                let ev = Ne_lcl.edge_view g ~input ~output e in
+                ev_scratch.(wi) <- Some ev;
+                ev
+            in
+            (* reconstruct the edge view with this node as side u *)
+            ev.Ne_lcl.self_loop <- w = v;
+            ev.Ne_lcl.u_in <- input.Labeling.v.(v);
+            ev.Ne_lcl.u_out <- output.Labeling.v.(v);
+            ev.Ne_lcl.w_in <- input.Labeling.v.(w);
+            ev.Ne_lcl.w_out <- output.Labeling.v.(w);
+            ev.Ne_lcl.ee_in <- input.Labeling.e.(e);
+            ev.Ne_lcl.ee_out <- output.Labeling.e.(e);
+            ev.Ne_lcl.bu_in <- input.Labeling.b.(h);
+            ev.Ne_lcl.bu_out <- output.Labeling.b.(h);
+            ev.Ne_lcl.bw_in <- input.Labeling.b.(hw);
+            ev.Ne_lcl.bw_out <- output.Labeling.b.(hw);
+            if not (p.Ne_lcl.check_edge ev) then edges_ok := false
+          done;
+          Either.Right (node_ok && !edges_ok));
     }
   in
   let result = MP.run inst alg in

@@ -1,27 +1,31 @@
 module G = Repro_graph.Multigraph
 
+(* View fields are mutable so checkers can refill one scratch view per
+   domain instead of allocating a view per node/edge per check (see
+   {!fill_node_view}/{!fill_edge_view} and Distributed_check). Check
+   functions receive views by reference and must not retain them. *)
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view = {
-  degree : int;
-  v_in : 'vi;
-  v_out : 'vo;
-  e_in : 'ei array;
-  e_out : 'eo array;
-  b_in : 'bi array;
-  b_out : 'bo array;
+  mutable degree : int;
+  mutable v_in : 'vi;
+  mutable v_out : 'vo;
+  mutable e_in : 'ei array;
+  mutable e_out : 'eo array;
+  mutable b_in : 'bi array;
+  mutable b_out : 'bo array;
 }
 
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view = {
-  self_loop : bool;
-  u_in : 'vi;
-  u_out : 'vo;
-  w_in : 'vi;
-  w_out : 'vo;
-  ee_in : 'ei;
-  ee_out : 'eo;
-  bu_in : 'bi;
-  bu_out : 'bo;
-  bw_in : 'bi;
-  bw_out : 'bo;
+  mutable self_loop : bool;
+  mutable u_in : 'vi;
+  mutable u_out : 'vo;
+  mutable w_in : 'vi;
+  mutable w_out : 'vo;
+  mutable ee_in : 'ei;
+  mutable ee_out : 'eo;
+  mutable bu_in : 'bi;
+  mutable bu_out : 'bo;
+  mutable bw_in : 'bi;
+  mutable bw_out : 'bo;
 }
 
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t = {
@@ -36,43 +40,116 @@ let pp_violation fmt = function
   | Node v -> Format.fprintf fmt "node %d" v
   | Edge e -> Format.fprintf fmt "edge %d" e
 
+(* refill [nv] for node [v]; the caller guarantees the view's arrays have
+   length [degree v] (views are cached per degree) *)
+let fill_node_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) nv v =
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let lo = off.(v) in
+  let d = off.(v + 1) - lo in
+  nv.degree <- d;
+  nv.v_in <- input.Labeling.v.(v);
+  nv.v_out <- output.Labeling.v.(v);
+  for i = 0 to d - 1 do
+    let h = prt.(lo + i) in
+    let e = G.edge_of_half h in
+    nv.e_in.(i) <- input.Labeling.e.(e);
+    nv.e_out.(i) <- output.Labeling.e.(e);
+    nv.b_in.(i) <- input.Labeling.b.(h);
+    nv.b_out.(i) <- output.Labeling.b.(h)
+  done
+
 let node_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) v =
-  let hs = G.halves g v in
-  let deg = Array.length hs in
-  {
-    degree = deg;
-    v_in = input.v.(v);
-    v_out = output.v.(v);
-    e_in = Array.map (fun h -> input.e.(G.edge_of_half h)) hs;
-    e_out = Array.map (fun h -> output.e.(G.edge_of_half h)) hs;
-    b_in = Array.map (fun h -> input.b.(h)) hs;
-    b_out = Array.map (fun h -> output.b.(h)) hs;
-  }
+  let d = G.degree g v in
+  if d = 0 then
+    {
+      degree = 0;
+      v_in = input.Labeling.v.(v);
+      v_out = output.Labeling.v.(v);
+      e_in = [||];
+      e_out = [||];
+      b_in = [||];
+      b_out = [||];
+    }
+  else begin
+    (* seed the arrays from real label values so they get the element
+       type's representation, then fill in place *)
+    let h0 = G.half_at g v 0 in
+    let e0 = G.edge_of_half h0 in
+    let nv =
+      {
+        degree = d;
+        v_in = input.Labeling.v.(v);
+        v_out = output.Labeling.v.(v);
+        e_in = Array.make d input.Labeling.e.(e0);
+        e_out = Array.make d output.Labeling.e.(e0);
+        b_in = Array.make d input.Labeling.b.(h0);
+        b_out = Array.make d output.Labeling.b.(h0);
+      }
+    in
+    fill_node_view g ~input ~output nv v;
+    nv
+  end
+
+let fill_edge_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) ev e =
+  let hu = 2 * e in
+  let hw = (2 * e) + 1 in
+  let u = G.half_node g hu and w = G.half_node g hw in
+  ev.self_loop <- u = w;
+  ev.u_in <- input.Labeling.v.(u);
+  ev.u_out <- output.Labeling.v.(u);
+  ev.w_in <- input.Labeling.v.(w);
+  ev.w_out <- output.Labeling.v.(w);
+  ev.ee_in <- input.Labeling.e.(e);
+  ev.ee_out <- output.Labeling.e.(e);
+  ev.bu_in <- input.Labeling.b.(hu);
+  ev.bu_out <- output.Labeling.b.(hu);
+  ev.bw_in <- input.Labeling.b.(hw);
+  ev.bw_out <- output.Labeling.b.(hw)
 
 let edge_view g ~(input : _ Labeling.t) ~(output : _ Labeling.t) e =
   let u, w = G.endpoints g e in
   let hu, hw = G.halves_of_edge e in
   {
     self_loop = u = w;
-    u_in = input.v.(u);
-    u_out = output.v.(u);
-    w_in = input.v.(w);
-    w_out = output.v.(w);
-    ee_in = input.e.(e);
-    ee_out = output.e.(e);
-    bu_in = input.b.(hu);
-    bu_out = output.b.(hu);
-    bw_in = input.b.(hw);
-    bw_out = output.b.(hw);
+    u_in = input.Labeling.v.(u);
+    u_out = output.Labeling.v.(u);
+    w_in = input.Labeling.v.(w);
+    w_out = output.Labeling.v.(w);
+    ee_in = input.Labeling.e.(e);
+    ee_out = output.Labeling.e.(e);
+    bu_in = input.Labeling.b.(hu);
+    bu_out = output.Labeling.b.(hu);
+    bw_in = input.Labeling.b.(hw);
+    bw_out = output.Labeling.b.(hw);
   }
 
+(* sequential full check: one scratch edge view, plus one scratch node
+   view per distinct degree (the arrays are degree-sized) *)
 let violations p g ~input ~output =
   let bad = ref [] in
-  for e = G.m g - 1 downto 0 do
-    if not (p.check_edge (edge_view g ~input ~output e)) then bad := Edge e :: !bad
-  done;
+  let m = G.m g in
+  if m > 0 then begin
+    let ev = edge_view g ~input ~output (m - 1) in
+    if not (p.check_edge ev) then bad := Edge (m - 1) :: !bad;
+    for e = m - 2 downto 0 do
+      fill_edge_view g ~input ~output ev e;
+      if not (p.check_edge ev) then bad := Edge e :: !bad
+    done
+  end;
+  let nvs = Array.make (G.max_degree g + 1) None in
   for v = G.n g - 1 downto 0 do
-    if not (p.check_node (node_view g ~input ~output v)) then bad := Node v :: !bad
+    let d = G.degree g v in
+    let nv =
+      match nvs.(d) with
+      | Some nv ->
+        fill_node_view g ~input ~output nv v;
+        nv
+      | None ->
+        let nv = node_view g ~input ~output v in
+        nvs.(d) <- Some nv;
+        nv
+    in
+    if not (p.check_node nv) then bad := Node v :: !bad
   done;
   !bad
 

@@ -11,30 +11,36 @@
     A solution is correct iff [C_N] holds at every node and [C_E] at every
     edge. For a self-loop, the edge view has its two sides at the same
     node; the node view sees both half-edges of the loop on their two
-    ports. *)
+    ports.
+
+    View fields are mutable so checkers can refill one scratch view per
+    domain ({!fill_node_view}/{!fill_edge_view}) instead of allocating a
+    view per constraint evaluation; construction syntax is unchanged.
+    Check functions receive views by reference, valid only for the
+    duration of the call — they must not retain a view or its arrays. *)
 
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view = {
-  degree : int;
-  v_in : 'vi;
-  v_out : 'vo;
-  e_in : 'ei array;   (** incident edge inputs, port order *)
-  e_out : 'eo array;
-  b_in : 'bi array;   (** this node's half-edge inputs, port order *)
-  b_out : 'bo array;
+  mutable degree : int;
+  mutable v_in : 'vi;
+  mutable v_out : 'vo;
+  mutable e_in : 'ei array;   (** incident edge inputs, port order *)
+  mutable e_out : 'eo array;
+  mutable b_in : 'bi array;   (** this node's half-edge inputs, port order *)
+  mutable b_out : 'bo array;
 }
 
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view = {
-  self_loop : bool;
-  u_in : 'vi;
-  u_out : 'vo;
-  w_in : 'vi;         (** other endpoint (equal to [u_*] for a self-loop) *)
-  w_out : 'vo;
-  ee_in : 'ei;
-  ee_out : 'eo;
-  bu_in : 'bi;        (** half at u (side 0 of the edge) *)
-  bu_out : 'bo;
-  bw_in : 'bi;        (** half at w (side 1) *)
-  bw_out : 'bo;
+  mutable self_loop : bool;
+  mutable u_in : 'vi;
+  mutable u_out : 'vo;
+  mutable w_in : 'vi;         (** other endpoint (equal to [u_*] for a self-loop) *)
+  mutable w_out : 'vo;
+  mutable ee_in : 'ei;
+  mutable ee_out : 'eo;
+  mutable bu_in : 'bi;        (** half at u (side 0 of the edge) *)
+  mutable bu_out : 'bo;
+  mutable bw_in : 'bi;        (** half at w (side 1) *)
+  mutable bw_out : 'bo;
 }
 
 type ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t = {
@@ -60,6 +66,27 @@ val edge_view :
   output:('vo, 'eo, 'bo) Labeling.t ->
   int ->
   ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view
+
+val fill_node_view :
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) node_view ->
+  int ->
+  unit
+(** [fill_node_view g ~input ~output nv v] refills scratch view [nv]
+    in place for node [v]. The caller guarantees [nv]'s arrays have
+    length [degree g v] — cache one view per distinct degree (that is
+    what {!violations} and the distributed checker do). *)
+
+val fill_edge_view :
+  Repro_graph.Multigraph.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) edge_view ->
+  int ->
+  unit
+(** Refill a scratch edge view in place for the given edge. *)
 
 val violations :
   ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) t ->

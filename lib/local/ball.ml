@@ -1,42 +1,120 @@
 module G = Repro_graph.Multigraph
-module T = Repro_graph.Traversal
 
 type t = {
   graph : G.t;
   center : int;
   to_global : int array;
-  global_index : (int, int) Hashtbl.t;
+  of_g : int array;
   dist : int array;
   radius : int;
   complete : bool;
 }
 
+(* Per-domain scratch BFS queue, grown to the largest [n] seen. [gather]
+   runs inside Pool bodies, so the scratch must be domain-local; the pool
+   domains are long-lived, so one array per domain is retained, not one
+   per call. Only used between entry and the [Array.sub] below — never
+   escapes. *)
+let scratch_queue : int array ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [||])
+
+(* Fused gather: one level-by-level BFS over the CSR arrays discovers the
+   ball, numbers its nodes (BFS order, center = 0) and records level
+   boundaries; the induced subgraph is then built directly from a packed
+   half->node array via {!G.of_half_node}. Port numbering and local node
+   numbering are identical to the old bfs_bounded + induced pipeline:
+   both number nodes in BFS discovery order and assign ports in ascending
+   original-edge order. *)
 let gather g ~center ~radius =
-  let pairs = T.bfs_bounded g center ~radius in
-  let nodes = List.map fst pairs in
-  let sub, to_global, of_global = T.induced g nodes in
-  let dist = Array.make (G.n sub) 0 in
-  List.iter (fun (v, d) -> dist.(of_global.(v)) <- d) pairs;
-  let complete =
-    List.for_all
-      (fun (v, d) ->
-        d < radius
-        || Array.for_all
-             (fun h -> of_global.(G.half_node g (G.mate h)) >= 0)
-             (G.halves g v))
-      pairs
+  let n = G.n g in
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let queue =
+    let r = Domain.DLS.get scratch_queue in
+    if Array.length !r < n then r := Array.make n 0;
+    !r
   in
-  let global_index = Hashtbl.create (2 * Array.length to_global) in
-  Array.iteri (fun local v -> Hashtbl.replace global_index v local) to_global;
+  let of_g = Array.make n (-1) in
+  of_g.(center) <- 0;
+  queue.(0) <- center;
+  let k = ref 1 in
+  (* BFS depth never exceeds n-1, so the level table stays small even for
+     huge radii (component_nodes-style calls) *)
+  let cap = if radius < 0 then 0 else min radius (max 0 (n - 1)) in
+  (* level_end.(d) = queue index one past the last node at distance <= d *)
+  let level_end = Array.make (cap + 1) 1 in
+  let lo = ref 0 in
+  let d = ref 0 in
+  while !d < cap && !lo < !k do
+    let hi = !k in
+    for i = !lo to hi - 1 do
+      let v = queue.(i) in
+      for j = off.(v) to off.(v + 1) - 1 do
+        let w = G.half_node g (G.mate prt.(j)) in
+        if of_g.(w) < 0 then begin
+          of_g.(w) <- !k;
+          queue.(!k) <- w;
+          incr k
+        end
+      done
+    done;
+    lo := hi;
+    incr d;
+    level_end.(!d) <- !k
+  done;
+  (* frontier may have emptied early: pad the remaining levels *)
+  for dd = !d + 1 to cap do
+    level_end.(dd) <- !k
+  done;
+  let size = !k in
+  let to_global = Array.sub queue 0 size in
+  let dist = Array.make size 0 in
+  let lev = ref 0 in
+  for i = 0 to size - 1 do
+    while level_end.(!lev) <= i do
+      incr lev
+    done;
+    dist.(i) <- !lev
+  done;
+  (* only nodes at distance >= radius can have unseen neighbors (BFS
+     already visited every neighbor of an interior node) *)
+  let complete = ref true in
+  for i = 0 to size - 1 do
+    if dist.(i) >= radius then begin
+      let v = to_global.(i) in
+      for j = off.(v) to off.(v + 1) - 1 do
+        if of_g.(G.half_node g (G.mate prt.(j))) < 0 then complete := false
+      done
+    end
+  done;
+  (* induced subgraph: pack the surviving edges (ascending original edge
+     id, keeping relative port order) into one half->node array *)
+  let m_sub = ref 0 in
+  G.iter_edges g ~f:(fun _ u v ->
+      if of_g.(u) >= 0 && of_g.(v) >= 0 then incr m_sub);
+  let half_node = Array.make (2 * !m_sub) 0 in
+  let c = ref 0 in
+  G.iter_edges g ~f:(fun _ u v ->
+      if of_g.(u) >= 0 && of_g.(v) >= 0 then begin
+        half_node.(2 * !c) <- of_g.(u);
+        half_node.((2 * !c) + 1) <- of_g.(v);
+        incr c
+      end);
+  let sub = G.of_half_node ~n:size ~m:!m_sub half_node in
   {
     graph = sub;
-    center = of_global.(center);
+    center = of_g.(center);
     to_global;
-    global_index;
+    of_g;
     dist;
     radius;
-    complete;
+    complete = !complete;
   }
 
-let of_global b v = Hashtbl.find_opt b.global_index v
-let mem_global b v = Hashtbl.mem b.global_index v
+let index_global b v =
+  if v < 0 || v >= Array.length b.of_g then -1 else b.of_g.(v)
+
+let of_global b v =
+  let l = index_global b v in
+  if l >= 0 then Some l else None
+
+let mem_global b v = index_global b v >= 0

@@ -14,17 +14,28 @@ type t = private {
   graph : Repro_graph.Multigraph.t;      (** induced subgraph, locally renumbered *)
   center : int;              (** local index of the ball's center *)
   to_global : int array;     (** local node -> global node *)
-  global_index : (int, int) Hashtbl.t;
-      (** inverse of [to_global]: global node -> local node *)
+  of_g : int array;
+      (** inverse of [to_global]: global node -> local node, [-1] if the
+          global node is outside the ball (length = global node count) *)
   dist : int array;          (** local node -> distance from center *)
   radius : int;              (** the requested radius *)
   complete : bool;           (** true if the ball is a whole component *)
 }
 
 val gather : Repro_graph.Multigraph.t -> center:int -> radius:int -> t
+(** One fused level-by-level BFS over the flat CSR arrays: discovers the
+    ball, numbers nodes in BFS order (center first) and packs the induced
+    subgraph directly — no intermediate hash tables or pair lists. Uses a
+    per-domain scratch queue, so it is safe (and allocation-lean) inside
+    {!Pool} bodies. *)
 
 val of_global : t -> int -> int option
 (** Local index of a global node, if inside the ball. O(1) via the
-    [global_index] inverse table (solvers call this in inner loops). *)
+    [of_g] inverse array. Allocates the option; inner loops should use
+    {!index_global} or read [of_g] directly. *)
+
+val index_global : t -> int -> int
+(** Like {!of_global} but returns [-1] for nodes outside the ball
+    (or out of range). Never allocates. *)
 
 val mem_global : t -> int -> bool

@@ -38,14 +38,12 @@ let adversarial_bfs g =
         let v = Queue.take q in
         ids.(v) <- !next;
         incr next;
-        Array.iter
-          (fun h ->
+        G.iter_halves g v ~f:(fun h ->
             let w = G.half_node g (G.mate h) in
             if not visited.(w) then begin
               visited.(w) <- true;
               Queue.add w q
             end)
-          (G.halves g v)
       done
     end
   done;

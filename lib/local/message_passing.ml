@@ -51,21 +51,48 @@ type 'out result = {
    - receive: node [v] reads the mailbox (frozen during this phase) and
      writes [states/outputs/halted/rounds] at its own index only.
 
-   Hence any Pool size is bit-identical to the sequential loop. *)
+   Hence any Pool size is bit-identical to the sequential loop.
+
+   Arena discipline (flat engine): the mailbox is one ['msg array] slot
+   per half-edge for the whole run plus an epoch word per slot —
+   [mail.(h)] is valid iff [mail_epoch.(h) >= 0], and then holds the
+   message most recently sent into half [h] (in round [mail_epoch.(h)]).
+   Round 0 writes every slot (every half's mate belongs to a
+   not-yet-halted node) and a halted sender's final messages stay in
+   place (last-message-repeated, see the .mli), so from the first
+   receive phase on every slot is valid; the epoch word is the checked
+   invariant that replaces the old per-message option boxing.
+
+   The placeholder-seeded arrays ([Obj.magic 0]) are safe only because
+   they never escape this polymorphic engine: a uniform array seeded
+   with an immediate is read and written through the generic accessors
+   here, whatever ['msg]/['out] turn out to be. Everything handed to
+   user code ([msgs] buffers) or returned ([outputs]) is (re)built from
+   real values so it gets the element type's native representation —
+   flat for floats. *)
 let run ?limit inst alg =
   let g = inst.Instance.graph in
   let n = G.n g in
+  let m2 = 2 * G.m g in
+  let off = G.ports_off g and prt = G.ports_flat g in
   let limit = match limit with Some l -> l | None -> (4 * n) + 16 in
   let states = Array.init n (fun v -> alg.init inst v) in
-  let outputs = Array.make n None in
+  let out_buf : 'out array = Array.make n (Obj.magic 0 : 'out) in
   let rounds = Array.make n 0 in
   let halted = Array.make n false in
   let remaining = ref n in
-  (* one mailbox per half-edge for the whole run: the message sent into a
-     half arrives at its mate. A halted node stops sending; its final
-     messages simply stay in place (last-message-repeated, see the .mli),
-     so slots written in round 0 remain valid forever. *)
-  let mail = Array.make (2 * G.m g) None in
+  let mail : 'msg array = Array.make m2 (Obj.magic 0 : 'msg) in
+  let mail_epoch = Array.make m2 (-1) in
+  (* per-domain receive scratch: scratch.(w).(d) is domain w's reusable
+     message buffer of length d, created on first use from a real
+     message value (so the buffer gets the right representation) and
+     owned exclusively by domain w for the duration of one receive
+     call — see the .mli contract on [receive]. *)
+  let slots = Pool.worker_slots () in
+  let maxdeg = G.max_degree g in
+  let scratch : 'msg array array array =
+    Array.init slots (fun _ -> Array.make (maxdeg + 1) [||])
+  in
   (* provenance audit (disarmed: one boolean load per run, no
      allocation). Influence sets mirror the mailbox ownership exactly:
      the send phase copies the sender's set into its mates' slots, the
@@ -82,11 +109,171 @@ let run ?limit inst alg =
     else [||]
   in
   let inf_mail =
-    if audit then Array.init (2 * G.m g) (fun _ -> Obs.Provenance.Bitset.create n)
+    if audit then Array.init m2 (fun _ -> Obs.Provenance.Bitset.create n)
     else [||]
   in
   Obs.Counter.incr m_runs;
   (* round 0 gives nodes a chance to halt without communicating *)
+  let round = ref 0 in
+  let deliver () =
+    let r = !round in
+    let traced = Obs.Trace.active () in
+    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
+    Pool.parallel_for ~n (fun v ->
+        if not halted.(v) then begin
+          let st = states.(v) in
+          let lo = off.(v) in
+          for i = lo to off.(v + 1) - 1 do
+            let dst = G.mate prt.(i) in
+            mail.(dst) <- alg.send st ~round:r ~port:(i - lo);
+            mail_epoch.(dst) <- r
+          done;
+          if audit then
+            G.iter_halves g v ~f:(fun h ->
+                Obs.Provenance.Bitset.blit ~src:inf_state.(v)
+                  ~dst:inf_mail.(G.mate h))
+        end);
+    (* round accounting, taken between the two phases: the active set is
+       exactly the pre-receive [halted] complement, and each active node
+       sends one message per port and reads one message per port, so the
+       messages sent this round equal the mailbox sizes summed over
+       active receivers. Runs on the main domain while the workers are
+       parked; skipped entirely (down to one branch) when disabled. *)
+    let msgs = ref 0 and receivers = ref 0 in
+    let mbox_max = ref 0 and bytes = ref 0 in
+    if Obs.Registry.enabled () then begin
+      for v = 0 to n - 1 do
+        if not halted.(v) then begin
+          let d = off.(v + 1) - off.(v) in
+          msgs := !msgs + d;
+          incr receivers;
+          if d > !mbox_max then mbox_max := d;
+          for i = off.(v) to off.(v + 1) - 1 do
+            let h = G.mate prt.(i) in
+            if mail_epoch.(h) >= 0 then
+              bytes := !bytes + payload_bytes mail.(h)
+          done
+        end
+      done;
+      Obs.Counter.incr m_rounds;
+      Obs.Counter.add m_messages !msgs;
+      Obs.Counter.add m_bytes !bytes
+    end;
+    let newly_halted =
+      Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
+          if halted.(v) then 0
+          else begin
+            if audit then
+              G.iter_halves g v ~f:(fun h ->
+                  Obs.Provenance.Bitset.union_into ~into:inf_state.(v)
+                    inf_mail.(h));
+            let lo = off.(v) in
+            let d = off.(v + 1) - lo in
+            let msgs =
+              if d = 0 then [||]
+              else begin
+                let per_deg = scratch.(Pool.worker_index ()) in
+                let buf = per_deg.(d) in
+                let buf =
+                  if Array.length buf = d then buf
+                  else begin
+                    let b = Array.make d mail.(prt.(lo)) in
+                    per_deg.(d) <- b;
+                    b
+                  end
+                in
+                for i = 0 to d - 1 do
+                  let h = prt.(lo + i) in
+                  (* the epoch invariant: every slot a live node reads
+                     has been written (round 0 covered the mailbox) *)
+                  assert (mail_epoch.(h) >= 0);
+                  buf.(i) <- mail.(h)
+                done;
+                buf
+              end
+            in
+            match alg.receive states.(v) ~round:r msgs with
+            | Either.Left st ->
+              states.(v) <- st;
+              0
+            | Either.Right out ->
+              out_buf.(v) <- out;
+              halted.(v) <- true;
+              rounds.(v) <- r + 1;
+              1
+          end)
+    in
+    remaining := !remaining - newly_halted;
+    (* the trace event closes after the receive phase so its rng/chunk
+       deltas cover the whole round, both phases included *)
+    if traced then begin
+      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      Obs.Trace.emit
+        (Obs.Trace.Round
+           {
+             engine = "message_passing";
+             round = r;
+             messages = !msgs;
+             payload_bytes = !bytes;
+             mailbox_max = !mbox_max;
+             mailbox_mean = float_of_int !msgs /. float_of_int (max 1 !receivers);
+             rng_draws = rng1 - rng0;
+             chunks = chunks1 - chunks0;
+             chunk_ns = chunk_ns1 - chunk_ns0;
+           })
+    end
+  in
+  while !remaining > 0 && !round < limit do
+    deliver ();
+    incr round
+  done;
+  if !remaining > 0 then
+    failwith
+      (Printf.sprintf "Message_passing.run: %d nodes still running after %d rounds"
+         !remaining limit);
+  (* rebuild with the element type's own representation before the array
+     escapes to (possibly monomorphic) user code *)
+  let outputs = Array.map Fun.id out_buf in
+  if audit then
+    Obs.Provenance.submit
+      {
+        Obs.Provenance.engine = "message_passing";
+        n;
+        influence = inf_state;
+        rounds_active = Array.copy rounds;
+      };
+  { outputs; rounds; max_rounds = Array.fold_left max 0 rounds }
+
+(* The pre-arena engine, kept verbatim as a differential reference for
+   the [engine-flat-vs-boxed] fuzz target: option-boxed mailbox, fresh
+   msgs array per node per round. Identical observable semantics to
+   {!run} (outputs, rounds, telemetry counters, provenance audits);
+   only the allocation profile differs. Delete once the fuzz target has
+   earned its keep. *)
+let run_boxed ?limit inst alg =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let limit = match limit with Some l -> l | None -> (4 * n) + 16 in
+  let states = Array.init n (fun v -> alg.init inst v) in
+  let outputs = Array.make n None in
+  let rounds = Array.make n 0 in
+  let halted = Array.make n false in
+  let remaining = ref n in
+  let mail = Array.make (2 * G.m g) None in
+  let audit = Obs.Provenance.active () in
+  let inf_state =
+    if audit then
+      Array.init n (fun v ->
+          let b = Obs.Provenance.Bitset.create n in
+          Obs.Provenance.Bitset.add b v;
+          b)
+    else [||]
+  in
+  let inf_mail =
+    if audit then Array.init (2 * G.m g) (fun _ -> Obs.Provenance.Bitset.create n)
+    else [||]
+  in
+  Obs.Counter.incr m_runs;
   let round = ref 0 in
   let deliver () =
     let r = !round in
@@ -105,12 +292,6 @@ let run ?limit inst alg =
                   ~dst:inf_mail.(G.mate h))
               (G.halves g v)
         end);
-    (* round accounting, taken between the two phases: the active set is
-       exactly the pre-receive [halted] complement, and each active node
-       sends one message per port and reads one message per port, so the
-       messages sent this round equal the mailbox sizes summed over
-       active receivers. Runs on the main domain while the workers are
-       parked; skipped entirely (down to one branch) when disabled. *)
     let msgs = ref 0 and receivers = ref 0 in
     let mbox_max = ref 0 and bytes = ref 0 in
     if Obs.Registry.enabled () then begin
@@ -163,8 +344,6 @@ let run ?limit inst alg =
           end)
     in
     remaining := !remaining - newly_halted;
-    (* the trace event closes after the receive phase so its rng/chunk
-       deltas cover the whole round, both phases included *)
     if traced then begin
       let rng1, chunks1, chunk_ns1 = obs_marks () in
       Obs.Trace.emit
@@ -203,93 +382,272 @@ let run ?limit inst alg =
       };
   { outputs; rounds; max_rounds = Array.fold_left max 0 rounds }
 
-(* Receiver-centric flooding: in each round, node [w] pulls the snapshot
-   of every neighbour's knowledge and updates only its own tables, so the
-   per-node work is independent and schedule-oblivious. *)
+(* ------------------------------------------------------------------ *)
+(* flooding                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Receiver-centric flooding over flat knowledge sets. Distinct payload
+   values are interned once into integer {e classes} (class id = first
+   node carrying that value, so ids are instance-determined); a node's
+   knowledge is then a set of class ids, represented either as a sorted
+   int array (sparse regime: balls stay small relative to the class
+   count) or as a {!Obs.Provenance.Bitset} over classes (dense regime:
+   the radius-[radius] ball can plausibly cover most classes). In both
+   regimes node [w] pulls the frozen round-start snapshot of every
+   neighbour's set and updates only its own, so per-node work is
+   independent and schedule-oblivious, exactly like the old
+   hashtable-based engine.
+
+   Byte telemetry contract: the old engine charged, per node per round,
+   [degree * payload_bytes] of the node's knowledge-snapshot {e list}.
+   To keep traced byte counts identical, the accounting below rebuilds
+   that list (representative payload per known class) — only when the
+   registry is enabled, so the hot path never conses. *)
+
+(* per-round accounting shared by both regimes; [known_list v] is the
+   payload list a node would have sent (round-start snapshot) *)
+let flood_account g n known_list =
+  let msgs = ref 0 and mbox_max = ref 0 and bytes = ref 0 in
+  for v = 0 to n - 1 do
+    let d = G.degree g v in
+    msgs := !msgs + d;
+    if d > !mbox_max then mbox_max := d;
+    (* isolated nodes skipped: no list rebuild, no size computation *)
+    if d > 0 then bytes := !bytes + (d * payload_bytes (known_list v))
+  done;
+  (!msgs, !mbox_max, !bytes)
+
 let flood_gather inst ~radius payload =
   let g = inst.Instance.graph in
   let n = G.n g in
   Obs.Counter.incr m_flood_runs;
-  let known = Array.init n (fun _ -> Hashtbl.create 8) in
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
-  Pool.parallel_for ~n (fun v -> Hashtbl.replace known.(v) (payload v) ());
-  let outgoing = Array.make n [] in
-  (* audit mode: one influence set per node plus one per-node snapshot
-     taken in the send phase, mirroring [outgoing] — same per-index
-     ownership as the payload tables, so pool-size independent *)
-  let audit = Obs.Provenance.active () in
-  let inf_state =
-    if audit then
-      Array.init n (fun v ->
-          let b = Obs.Provenance.Bitset.create n in
-          Obs.Provenance.Bitset.add b v;
-          b)
-    else [||]
-  in
-  let inf_out =
-    if audit then Array.init n (fun _ -> Obs.Provenance.Bitset.create n)
-    else [||]
-  in
-  for r = 0 to radius - 1 do
-    let traced = Obs.Trace.active () in
-    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
-    (* snapshot: everyone sends its current knowledge *)
-    Pool.parallel_for ~n (fun v ->
-        outgoing.(v) <- Hashtbl.fold (fun p () acc -> p :: acc) known.(v) [];
-        if audit then
-          Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
-    (* round accounting between snapshot and pull: in message terms node
-       [v] sends its snapshot once per incident half, so every node's
-       mailbox holds one message per port — degree-shaped, every round *)
-    let msgs = ref 0 and mbox_max = ref 0 and bytes = ref 0 in
-    if Obs.Registry.enabled () then begin
-      for v = 0 to n - 1 do
-        let d = Array.length (G.halves g v) in
-        msgs := !msgs + d;
-        if d > !mbox_max then mbox_max := d;
-        if d > 0 then bytes := !bytes + (d * payload_bytes outgoing.(v))
+  let payloads = Pool.tabulate n payload in
+  if n = 0 || radius <= 0 then by_round
+  else begin
+    (* intern payloads into classes (main domain: the table is shared) *)
+    let class_of = Array.make n 0 in
+    let class_payload = Array.make n payloads.(0) in
+    let class_tbl = Hashtbl.create (2 * n) in
+    let class_count = ref 0 in
+    for v = 0 to n - 1 do
+      match Hashtbl.find_opt class_tbl payloads.(v) with
+      | Some c -> class_of.(v) <- c
+      | None ->
+        let c = !class_count in
+        incr class_count;
+        Hashtbl.replace class_tbl payloads.(v) c;
+        class_payload.(c) <- payloads.(v);
+        class_of.(v) <- c
+    done;
+    let nc = !class_count in
+    (* audit mode: one influence set per node plus one per-node snapshot
+       taken in the send phase — same per-index ownership as the
+       knowledge sets, so pool-size independent *)
+    let audit = Obs.Provenance.active () in
+    let inf_state =
+      if audit then
+        Array.init n (fun v ->
+            let b = Obs.Provenance.Bitset.create n in
+            Obs.Provenance.Bitset.add b v;
+            b)
+      else [||]
+    in
+    let inf_out =
+      if audit then Array.init n (fun _ -> Obs.Provenance.Bitset.create n)
+      else [||]
+    in
+    (* dense iff a radius-[radius] ball could cover the classes:
+       sum_{i<=radius} maxdeg^i >= nc, computed with saturation *)
+    let dense =
+      let md = G.max_degree g in
+      let acc = ref 1 and frontier = ref 1 and i = ref 0 in
+      while !i < radius && !acc < nc do
+        frontier :=
+          (let f = !frontier * max 1 md in
+           if f <= 0 || f > nc then nc else f);
+        acc := min nc (!acc + !frontier);
+        incr i
       done;
-      Obs.Counter.incr m_flood_rounds;
-      Obs.Counter.add m_flood_messages !msgs;
-      Obs.Counter.add m_flood_bytes !bytes
-    end;
-    Pool.parallel_for ~n (fun w ->
-        Array.iter
-          (fun h ->
-            let v = G.half_node g (G.mate h) in
-            if audit then
-              Obs.Provenance.Bitset.union_into ~into:inf_state.(w) inf_out.(v);
-            List.iter
-              (fun p ->
-                if not (Hashtbl.mem known.(w) p) then begin
-                  Hashtbl.replace known.(w) p ();
-                  by_round.(w).(r) <- p :: by_round.(w).(r)
-                end)
-              outgoing.(v))
-          (G.halves g w));
-    if traced then begin
-      let rng1, chunks1, chunk_ns1 = obs_marks () in
-      Obs.Trace.emit
-        (Obs.Trace.Round
-           {
-             engine = "flood_gather";
-             round = r;
-             messages = !msgs;
-             payload_bytes = !bytes;
-             mailbox_max = !mbox_max;
-             mailbox_mean = float_of_int !msgs /. float_of_int (max 1 n);
-             rng_draws = rng1 - rng0;
-             chunks = chunks1 - chunks0;
-             chunk_ns = chunk_ns1 - chunk_ns0;
-           })
+      !acc >= nc
+    in
+    let emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes =
+      if Obs.Registry.enabled () then begin
+        Obs.Counter.incr m_flood_rounds;
+        Obs.Counter.add m_flood_messages msgs;
+        Obs.Counter.add m_flood_bytes bytes
+      end;
+      if traced then begin
+        let rng0, chunks0, chunk_ns0 = marks0 in
+        let rng1, chunks1, chunk_ns1 = obs_marks () in
+        Obs.Trace.emit
+          (Obs.Trace.Round
+             {
+               engine = "flood_gather";
+               round = r;
+               messages = msgs;
+               payload_bytes = bytes;
+               mailbox_max = mbox_max;
+               mailbox_mean = float_of_int msgs /. float_of_int (max 1 n);
+               rng_draws = rng1 - rng0;
+               chunks = chunks1 - chunks0;
+               chunk_ns = chunk_ns1 - chunk_ns0;
+             })
+      end
+    in
+    if dense then begin
+      let module B = Obs.Provenance.Bitset in
+      let known =
+        Array.init n (fun v ->
+            let b = B.create nc in
+            B.add b class_of.(v);
+            b)
+      in
+      let next = Array.init n (fun _ -> B.create nc) in
+      for r = 0 to radius - 1 do
+        let traced = Obs.Trace.active () in
+        let marks0 = if traced then obs_marks () else (0, 0, 0) in
+        if audit then
+          Pool.parallel_for ~n (fun v ->
+              Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
+        let msgs, mbox_max, bytes =
+          if Obs.Registry.enabled () then
+            flood_account g n (fun v ->
+                let acc = ref [] in
+                B.iter (fun c -> acc := class_payload.(c) :: !acc) known.(v);
+                !acc)
+          else (0, 0, 0)
+        in
+        (* pull: [known] is frozen this phase; node [w] writes only
+           [next.(w)] and its own by_round slot *)
+        Pool.parallel_for ~n (fun w ->
+            let nx = next.(w) in
+            B.blit ~src:known.(w) ~dst:nx;
+            G.iter_halves g w ~f:(fun h ->
+                let v = G.half_node g (G.mate h) in
+                if audit then
+                  Obs.Provenance.Bitset.union_into ~into:inf_state.(w)
+                    inf_out.(v);
+                B.union_into ~into:nx known.(v));
+            let acc = ref [] in
+            B.iter_diff (fun c -> acc := class_payload.(c) :: !acc) nx known.(w);
+            if !acc <> [] then by_round.(w).(r) <- List.rev !acc);
+        (* swap the double buffer (pointer swaps, main domain) *)
+        for v = 0 to n - 1 do
+          let t = known.(v) in
+          known.(v) <- next.(v);
+          next.(v) <- t
+        done;
+        emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+      done
     end
-  done;
-  if audit then
-    Obs.Provenance.submit
-      {
-        Obs.Provenance.engine = "flood_gather";
-        n;
-        influence = inf_state;
-        rounds_active = Array.make n radius;
-      };
-  by_round
+    else begin
+      (* sparse regime: sorted class-id arrays, merge-union through two
+         per-domain ping-pong scratch buffers. A node's published array
+         is immutable once written, so the snapshot phase is a pointer
+         copy and readers never see a partial merge. The pull phase
+         walks the raw CSR arrays: no per-node closure, and the loop
+         state stays in (compiler-unboxed) local refs. *)
+      let off = G.ports_off g and prt = G.ports_flat g in
+      let slots = Pool.worker_slots () in
+      let bufa = Array.init slots (fun _ -> Array.make nc 0) in
+      let bufb = Array.init slots (fun _ -> Array.make nc 0) in
+      let known = Array.init n (fun v -> [| class_of.(v) |]) in
+      let snap = Array.make n [||] in
+      for r = 0 to radius - 1 do
+        let traced = Obs.Trace.active () in
+        let marks0 = if traced then obs_marks () else (0, 0, 0) in
+        Pool.parallel_for ~n (fun v ->
+            snap.(v) <- known.(v);
+            if audit then
+              Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
+        let msgs, mbox_max, bytes =
+          if Obs.Registry.enabled () then
+            flood_account g n (fun v ->
+                let s = snap.(v) in
+                let acc = ref [] in
+                for i = 0 to Array.length s - 1 do
+                  acc := class_payload.(s.(i)) :: !acc
+                done;
+                !acc)
+          else (0, 0, 0)
+        in
+        Pool.parallel_for ~n (fun w ->
+            let wi = Pool.worker_index () in
+            let ba = bufa.(wi) and bb = bufb.(wi) in
+            let own = snap.(w) in
+            let cur = ref own and len = ref (Array.length own) in
+            for hh = off.(w) to off.(w + 1) - 1 do
+              let v = G.half_node g (G.mate prt.(hh)) in
+              if audit then
+                Obs.Provenance.Bitset.union_into ~into:inf_state.(w)
+                  inf_out.(v);
+              let b = snap.(v) in
+              let bl = Array.length b in
+              if bl > 0 then begin
+                let dst = if !cur == ba then bb else ba in
+                let a = !cur and al = !len in
+                let i = ref 0 and j = ref 0 and k = ref 0 in
+                while !i < al && !j < bl do
+                  let x = a.(!i) and y = b.(!j) in
+                  if x < y then begin
+                    dst.(!k) <- x;
+                    incr i
+                  end
+                  else if y < x then begin
+                    dst.(!k) <- y;
+                    incr j
+                  end
+                  else begin
+                    dst.(!k) <- x;
+                    incr i;
+                    incr j
+                  end;
+                  incr k
+                done;
+                while !i < al do
+                  dst.(!k) <- a.(!i);
+                  incr i;
+                  incr k
+                done;
+                while !j < bl do
+                  dst.(!k) <- b.(!j);
+                  incr j;
+                  incr k
+                done;
+                cur := dst;
+                len := !k
+              end
+            done;
+            if !len > Array.length own then begin
+              let merged = !cur in
+              (* fresh classes, collected ascending (both arrays are
+                 sorted and [own] is a subset of [merged]) *)
+              let acc = ref [] in
+              let i = ref (!len - 1) and j = ref (Array.length own - 1) in
+              while !i >= 0 do
+                if !j >= 0 && own.(!j) = merged.(!i) then begin
+                  decr i;
+                  decr j
+                end
+                else begin
+                  acc := class_payload.(merged.(!i)) :: !acc;
+                  decr i
+                end
+              done;
+              by_round.(w).(r) <- !acc;
+              known.(w) <- Array.sub merged 0 !len
+            end);
+        emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+      done
+    end;
+    if audit then
+      Obs.Provenance.submit
+        {
+          Obs.Provenance.engine = "flood_gather";
+          n;
+          influence = inf_state;
+          rounds_active = Array.make n radius;
+        };
+    by_round
+  end

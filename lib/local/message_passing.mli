@@ -29,6 +29,22 @@
     state: a [send] that depends on [~round] after halting is never
     observed. Algorithms should not do that.
 
+    {2 Arena mailboxes}
+
+    The mailbox is a flat ['msg array] (one slot per half-edge, for the
+    whole run) paired with an epoch word per slot: a slot is valid once
+    its epoch is non-negative, and then holds the most recent message
+    sent into that half, tagged with the round it was sent. Round 0
+    writes every slot and halted senders' messages stay in place, so
+    validity is monotone — the epoch word replaces the old per-message
+    option boxing and its [None -> assert false] receive branch (the
+    invariant is still checked, as an assert on the epoch). The [msgs]
+    array passed to [receive] is a {e per-domain scratch buffer}: it is
+    valid only for the duration of the call and is reused for other
+    nodes afterwards. [receive] must not retain it (copy it if needed);
+    every implementation in this repo consumes it immediately.
+    DESIGN.md §12 documents the layout and ownership rules.
+
     {2 Parallel execution}
 
     Both phases of a round run as {!Pool.parallel_for} loops over nodes
@@ -67,7 +83,9 @@ type ('state, 'msg, 'out) algorithm = {
       (** the message for each port this round *)
   receive : 'state -> round:int -> 'msg array -> ('state, 'out) Either.t;
       (** [receive st ~round msgs]: [msgs.(p)] arrived on port [p].
-          Return [Left st'] to continue, [Right out] to halt. *)
+          Return [Left st'] to continue, [Right out] to halt.
+          [msgs] is a reused scratch buffer — do not retain it past the
+          call (see "Arena mailboxes" above). *)
 }
 
 type 'out result = {
@@ -83,6 +101,19 @@ val run :
   'out result
 (** Execute until all nodes halt. @raise Failure if the [limit] (default
     [4·n + 16] rounds) is exceeded — a diverging algorithm. *)
+
+val run_boxed :
+  ?limit:int ->
+  Instance.t ->
+  ('state, 'msg, 'out) algorithm ->
+  'out result
+(** The pre-arena reference engine: option-boxed mailbox slots and a
+    fresh [msgs] array per node per round (so [receive] may retain its
+    argument). Observably identical to {!run} — same outputs, rounds,
+    telemetry counters and provenance audits — and differenced against
+    it by the [engine-flat-vs-boxed] fuzz target. Slower and
+    allocation-heavy; scheduled for deletion once the flat engine has
+    soaked. *)
 
 val flood_gather :
   Instance.t ->

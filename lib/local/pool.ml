@@ -72,6 +72,17 @@ let busy = ref false
 let size () =
   match !requested with Some k -> k | None -> Lazy.force env_size
 
+(* Identifies the calling domain within the pool: 0 for the dispatching
+   (main) domain, 1 .. size-1 for workers. Engines use it to index
+   per-run scratch buffers ("arenas") without any locking: each domain
+   only ever touches slot [worker_index ()]. One static DLS key — DLS
+   keys cannot be freed, so allocating a key per run would leak. A
+   foreign domain that never joined the pool reads the default 0, which
+   is safe: it can only be running engine code while the pool is idle. *)
+let index_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
+let worker_index () = Domain.DLS.get index_key
+let worker_slots () = size ()
+
 (* claim and run chunks until the range drains; after a body raises, the
    remaining chunks are still claimed (so the completed count drains) but
    their bodies are skipped *)
@@ -162,7 +173,10 @@ let ensure_pool () =
         }
       in
       pool.workers <-
-        Array.init (sz - 1) (fun _ -> Domain.spawn (fun () -> worker pool));
+        Array.init (sz - 1) (fun i ->
+            Domain.spawn (fun () ->
+                Domain.DLS.set index_key (i + 1);
+                worker pool));
       state := Some pool;
       Some pool
 

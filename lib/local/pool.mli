@@ -48,6 +48,19 @@ val size : unit -> int
 (** Configured domain count: [set_size] override if any, else
     [REPRO_DOMAINS], else [Domain.recommended_domain_count ()]. *)
 
+val worker_index : unit -> int
+(** Index of the calling domain within the pool: 0 for the dispatching
+    domain, [1 .. size () - 1] for workers. Always
+    [< worker_slots ()]. Engines use it to pick a per-domain scratch
+    buffer out of a [worker_slots ()]-sized arena — each domain only
+    touches its own slot, so no synchronisation is needed and the
+    determinism contract is untouched (scratch contents never outlive
+    one loop body). *)
+
+val worker_slots : unit -> int
+(** Upper bound (exclusive) on {!worker_index} until the next
+    [set_size]: the number of scratch slots an engine must allocate. *)
+
 val set_size : int -> unit
 (** Override the pool size at runtime (used by the bench harness to
     measure sequential vs. parallel in one process, and by the

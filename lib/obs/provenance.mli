@@ -55,6 +55,11 @@ module Bitset : sig
   val iter : (int -> unit) -> t -> unit
   (** Members in ascending order. *)
 
+  val iter_diff : (int -> unit) -> t -> t -> unit
+  (** [iter_diff f src other] applies [f] to the members of [src] that
+      are not in [other], in ascending order. Word-wise skip over the
+      shared portion; no allocation. Capacities must match. *)
+
   val equal : t -> t -> bool
 end
 

@@ -258,14 +258,12 @@ let gadget_components g (input : _ Labeling.t) =
       Queue.add s q;
       while not (Queue.is_empty q) do
         let v = Queue.take q in
-        Array.iter
-          (fun h ->
+        G.iter_halves g v ~f:(fun h ->
             let w = G.half_node g (G.mate h) in
             if is_gad (G.edge_of_half h) && comp.(w) < 0 then begin
               comp.(w) <- !ncomp;
               Queue.add w q
             end)
-          (G.halves g v)
       done;
       incr ncomp
     end
@@ -376,19 +374,19 @@ let solve ~(family : Family.t) (spec : _ Spec.t) ~which inst (input : _ Labeling
          gadget half of this component has a local half in cd.lhalf *)
       Array.iter
         (fun v ->
-          Array.iter
-            (fun ph ->
+          G.iter_halves g v ~f:(fun ph ->
               if cd.lhalf.(ph) >= 0 then
-                psi_half.(ph) <- Some sol.Labeling.b.(cd.lhalf.(ph)))
-            (G.halves g v))
+                psi_half.(ph) <- Some sol.Labeling.b.(cd.lhalf.(ph))))
         cd.members)
     comps;
   (* 2. port classification *)
   let port_of v = (input.Labeling.v.(v) : _ pv_in).gad_v.GL.port in
   let port_edges v =
-    Array.to_list (G.halves g v)
-    |> List.filter (fun h ->
-           (input.Labeling.e.(G.edge_of_half h) : _ pe_in).etype = PortEdge)
+    List.rev
+      (G.fold_halves g v ~init:[] ~f:(fun acc h ->
+           if (input.Labeling.e.(G.edge_of_half h) : _ pe_in).etype = PortEdge
+           then h :: acc
+           else acc))
   in
   let perr = Array.make n NoPortErr in
   for v = 0 to n - 1 do

@@ -49,9 +49,10 @@ let solve inst =
   let out_halves =
     Pool.tabulate n (fun v ->
         Array.of_list
-          (List.filter
-             (fun h -> ids.(G.half_node g (G.mate h)) > ids.(v))
-             (Array.to_list (G.halves g v))))
+          (List.rev
+             (G.fold_halves g v ~init:[] ~f:(fun acc h ->
+                  if ids.(G.half_node g (G.mate h)) > ids.(v) then h :: acc
+                  else acc))))
   in
   (* parent.(i).(v) = parent of v in forest i, or -1 *)
   let parent =

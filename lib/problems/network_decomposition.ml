@@ -96,14 +96,12 @@ let linial_saks inst ~p =
             best_dist.(v) <- d
           end;
           if d < radius.(w) then
-            Array.iter
-              (fun h ->
+            G.iter_halves g v ~f:(fun h ->
                 let x = G.half_node g (G.mate h) in
                 if raw_cluster.(x) < 0 && not (Hashtbl.mem dist x) then begin
                   Hashtbl.replace dist x (d + 1);
                   Queue.add x q
                 end)
-              (G.halves g v)
         done
       end
     done;
@@ -158,14 +156,12 @@ let greedy inst =
           let next_frontier = ref [] in
           List.iter
             (fun v ->
-              Array.iter
-                (fun h ->
+              G.iter_halves g v ~f:(fun h ->
                   let w = G.half_node g (G.mate h) in
                   if raw_cluster.(w) < 0 && not (Hashtbl.mem seen w) then begin
                     Hashtbl.replace seen w ();
                     next_frontier := w :: !next_frontier
-                  end)
-                (G.halves g v))
+                  end))
             !frontier;
           let grow = List.length !next_frontier in
           if grow = 0 || grow * 2 <= !size then begin

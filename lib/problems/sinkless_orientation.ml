@@ -50,7 +50,9 @@ let count_sinks g (output : output) =
   for v = 0 to G.n g - 1 do
     if
       G.degree g v >= 3
-      && not (Array.exists (fun h -> output.b.(h) = Out) (G.halves g v))
+      && not
+           (G.fold_halves g v ~init:false ~f:(fun acc h ->
+                acc || output.b.(h) = Out))
     then incr sinks
   done;
   !sinks
@@ -79,8 +81,7 @@ let solve_tree_component g ids out nodes =
   Queue.add root q;
   while not (Queue.is_empty q) do
     let v = Queue.take q in
-    Array.iter
-      (fun h ->
+    G.iter_halves g v ~f:(fun h ->
         let w = G.half_node g (G.mate h) in
         if not (Hashtbl.mem visited w) then begin
           Hashtbl.replace visited w ();
@@ -88,7 +89,6 @@ let solve_tree_component g ids out nodes =
           orient_half out h;
           Queue.add w q
         end)
-      (G.halves g v)
   done;
   (* exact tree diameter by double sweep *)
   let far_of src =
@@ -101,14 +101,12 @@ let solve_tree_component g ids out nodes =
       let v = Queue.take q in
       let d = Hashtbl.find dist v in
       if d > snd !best then best := (v, d);
-      Array.iter
-        (fun h ->
+      G.iter_halves g v ~f:(fun h ->
           let w = G.half_node g (G.mate h) in
           if not (Hashtbl.mem dist w) then begin
             Hashtbl.replace dist w (d + 1);
             Queue.add w q
           end)
-        (G.halves g v)
     done;
     !best
   in
@@ -131,10 +129,10 @@ let find_class_cycle g is_bridge cls c root =
   let found = ref None in
   while !found = None && not (Queue.is_empty q) do
     let v = Queue.take q in
-    let hs = G.halves g v in
+    let dv = G.degree g v in
     let i = ref 0 in
-    while !found = None && !i < Array.length hs do
-      let h = hs.(!i) in
+    while !found = None && !i < dv do
+      let h = G.half_at g v !i in
       incr i;
       let e = G.edge_of_half h in
       let w = G.half_node g (G.mate h) in
@@ -245,8 +243,7 @@ let solve_deterministic inst =
         let x = Queue.take q in
         members := x :: !members;
         if ids.(x) < ids.(!root) then root := x;
-        Array.iter
-          (fun h ->
+        G.iter_halves g x ~f:(fun h ->
             let e = G.edge_of_half h in
             let w = G.half_node g (G.mate h) in
             if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem seen w)
@@ -254,7 +251,6 @@ let solve_deterministic inst =
               Hashtbl.replace seen w ();
               Queue.add w q
             end)
-          (G.halves g x)
       done;
       match find_class_cycle g is_bridge cls c !root with
       | None -> () (* cannot happen: cyclic class contains a cycle *)
@@ -279,8 +275,7 @@ let solve_deterministic inst =
           let x = Queue.take q in
           let d = Hashtbl.find dist x in
           if d > !max_depth then max_depth := d;
-          Array.iter
-            (fun h ->
+          G.iter_halves g x ~f:(fun h ->
               let e = G.edge_of_half h in
               let w = G.half_node g (G.mate h) in
               if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem dist w)
@@ -290,7 +285,6 @@ let solve_deterministic inst =
                 orient_half out (G.mate h);
                 Queue.add w q
               end)
-            (G.halves g x)
         done;
         List.iter
           (fun x ->
@@ -314,8 +308,7 @@ let solve_deterministic inst =
   done;
   while not (Queue.is_empty q) do
     let v = Queue.take q in
-    Array.iter
-      (fun h ->
+    G.iter_halves g v ~f:(fun h ->
         let w = G.half_node g (G.mate h) in
         if dist_x.(w) < 0 then begin
           dist_x.(w) <- dist_x.(v) + 1;
@@ -324,7 +317,6 @@ let solve_deterministic inst =
           orient_half out (G.mate h);
           Queue.add w q
         end)
-      (G.halves g v)
   done;
   (* tree components (no node reached from X) *)
   for c = 0 to ncomp - 1 do
@@ -374,9 +366,9 @@ let solve_randomized inst =
   Meter.charge_all meter 1;
   let out_deg = Array.make n 0 in
   Pool.parallel_for ~n (fun v ->
-      let d = ref 0 in
-      Array.iter (fun h -> if out.b.(h) = Out then incr d) (G.halves g v);
-      out_deg.(v) <- !d);
+      out_deg.(v) <-
+        G.fold_halves g v ~init:0 ~f:(fun d h ->
+            if out.b.(h) = Out then d + 1 else d));
   let is_sink v = G.degree g v >= 3 && out_deg.(v) = 0 in
   let sinks =
     List.sort
@@ -404,10 +396,10 @@ let solve_randomized inst =
       while !target = None && not (Queue.is_empty q) do
         let v = Queue.take q in
         let d = Hashtbl.find dist v in
-        let hs = G.halves g v in
+        let dv = G.degree g v in
         let i = ref 0 in
-        while !target = None && !i < Array.length hs do
-          let h = hs.(!i) in
+        while !target = None && !i < dv do
+          let h = G.half_at g v !i in
           incr i;
           let w = G.half_node g (G.mate h) in
           if w <> v && not (Hashtbl.mem dist w) then begin

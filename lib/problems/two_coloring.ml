@@ -30,15 +30,13 @@ let two_color g =
       Queue.add s q;
       while not (Queue.is_empty q) do
         let v = Queue.take q in
-        Array.iter
-          (fun h ->
+        G.iter_halves g v ~f:(fun h ->
             let w = G.half_node g (G.mate h) in
             if color.(w) < 0 then begin
               color.(w) <- 1 - color.(v);
               Queue.add w q
             end
             else if color.(w) = color.(v) then ok := false)
-          (G.halves g v)
       done
     end
   done;

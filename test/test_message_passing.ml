@@ -183,6 +183,127 @@ let prop_dc_equals_central =
       dist.DC.all_accept
       = Repro_lcl.Ne_lcl.is_valid SO.problem g ~input ~output:out)
 
+(* ------------------------------------------------------------------ *)
+(* flat-engine goldens and arena-mailbox semantics                     *)
+(* ------------------------------------------------------------------ *)
+
+module Pool = Repro_local.Pool
+module Obs = Repro_obs
+
+let with_sizes f =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          f s)
+        [ 1; 2; 4 ])
+
+(* a fixed 24-node 3-regular fixture; the goldens below were pinned from
+   the boxed (pre-arena) engine, so the flat engine must reproduce them
+   bit-for-bit at every pool size *)
+let ecc24_graph () = Gen.random_regular (Random.State.make [| 9 |]) ~n:24 ~d:3
+
+let ecc24_outputs =
+  [| 5; 5; 6; 4; 4; 5; 4; 5; 5; 5; 5; 4; 6; 4; 6; 5; 4; 5; 4; 4; 5; 6; 4; 5 |]
+
+let ecc24_rounds =
+  [| 6; 6; 7; 5; 5; 6; 5; 6; 6; 6; 6; 5; 7; 5; 7; 6; 5; 6; 5; 5; 6; 7; 5; 6 |]
+
+let test_golden_ecc24 () =
+  let inst = Instance.create (ecc24_graph ()) in
+  with_sizes (fun s ->
+      let r = MP.run inst ecc_algorithm in
+      check (Printf.sprintf "outputs, %d domains" s) true
+        (r.MP.outputs = ecc24_outputs);
+      check (Printf.sprintf "rounds, %d domains" s) true
+        (r.MP.rounds = ecc24_rounds);
+      check_int (Printf.sprintf "max_rounds, %d domains" s) 7 r.MP.max_rounds)
+
+let test_golden_flood24 () =
+  let inst = Instance.create (ecc24_graph ()) in
+  with_sizes (fun s ->
+      let by_round = MP.flood_gather inst ~radius:3 (fun v -> v) in
+      let at d = List.sort compare by_round.(0).(d) in
+      check (Printf.sprintf "node 0 d1, %d domains" s) true
+        (at 0 = [ 1; 16; 17 ]);
+      check (Printf.sprintf "node 0 d2, %d domains" s) true
+        (at 1 = [ 3; 5; 10; 11 ]);
+      check (Printf.sprintf "node 0 d3, %d domains" s) true
+        (at 2 = [ 2; 6; 7; 12; 13; 18; 19; 22 ]))
+
+(* when a node halts, the engine must keep delivering its LAST sent
+   message: the arena slot stays valid (epoch >= 0) and is simply not
+   rewritten. Node 0 halts in round 0 after sending 100*round + id = 0;
+   node 1 keeps running and must read 0 (not a fresh send, not garbage)
+   in every later round. *)
+let test_halted_message_repeats () =
+  let g = Gen.path 2 in
+  let inst = Instance.create g in
+  let alg : (int * int list, int, int list) MP.algorithm =
+    {
+      MP.init = (fun _ v -> (v, []));
+      send = (fun (v, _) ~round ~port:_ -> (100 * round) + v);
+      receive =
+        (fun (v, acc) ~round msgs ->
+          if v = 0 then Either.Right []
+          else
+            let acc = msgs.(0) :: acc in
+            if round = 2 then Either.Right (List.rev acc)
+            else Either.Left (v, acc));
+    }
+  in
+  let r = MP.run inst alg in
+  check "halted neighbor's last message repeats" true
+    (r.MP.outputs.(1) = [ 0; 0; 0 ])
+
+(* the boxed engine is kept as a differential oracle; the two engines
+   must agree exactly on a nontrivial run *)
+let test_flat_matches_boxed () =
+  let inst = Instance.create (ecc24_graph ()) in
+  let a = MP.run inst ecc_algorithm in
+  let b = MP.run_boxed inst ecc_algorithm in
+  check "outputs" true (a.MP.outputs = b.MP.outputs);
+  check "rounds" true (a.MP.rounds = b.MP.rounds);
+  check_int "max_rounds" b.MP.max_rounds a.MP.max_rounds
+
+(* traced flood telemetry: the flat flood rebuilds the per-node
+   knowledge lists only when the registry is live, and the resulting
+   byte counts must equal the boxed engine's (goldens pinned before the
+   rewrite). Telemetry rounds are deterministic for every pool size. *)
+let flood_trace_rounds inst ~radius =
+  let _, events =
+    Obs.Trace.record (fun () -> MP.flood_gather inst ~radius (fun v -> v))
+  in
+  Obs.Registry.disable ();
+  List.filter_map
+    (function
+      | Obs.Trace.Round r when r.Obs.Trace.engine = "flood_gather" ->
+        Some
+          (r.Obs.Trace.messages, r.Obs.Trace.payload_bytes, r.Obs.Trace.mailbox_max)
+      | _ -> None)
+    events
+
+let test_traced_flood_bytes_regular () =
+  let rng = Random.State.make [| 5 |] in
+  let g = Gen.random_regular rng ~n:60 ~d:3 in
+  let inst = Instance.create g in
+  with_sizes (fun s ->
+      let rounds = flood_trace_rounds inst ~radius:4 in
+      check (Printf.sprintf "golden rounds, %d domains" s) true
+        (rounds
+        = [
+            (180, 4320, 3); (180, 17136, 3); (180, 40752, 3); (180, 81936, 3);
+          ]))
+
+let test_traced_flood_bytes_path () =
+  let inst = Instance.create (Gen.path 5) in
+  with_sizes (fun s ->
+      let rounds = flood_trace_rounds inst ~radius:3 in
+      check (Printf.sprintf "golden rounds, %d domains" s) true
+        (rounds = [ (8, 192, 2); (8, 528, 2); (8, 768, 2) ]))
+
 let qcheck_tests = List.map QCheck_alcotest.to_alcotest [ prop_dc_equals_central ]
 
 let suite =
@@ -197,5 +318,11 @@ let suite =
     ("checker accepts valid", `Quick, test_dc_accepts_valid);
     ("checker rejects locally", `Quick, test_dc_rejects_locally);
     ("checker matches centralized", `Quick, test_dc_matches_centralized);
+    ("golden ecc24 across pool sizes", `Quick, test_golden_ecc24);
+    ("golden flood24 across pool sizes", `Quick, test_golden_flood24);
+    ("halted node's message repeats", `Quick, test_halted_message_repeats);
+    ("flat engine matches boxed oracle", `Quick, test_flat_matches_boxed);
+    ("traced flood bytes (3-regular)", `Quick, test_traced_flood_bytes_regular);
+    ("traced flood bytes (path)", `Quick, test_traced_flood_bytes_path);
   ]
   @ qcheck_tests
