@@ -1,7 +1,15 @@
-(* Validate a BENCH_parallel.json against the repro-bench-parallel/2
-   schema. CI's bench-smoke job (and the runtest smoke rule) runs this
-   right after `main.exe --json --quick`, so a malformed bench file fails
-   the pipeline instead of silently corrupting the perf trajectory.
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/3
+   schema. CI's bench-smoke and frontier-1m jobs (and the runtest smoke
+   rule) run this right after `main.exe --json --quick`, so a malformed
+   bench file fails the pipeline instead of silently corrupting the perf
+   trajectory.
+
+   Beyond shape, this also checks the one semantic invariant the bench
+   can prove about the frontier engine: on the flood-replay leg every
+   node halts right after its declared radius, so the per-round
+   active_nodes column must be monotonically non-increasing. A violation
+   means the engine re-activated a halted node — a frontier-contract
+   break (DESIGN.md §13), not a perf regression.
 
    Usage: check_bench.exe [FILE]   (default: BENCH_parallel.json) *)
 
@@ -25,8 +33,8 @@ let as_str name j = match J.to_str (get name j) with
   | Some v -> v
   | None -> fail "field %S is not a string" name
 
-(* seq/par estimates and speedup may be null (bechamel yielded no
-   estimate); anything else must be a number *)
+(* seq/par estimates and the derived speedup/ratio columns may be null
+   (bechamel yielded no estimate); anything else must be a number *)
 let check_num_or_null ~ctx name j =
   match get name j with
   | J.Null -> ()
@@ -34,6 +42,63 @@ let check_num_or_null ~ctx name j =
     match J.to_float v with
     | Some _ -> ()
     | None -> fail "%s: field %S is neither a number nor null" ctx name)
+
+(* the per-round frontier columns: four equal-length arrays, counts
+   non-negative, and on the replay leg active_nodes non-increasing *)
+let check_frontier ~ctx ~name fr =
+  let arr fname =
+    match J.to_list (get fname fr) with
+    | Some l -> l
+    | None -> fail "%s (%s): frontier field %S is not an array" ctx name fname
+  in
+  let ints fname =
+    List.mapi
+      (fun i v ->
+        match J.to_int v with
+        | Some x -> x
+        | None ->
+          fail "%s (%s): frontier %S[%d] is not an integer" ctx name fname i)
+      (arr fname)
+  in
+  let active = ints "active_nodes" in
+  let edges = ints "frontier_edges" in
+  let ns = ints "round_ns" in
+  let dense =
+    List.mapi
+      (fun i v ->
+        match J.to_bool v with
+        | Some b -> b
+        | None ->
+          fail "%s (%s): frontier \"dense_rounds\"[%d] is not a boolean" ctx
+            name i)
+      (arr "dense_rounds")
+  in
+  let rounds = List.length active in
+  if rounds = 0 then fail "%s (%s): empty frontier columns" ctx name;
+  if
+    List.length edges <> rounds
+    || List.length dense <> rounds
+    || List.length ns <> rounds
+  then fail "%s (%s): frontier columns have mismatched lengths" ctx name;
+  List.iteri
+    (fun i v ->
+      if v < 0 then fail "%s (%s): negative active_nodes[%d]" ctx name i)
+    active;
+  List.iteri
+    (fun i v ->
+      if v < 0 then fail "%s (%s): negative frontier_edges[%d]" ctx name i)
+    edges;
+  if name = "frontier-replay-1m" then
+    ignore
+      (List.fold_left
+         (fun (i, prev) v ->
+           if v > prev then
+             fail
+               "%s (%s): active_nodes[%d] = %d rose above %d — the replay \
+                flood re-activated halted nodes"
+               ctx name i v prev;
+           (i + 1, v))
+         (0, max_int) active)
 
 let () =
   let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
@@ -59,8 +124,8 @@ let () =
       fields
   | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
-  if schema <> "repro-bench-parallel/2" then
-    fail "unexpected schema %S (want repro-bench-parallel/2)" schema;
+  if schema <> "repro-bench-parallel/3" then
+    fail "unexpected schema %S (want repro-bench-parallel/3)" schema;
   let domains = as_int "domains" j in
   if domains < 1 then fail "domains = %d, want >= 1" domains;
   let cores = as_int "cores" j in
@@ -86,6 +151,7 @@ let () =
       check_num_or_null ~ctx "seq_ns_per_run" r;
       check_num_or_null ~ctx "par_ns_per_run" r;
       check_num_or_null ~ctx "speedup" r;
+      check_num_or_null ~ctx "par_seq_ratio" r;
       (* the allocation columns are measured directly (Gc deltas), never
          null; minor words cannot be negative *)
       let as_num fname =
@@ -95,7 +161,10 @@ let () =
       in
       if as_num "minor_words_per_round" < 0.0 then
         fail "%s (%s): negative minor_words_per_round" ctx name;
-      ignore (as_num "promoted_words_per_round"))
+      ignore (as_num "promoted_words_per_round");
+      match J.member "frontier" r with
+      | None -> ()
+      | Some fr -> check_frontier ~ctx ~name fr)
     results;
   (* the telemetry overhead story needs all three dcheck legs: gated-off
      baseline, live trace, and provenance audit *)
@@ -105,5 +174,19 @@ let () =
     if not (Hashtbl.mem seen "dcheck-so-3k-audited") then
       fail "dcheck-so-3k present without its dcheck-so-3k-audited leg"
   end;
+  (* the scaling evidence needs both 1M legs, with their columns: a bench
+     file that silently dropped them would hide a frontier regression *)
+  List.iter
+    (fun leg ->
+      if not (Hashtbl.mem seen leg) then fail "missing required case %S" leg)
+    [ "frontier-wave-1m"; "frontier-replay-1m" ];
+  List.iter
+    (fun r ->
+      let name = as_str "name" r in
+      if
+        (name = "frontier-wave-1m" || name = "frontier-replay-1m")
+        && J.member "frontier" r = None
+      then fail "case %S has no \"frontier\" columns" name)
+    results;
   Printf.printf "%s: ok (%d cases, domains=%d, cores=%d)\n" file
     (List.length results) domains cores

@@ -4,7 +4,7 @@
    Usage: compare_bench.exe BASELINE CURRENT
 
    Hard failures (exit 1):
-     - either file fails to parse or is not repro-bench-parallel/2
+     - either file fails to parse or is not repro-bench-parallel/3
      - a baseline case is missing from the current run (the trajectory
        would silently lose a data point)
      - a case's normalized minor-heap allocation regresses by more than
@@ -14,6 +14,14 @@
        (n=3000, height 8): the engine's per-node allocation is
        size-independent, and the 2x tolerance absorbs the residual
        fixed costs that don't scale with n.
+     - a case's par/seq overhead ratio regresses by more than 1.15x, at
+       equal n only. The ratio (par_ns / seq_ns) divides out the
+       machine's absolute speed — both numerators come from the same
+       host seconds apart — so unlike raw wall-clock it is stable
+       enough to gate on. It is what the fused pool primitive exists to
+       keep down: a creeping ratio means per-round dispatch overhead is
+       eating the engine. Across different n the dispatch/workload
+       balance changes, so unequal sizes are skipped, not compared.
 
    Wall-clock is advisory only: timings on shared CI runners are too
    noisy to gate on, so seq-time ratios above the advisory threshold are
@@ -29,11 +37,13 @@ let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) f
    one-time setup and never gated *)
 let alloc_ratio_limit = 2.0
 let alloc_floor = 0.05
+let ratio_regression_limit = 1.15
 let wallclock_advisory_ratio = 1.5
 
 type row = {
   n : int;
   seq_ns : float option;
+  par_seq_ratio : float option;
   minor_per_round : float;
 }
 
@@ -53,8 +63,8 @@ let load file =
     | None -> fail "%s: missing field %S" file name
   in
   (match J.to_str (get "schema" j) with
-  | Some "repro-bench-parallel/2" -> ()
-  | Some s -> fail "%s: schema %S (want repro-bench-parallel/2)" file s
+  | Some "repro-bench-parallel/3" -> ()
+  | Some s -> fail "%s: schema %S (want repro-bench-parallel/3)" file s
   | None -> fail "%s: schema is not a string" file);
   let results =
     match J.to_list (get "results" j) with
@@ -74,12 +84,17 @@ let load file =
         | Some v -> v
         | None -> fail "%s (%s): field %S is not a number" file name fname
       in
-      let n = int_of_float (num "n") in
-      let seq_ns =
-        match get "seq_ns_per_run" r with J.Null -> None | v -> J.to_float v
+      let opt fname =
+        match get fname r with J.Null -> None | v -> J.to_float v
       in
+      let n = int_of_float (num "n") in
       Hashtbl.replace tbl name
-        { n; seq_ns; minor_per_round = num "minor_words_per_round" })
+        {
+          n;
+          seq_ns = opt "seq_ns_per_run";
+          par_seq_ratio = opt "par_seq_ratio";
+          minor_per_round = num "minor_words_per_round";
+        })
     results;
   tbl
 
@@ -110,6 +125,20 @@ let () =
         else
           Printf.printf "ok    %-24s alloc %.3f w/round/node (baseline %.3f)\n"
             name c_norm b_norm;
+        (* parallel-overhead gate: par/seq ratio, comparable only at
+           equal n (the dispatch/workload balance shifts with size) *)
+        (match (b.par_seq_ratio, c.par_seq_ratio) with
+        | Some br, Some cr when b.n = c.n && br > 0.0 ->
+          if cr > ratio_regression_limit *. br then begin
+            incr failures;
+            Printf.eprintf
+              "FAIL: %s: par/seq ratio %.3f vs baseline %.3f (> %.2fx)\n" name
+              cr br ratio_regression_limit
+          end
+          else
+            Printf.printf "ok    %-24s par/seq ratio %.3f (baseline %.3f)\n"
+              name cr br
+        | _ -> ());
         (* wall-clock: advisory only, and only comparable at equal n *)
         (match (b.seq_ns, c.seq_ns) with
         | Some bt, Some ct

@@ -29,6 +29,9 @@ module PG = Core.Padding.Padded_graph
 module H = Core.Padding.Hierarchy
 module DC = Core.Lcl.Distributed_check
 module Obs = Core.Obs
+module FS = Core.Local.Frontier_set
+module Frontier = Core.Local.Frontier
+module Audit = Core.Local.Audit
 module Runs = Repro_experiments.Runs
 
 let section name =
@@ -39,8 +42,18 @@ let section name =
    [rounds] is the fixed divisor for the per-round allocation columns: the
    communication rounds the workload simulates (1 for one-round checkers
    and non-round workloads), NOT a measured quantity — keeping it constant
-   per case makes the per-round numbers comparable across PRs *)
-type case = { name : string; n : int; rounds : int; run : unit -> unit }
+   per case makes the per-round numbers comparable across PRs.
+   [frontier], when present, re-runs the workload once with a
+   Frontier_set.Stats recorder attached and yields the per-round
+   active_nodes / frontier_edges / dense_rounds columns for the JSON —
+   the committed evidence that round cost tracks the frontier, not n *)
+type case = {
+  name : string;
+  n : int;
+  rounds : int;
+  run : unit -> unit;
+  frontier : (unit -> FS.Stats.t) option;
+}
 
 let cases ~quick () =
   let rng = Random.State.make [| 11 |] in
@@ -59,48 +72,70 @@ let cases ~quick () =
      so the benchmark measures only the one-round engine run *)
   let so_out, _ = SO.solve_deterministic inst3k in
   let so_inp = SO.trivial_input g3k in
+  (* the frontier legs: a streamed 3-regular hard instance at 10^6 nodes
+     (2·10^4 under --quick; the case names stay "-1m" so the JSON
+     trajectory lines up, and [n] records the actual size) *)
+  let n_front = if quick then 20_000 else 1_000_000 in
+  let gfront = SO.hard_instance (Random.State.make [| 17 |]) ~n:n_front in
+  let finst = Instance.create ~seed:17 gfront in
+  (* the replay leg floods a fixed decaying radius profile over 12
+     rounds. Under any flood, node v halts right after round [actual v],
+     so the engine's live count at round r is #{v | actual v > r} —
+     non-increasing in r by construction. CI's monotone check targets
+     exactly this leg's active_nodes column. *)
+  let replay_rounds = 12 in
+  let replay_alg =
+    Audit.flood_algorithm ~actual:(fun v -> 1 + (v * 7919 mod replay_rounds))
+  in
   [
     {
       name = "ball-gather-r10-3k";
       n = n_so;
       rounds = 10;
       run = (fun () -> ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10));
+      frontier = None;
     };
     {
       name = "so-det-3k";
       n = n_so;
       rounds = 1;
       run = (fun () -> ignore (SO.solve_deterministic inst3k));
+      frontier = None;
     };
     {
       name = "so-rand-3k";
       n = n_so;
       rounds = 1;
       run = (fun () -> ignore (SO.solve_randomized inst3k));
+      frontier = None;
     };
     {
       name = "gadget-build-h8";
       n = gadget_n;
       rounds = 1;
       run = (fun () -> ignore (GB.gadget ~delta:3 ~height));
+      frontier = None;
     };
     {
       name = "gadget-check-h8";
       n = gadget_n;
       rounds = 1;
       run = (fun () -> ignore (GC.is_valid ~delta:3 gadget8));
+      frontier = None;
     };
     {
       name = "verifier-h8";
       n = gadget_n;
       rounds = 1;
       run = (fun () -> ignore (V.run ~delta:3 ~n:gadget_n gadget8));
+      frontier = None;
     };
     {
       name = "pi2-solve-det";
       n = G.n pg.PG.padded;
       rounds = 1;
       run = (fun () -> ignore (so'.Spec.solve_det pinst pinp));
+      frontier = None;
     };
     (* the telemetry overhead pair: the same one-round engine workload
        with the registry disabled (the gated fast path — this is the
@@ -112,6 +147,7 @@ let cases ~quick () =
       run =
         (fun () ->
           ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out));
+      frontier = None;
     };
     {
       name = "dcheck-so-3k-traced";
@@ -123,6 +159,7 @@ let cases ~quick () =
           ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out);
           ignore (Obs.Trace.finish ());
           Obs.Registry.disable ());
+      frontier = None;
     };
     (* same workload with provenance audit mode armed: the third leg of
        the overhead story — per-message influence tracking vs the gated
@@ -138,6 +175,29 @@ let cases ~quick () =
           match Obs.Provenance.take () with
           | Some _ -> ()
           | None -> failwith "dcheck-so-3k-audited: engine submitted no audit");
+      frontier = None;
+    };
+    (* the 1M legs: wall-clock via bechamel like every other case, plus
+       the per-round frontier columns (deterministic, so measured once) *)
+    {
+      name = "frontier-wave-1m";
+      n = n_front;
+      rounds = 1;
+      run = (fun () -> ignore (SO.solve_randomized_frontier finst));
+      frontier =
+        Some
+          (fun () ->
+            let stats = FS.Stats.recorder () in
+            ignore (SO.solve_randomized_frontier ~stats finst);
+            FS.Stats.snapshot stats);
+    };
+    {
+      name = "frontier-replay-1m";
+      n = n_front;
+      rounds = replay_rounds;
+      run = (fun () -> ignore (Frontier.run finst replay_alg));
+      frontier =
+        Some (fun () -> (Frontier.run finst replay_alg).Frontier.stats);
     };
   ]
 
@@ -209,6 +269,15 @@ let run_json ~quick () =
         Pool.set_size domains;
         let par = estimate ~quota ~limit case in
         let minor_w, promoted_w = alloc_stats case in
+        (* per-round frontier columns: deterministic (pool-size
+           independent), so one instrumented run at pool size 1 suffices *)
+        let fstats =
+          match case.frontier with
+          | None -> None
+          | Some f ->
+            Pool.set_size 1;
+            Some (f ())
+        in
         Printf.printf
           "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run   minor %12.1f w/round\n"
           case.name case.n
@@ -216,7 +285,7 @@ let run_json ~quick () =
           domains
           (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-")
           minor_w;
-        (case, seq, par, minor_w, promoted_w))
+        (case, seq, par, minor_w, promoted_w, fstats))
       cases
   in
   let file = "BENCH_parallel.json" in
@@ -225,24 +294,47 @@ let run_json ~quick () =
     | Some t -> Printf.sprintf "%.1f" t
     | None -> "null"
   in
+  let int_array a =
+    "[" ^ String.concat ", " (List.map string_of_int (Array.to_list a)) ^ "]"
+  in
+  let bool_array a =
+    "[" ^ String.concat ", " (List.map string_of_bool (Array.to_list a)) ^ "]"
+  in
   (* cores records oversubscription: speedup is only physically possible
      when domains <= cores (a 1-core container shows slowdowns) *)
   Printf.fprintf oc
-    "{\n  \"schema\": \"repro-bench-parallel/2\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
+    "{\n  \"schema\": \"repro-bench-parallel/3\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n  \"results\": [\n"
     domains
     (Domain.recommended_domain_count ())
     quick;
   List.iteri
-    (fun i (case, seq, par, minor_w, promoted_w) ->
+    (fun i (case, seq, par, minor_w, promoted_w, fstats) ->
       let speedup =
         match (seq, par) with
         | Some s, Some p when p > 0.0 -> Printf.sprintf "%.3f" (s /. p)
         | _ -> "null"
       in
+      (* par-over-seq overhead ratio: 1.0 is parity, above 1 the pool
+         dispatch costs more than it recovers (the compare_bench gate) *)
+      let ratio =
+        match (seq, par) with
+        | Some s, Some p when s > 0.0 -> Printf.sprintf "%.3f" (p /. s)
+        | _ -> "null"
+      in
       Printf.fprintf oc
-        "    {\"name\": %S, \"n\": %d, \"rounds\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s, \"minor_words_per_round\": %.1f, \"promoted_words_per_round\": %.1f}%s\n"
-        case.name case.n case.rounds (field seq) (field par) speedup minor_w
-        promoted_w
+        "    {\"name\": %S, \"n\": %d, \"rounds\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s, \"par_seq_ratio\": %s, \"minor_words_per_round\": %.1f, \"promoted_words_per_round\": %.1f"
+        case.name case.n case.rounds (field seq) (field par) speedup ratio
+        minor_w promoted_w;
+      (match fstats with
+      | None -> ()
+      | Some st ->
+        Printf.fprintf oc
+          ",\n     \"frontier\": {\"active_nodes\": %s, \"frontier_edges\": %s, \"dense_rounds\": %s, \"round_ns\": %s}"
+          (int_array st.FS.Stats.active_nodes)
+          (int_array st.FS.Stats.frontier_edges)
+          (bool_array st.FS.Stats.dense_rounds)
+          (int_array st.FS.Stats.round_ns));
+      Printf.fprintf oc "}%s\n"
         (if i = List.length measured - 1 then "" else ","))
     measured;
   Printf.fprintf oc "  ]\n}\n";

@@ -3,6 +3,7 @@ module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module MP = Repro_local.Message_passing
+module Frontier = Repro_local.Frontier
 module Audit = Repro_local.Audit
 module Labeling = Repro_lcl.Labeling
 module Ne_lcl = Repro_lcl.Ne_lcl
@@ -58,7 +59,9 @@ let so_solvers (recipe, seed) =
   let out_d, _ = SO.solve_deterministic inst in
   let& () = check "so-det" out_d in
   let out_r, _ = SO.solve_randomized inst in
-  check "so-rand" out_r
+  let& () = check "so-rand" out_r in
+  let out_w, _ = SO.solve_randomized_frontier inst in
+  check "so-wave" out_w
 
 let colorful (recipe, seed) =
   let g = Gen_graph.to_graph recipe in
@@ -205,6 +208,66 @@ let flat_vs_boxed (recipe, seed) =
   let fb = MP.run_boxed inst float_sum_alg in
   let& () = require (fa.MP.outputs = fb.MP.outputs) "float outputs differ" in
   require (fa.MP.rounds = fb.MP.rounds) "float per-node rounds differ"
+
+(* differential for the frontier engine: Frontier.run must be
+   byte-identical to both flat engines — outputs, per-node round counts
+   and max_rounds — at every density threshold (default switch, forced
+   always-dense, forced always-sparse) and every pool size. *)
+let frontier_vs_flat (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let n = G.n g in
+  let check_alg : type st msg out.
+      string -> (st, msg, out) MP.algorithm -> verdict =
+   fun label alg ->
+    let flat = MP.run inst alg in
+    let boxed = MP.run_boxed inst alg in
+    let& () =
+      requiref
+        (flat.MP.outputs = boxed.MP.outputs)
+        "%s: flat vs boxed outputs differ" label
+    in
+    let rec go = function
+      | [] -> Ok ()
+      | (tname, thr) :: rest ->
+        let fr =
+          match thr with
+          | None -> Frontier.run inst alg
+          | Some t -> Frontier.run ~dense_threshold:t inst alg
+        in
+        let& () =
+          requiref
+            (fr.Frontier.outputs = flat.MP.outputs)
+            "%s/%s: frontier outputs differ" label tname
+        in
+        let& () =
+          requiref
+            (fr.Frontier.rounds = flat.MP.rounds)
+            "%s/%s: frontier per-node rounds differ" label tname
+        in
+        let& () =
+          requiref
+            (fr.Frontier.max_rounds = flat.MP.max_rounds)
+            "%s/%s: frontier max_rounds %d, flat %d" label tname
+            fr.Frontier.max_rounds flat.MP.max_rounds
+        in
+        go rest
+    in
+    go [ ("switch", None); ("dense", Some 0); ("sparse", Some (n + 1)) ]
+  in
+  let saved = Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size saved)
+    (fun () ->
+      let rec go = function
+        | [] -> Ok ()
+        | s :: rest ->
+          Pool.set_size s;
+          let& () = check_alg (Printf.sprintf "ids@%dd" s) flood_ids_alg in
+          let& () = check_alg (Printf.sprintf "float@%dd" s) float_sum_alg in
+          go rest
+      in
+      go [ 1; 2; 4 ])
 
 (* ------------------------------------------------------------------ *)
 (* gadget: Check × Verifier × Psi × Ne_psi *)

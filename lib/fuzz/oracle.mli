@@ -59,6 +59,15 @@ val engines : Gen_graph.recipe * int -> verdict
 (** Pool-size differential: SO (det) outputs, meters and a flood-gather
     must be identical at 1, 2 and 4 domains. *)
 
+val frontier_vs_flat : Gen_graph.recipe * int -> verdict
+(** Engine differential for the frontier engine:
+    {!Repro_local.Frontier.run} vs {!Repro_local.Message_passing.run}
+    vs [run_boxed] on two algorithms (boxed int-list flood and float
+    sum) — outputs, per-node round counts and [max_rounds] must be
+    byte-identical at every density threshold (the default switch,
+    forced always-dense [0], forced always-sparse [n + 1]) and at
+    1, 2 and 4 domains. *)
+
 val flat_vs_boxed : Gen_graph.recipe * int -> verdict
 (** Engine differential: {!Repro_local.Message_passing.run} (flat
     epoch-tagged arena mailboxes) vs [run_boxed] (the pre-arena engine

@@ -49,6 +49,10 @@ let flat_vs_boxed_prop =
   graph_prop ~name:"engine-flat-vs-boxed" ~shape:Gen_graph.Any ~max_n:30
     Oracle.flat_vs_boxed
 
+let frontier_vs_flat_prop =
+  graph_prop ~name:"engine-frontier-vs-flat" ~shape:Gen_graph.Any ~max_n:30
+    Oracle.frontier_vs_flat
+
 let gadget_prop =
   Prop.make ~name:"gadget" ~size_of:Gen_gadget.nodes_of
     ~show:(show_of Gen_gadget.pp_case)
@@ -109,6 +113,11 @@ let all =
       t_name = "engine-flat-vs-boxed";
       t_doc = "arena-mailbox engine vs the boxed oracle engine: identical outputs and round counts";
       t_prop = P flat_vs_boxed_prop;
+    };
+    {
+      t_name = "engine-frontier-vs-flat";
+      t_doc = "frontier engine vs both flat engines: byte-identical at every density threshold and 1/2/4 domains";
+      t_prop = P frontier_vs_flat_prop;
     };
     {
       t_name = "gadget";

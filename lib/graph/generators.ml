@@ -94,15 +94,17 @@ let random_permutation rng n =
 
 let random_regular rng ~n ~d =
   if n * d mod 2 <> 0 then invalid_arg "Generators.random_regular: n*d odd";
-  let stubs = Array.init (n * d) (fun i -> i / d) in
+  (* streaming configuration model: stub i belongs to node i/d, edge e
+     pairs stubs perm.(2e) and perm.(2e+1) — so dividing the permutation
+     in place IS the half-edge/node incidence array, in exactly the edge
+     order the Builder would produce. No stub array, no edge list, no
+     Builder: the only allocations at n = 10^6 are the permutation and
+     the CSR arrays themselves. *)
   let perm = random_permutation rng (n * d) in
-  let b = G.Builder.create n in
-  let i = ref 0 in
-  while !i < n * d do
-    ignore (G.Builder.add_edge b stubs.(perm.(!i)) stubs.(perm.(!i + 1)));
-    i := !i + 2
+  for h = 0 to (n * d) - 1 do
+    perm.(h) <- perm.(h) / d
   done;
-  G.Builder.build b
+  G.of_half_node ~n ~m:(n * d / 2) perm
 
 let random_simple_regular rng ~n ~d =
   let rec try_once attempts =

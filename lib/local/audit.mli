@@ -41,8 +41,19 @@ val certify_run :
     If [f] raises, the audit is aborted and the exception re-raised.
     @raise Failure if [f] triggered no engine run. *)
 
+val flood_algorithm :
+  actual:(int -> int) -> (int, int, int) Message_passing.algorithm
+(** The canonical full-information flood: state and messages are node
+    identities (the influence sets do the real information accounting
+    at the engine level) and node [v] halts after [actual v] receive
+    phases — with exactly its radius-[actual v] ball delivered. Exposed
+    so tests and benches can run the same flood on either engine
+    directly (e.g. to pin the frontier engine's sparse↔dense switch
+    round on a golden instance). *)
+
 val run_flood :
   ?label:string ->
+  ?engine:[ `Flat | `Frontier ] ->
   Instance.t ->
   declared:(int -> int) ->
   Repro_obs.Provenance.certificate
@@ -50,10 +61,14 @@ val run_flood :
     algorithm under audit: node [v] sends its identity every round and
     halts after [max 1 (declared v)] rounds. The resulting certificate
     checks that the engine delivered no information from outside any
-    node's declared ball. *)
+    node's declared ball. [engine] selects the round engine (default
+    [`Flat] — {!Message_passing.run}; [`Frontier] — {!Frontier.run});
+    both produce identical certificates modulo the engine tag, which
+    the frontier test suite asserts across the audit catalog. *)
 
 val non_local_flood :
   ?label:string ->
+  ?engine:[ `Flat | `Frontier ] ->
   Instance.t ->
   declared:(int -> int) ->
   overshoot:int ->

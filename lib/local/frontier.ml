@@ -1,0 +1,239 @@
+(* The frontier-driven round engine: Message_passing.run restricted,
+   each round, to the live (un-halted) node set.
+
+   The flat engine already skips halted nodes — but it pays an O(n)
+   scan per round to find out who is live. Here the live set is an
+   explicit {!Frontier_set}: round 0 starts with the full frontier
+   (covering the mailbox exactly like the flat engine), each receive
+   phase counts the newly halted, and the post-round filter drops them
+   from the set in insertion order. A round then costs O(frontier
+   nodes + frontier edges), not O(n + m) — the point of the 1M bench
+   legs.
+
+   Byte-identity with Message_passing.run is by construction: the live
+   set equals the complement of [halted] at every round boundary, both
+   phases execute exactly the per-node bodies the flat engine would
+   (same states, same mailbox writes, same receive calls in the same
+   rounds), and all writes are index-owned, so the iteration order —
+   sparse member order or dense bitmap order — is unobservable. The
+   fuzz target [engine-frontier-vs-flat] and test/test_frontier.ml
+   assert equality against both flat engines at 1/2/4 domains.
+
+   Representation switch (Ligra-style): while the frontier is dense
+   (cardinality >= threshold) both phases iterate bitmap words and pull
+   the members out of each word; when it goes sparse they iterate the
+   member array directly. Both phases of one round use the same mode,
+   chosen before the send phase — the switch never lands between send
+   and receive.
+
+   Hot-path discipline: both phase loops are prebuilt {!Pool.fused}
+   tasks (zero per-round allocation in the engine itself), the send
+   task returns the scanned half-edge count (the frontier_edges stat
+   for free) and the receive task returns the newly-halted count. *)
+
+module G = Repro_graph.Multigraph
+module Obs = Repro_obs
+module MP = Message_passing
+module FS = Frontier_set
+
+let m_runs = Obs.Registry.counter "local.frontier.runs"
+let m_rounds = Obs.Registry.counter "local.frontier.rounds"
+let m_messages = Obs.Registry.counter "local.frontier.messages"
+let m_bytes = Obs.Registry.counter "local.frontier.payload_bytes"
+
+(* delta-reported counters shared-by-name with Randomness and Pool,
+   exactly like the flat engine's round events *)
+let m_rng = Obs.Registry.counter "local.rng.draws"
+let m_chunks = Obs.Registry.counter "local.pool.chunks"
+let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
+
+let payload_bytes (v : 'a) =
+  Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
+
+let obs_marks () =
+  ( Obs.Counter.value m_rng,
+    Obs.Counter.value m_chunks,
+    Obs.Counter.value m_chunk_ns )
+
+type 'out result = {
+  outputs : 'out array;
+  rounds : int array;
+  max_rounds : int;
+  stats : FS.Stats.t;
+}
+
+let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let m2 = 2 * G.m g in
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let limit = match limit with Some l -> l | None -> (4 * n) + 16 in
+  let states = Array.init n (fun v -> alg.MP.init inst v) in
+  let out_buf : 'out array = Array.make n (Obj.magic 0 : 'out) in
+  let rounds = Array.make n 0 in
+  let halted = Array.make n false in
+  let remaining = ref n in
+  let mail : 'msg array = Array.make m2 (Obj.magic 0 : 'msg) in
+  let mail_epoch = Array.make m2 (-1) in
+  let slots = Pool.worker_slots () in
+  let maxdeg = G.max_degree g in
+  let scratch : 'msg array array array =
+    Array.init slots (fun _ -> Array.make (maxdeg + 1) [||])
+  in
+  (* provenance audit: identical per-slot ownership to the flat engine,
+     so certificates are bit-identical to it (modulo the engine tag) *)
+  let audit = Obs.Provenance.active () in
+  let inf_state =
+    if audit then
+      Array.init n (fun v ->
+          let b = Obs.Provenance.Bitset.create n in
+          Obs.Provenance.Bitset.add b v;
+          b)
+    else [||]
+  in
+  let inf_mail =
+    if audit then Array.init m2 (fun _ -> Obs.Provenance.Bitset.create n)
+    else [||]
+  in
+  Obs.Counter.incr m_runs;
+  let live = FS.create ?dense_threshold n in
+  FS.fill_all live;
+  let recorder = FS.Stats.recorder () in
+  let round = ref 0 in
+  (* the per-node phase bodies, hoisted once; the current round is read
+     through [round] so the prebuilt fused tasks never change *)
+  let send_one v =
+    let st = states.(v) in
+    let r = !round in
+    let lo = off.(v) in
+    let hi = off.(v + 1) in
+    for i = lo to hi - 1 do
+      let dst = G.mate prt.(i) in
+      mail.(dst) <- alg.MP.send st ~round:r ~port:(i - lo);
+      mail_epoch.(dst) <- r
+    done;
+    if audit then
+      G.iter_halves g v ~f:(fun h ->
+          Obs.Provenance.Bitset.blit ~src:inf_state.(v)
+            ~dst:inf_mail.(G.mate h));
+    hi - lo
+  in
+  let recv_one v =
+    if audit then
+      G.iter_halves g v ~f:(fun h ->
+          Obs.Provenance.Bitset.union_into ~into:inf_state.(v) inf_mail.(h));
+    let r = !round in
+    let lo = off.(v) in
+    let d = off.(v + 1) - lo in
+    let msgs =
+      if d = 0 then [||]
+      else begin
+        let per_deg = scratch.(Pool.worker_index ()) in
+        let buf = per_deg.(d) in
+        let buf =
+          if Array.length buf = d then buf
+          else begin
+            let b = Array.make d mail.(prt.(lo)) in
+            per_deg.(d) <- b;
+            b
+          end
+        in
+        for i = 0 to d - 1 do
+          let h = prt.(lo + i) in
+          assert (mail_epoch.(h) >= 0);
+          buf.(i) <- mail.(h)
+        done;
+        buf
+      end
+    in
+    match alg.MP.receive states.(v) ~round:r msgs with
+    | Either.Left st ->
+      states.(v) <- st;
+      0
+    | Either.Right out ->
+      out_buf.(v) <- out;
+      halted.(v) <- true;
+      rounds.(v) <- r + 1;
+      1
+  in
+  let send_fold acc v = acc + send_one v in
+  let recv_fold acc v = acc + recv_one v in
+  let send_sparse = Pool.fused (fun k -> send_one (FS.member live k)) in
+  let send_dense = Pool.fused (fun w -> FS.fold_word live w 0 send_fold) in
+  let recv_sparse = Pool.fused (fun k -> recv_one (FS.member live k)) in
+  let recv_dense = Pool.fused (fun w -> FS.fold_word live w 0 recv_fold) in
+  while !remaining > 0 && !round < limit do
+    let r = !round in
+    let t0 = Obs.Clock.now_ns () in
+    let dense = FS.is_dense live in
+    let active = FS.cardinal live in
+    let traced = Obs.Trace.active () in
+    let marks0 = if traced then obs_marks () else (0, 0, 0) in
+    let edges =
+      if dense then Pool.run_fused send_dense ~n:(FS.word_count live)
+      else Pool.run_fused send_sparse ~n:active
+    in
+    (* round accounting over the live set only — same values as the
+       flat engine's O(n) scan, since live = the halted complement *)
+    let msgs = ref 0 and mbox_max = ref 0 and bytes = ref 0 in
+    if Obs.Registry.enabled () then begin
+      FS.iter live (fun v ->
+          let d = off.(v + 1) - off.(v) in
+          msgs := !msgs + d;
+          if d > !mbox_max then mbox_max := d;
+          for i = off.(v) to off.(v + 1) - 1 do
+            let h = G.mate prt.(i) in
+            if mail_epoch.(h) >= 0 then
+              bytes := !bytes + payload_bytes mail.(h)
+          done);
+      Obs.Counter.incr m_rounds;
+      Obs.Counter.add m_messages !msgs;
+      Obs.Counter.add m_bytes !bytes
+    end;
+    let newly_halted =
+      if dense then Pool.run_fused recv_dense ~n:(FS.word_count live)
+      else Pool.run_fused recv_sparse ~n:active
+    in
+    remaining := !remaining - newly_halted;
+    FS.remove_if live (fun v -> halted.(v));
+    if traced then begin
+      let rng0, chunks0, chunk_ns0 = marks0 in
+      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      Obs.Trace.emit
+        (Obs.Trace.Round
+           {
+             engine = "frontier";
+             round = r;
+             messages = !msgs;
+             payload_bytes = !bytes;
+             mailbox_max = !mbox_max;
+             mailbox_mean =
+               float_of_int !msgs /. float_of_int (max 1 active);
+             rng_draws = rng1 - rng0;
+             chunks = chunks1 - chunks0;
+             chunk_ns = chunk_ns1 - chunk_ns0;
+           })
+    end;
+    FS.Stats.record recorder ~active ~edges ~dense
+      ~ns:(Obs.Clock.now_ns () - t0);
+    incr round
+  done;
+  if !remaining > 0 then
+    failwith
+      (Printf.sprintf "Frontier.run: %d nodes still running after %d rounds"
+         !remaining limit);
+  let outputs = Array.map Fun.id out_buf in
+  if audit then
+    Obs.Provenance.submit
+      {
+        Obs.Provenance.engine = "frontier";
+        n;
+        influence = inf_state;
+        rounds_active = Array.copy rounds;
+      };
+  {
+    outputs;
+    rounds;
+    max_rounds = Array.fold_left max 0 rounds;
+    stats = FS.Stats.snapshot recorder;
+  }

@@ -1,0 +1,43 @@
+(** The frontier-driven round engine: {!Message_passing.run} restricted
+    each round to the live (un-halted) node set, so a round costs
+    O(frontier nodes + frontier edges) instead of O(n + m).
+
+    Executes any {!Message_passing.algorithm} with byte-identical
+    outputs, per-node round counts and provenance influence sets (the
+    submitted audit carries engine tag ["frontier"]; every other field
+    of a resulting certificate matches the flat engine's). Round 0
+    starts with the full frontier — covering every mailbox slot, the
+    same epoch invariant as the flat engine — and the set shrinks as
+    nodes halt; halted senders' last messages stay in place
+    (last-message-repeated, see {!Message_passing}).
+
+    The per-round representation switches between sparse (push:
+    iterate the member array) and dense (pull: iterate bitmap words)
+    on the {!Frontier_set} density threshold; both phases of one round
+    use the mode chosen before the send phase. [?dense_threshold]
+    forces the switch point — [0] is always-dense, [n + 1] is
+    always-sparse; all choices produce identical outputs, which the
+    switch tests assert.
+
+    Telemetry mirrors the flat engine under the [local.frontier.*]
+    counters, with [Round] trace events tagged [engine = "frontier"].
+    DESIGN.md §13 documents the frontier contract. *)
+
+type 'out result = {
+  outputs : 'out array;
+  rounds : int array;  (** rounds each node ran before halting *)
+  max_rounds : int;
+  stats : Frontier_set.Stats.t;
+      (** per-round [active_nodes] / [frontier_edges] / [dense_rounds] /
+          [round_ns] — the evidence that round cost tracks the
+          frontier, not [n] *)
+}
+
+val run :
+  ?limit:int ->
+  ?dense_threshold:int ->
+  Instance.t ->
+  ('state, 'msg, 'out) Message_passing.algorithm ->
+  'out result
+(** Execute until all nodes halt. @raise Failure if the [limit]
+    (default [4·n + 16] rounds) is exceeded. *)

@@ -115,13 +115,15 @@ let run ?limit inst alg =
   Obs.Counter.incr m_runs;
   (* round 0 gives nodes a chance to halt without communicating *)
   let round = ref 0 in
-  let deliver () =
-    let r = !round in
-    let traced = Obs.Trace.active () in
-    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
-    Pool.parallel_for ~n (fun v ->
+  (* both phase loops are prebuilt fused tasks (one pool dispatch each,
+     per-worker int accumulators, zero per-round allocation): the round
+     hot path allocates nothing beyond what the algorithm itself does.
+     The bodies read the current round through [round]. *)
+  let send_task =
+    Pool.fused (fun v ->
         if not halted.(v) then begin
           let st = states.(v) in
+          let r = !round in
           let lo = off.(v) in
           for i = lo to off.(v + 1) - 1 do
             let dst = G.mate prt.(i) in
@@ -132,7 +134,59 @@ let run ?limit inst alg =
             G.iter_halves g v ~f:(fun h ->
                 Obs.Provenance.Bitset.blit ~src:inf_state.(v)
                   ~dst:inf_mail.(G.mate h))
-        end);
+        end;
+        0)
+  in
+  let recv_task =
+    Pool.fused (fun v ->
+        if halted.(v) then 0
+        else begin
+          if audit then
+            G.iter_halves g v ~f:(fun h ->
+                Obs.Provenance.Bitset.union_into ~into:inf_state.(v)
+                  inf_mail.(h));
+          let r = !round in
+          let lo = off.(v) in
+          let d = off.(v + 1) - lo in
+          let msgs =
+            if d = 0 then [||]
+            else begin
+              let per_deg = scratch.(Pool.worker_index ()) in
+              let buf = per_deg.(d) in
+              let buf =
+                if Array.length buf = d then buf
+                else begin
+                  let b = Array.make d mail.(prt.(lo)) in
+                  per_deg.(d) <- b;
+                  b
+                end
+              in
+              for i = 0 to d - 1 do
+                let h = prt.(lo + i) in
+                (* the epoch invariant: every slot a live node reads
+                   has been written (round 0 covered the mailbox) *)
+                assert (mail_epoch.(h) >= 0);
+                buf.(i) <- mail.(h)
+              done;
+              buf
+            end
+          in
+          match alg.receive states.(v) ~round:r msgs with
+          | Either.Left st ->
+            states.(v) <- st;
+            0
+          | Either.Right out ->
+            out_buf.(v) <- out;
+            halted.(v) <- true;
+            rounds.(v) <- r + 1;
+            1
+        end)
+  in
+  let deliver () =
+    let r = !round in
+    let traced = Obs.Trace.active () in
+    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
+    ignore (Pool.run_fused send_task ~n);
     (* round accounting, taken between the two phases: the active set is
        exactly the pre-receive [halted] complement, and each active node
        sends one message per port and reads one message per port, so the
@@ -159,50 +213,7 @@ let run ?limit inst alg =
       Obs.Counter.add m_messages !msgs;
       Obs.Counter.add m_bytes !bytes
     end;
-    let newly_halted =
-      Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
-          if halted.(v) then 0
-          else begin
-            if audit then
-              G.iter_halves g v ~f:(fun h ->
-                  Obs.Provenance.Bitset.union_into ~into:inf_state.(v)
-                    inf_mail.(h));
-            let lo = off.(v) in
-            let d = off.(v + 1) - lo in
-            let msgs =
-              if d = 0 then [||]
-              else begin
-                let per_deg = scratch.(Pool.worker_index ()) in
-                let buf = per_deg.(d) in
-                let buf =
-                  if Array.length buf = d then buf
-                  else begin
-                    let b = Array.make d mail.(prt.(lo)) in
-                    per_deg.(d) <- b;
-                    b
-                  end
-                in
-                for i = 0 to d - 1 do
-                  let h = prt.(lo + i) in
-                  (* the epoch invariant: every slot a live node reads
-                     has been written (round 0 covered the mailbox) *)
-                  assert (mail_epoch.(h) >= 0);
-                  buf.(i) <- mail.(h)
-                done;
-                buf
-              end
-            in
-            match alg.receive states.(v) ~round:r msgs with
-            | Either.Left st ->
-              states.(v) <- st;
-              0
-            | Either.Right out ->
-              out_buf.(v) <- out;
-              halted.(v) <- true;
-              rounds.(v) <- r + 1;
-              1
-          end)
-    in
+    let newly_halted = Pool.run_fused recv_task ~n in
     remaining := !remaining - newly_halted;
     (* the trace event closes after the receive phase so its rng/chunk
        deltas cover the whole round, both phases included *)
@@ -547,99 +558,148 @@ let flood_gather inst ~radius payload =
          is immutable once written, so the snapshot phase is a pointer
          copy and readers never see a partial merge. The pull phase
          walks the raw CSR arrays: no per-node closure, and the loop
-         state stays in (compiler-unboxed) local refs. *)
+         state stays in (compiler-unboxed) local refs.
+
+         [merge_node keep_nbr w] pulls the snapshots of [w]'s
+         neighbours passing [keep_nbr] into [w]'s set. The full-scan
+         path passes an always-true filter; the frontier path filters
+         to last round's changed set — sound because an unchanged
+         neighbour's snapshot was already absorbed a round earlier
+         (B_{r-1}(w) ⊇ B_{r-2}(v) for every neighbour v), so skipping
+         it cannot lose classes and the merged arrays stay equal. *)
       let off = G.ports_off g and prt = G.ports_flat g in
       let slots = Pool.worker_slots () in
       let bufa = Array.init slots (fun _ -> Array.make nc 0) in
       let bufb = Array.init slots (fun _ -> Array.make nc 0) in
       let known = Array.init n (fun v -> [| class_of.(v) |]) in
       let snap = Array.make n [||] in
-      for r = 0 to radius - 1 do
-        let traced = Obs.Trace.active () in
-        let marks0 = if traced then obs_marks () else (0, 0, 0) in
-        Pool.parallel_for ~n (fun v ->
-            snap.(v) <- known.(v);
-            if audit then
-              Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
-        let msgs, mbox_max, bytes =
-          if Obs.Registry.enabled () then
-            flood_account g n (fun v ->
-                let s = snap.(v) in
-                let acc = ref [] in
-                for i = 0 to Array.length s - 1 do
-                  acc := class_payload.(s.(i)) :: !acc
-                done;
-                !acc)
-          else (0, 0, 0)
-        in
-        Pool.parallel_for ~n (fun w ->
-            let wi = Pool.worker_index () in
-            let ba = bufa.(wi) and bb = bufb.(wi) in
-            let own = snap.(w) in
-            let cur = ref own and len = ref (Array.length own) in
-            for hh = off.(w) to off.(w + 1) - 1 do
-              let v = G.half_node g (G.mate prt.(hh)) in
-              if audit then
-                Obs.Provenance.Bitset.union_into ~into:inf_state.(w)
-                  inf_out.(v);
-              let b = snap.(v) in
-              let bl = Array.length b in
-              if bl > 0 then begin
-                let dst = if !cur == ba then bb else ba in
-                let a = !cur and al = !len in
-                let i = ref 0 and j = ref 0 and k = ref 0 in
-                while !i < al && !j < bl do
-                  let x = a.(!i) and y = b.(!j) in
-                  if x < y then begin
-                    dst.(!k) <- x;
-                    incr i
-                  end
-                  else if y < x then begin
-                    dst.(!k) <- y;
-                    incr j
-                  end
-                  else begin
-                    dst.(!k) <- x;
-                    incr i;
-                    incr j
-                  end;
-                  incr k
-                done;
-                while !i < al do
-                  dst.(!k) <- a.(!i);
-                  incr i;
-                  incr k
-                done;
-                while !j < bl do
-                  dst.(!k) <- b.(!j);
-                  incr j;
-                  incr k
-                done;
-                cur := dst;
-                len := !k
-              end
-            done;
-            if !len > Array.length own then begin
-              let merged = !cur in
-              (* fresh classes, collected ascending (both arrays are
-                 sorted and [own] is a subset of [merged]) *)
+      let account () =
+        if Obs.Registry.enabled () then
+          flood_account g n (fun v ->
+              let s = snap.(v) in
               let acc = ref [] in
-              let i = ref (!len - 1) and j = ref (Array.length own - 1) in
-              while !i >= 0 do
-                if !j >= 0 && own.(!j) = merged.(!i) then begin
-                  decr i;
-                  decr j
+              for i = 0 to Array.length s - 1 do
+                acc := class_payload.(s.(i)) :: !acc
+              done;
+              !acc)
+        else (0, 0, 0)
+      in
+      let merge_node keep_nbr r w =
+        let wi = Pool.worker_index () in
+        let ba = bufa.(wi) and bb = bufb.(wi) in
+        let own = snap.(w) in
+        let cur = ref own and len = ref (Array.length own) in
+        for hh = off.(w) to off.(w + 1) - 1 do
+          let v = G.half_node g (G.mate prt.(hh)) in
+          if audit then
+            Obs.Provenance.Bitset.union_into ~into:inf_state.(w) inf_out.(v);
+          if keep_nbr v then begin
+            let b = snap.(v) in
+            let bl = Array.length b in
+            if bl > 0 then begin
+              let dst = if !cur == ba then bb else ba in
+              let a = !cur and al = !len in
+              let i = ref 0 and j = ref 0 and k = ref 0 in
+              while !i < al && !j < bl do
+                let x = a.(!i) and y = b.(!j) in
+                if x < y then begin
+                  dst.(!k) <- x;
+                  incr i
+                end
+                else if y < x then begin
+                  dst.(!k) <- y;
+                  incr j
                 end
                 else begin
-                  acc := class_payload.(merged.(!i)) :: !acc;
-                  decr i
-                end
+                  dst.(!k) <- x;
+                  incr i;
+                  incr j
+                end;
+                incr k
               done;
-              by_round.(w).(r) <- !acc;
-              known.(w) <- Array.sub merged 0 !len
-            end);
-        emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
-      done
+              while !i < al do
+                dst.(!k) <- a.(!i);
+                incr i;
+                incr k
+              done;
+              while !j < bl do
+                dst.(!k) <- b.(!j);
+                incr j;
+                incr k
+              done;
+              cur := dst;
+              len := !k
+            end
+          end
+        done;
+        if !len > Array.length own then begin
+          let merged = !cur in
+          (* fresh classes, collected ascending (both arrays are
+             sorted and [own] is a subset of [merged]) *)
+          let acc = ref [] in
+          let i = ref (!len - 1) and j = ref (Array.length own - 1) in
+          while !i >= 0 do
+            if !j >= 0 && own.(!j) = merged.(!i) then begin
+              decr i;
+              decr j
+            end
+            else begin
+              acc := class_payload.(merged.(!i)) :: !acc;
+              decr i
+            end
+          done;
+          by_round.(w).(r) <- !acc;
+          known.(w) <- Array.sub merged 0 !len
+        end
+      in
+      if audit then
+        (* full-scan path: the influence sets must union every
+           neighbour every round, exactly as the certificate model
+           expects, so audited floods keep the O(n + m) rounds *)
+        for r = 0 to radius - 1 do
+          let traced = Obs.Trace.active () in
+          let marks0 = if traced then obs_marks () else (0, 0, 0) in
+          Pool.parallel_for ~n (fun v ->
+              snap.(v) <- known.(v);
+              Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
+          let msgs, mbox_max, bytes = account () in
+          Pool.parallel_for ~n (merge_node (fun _ -> true) r);
+          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+        done
+      else begin
+        (* frontier path: only nodes whose set grew last round
+           ([changed]) publish fresh snapshots, and only their
+           neighbours ([cand], first-discovery order) re-merge — so a
+           round costs O(changed + its edges), not O(n + m). The
+           telemetry accounting stays a full O(n) scan when the
+           registry is enabled ([snap] is current for every node: a
+           node's snapshot only goes stale the round after it grew,
+           and then it is in [changed] and re-published). by_round
+           output is byte-identical to the full scan: the skipped
+           merges are exactly the no-op ones. *)
+        let changed = Frontier_set.create n in
+        let cand = Frontier_set.create n in
+        let fscratch = Frontier_set.scratch () in
+        Frontier_set.fill_all changed;
+        let in_changed v = Frontier_set.mem changed v in
+        for r = 0 to radius - 1 do
+          let traced = Obs.Trace.active () in
+          let marks0 = if traced then obs_marks () else (0, 0, 0) in
+          Pool.parallel_for ~n:(Frontier_set.cardinal changed) (fun k ->
+              let v = Frontier_set.member changed k in
+              snap.(v) <- known.(v));
+          let msgs, mbox_max, bytes = account () in
+          ignore (Frontier_set.expand ~g ~src:changed ~dst:cand fscratch);
+          Pool.parallel_for ~n:(Frontier_set.cardinal cand) (fun k ->
+              merge_node in_changed r (Frontier_set.member cand k));
+          (* next frontier: the candidates that grew (fresh [known]
+             pointer), in candidate order — deterministic *)
+          Frontier_set.clear changed;
+          Frontier_set.iter cand (fun w ->
+              if known.(w) != snap.(w) then Frontier_set.add changed w);
+          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+        done
+      end
     end;
     if audit then
       Obs.Provenance.submit

@@ -30,13 +30,17 @@ let m_chunks = Obs.Registry.counter "local.pool.chunks"
 let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
 let m_chunk_hist = Obs.Registry.histogram "local.pool.chunk_ns.hist"
 
+(* the range/body fields are mutable so a prebuilt job (see {!fused})
+   can be re-dispatched with a new range without allocating: the
+   dispatching domain writes them before taking the pool mutex, and the
+   mutex hand-off in [dispatch]/[worker] publishes them to the workers *)
 type job = {
-  chunks : int;
-  chunk_size : int;
-  total : int;
+  mutable chunks : int;
+  mutable chunk_size : int;
+  mutable total : int;
   next : int Atomic.t; (* next chunk index to claim *)
   completed : int Atomic.t; (* chunks fully executed *)
-  body : int -> int -> unit; (* [body lo hi]: indices [lo, hi) *)
+  mutable body : int -> int -> unit; (* [body lo hi]: indices [lo, hi) *)
   failed : exn option Atomic.t;
 }
 
@@ -268,6 +272,98 @@ let parallel_for_reduce ?chunk ~n ~neutral ~combine f =
       ~seq:(fun () -> partial := [| fold 0 n |])
       ();
     Array.fold_left combine neutral !partial
+  end
+
+(* ------------------------------------------------------------------ *)
+(* fused prebuilt counting loops                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The engine's per-round hot path: a parallel_for and a reduce fused
+   into one dispatch of a job record built once per engine run. The
+   per-index body returns an int; partial sums land in per-worker slots
+   (each domain touches only slots.(worker_index ())) and are summed by
+   the dispatching domain in slot order. Int addition is commutative
+   and associative, so the total is independent of which worker ran
+   which chunk — the determinism contract is untouched. Re-dispatching
+   reuses the job record and the slots, so a round costs zero
+   allocation beyond what the body itself allocates. *)
+type fused = {
+  fu_chunk : int option;
+  fu_body : int -> int;
+  fu_job : job;
+  mutable fu_slots : int array;
+}
+
+let fused ?chunk body =
+  let t =
+    {
+      fu_chunk = chunk;
+      fu_body = body;
+      fu_job =
+        {
+          chunks = 0;
+          chunk_size = 1;
+          total = 0;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          body = (fun _ _ -> ());
+          failed = Atomic.make None;
+        };
+      fu_slots = Array.make (max 1 (size ())) 0;
+    }
+  in
+  t.fu_job.body <-
+    (fun lo hi ->
+      let b = t.fu_body in
+      let s = ref 0 in
+      for i = lo to hi - 1 do
+        s := !s + b i
+      done;
+      let w = worker_index () in
+      t.fu_slots.(w) <- t.fu_slots.(w) + !s);
+  t
+
+let run_fused t ~n =
+  if n <= 0 then 0
+  else begin
+    let sz = size () in
+    let pool =
+      if sz <= 1 || n < sequential_cutoff || !busy then None else ensure_pool ()
+    in
+    match pool with
+    | None ->
+      Obs.Counter.incr m_seq_loops;
+      let b = t.fu_body in
+      let s = ref 0 in
+      for i = 0 to n - 1 do
+        s := !s + b i
+      done;
+      !s
+    | Some pool ->
+      if Array.length t.fu_slots < sz then t.fu_slots <- Array.make sz 0;
+      let slots = t.fu_slots in
+      Array.fill slots 0 (Array.length slots) 0;
+      let chunk_size, chunks = chunk_layout ?chunk:t.fu_chunk ~n sz in
+      let job = t.fu_job in
+      job.total <- n;
+      job.chunk_size <- chunk_size;
+      job.chunks <- chunks;
+      Atomic.set job.next 0;
+      Atomic.set job.completed 0;
+      Atomic.set job.failed None;
+      Obs.Counter.incr m_jobs;
+      busy := true;
+      (match dispatch pool job with
+      | () -> busy := false
+      | exception e ->
+        busy := false;
+        raise e);
+      (match Atomic.get job.failed with Some e -> raise e | None -> ());
+      let s = ref 0 in
+      for w = 0 to Array.length slots - 1 do
+        s := !s + slots.(w)
+      done;
+      !s
   end
 
 let tabulate ?chunk n f =

@@ -88,6 +88,29 @@ val parallel_for_reduce :
     combining them in ascending chunk order. [combine] must be
     associative with [neutral] as identity. *)
 
+type fused
+(** A prebuilt parallel counting loop: one [parallel_for] and one int
+    reduce fused into a single pool dispatch, with the job record,
+    chunk bookkeeping and per-worker accumulator slots allocated once
+    at {!fused} time. Re-running it ({!run_fused}) allocates nothing,
+    which is what makes it the engine's per-round primitive — the old
+    [parallel_for] + [parallel_for_reduce] pair allocated a closure and
+    a partials array on every round. *)
+
+val fused : ?chunk:int -> (int -> int) -> fused
+(** [fused body] prepares a reusable loop over [body]. [body i] must
+    obey the determinism contract above (index-owned writes); its int
+    return values are summed. The sum is accumulated per worker domain
+    and combined by the dispatcher — int addition is commutative, so
+    the result is schedule-independent. *)
+
+val run_fused : fused -> n:int -> int
+(** [run_fused t ~n] runs [body i] for every [i] in [0, n) and returns
+    the sum of the results. [n] may vary between calls (shrinking
+    frontiers); the chunk layout is recomputed per call from [n] and
+    the pool size, with no allocation. Falls back to an inline
+    sequential loop under the same conditions as {!parallel_for}. *)
+
 val tabulate : ?chunk:int -> int -> (int -> 'a) -> 'a array
 (** [tabulate n f] is [Array.init n f] with the slots filled in
     parallel. [f 0] is evaluated first on the calling domain (to seed

@@ -9,13 +9,19 @@ type entry = {
   a_name : string;
   a_doc : string;
   a_run : seed:int -> n:int -> Repro_obs.Provenance.certificate;
+  a_replay :
+    (engine:[ `Flat | `Frontier ] ->
+    seed:int ->
+    n:int ->
+    Repro_obs.Provenance.certificate)
+    option;
 }
 
 (* run a metered solver, then replay its measured per-node radii as an
    engine flood under the provenance auditor *)
-let metered name solve inst =
+let metered ?engine name solve inst =
   let _, m = solve inst in
-  Audit.run_flood ~label:name inst ~declared:(Meter.declared m)
+  Audit.run_flood ~label:name ?engine inst ~declared:(Meter.declared m)
 
 let hard_so seed n =
   let rng = Random.State.make [| seed |] in
@@ -27,40 +33,37 @@ let simple_regular seed n =
   let g = Gen.random_simple_regular rng ~n ~d:3 in
   Instance.create ~seed g
 
+(* a metered entry's replay is the same solve-then-flood on the chosen
+   engine; the flat replay is byte-identical to [a_run] *)
+let metered_entry name doc solve inst_of =
+  {
+    a_name = name;
+    a_doc = doc;
+    a_run = (fun ~seed ~n -> metered name solve (inst_of seed n));
+    a_replay =
+      Some
+        (fun ~engine ~seed ~n -> metered ~engine name solve (inst_of seed n));
+  }
+
 let all =
   [
-    {
-      a_name = "so-det";
-      a_doc = "sinkless orientation, deterministic Θ(log n) on 3-regular";
-      a_run =
-        (fun ~seed ~n ->
-          metered "so-det" SO.solve_deterministic (hard_so seed n));
-    };
-    {
-      a_name = "so-rand";
-      a_doc = "sinkless orientation, randomized repair on 3-regular";
-      a_run =
-        (fun ~seed ~n -> metered "so-rand" SO.solve_randomized (hard_so seed n));
-    };
-    {
-      a_name = "coloring";
-      a_doc = "(Δ+1)-coloring, O(log* n) on simple 3-regular";
-      a_run =
-        (fun ~seed ~n ->
-          metered "coloring" Coloring.solve (simple_regular seed n));
-    };
-    {
-      a_name = "mis";
-      a_doc = "maximal independent set, O(log* n + Δ) on simple 3-regular";
-      a_run = (fun ~seed ~n -> metered "mis" Mis.solve (simple_regular seed n));
-    };
-    {
-      a_name = "matching";
-      a_doc = "maximal matching, O(log* n) on simple 3-regular";
-      a_run =
-        (fun ~seed ~n ->
-          metered "matching" Matching.solve (simple_regular seed n));
-    };
+    metered_entry "so-det"
+      "sinkless orientation, deterministic Θ(log n) on 3-regular"
+      SO.solve_deterministic hard_so;
+    metered_entry "so-rand"
+      "sinkless orientation, randomized repair on 3-regular"
+      SO.solve_randomized hard_so;
+    metered_entry "so-wave"
+      "sinkless orientation, frontier-wave randomized repair on 3-regular"
+      (fun inst -> SO.solve_randomized_frontier inst)
+      hard_so;
+    metered_entry "coloring" "(Δ+1)-coloring, O(log* n) on simple 3-regular"
+      Coloring.solve simple_regular;
+    metered_entry "mis"
+      "maximal independent set, O(log* n + Δ) on simple 3-regular" Mis.solve
+      simple_regular;
+    metered_entry "matching" "maximal matching, O(log* n) on simple 3-regular"
+      Matching.solve simple_regular;
     {
       a_name = "dcheck";
       a_doc = "distributed one-round checker on an SO solution (native audit)";
@@ -76,6 +79,7 @@ let all =
           if not verdict.DC.all_accept then
             failwith "audit_catalog: dcheck rejected a valid SO solution";
           cert);
+      a_replay = None;
     };
   ]
 

@@ -17,10 +17,21 @@ type entry = {
   a_doc : string;   (** instance family + declared bound, one line *)
   a_run : seed:int -> n:int -> Repro_obs.Provenance.certificate;
       (** Build an instance of ~[n] nodes, run the solver, certify. *)
+  a_replay :
+    (engine:[ `Flat | `Frontier ] ->
+    seed:int ->
+    n:int ->
+    Repro_obs.Provenance.certificate)
+    option;
+      (** Same audit on an explicit round engine. [`Flat] is
+          byte-identical to [a_run]; [`Frontier] must match it modulo
+          the certificate's engine tag — the frontier equivalence tests
+          sweep this over the whole catalog. [None] for entries whose
+          audit is native to one engine (the distributed checker). *)
 }
 
 val all : entry list
-(** so-det, so-rand, coloring, mis, matching, dcheck. *)
+(** so-det, so-rand, so-wave, coloring, mis, matching, dcheck. *)
 
 val names : string list
 

@@ -49,15 +49,35 @@ let solve inst =
   let delta = max 1 (G.max_degree g) in
   let members = Array.make n false in
   let blocked = Array.make n false in
-  (* one parallel step per color class: two nodes of the same class are
+  (* One parallel step per color class: two nodes of the same class are
      never adjacent (the coloring is proper), so within a class no node's
      [blocked] flag is read while it is written — a class member's flag
      could only be set by an adjacent member of the same class. Writes to
      a shared non-member neighbour all store [true] (idempotent), so any
-     pool size produces the same set. *)
+     pool size produces the same set. The classes are bucketed up front
+     (counting sort by color) so each step visits only the class's
+     members — O(n + m) total instead of O(Δ · n). *)
+  let cnt = Array.make (delta + 1) 0 in
+  for v = 0 to n - 1 do
+    let c = coloring.Labeling.v.(v) in
+    cnt.(c) <- cnt.(c) + 1
+  done;
+  let off = Array.make (delta + 2) 0 in
+  for c = 0 to delta do
+    off.(c + 1) <- off.(c) + cnt.(c)
+  done;
+  let cursor = Array.sub off 0 (delta + 1) in
+  let bucket = Array.make (max 1 n) 0 in
+  for v = 0 to n - 1 do
+    let c = coloring.Labeling.v.(v) in
+    bucket.(cursor.(c)) <- v;
+    cursor.(c) <- cursor.(c) + 1
+  done;
   for cls = 0 to delta do
-    Pool.parallel_for ~n (fun v ->
-        if coloring.Labeling.v.(v) = cls && not blocked.(v) then begin
+    let base = off.(cls) in
+    Pool.parallel_for ~n:(off.(cls + 1) - base) (fun k ->
+        let v = bucket.(base + k) in
+        if not blocked.(v) then begin
           members.(v) <- true;
           List.iter (fun w -> blocked.(w) <- true) (G.neighbors g v)
         end)

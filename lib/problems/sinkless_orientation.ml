@@ -7,6 +7,7 @@ module Instance = Repro_local.Instance
 module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module Randomness = Repro_local.Randomness
+module FS = Repro_local.Frontier_set
 module Obs = Repro_obs
 
 (* solver telemetry (no-ops while the registry is disabled); counts and
@@ -18,6 +19,12 @@ let m_rand_runs = Obs.Registry.counter "problems.so.rand.runs"
 let m_rand_sinks = Obs.Registry.counter "problems.so.rand.initial_sinks"
 let m_rand_flips = Obs.Registry.counter "problems.so.rand.half_flips"
 let m_rand_len = Obs.Registry.histogram "problems.so.rand.repair_len"
+let m_wave_runs = Obs.Registry.counter "problems.so.wave.runs"
+let m_wave_sinks = Obs.Registry.counter "problems.so.wave.initial_sinks"
+let m_wave_rounds = Obs.Registry.counter "problems.so.wave.rounds"
+let m_wave_flips = Obs.Registry.counter "problems.so.wave.half_flips"
+let m_wave_fallback = Obs.Registry.counter "problems.so.wave.fallback_repairs"
+let m_wave_len = Obs.Registry.histogram "problems.so.wave.repair_len"
 
 type orientation = Out | In
 
@@ -340,17 +347,12 @@ let solve_deterministic inst =
 (* Randomized solver                                                  *)
 (* ------------------------------------------------------------------ *)
 
-let solve_randomized inst =
-  Obs.Counter.incr m_rand_runs;
-  let g = inst.Instance.graph in
-  let ids = inst.Instance.ids in
-  let rand = inst.Instance.rand in
-  let n = G.n g in
-  let out = Labeling.const g ~v:() ~e:() ~b:In in
-  let meter = Meter.create n in
-  (* random initial orientation: the side-0 node flips a private coin
-     indexed by the port the edge occupies at it (per-node randomness is
-     seed-indexed, so the flips are schedule-oblivious) *)
+(* --- helpers shared by the sequential and wave (frontier) repair --- *)
+
+(* random initial orientation: the side-0 node flips a private coin
+   indexed by the port the edge occupies at it (per-node randomness is
+   seed-indexed, so the flips are schedule-oblivious) *)
+let random_orientation g rand (out : output) =
   Pool.parallel_for ~n:(G.m g) (fun e ->
       let h = 2 * e in
       let node = G.half_node g h in
@@ -362,82 +364,228 @@ let solve_randomized inst =
       else begin
         out.b.(h) <- In;
         out.b.(G.mate h) <- Out
-      end);
-  Meter.charge_all meter 1;
+      end)
+
+let out_degrees g (out : output) =
+  let n = G.n g in
   let out_deg = Array.make n 0 in
   Pool.parallel_for ~n (fun v ->
       out_deg.(v) <-
         G.fold_halves g v ~init:0 ~f:(fun d h ->
             if out.b.(h) = Out then d + 1 else d));
-  let is_sink v = G.degree g v >= 3 && out_deg.(v) = 0 in
-  let sinks =
-    List.sort
-      (fun a b -> compare ids.(a) ids.(b))
-      (List.filter is_sink (List.init n (fun v -> v)))
-  in
+  out_deg
+
+let is_sink g out_deg v = G.degree g v >= 3 && out_deg.(v) = 0
+
+(* sinks in ascending id order: the deterministic repair order *)
+let sorted_sinks g ids out_deg =
+  List.sort
+    (fun a b -> compare ids.(a) ids.(b))
+    (List.filter (is_sink g out_deg) (List.init (G.n g) (fun v -> v)))
+
+let set_half g (out : output) out_deg h o =
+  let node = G.half_node g h in
+  (match (out.b.(h), o) with
+  | In, Out -> out_deg.(node) <- out_deg.(node) + 1
+  | Out, In -> out_deg.(node) <- out_deg.(node) - 1
+  | In, In | Out, Out -> ());
+  out.b.(h) <- o
+
+(* flip the halves of a sink-to-target path to point away from the sink
+   ([halves] in path order, each half held by the node closer to the
+   sink), and charge everyone on the path *)
+let flip_path g out out_deg meter halves len =
+  List.iter
+    (fun h ->
+      set_half g out out_deg h Out;
+      set_half g out out_deg (G.mate h) In)
+    halves;
+  List.iter
+    (fun h ->
+      Meter.charge meter (G.half_node g h) (len + 1);
+      Meter.charge meter (G.half_node g (G.mate h)) (len + 1))
+    halves
+
+(* sequential repair of one sink: BFS for the nearest node that can
+   afford to lose an out-edge, then flip the path toward it *)
+let repair_sink g out out_deg meter u =
+  if is_sink g out_deg u then begin
+    let parent_half = Hashtbl.create 64 in
+    let dist = Hashtbl.create 64 in
+    Hashtbl.replace dist u 0;
+    let q = Queue.create () in
+    Queue.add u q;
+    let target = ref None in
+    while !target = None && not (Queue.is_empty q) do
+      let v = Queue.take q in
+      let d = Hashtbl.find dist v in
+      let dv = G.degree g v in
+      let i = ref 0 in
+      while !target = None && !i < dv do
+        let h = G.half_at g v !i in
+        incr i;
+        let w = G.half_node g (G.mate h) in
+        if w <> v && not (Hashtbl.mem dist w) then begin
+          Hashtbl.replace dist w (d + 1);
+          Hashtbl.replace parent_half w h;
+          if out_deg.(w) >= 2 || G.degree g w <= 2 then target := Some w
+          else Queue.add w q
+        end
+      done
+    done;
+    match !target with
+    | None -> () (* impossible in any component with a degree-3 sink *)
+    | Some z ->
+      (* path u -> z, each half at the node closer to u *)
+      let rec path v acc =
+        match Hashtbl.find_opt parent_half v with
+        | None -> acc
+        | Some h -> path (G.half_node g h) (h :: acc)
+      in
+      let halves = path z [] in
+      let len = List.length halves in
+      Obs.Counter.add m_rand_flips len;
+      Obs.Histogram.observe m_rand_len len;
+      flip_path g out out_deg meter halves len
+  end
+
+let solve_randomized inst =
+  Obs.Counter.incr m_rand_runs;
+  let g = inst.Instance.graph in
+  let ids = inst.Instance.ids in
+  let rand = inst.Instance.rand in
+  let out = Labeling.const g ~v:() ~e:() ~b:In in
+  let meter = Meter.create (G.n g) in
+  random_orientation g rand out;
+  Meter.charge_all meter 1;
+  let out_deg = out_degrees g out in
+  let sinks = sorted_sinks g ids out_deg in
   Obs.Counter.add m_rand_sinks (List.length sinks);
-  let set_half h o =
-    let node = G.half_node g h in
-    (match (out.b.(h), o) with
-    | In, Out -> out_deg.(node) <- out_deg.(node) + 1
-    | Out, In -> out_deg.(node) <- out_deg.(node) - 1
-    | In, In | Out, Out -> ());
-    out.b.(h) <- o
-  in
-  let repair u =
-    if is_sink u then begin
-      (* BFS for the nearest node that can afford to lose an out-edge *)
-      let parent_half = Hashtbl.create 64 in
-      let dist = Hashtbl.create 64 in
-      Hashtbl.replace dist u 0;
-      let q = Queue.create () in
-      Queue.add u q;
-      let target = ref None in
-      while !target = None && not (Queue.is_empty q) do
-        let v = Queue.take q in
-        let d = Hashtbl.find dist v in
-        let dv = G.degree g v in
-        let i = ref 0 in
-        while !target = None && !i < dv do
-          let h = G.half_at g v !i in
-          incr i;
-          let w = G.half_node g (G.mate h) in
-          if w <> v && not (Hashtbl.mem dist w) then begin
-            Hashtbl.replace dist w (d + 1);
-            Hashtbl.replace parent_half w h;
-            if out_deg.(w) >= 2 || G.degree g w <= 2 then target := Some w
-            else Queue.add w q
+  List.iter (repair_sink g out out_deg meter) sinks;
+  (out, meter)
+
+(* ------------------------------------------------------------------ *)
+(* Wave (frontier) randomized solver                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* All sinks repair at once: a multi-source Voronoi BFS grows one region
+   per sink over a shared {!Frontier_set} wave, instead of one private
+   hash-table BFS per sink. A node joins the region of its
+   minimum-root-id previous-frontier neighbour; a region stops the round
+   one of its nodes can afford an extra incoming edge (out_deg >= 2 on
+   the *initial* orientation, or exempt degree <= 2). All path flips are
+   deferred to the end: regions are node-disjoint by construction, so a
+   target loses at most the one out-edge its own path takes, every
+   interior path node gains a guaranteed out-edge, and the flips commute
+   — validity against the initial out-degrees carries over. Regions
+   whose Voronoi cell contains no target (walled in by other regions)
+   fall back to the sequential repair, in sink-id order, against the
+   post-wave orientation. Deterministic at any pool size: the parallel
+   resolution writes only candidate-owned slots and reads only previous
+   rounds' state; frontier membership orders are pool-independent
+   (Frontier_set discipline). *)
+let solve_randomized_frontier ?stats inst =
+  Obs.Counter.incr m_wave_runs;
+  let g = inst.Instance.graph in
+  let ids = inst.Instance.ids in
+  let rand = inst.Instance.rand in
+  let n = G.n g in
+  let out = Labeling.const g ~v:() ~e:() ~b:In in
+  let meter = Meter.create n in
+  random_orientation g rand out;
+  Meter.charge_all meter 1;
+  let out_deg = out_degrees g out in
+  let sinks = sorted_sinks g ids out_deg in
+  Obs.Counter.add m_wave_sinks (List.length sinks);
+  let region = Array.make n (-1) in
+  (* parent_half.(w): the half at w's region parent pointing toward w *)
+  let parent_half = Array.make n (-1) in
+  (* region_target.(u) for a region root u: the repair target, -1 while
+     the region is still searching *)
+  let region_target = Array.make n (-1) in
+  let front = FS.create n in
+  let cand = FS.create n in
+  let fscratch = FS.scratch () in
+  List.iter
+    (fun u ->
+      region.(u) <- u;
+      FS.add front u)
+    sinks;
+  while FS.cardinal front > 0 do
+    let t0 = Obs.Clock.now_ns () in
+    let active = FS.cardinal front and dense = FS.is_dense front in
+    let edges =
+      FS.expand ~g ~keep:(fun w -> region.(w) = -1) ~src:front ~dst:cand
+        fscratch
+    in
+    (* claim: each candidate joins the minimum-root-id region among its
+       previous-frontier neighbours, with the first such port as parent.
+       Index-owned writes, reads only last round's state. *)
+    Pool.parallel_for ~n:(FS.cardinal cand) (fun k ->
+        let w = FS.member cand k in
+        let dw = G.degree g w in
+        let best = ref (-1) in
+        for i = 0 to dw - 1 do
+          let v = G.half_node g (G.mate (G.half_at g w i)) in
+          if FS.mem front v then begin
+            let r = region.(v) in
+            if !best = -1 || ids.(r) < ids.(!best) then best := r
           end
-        done
-      done;
-      match !target with
-      | None -> () (* impossible in any component with a degree-3 sink *)
-      | Some z ->
-        (* flip the path u -> z to point away from u *)
+        done;
+        let r = !best in
+        region.(w) <- r;
+        let ph = ref (-1) in
+        let i = ref 0 in
+        while !ph = -1 && !i < dw do
+          let h = G.half_at g w !i in
+          let v = G.half_node g (G.mate h) in
+          if FS.mem front v && region.(v) = r then ph := G.mate h;
+          incr i
+        done;
+        parent_half.(w) <- !ph);
+    (* first target per region, in candidate (first-discovery) order *)
+    FS.iter cand (fun w ->
+        let r = region.(w) in
+        if
+          region_target.(r) = -1
+          && (out_deg.(w) >= 2 || G.degree g w <= 2)
+        then region_target.(r) <- w);
+    FS.clear front;
+    FS.iter cand (fun w ->
+        if region_target.(region.(w)) = -1 then FS.add front w);
+    Obs.Counter.incr m_wave_rounds;
+    (match stats with
+    | Some r ->
+      FS.Stats.record r ~active ~edges ~dense ~ns:(Obs.Clock.now_ns () - t0)
+    | None -> ())
+  done;
+  (* deferred flips, in sink-id order (order is immaterial: the paths
+     are node-disjoint) *)
+  List.iter
+    (fun u ->
+      let z = region_target.(u) in
+      if z >= 0 then begin
         let rec path v acc =
-          match Hashtbl.find_opt parent_half v with
-          | None -> acc
-          | Some h -> path (G.half_node g h) (h :: acc)
+          if v = u then acc
+          else
+            let h = parent_half.(v) in
+            path (G.half_node g h) (h :: acc)
         in
         let halves = path z [] in
         let len = List.length halves in
-        Obs.Counter.add m_rand_flips len;
-        Obs.Histogram.observe m_rand_len len;
-        List.iter
-          (fun h ->
-            (* h is at the node closer to u: point it away from u *)
-            set_half h Out;
-            set_half (G.mate h) In)
-          halves;
-        (* charge everyone on the path (and the endpoints) *)
-        List.iter
-          (fun h ->
-            Meter.charge meter (G.half_node g h) (len + 1);
-            Meter.charge meter (G.half_node g (G.mate h)) (len + 1))
-          halves
-    end
-  in
-  List.iter repair sinks;
+        Obs.Counter.add m_wave_flips len;
+        Obs.Histogram.observe m_wave_len len;
+        flip_path g out out_deg meter halves len
+      end)
+    sinks;
+  (* walled-in regions: sequential repair against the post-wave state *)
+  List.iter
+    (fun u ->
+      if region_target.(u) = -1 then begin
+        Obs.Counter.incr m_wave_fallback;
+        repair_sink g out out_deg meter u
+      end)
+    sinks;
   (out, meter)
 
 let hard_instance rng ~n =

@@ -51,6 +51,25 @@ val solve_randomized : Repro_local.Instance.t -> output * Repro_local.Meter.t
     repair). See DESIGN.md for why this stands in for the LLL-based
     [Θ(log log n)] algorithm. *)
 
+val solve_randomized_frontier :
+  ?stats:Repro_local.Frontier_set.Stats.recorder ->
+  Repro_local.Instance.t ->
+  output * Repro_local.Meter.t
+(** The frontier (wave) variant of {!solve_randomized}: same private-coin
+    initial orientation, but all sinks repair at once through a
+    multi-source Voronoi BFS over one shared {!Repro_local.Frontier_set}
+    wave — a round costs O(frontier nodes + frontier edges), which is
+    what lets the randomized solver run at n = 10^6. Each unclaimed node
+    joins the region of its minimum-root-id frontier neighbour; a region
+    retires as soon as it claims a node that can afford an extra
+    incoming edge, and all path flips are deferred to the end (regions
+    are node-disjoint, so the flips commute). Regions walled in by
+    others fall back to the sequential repair in sink-id order. Output
+    is a valid sinkless orientation (not byte-equal to
+    {!solve_randomized}'s — the repair paths differ); deterministic at
+    any pool size. [stats] records per-round frontier telemetry for the
+    bench legs. *)
+
 val count_sinks : Repro_graph.Multigraph.t -> output -> int
 (** Number of degree-≥3 nodes without an [Out] half — 0 on valid outputs. *)
 

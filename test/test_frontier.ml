@@ -1,0 +1,290 @@
+(* Tests for the frontier layer: Frontier_set representation and
+   expansion, the fused pool primitive, the frontier engine's
+   byte-identity with the flat engine (including the sparse↔dense
+   switch, pinned on a golden instance), the audit-catalog certificate
+   equivalence between engines, the flood_gather changed-set path, and
+   the wave SO solver. *)
+
+module Obs = Repro_obs
+module Prov = Repro_obs.Provenance
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Instance = Repro_local.Instance
+module Pool = Repro_local.Pool
+module FS = Repro_local.Frontier_set
+module Frontier = Repro_local.Frontier
+module MP = Repro_local.Message_passing
+module Audit = Repro_local.Audit
+module SO = Repro_problems.Sinkless_orientation
+module AC = Repro_problems.Audit_catalog
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_pool_size s f =
+  let saved = Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size saved)
+    (fun () ->
+      Pool.set_size s;
+      f ())
+
+(* ------------------------------------------------------------------ *)
+(* Frontier_set *)
+
+let test_set_basics () =
+  let s = FS.create 130 in
+  check_int "empty" 0 (FS.cardinal s);
+  check_int "length" 130 (FS.length s);
+  let members = [ 5; 0; 63; 64; 129; 62 ] in
+  List.iter (FS.add s) members;
+  FS.add s 63;
+  check_int "re-add ignored" (List.length members) (FS.cardinal s);
+  List.iteri
+    (fun k v -> check_int (Printf.sprintf "member %d" k) v (FS.member s k))
+    members;
+  check "mem hit" true (FS.mem s 64);
+  check "mem miss" false (FS.mem s 1);
+  (* dense view agrees with the member list, ascending within words *)
+  let via_words = ref [] in
+  let total = ref 0 in
+  for w = 0 to FS.word_count s - 1 do
+    total :=
+      !total
+      + FS.fold_word s w 0 (fun acc v ->
+            via_words := v :: !via_words;
+            acc + 1)
+  done;
+  check_int "fold_word count" (List.length members) !total;
+  Alcotest.(check (list int))
+    "bitmap view" (List.sort compare members)
+    (List.rev !via_words);
+  FS.remove_if s (fun v -> v mod 2 = 0);
+  Alcotest.(check (list int))
+    "remove_if keeps order"
+    (List.filter (fun v -> v mod 2 = 1) members)
+    (List.init (FS.cardinal s) (FS.member s));
+  check "removed from bitmap" false (FS.mem s 64);
+  FS.clear s;
+  check_int "cleared" 0 (FS.cardinal s);
+  check "cleared bitmap" false (FS.mem s 63);
+  FS.fill_all s;
+  check_int "fill_all" 130 (FS.cardinal s);
+  check_int "fill_all order" 17 (FS.member s 17)
+
+let test_set_threshold () =
+  let s = FS.create ~dense_threshold:0 4 in
+  check "threshold 0 is always dense" true (FS.is_dense s);
+  let s' = FS.create ~dense_threshold:5 4 in
+  FS.fill_all s';
+  check "threshold n+1 is never dense" false (FS.is_dense s')
+
+let test_set_expand () =
+  (* path 0-1-2-3-4: expanding {1,3} finds {0,2,4} in first-discovery
+     order, scanning deg(1)+deg(3) = 4 halves *)
+  let g = Gen.path 5 in
+  let src = FS.create 5 and dst = FS.create 5 in
+  let s = FS.scratch () in
+  FS.add src 1;
+  FS.add src 3;
+  let edges = FS.expand ~g ~src ~dst s in
+  check_int "edges scanned" 4 edges;
+  Alcotest.(check (list int))
+    "candidates in discovery order" [ 0; 2; 4 ]
+    (List.init (FS.cardinal dst) (FS.member dst));
+  (* keep-filter, and scratch reuse on a second expansion *)
+  let edges = FS.expand ~g ~keep:(fun v -> v <> 2) ~src ~dst s in
+  check_int "edges scanned again" 4 edges;
+  Alcotest.(check (list int))
+    "kept candidates" [ 0; 4 ]
+    (List.init (FS.cardinal dst) (FS.member dst))
+
+(* ------------------------------------------------------------------ *)
+(* fused pool primitive *)
+
+let test_fused () =
+  let body i = (i * i) + 1 in
+  let expected n =
+    let s = ref 0 in
+    for i = 0 to n - 1 do
+      s := !s + body i
+    done;
+    !s
+  in
+  let t = Pool.fused body in
+  List.iter
+    (fun size ->
+      with_pool_size size (fun () ->
+          (* reuse one fused task across many sizes, below and above the
+             sequential cutoff *)
+          List.iter
+            (fun n ->
+              check_int
+                (Printf.sprintf "sum n=%d at %d domains" n size)
+                (expected n)
+                (Pool.run_fused t ~n))
+            [ 0; 1; 7; 16; 100; 1001 ]))
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* the frontier engine vs the flat engine *)
+
+(* the golden switch instance: a 160-node path flooded with
+   actual v = v + 1, so node v halts after round v and the live count
+   at round r is exactly 160 - r. The default density threshold is
+   160/16 = 10: rounds 0..150 (live >= 10) must run dense, rounds
+   151..159 sparse. *)
+let test_switch_round_pinned () =
+  let n = 160 in
+  let inst = Instance.create (Gen.path n) in
+  let alg = Audit.flood_algorithm ~actual:(fun v -> v + 1) in
+  let res = Frontier.run inst alg in
+  check_int "rounds" n res.Frontier.max_rounds;
+  let st = res.Frontier.stats in
+  check_int "one stats row per round" n (Array.length st.FS.Stats.active_nodes);
+  for r = 0 to n - 1 do
+    check_int
+      (Printf.sprintf "active at round %d" r)
+      (n - r)
+      st.FS.Stats.active_nodes.(r);
+    check
+      (Printf.sprintf "mode at round %d" r)
+      (n - r >= 10)
+      st.FS.Stats.dense_rounds.(r)
+  done;
+  (* the path's live prefix loses one node per round: scanned half-edges
+     strictly decrease once the wavefront moves *)
+  for r = 1 to n - 1 do
+    check
+      (Printf.sprintf "edges shrink at round %d" r)
+      true
+      (st.FS.Stats.frontier_edges.(r) <= st.FS.Stats.frontier_edges.(r - 1))
+  done;
+  (* forcing the threshold to either extreme changes the mode profile
+     but not one byte of the results *)
+  let dense = Frontier.run ~dense_threshold:0 inst alg in
+  let sparse = Frontier.run ~dense_threshold:(n + 1) inst alg in
+  check "always-dense outputs" true (dense.Frontier.outputs = res.Frontier.outputs);
+  check "always-sparse outputs" true
+    (sparse.Frontier.outputs = res.Frontier.outputs);
+  check "always-dense rounds" true (dense.Frontier.rounds = res.Frontier.rounds);
+  check "always-sparse rounds" true
+    (sparse.Frontier.rounds = res.Frontier.rounds);
+  check "always-dense ran dense" true
+    (Array.for_all Fun.id dense.Frontier.stats.FS.Stats.dense_rounds);
+  check "always-sparse ran sparse" true
+    (Array.for_all not sparse.Frontier.stats.FS.Stats.dense_rounds);
+  (* and the flat engine agrees with all of them *)
+  let flat = MP.run inst alg in
+  check "flat outputs" true (flat.MP.outputs = res.Frontier.outputs);
+  check "flat rounds" true (flat.MP.rounds = res.Frontier.rounds)
+
+(* certificate equivalence across the audit catalog: replaying an
+   entry's declared radii on the frontier engine must produce the same
+   certificate as the flat engine, modulo the engine tag — at 1, 2 and
+   4 domains *)
+let test_catalog_engine_equivalence () =
+  let strip c = { c with Prov.c_engine = "" } in
+  List.iter
+    (fun e ->
+      match e.AC.a_replay with
+      | None -> ()
+      | Some replay ->
+        List.iter
+          (fun size ->
+            with_pool_size size (fun () ->
+                let flat = replay ~engine:`Flat ~seed:3 ~n:100 in
+                let frontier = replay ~engine:`Frontier ~seed:3 ~n:100 in
+                check
+                  (Printf.sprintf "%s tags at %d domains" e.AC.a_name size)
+                  true
+                  (flat.Prov.c_engine = "message_passing"
+                  && frontier.Prov.c_engine = "frontier");
+                check
+                  (Printf.sprintf "%s certs equal at %d domains" e.AC.a_name
+                     size)
+                  true
+                  (strip flat = strip frontier);
+                check
+                  (Printf.sprintf "%s frontier cert ok at %d domains"
+                     e.AC.a_name size)
+                  true frontier.Prov.c_ok))
+          [ 1; 2; 4 ])
+    AC.all
+
+(* ------------------------------------------------------------------ *)
+(* flood_gather: the changed-set frontier path (audit off) must equal
+   the full-scan path (audit armed) *)
+
+let test_flood_frontier_vs_full_scan () =
+  List.iter
+    (fun g ->
+      let inst = Instance.create g in
+      let fast = MP.flood_gather inst ~radius:6 (fun v -> v * 7) in
+      Prov.start ();
+      let full =
+        match MP.flood_gather inst ~radius:6 (fun v -> v * 7) with
+        | x ->
+          Prov.abort ();
+          x
+        | exception e ->
+          Prov.abort ();
+          raise e
+      in
+      check "audited and frontier floods agree" true (fast = full))
+    [
+      Gen.path 40;
+      Gen.cycle 9;
+      Gen.star 12;
+      Gen.grid 5 7;
+      SO.hard_instance (Random.State.make [| 11 |]) ~n:60;
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* the wave SO solver *)
+
+let test_wave_solver () =
+  List.iter
+    (fun seed ->
+      let rng = Random.State.make [| seed |] in
+      let g = SO.hard_instance rng ~n:400 in
+      let inst = Instance.create ~seed g in
+      let stats = FS.Stats.recorder () in
+      let out, meter = SO.solve_randomized_frontier ~stats inst in
+      check (Printf.sprintf "valid (seed %d)" seed) true (SO.is_valid g out);
+      check_int (Printf.sprintf "no sinks (seed %d)" seed) 0
+        (SO.count_sinks g out);
+      check (Printf.sprintf "metered (seed %d)" seed) true
+        (Repro_local.Meter.max_radius meter >= 1);
+      (* identical output and wave telemetry at every pool size *)
+      let st = FS.Stats.snapshot stats in
+      List.iter
+        (fun size ->
+          with_pool_size size (fun () ->
+              let stats' = FS.Stats.recorder () in
+              let out', _ = SO.solve_randomized_frontier ~stats:stats' inst in
+              check
+                (Printf.sprintf "deterministic at %d domains (seed %d)" size
+                   seed)
+                true
+                (out'.Repro_lcl.Labeling.b = out.Repro_lcl.Labeling.b);
+              let st' = FS.Stats.snapshot stats' in
+              check
+                (Printf.sprintf "wave shape at %d domains (seed %d)" size seed)
+                true
+                (st'.FS.Stats.active_nodes = st.FS.Stats.active_nodes
+                && st'.FS.Stats.frontier_edges = st.FS.Stats.frontier_edges)))
+        [ 2; 4 ])
+    [ 1; 5; 9 ]
+
+let suite =
+  [
+    ("frontier-set basics", `Quick, test_set_basics);
+    ("frontier-set thresholds", `Quick, test_set_threshold);
+    ("frontier-set expand", `Quick, test_set_expand);
+    ("fused pool loop", `Quick, test_fused);
+    ("switch round pinned on golden instance", `Quick, test_switch_round_pinned);
+    ("audit catalog engine equivalence", `Slow, test_catalog_engine_equivalence);
+    ("flood frontier path vs full scan", `Quick, test_flood_frontier_vs_full_scan);
+    ("wave SO solver", `Quick, test_wave_solver);
+  ]

@@ -162,10 +162,18 @@ let test_cert_pool_size_independent () =
 (* every catalog entry certifies cleanly at its declared bound *)
 
 let test_catalog_all_pass () =
-  check "catalog has the six entries" true
+  check "catalog has the seven entries" true
     (List.sort compare AC.names
     = List.sort compare
-        [ "so-det"; "so-rand"; "coloring"; "mis"; "matching"; "dcheck" ]);
+        [
+          "so-det";
+          "so-rand";
+          "so-wave";
+          "coloring";
+          "mis";
+          "matching";
+          "dcheck";
+        ]);
   List.iter
     (fun e ->
       let cert = e.AC.a_run ~seed:3 ~n:120 in
