@@ -1,4 +1,4 @@
-(* Validate a BENCH_parallel.json against the repro-bench-parallel/3
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/4
    schema. CI's bench-smoke and frontier-1m jobs (and the runtest smoke
    rule) run this right after `main.exe --json --quick`, so a malformed
    bench file fails the pipeline instead of silently corrupting the perf
@@ -113,7 +113,7 @@ let () =
   (* the schema is closed: an unknown top-level key means the writer and
      this checker have drifted apart, which must fail loudly rather than
      let unvalidated data into the perf trajectory *)
-  let allowed = [ "schema"; "domains"; "cores"; "quick"; "results" ] in
+  let allowed = [ "schema"; "domains"; "cores"; "quick"; "serve"; "results" ] in
   (match j with
   | J.Obj fields ->
     List.iter
@@ -124,8 +124,50 @@ let () =
       fields
   | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
-  if schema <> "repro-bench-parallel/3" then
-    fail "unexpected schema %S (want repro-bench-parallel/3)" schema;
+  if schema <> "repro-bench-parallel/4" then
+    fail "unexpected schema %S (want repro-bench-parallel/4)" schema;
+  (* the serve leg (schema /4): cold-vs-warm over the reply cache. Closed
+     like the top level, counts consistent with one cold pass of the mix *)
+  (let sv = get "serve" j in
+   (match sv with
+   | J.Obj fields ->
+     let sv_allowed =
+       [
+         "mix"; "requests"; "cold_ns_per_req"; "warm_ns_per_req"; "cold_rps";
+         "warm_rps"; "warm_cold_ratio"; "reply_cache_hits"; "reply_cache_misses";
+       ]
+     in
+     List.iter
+       (fun (k, _) ->
+         if not (List.mem k sv_allowed) then
+           fail "unknown \"serve\" key %S (allowed: %s)" k
+             (String.concat ", " sv_allowed))
+       fields
+   | _ -> fail "field \"serve\" is not a JSON object");
+   if as_str "mix" sv = "" then fail "serve: empty mix name";
+   let requests = as_int "requests" sv in
+   if requests < 1 then fail "serve: requests = %d, want >= 1" requests;
+   let pos name =
+     match J.to_float (get name sv) with
+     | Some v when v > 0.0 -> v
+     | Some v -> fail "serve: %s = %g, want > 0" name v
+     | None -> fail "serve: field %S is not a number" name
+   in
+   let cold = pos "cold_ns_per_req" and warm = pos "warm_ns_per_req" in
+   let ratio = pos "warm_cold_ratio" in
+   ignore (pos "cold_rps");
+   ignore (pos "warm_rps");
+   if abs_float (ratio -. (cold /. warm)) > 0.01 *. ratio then
+     fail "serve: warm_cold_ratio %g inconsistent with cold/warm %g" ratio
+       (cold /. warm);
+   let hits = as_int "reply_cache_hits" sv in
+   let misses = as_int "reply_cache_misses" sv in
+   (* the cold pass misses on every distinct request, the warm passes hit *)
+   if misses < requests then
+     fail "serve: %d reply-cache misses for a %d-request cold pass" misses
+       requests;
+   if hits < requests then
+     fail "serve: %d reply-cache hits — the warm passes never hit" hits);
   let domains = as_int "domains" j in
   if domains < 1 then fail "domains = %d, want >= 1" domains;
   let cores = as_int "cores" j in

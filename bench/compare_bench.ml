@@ -4,7 +4,11 @@
    Usage: compare_bench.exe BASELINE CURRENT
 
    Hard failures (exit 1):
-     - either file fails to parse or is not repro-bench-parallel/3
+     - either file fails to parse or is not repro-bench-parallel/4
+     - the current serve leg's warm/cold ratio falls below 5x: the reply
+       cache exists to make a warm gadget-family-heavy mix at least that
+       much faster than its cold pass, and both numbers come from the
+       same host seconds apart, so the ratio is stable enough to gate
      - a baseline case is missing from the current run (the trajectory
        would silently lose a data point)
      - a case's normalized minor-heap allocation regresses by more than
@@ -39,6 +43,7 @@ let alloc_ratio_limit = 2.0
 let alloc_floor = 0.05
 let ratio_regression_limit = 1.15
 let wallclock_advisory_ratio = 1.5
+let serve_warm_ratio_floor = 5.0
 
 type row = {
   n : int;
@@ -63,9 +68,17 @@ let load file =
     | None -> fail "%s: missing field %S" file name
   in
   (match J.to_str (get "schema" j) with
-  | Some "repro-bench-parallel/3" -> ()
-  | Some s -> fail "%s: schema %S (want repro-bench-parallel/3)" file s
+  | Some "repro-bench-parallel/4" -> ()
+  | Some s -> fail "%s: schema %S (want repro-bench-parallel/4)" file s
   | None -> fail "%s: schema is not a string" file);
+  let serve_ratio =
+    match J.member "serve" j with
+    | Some sv -> (
+      match Option.map J.to_float (J.member "warm_cold_ratio" sv) with
+      | Some (Some r) -> r
+      | _ -> fail "%s: serve.warm_cold_ratio missing or not a number" file)
+    | None -> fail "%s: missing \"serve\" leg" file
+  in
   let results =
     match J.to_list (get "results" j) with
     | Some l -> l
@@ -96,15 +109,26 @@ let load file =
           minor_per_round = num "minor_words_per_round";
         })
     results;
-  tbl
+  (tbl, serve_ratio)
 
 let () =
   if Array.length Sys.argv <> 3 then
     fail "usage: compare_bench.exe BASELINE CURRENT";
-  let baseline = load Sys.argv.(1) in
-  let current = load Sys.argv.(2) in
+  let baseline, _ = load Sys.argv.(1) in
+  let current, serve_ratio = load Sys.argv.(2) in
   let failures = ref 0 in
   let checked = ref 0 in
+  (* serve gate: an absolute floor on the current run, not a
+     baseline-relative one — the 5x promise is part of the cache's
+     contract, whatever the host *)
+  if serve_ratio < serve_warm_ratio_floor then begin
+    incr failures;
+    Printf.eprintf "FAIL: serve warm/cold ratio %.3f below the %.1fx floor\n"
+      serve_ratio serve_warm_ratio_floor
+  end
+  else
+    Printf.printf "ok    %-24s warm/cold ratio %.3f (floor %.1fx)\n" "serve"
+      serve_ratio serve_warm_ratio_floor;
   Hashtbl.iter
     (fun name (b : row) ->
       match Hashtbl.find_opt current name with

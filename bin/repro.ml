@@ -583,6 +583,116 @@ let fuzz_cmd =
           print a replay seed; runs are deterministic for a fixed seed.")
     Term.(ret (const run $ target $ count $ seed_arg $ json $ out $ obs_args))
 
+(* ------------------------------------------------------------------ *)
+
+module Serve = Repro_serve
+
+let addr_args =
+  let socket =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH" ~doc:"Unix domain socket path.")
+  in
+  let tcp =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "tcp" ] ~docv:"HOST:PORT" ~doc:"TCP address (e.g. 127.0.0.1:7464).")
+  in
+  let combine socket tcp =
+    match (socket, tcp) with
+    | Some _, Some _ -> Error "--socket and --tcp are mutually exclusive"
+    | Some path, None -> Ok (Serve.Server.Unix_path path)
+    | None, Some hp -> (
+      match String.rindex_opt hp ':' with
+      | Some i -> (
+        let host = String.sub hp 0 i in
+        match int_of_string_opt (String.sub hp (i + 1) (String.length hp - i - 1)) with
+        | Some port -> Ok (Serve.Server.Tcp (host, port))
+        | None -> Error (Printf.sprintf "bad --tcp port in %S" hp))
+      | None -> Error (Printf.sprintf "bad --tcp address %S (want HOST:PORT)" hp))
+    | None, None -> Ok (Serve.Server.Unix_path "repro.sock")
+  in
+  Term.(const combine $ socket $ tcp)
+
+let serve_cmd =
+  let run addr queue cache log =
+    match addr with
+    | Error msg -> `Error (false, msg)
+    | Ok addr ->
+      let config =
+        {
+          (Serve.Server.default_config addr) with
+          Serve.Server.queue_capacity = queue;
+          reply_cache_capacity = cache;
+          log_path = log;
+        }
+      in
+      (match addr with
+      | Serve.Server.Unix_path p -> Printf.printf "repro serve: listening on %s\n%!" p
+      | Serve.Server.Tcp (h, p) ->
+        Printf.printf "repro serve: listening on %s:%d\n%!" h p);
+      Serve.Server.run config;
+      print_endline "repro serve: shut down cleanly";
+      `Ok ()
+  in
+  let queue =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:"Admission queue bound; further requests get a busy reply.")
+  in
+  let cache =
+    Arg.(
+      value & opt int 256
+      & info [ "reply-cache" ] ~docv:"N" ~doc:"Reply cache capacity (entries).")
+  in
+  let log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "log" ] ~docv:"FILE" ~doc:"Append a JSONL request log to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the long-lived service: length-prefixed JSON requests (solve, \
+          check, audit, fuzz, bench, stats) over one domain pool, with \
+          content-addressed reply/artifact caches and per-request telemetry. \
+          SIGTERM or SIGINT shuts down cleanly (exit 0).")
+    Term.(ret (const run $ addr_args $ queue $ cache $ log))
+
+let call_cmd =
+  let run addr request =
+    match addr with
+    | Error msg -> `Error (false, msg)
+    | Ok addr -> (
+      match Obs.Json.of_string request with
+      | Error e -> `Error (false, Printf.sprintf "request is not JSON: %s" e)
+      | Ok req -> (
+        let reply =
+          Serve.Client.with_connection addr (fun c -> Serve.Client.call c req)
+        in
+        print_endline (Obs.Json.to_string reply);
+        match Obs.Json.member "ok" reply with
+        | Some (Obs.Json.Bool true) -> `Ok ()
+        | _ -> `Error (false, "server replied with an error")))
+  in
+  let request =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"REQUEST" ~doc:"The request as a JSON object, e.g. \
+          '{\"op\": \"solve\", \"problem\": \"so-det\", \"n\": 1000}'.")
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send one framed JSON request to a running repro serve daemon and \
+          print the reply. Exits non-zero if the reply is an error.")
+    Term.(ret (const run $ addr_args $ request))
+
 let () =
   let doc = "Reproduction of 'How much does randomness help with locally checkable problems?' (PODC 2020)" in
   exit
@@ -591,5 +701,5 @@ let () =
           [
             landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd;
             decompose_cmd; experiment_cmd; audit_cmd; trace_report_cmd;
-            fuzz_cmd;
+            fuzz_cmd; serve_cmd; call_cmd;
           ]))

@@ -7,11 +7,36 @@ open Labels
 
 (* per-node verdict tallies bumped from the hot parallel loop: atomic
    adds, and the verdict multiset is pool-size-independent, so the
-   totals are too *)
-let m_runs = Obs.Registry.counter "gadget.verifier.runs"
-let m_err = Obs.Registry.counter "gadget.verifier.error_nodes"
-let m_ok = Obs.Registry.counter "gadget.verifier.ok_nodes"
-let m_ptr = Obs.Registry.counter "gadget.verifier.pointer_nodes"
+   totals are too. Resolved against the ambient registry at run entry
+   (on the dispatching domain); the loop bodies close over the resolved
+   counters, so workers never read the ambient slot. *)
+type metrics = {
+  reg : Obs.Registry.t;
+  m_runs : Obs.Counter.t;
+  m_err : Obs.Counter.t;
+  m_ok : Obs.Counter.t;
+  m_ptr : Obs.Counter.t;
+}
+
+let memo : metrics option ref = ref None
+
+let metrics () =
+  let reg = Obs.Registry.ambient () in
+  match !memo with
+  | Some m when m.reg == reg -> m
+  | _ ->
+    let c = Obs.Registry.counter reg in
+    let m =
+      {
+        reg;
+        m_runs = c "gadget.verifier.runs";
+        m_err = c "gadget.verifier.error_nodes";
+        m_ok = c "gadget.verifier.ok_nodes";
+        m_ptr = c "gadget.verifier.pointer_nodes";
+      }
+    in
+    memo := Some m;
+    m
 
 let proof_radius ~n =
   let rec log2_ceil x acc = if x <= 1 then acc else log2_ceil ((x + 1) / 2) (acc + 1) in
@@ -96,7 +121,8 @@ let pointer_for t err u ~cap : Psi.pointer =
     else Psi.PUp
 
 let run ~delta ~n (t : Labels.t) =
-  Obs.Counter.incr m_runs;
+  let mt = metrics () in
+  Obs.Counter.incr mt.m_runs;
   let g = t.graph in
   let size = G.n g in
   let radius = proof_radius ~n in
@@ -150,17 +176,17 @@ let run ~delta ~n (t : Labels.t) =
   Pool.parallel_for ~n:size (fun u ->
       if err.(u) then begin
         out.(u) <- Psi.Error;
-        Obs.Counter.incr m_err;
+        Obs.Counter.incr mt.m_err;
         Meter.charge meter u 2
       end
       else if dist_err.(u) > radius then begin
         out.(u) <- Psi.Ok;
-        Obs.Counter.incr m_ok;
+        Obs.Counter.incr mt.m_ok;
         Meter.charge meter u (min radius ecc_est.(u))
       end
       else begin
         out.(u) <- Psi.Ptr (pointer_for t err u ~cap);
-        Obs.Counter.incr m_ptr;
+        Obs.Counter.incr mt.m_ptr;
         Meter.charge meter u (min radius ecc_est.(u))
       end);
   (out, meter)

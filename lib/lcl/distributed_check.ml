@@ -21,9 +21,6 @@ module MP = Repro_local.Message_passing
 module Pool = Repro_local.Pool
 module Obs = Repro_obs
 
-let m_runs = Obs.Registry.counter "lcl.dcheck.runs"
-let m_rejects = Obs.Registry.counter "lcl.dcheck.rejecting_nodes"
-
 type verdict = {
   accepts : bool array;
   all_accept : bool;
@@ -95,9 +92,11 @@ let run p inst ~input ~output =
     }
   in
   let result = MP.run inst alg in
-  Obs.Counter.incr m_runs;
-  if Obs.Registry.enabled () then
-    Obs.Counter.add m_rejects
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "lcl.dcheck.runs");
+  if Obs.Registry.live reg then
+    Obs.Counter.add
+      (Obs.Registry.counter reg "lcl.dcheck.rejecting_nodes")
       (Array.fold_left (fun a ok -> if ok then a else a + 1) 0 result.MP.outputs);
   {
     accepts = result.MP.outputs;

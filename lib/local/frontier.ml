@@ -36,24 +36,52 @@ module Obs = Repro_obs
 module MP = Message_passing
 module FS = Frontier_set
 
-let m_runs = Obs.Registry.counter "local.frontier.runs"
-let m_rounds = Obs.Registry.counter "local.frontier.rounds"
-let m_messages = Obs.Registry.counter "local.frontier.messages"
-let m_bytes = Obs.Registry.counter "local.frontier.payload_bytes"
+(* resolved against the ambient registry at run entry, memoized on
+   physical registry identity; the rng/pool counters are shared-by-name
+   with Randomness and Pool, exactly like the flat engine's round
+   events *)
+type metrics = {
+  reg : Obs.Registry.t;
+  m_runs : Obs.Counter.t;
+  m_rounds : Obs.Counter.t;
+  m_messages : Obs.Counter.t;
+  m_bytes : Obs.Counter.t;
+  m_rng : Obs.Counter.t;
+  m_chunks : Obs.Counter.t;
+  m_chunk_ns : Obs.Counter.t;
+}
 
-(* delta-reported counters shared-by-name with Randomness and Pool,
-   exactly like the flat engine's round events *)
-let m_rng = Obs.Registry.counter "local.rng.draws"
-let m_chunks = Obs.Registry.counter "local.pool.chunks"
-let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
+let make_metrics reg =
+  let c = Obs.Registry.counter reg in
+  {
+    reg;
+    m_runs = c "local.frontier.runs";
+    m_rounds = c "local.frontier.rounds";
+    m_messages = c "local.frontier.messages";
+    m_bytes = c "local.frontier.payload_bytes";
+    m_rng = c "local.rng.draws";
+    m_chunks = c "local.pool.chunks";
+    m_chunk_ns = c "local.pool.chunk_ns";
+  }
+
+let memo : metrics option ref = ref None
+
+let metrics () =
+  let reg = Obs.Registry.ambient () in
+  match !memo with
+  | Some m when m.reg == reg -> m
+  | _ ->
+    let m = make_metrics reg in
+    memo := Some m;
+    m
 
 let payload_bytes (v : 'a) =
   Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
 
-let obs_marks () =
-  ( Obs.Counter.value m_rng,
-    Obs.Counter.value m_chunks,
-    Obs.Counter.value m_chunk_ns )
+let obs_marks mt =
+  ( Obs.Counter.value mt.m_rng,
+    Obs.Counter.value mt.m_chunks,
+    Obs.Counter.value mt.m_chunk_ns )
 
 type 'out result = {
   outputs : 'out array;
@@ -63,6 +91,7 @@ type 'out result = {
 }
 
 let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
+  let mt = metrics () in
   let g = inst.Instance.graph in
   let n = G.n g in
   let m2 = 2 * G.m g in
@@ -95,7 +124,7 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
     if audit then Array.init m2 (fun _ -> Obs.Provenance.Bitset.create n)
     else [||]
   in
-  Obs.Counter.incr m_runs;
+  Obs.Counter.incr mt.m_runs;
   let live = FS.create ?dense_threshold n in
   FS.fill_all live;
   let recorder = FS.Stats.recorder () in
@@ -168,7 +197,7 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
     let dense = FS.is_dense live in
     let active = FS.cardinal live in
     let traced = Obs.Trace.active () in
-    let marks0 = if traced then obs_marks () else (0, 0, 0) in
+    let marks0 = if traced then obs_marks mt else (0, 0, 0) in
     let edges =
       if dense then Pool.run_fused send_dense ~n:(FS.word_count live)
       else Pool.run_fused send_sparse ~n:active
@@ -176,7 +205,7 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
     (* round accounting over the live set only — same values as the
        flat engine's O(n) scan, since live = the halted complement *)
     let msgs = ref 0 and mbox_max = ref 0 and bytes = ref 0 in
-    if Obs.Registry.enabled () then begin
+    if Obs.Registry.live mt.reg then begin
       FS.iter live (fun v ->
           let d = off.(v + 1) - off.(v) in
           msgs := !msgs + d;
@@ -186,9 +215,9 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
             if mail_epoch.(h) >= 0 then
               bytes := !bytes + payload_bytes mail.(h)
           done);
-      Obs.Counter.incr m_rounds;
-      Obs.Counter.add m_messages !msgs;
-      Obs.Counter.add m_bytes !bytes
+      Obs.Counter.incr mt.m_rounds;
+      Obs.Counter.add mt.m_messages !msgs;
+      Obs.Counter.add mt.m_bytes !bytes
     end;
     let newly_halted =
       if dense then Pool.run_fused recv_dense ~n:(FS.word_count live)
@@ -198,7 +227,7 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
     FS.remove_if live (fun v -> halted.(v));
     if traced then begin
       let rng0, chunks0, chunk_ns0 = marks0 in
-      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      let rng1, chunks1, chunk_ns1 = obs_marks mt in
       Obs.Trace.emit
         (Obs.Trace.Round
            {

@@ -1,21 +1,54 @@
 module G = Repro_graph.Multigraph
 module Obs = Repro_obs
 
-(* engine telemetry; every update below is a no-op while the registry is
-   disabled. Round events additionally need the trace recorder active.
-   The rng/pool metrics are shared-by-name with Randomness and Pool, so
-   the engine can report per-round deltas of counters it does not own. *)
-let m_runs = Obs.Registry.counter "local.mp.runs"
-let m_rounds = Obs.Registry.counter "local.mp.rounds"
-let m_messages = Obs.Registry.counter "local.mp.messages"
-let m_bytes = Obs.Registry.counter "local.mp.payload_bytes"
-let m_flood_runs = Obs.Registry.counter "local.flood.runs"
-let m_flood_rounds = Obs.Registry.counter "local.flood.rounds"
-let m_flood_messages = Obs.Registry.counter "local.flood.messages"
-let m_flood_bytes = Obs.Registry.counter "local.flood.payload_bytes"
-let m_rng = Obs.Registry.counter "local.rng.draws"
-let m_chunks = Obs.Registry.counter "local.pool.chunks"
-let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
+(* engine telemetry; every update below is a no-op while the owning
+   registry is disabled. Round events additionally need the trace
+   recorder active. Metrics are resolved against the ambient registry
+   once per run entry (memoized on physical registry identity); the
+   rng/pool metrics are shared-by-name with Randomness and Pool, so the
+   engine can report per-round deltas of counters it does not own. *)
+type metrics = {
+  reg : Obs.Registry.t;
+  m_runs : Obs.Counter.t;
+  m_rounds : Obs.Counter.t;
+  m_messages : Obs.Counter.t;
+  m_bytes : Obs.Counter.t;
+  m_flood_runs : Obs.Counter.t;
+  m_flood_rounds : Obs.Counter.t;
+  m_flood_messages : Obs.Counter.t;
+  m_flood_bytes : Obs.Counter.t;
+  m_rng : Obs.Counter.t;
+  m_chunks : Obs.Counter.t;
+  m_chunk_ns : Obs.Counter.t;
+}
+
+let make_metrics reg =
+  let c = Obs.Registry.counter reg in
+  {
+    reg;
+    m_runs = c "local.mp.runs";
+    m_rounds = c "local.mp.rounds";
+    m_messages = c "local.mp.messages";
+    m_bytes = c "local.mp.payload_bytes";
+    m_flood_runs = c "local.flood.runs";
+    m_flood_rounds = c "local.flood.rounds";
+    m_flood_messages = c "local.flood.messages";
+    m_flood_bytes = c "local.flood.payload_bytes";
+    m_rng = c "local.rng.draws";
+    m_chunks = c "local.pool.chunks";
+    m_chunk_ns = c "local.pool.chunk_ns";
+  }
+
+let memo : metrics option ref = ref None
+
+let metrics () =
+  let reg = Obs.Registry.ambient () in
+  match !memo with
+  | Some m when m.reg == reg -> m
+  | _ ->
+    let m = make_metrics reg in
+    memo := Some m;
+    m
 
 (* transmitted size of a payload: its reachable heap words, as bytes.
    Deterministic for structurally equal values, so safe to record under
@@ -24,10 +57,10 @@ let payload_bytes (v : 'a) =
   Obj.reachable_words (Obj.repr v) * (Sys.word_size / 8)
 
 (* snapshot of the delta-reported counters, taken at round boundaries *)
-let obs_marks () =
-  ( Obs.Counter.value m_rng,
-    Obs.Counter.value m_chunks,
-    Obs.Counter.value m_chunk_ns )
+let obs_marks mt =
+  ( Obs.Counter.value mt.m_rng,
+    Obs.Counter.value mt.m_chunks,
+    Obs.Counter.value mt.m_chunk_ns )
 
 type ('state, 'msg, 'out) algorithm = {
   init : Instance.t -> int -> 'state;
@@ -71,6 +104,7 @@ type 'out result = {
    real values so it gets the element type's native representation —
    flat for floats. *)
 let run ?limit inst alg =
+  let mt = metrics () in
   let g = inst.Instance.graph in
   let n = G.n g in
   let m2 = 2 * G.m g in
@@ -112,7 +146,7 @@ let run ?limit inst alg =
     if audit then Array.init m2 (fun _ -> Obs.Provenance.Bitset.create n)
     else [||]
   in
-  Obs.Counter.incr m_runs;
+  Obs.Counter.incr mt.m_runs;
   (* round 0 gives nodes a chance to halt without communicating *)
   let round = ref 0 in
   (* both phase loops are prebuilt fused tasks (one pool dispatch each,
@@ -185,7 +219,9 @@ let run ?limit inst alg =
   let deliver () =
     let r = !round in
     let traced = Obs.Trace.active () in
-    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
+    let rng0, chunks0, chunk_ns0 =
+      if traced then obs_marks mt else (0, 0, 0)
+    in
     ignore (Pool.run_fused send_task ~n);
     (* round accounting, taken between the two phases: the active set is
        exactly the pre-receive [halted] complement, and each active node
@@ -195,7 +231,7 @@ let run ?limit inst alg =
        parked; skipped entirely (down to one branch) when disabled. *)
     let msgs = ref 0 and receivers = ref 0 in
     let mbox_max = ref 0 and bytes = ref 0 in
-    if Obs.Registry.enabled () then begin
+    if Obs.Registry.live mt.reg then begin
       for v = 0 to n - 1 do
         if not halted.(v) then begin
           let d = off.(v + 1) - off.(v) in
@@ -209,16 +245,16 @@ let run ?limit inst alg =
           done
         end
       done;
-      Obs.Counter.incr m_rounds;
-      Obs.Counter.add m_messages !msgs;
-      Obs.Counter.add m_bytes !bytes
+      Obs.Counter.incr mt.m_rounds;
+      Obs.Counter.add mt.m_messages !msgs;
+      Obs.Counter.add mt.m_bytes !bytes
     end;
     let newly_halted = Pool.run_fused recv_task ~n in
     remaining := !remaining - newly_halted;
     (* the trace event closes after the receive phase so its rng/chunk
        deltas cover the whole round, both phases included *)
     if traced then begin
-      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      let rng1, chunks1, chunk_ns1 = obs_marks mt in
       Obs.Trace.emit
         (Obs.Trace.Round
            {
@@ -262,6 +298,7 @@ let run ?limit inst alg =
    only the allocation profile differs. Delete once the fuzz target has
    earned its keep. *)
 let run_boxed ?limit inst alg =
+  let mt = metrics () in
   let g = inst.Instance.graph in
   let n = G.n g in
   let limit = match limit with Some l -> l | None -> (4 * n) + 16 in
@@ -284,12 +321,14 @@ let run_boxed ?limit inst alg =
     if audit then Array.init (2 * G.m g) (fun _ -> Obs.Provenance.Bitset.create n)
     else [||]
   in
-  Obs.Counter.incr m_runs;
+  Obs.Counter.incr mt.m_runs;
   let round = ref 0 in
   let deliver () =
     let r = !round in
     let traced = Obs.Trace.active () in
-    let rng0, chunks0, chunk_ns0 = if traced then obs_marks () else (0, 0, 0) in
+    let rng0, chunks0, chunk_ns0 =
+      if traced then obs_marks mt else (0, 0, 0)
+    in
     Pool.parallel_for ~n (fun v ->
         if not halted.(v) then begin
           Array.iteri
@@ -305,7 +344,7 @@ let run_boxed ?limit inst alg =
         end);
     let msgs = ref 0 and receivers = ref 0 in
     let mbox_max = ref 0 and bytes = ref 0 in
-    if Obs.Registry.enabled () then begin
+    if Obs.Registry.live mt.reg then begin
       for v = 0 to n - 1 do
         if not halted.(v) then begin
           let halves = G.halves g v in
@@ -321,9 +360,9 @@ let run_boxed ?limit inst alg =
             halves
         end
       done;
-      Obs.Counter.incr m_rounds;
-      Obs.Counter.add m_messages !msgs;
-      Obs.Counter.add m_bytes !bytes
+      Obs.Counter.incr mt.m_rounds;
+      Obs.Counter.add mt.m_messages !msgs;
+      Obs.Counter.add mt.m_bytes !bytes
     end;
     let newly_halted =
       Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
@@ -356,7 +395,7 @@ let run_boxed ?limit inst alg =
     in
     remaining := !remaining - newly_halted;
     if traced then begin
-      let rng1, chunks1, chunk_ns1 = obs_marks () in
+      let rng1, chunks1, chunk_ns1 = obs_marks mt in
       Obs.Trace.emit
         (Obs.Trace.Round
            {
@@ -429,9 +468,10 @@ let flood_account g n known_list =
   (!msgs, !mbox_max, !bytes)
 
 let flood_gather inst ~radius payload =
+  let mt = metrics () in
   let g = inst.Instance.graph in
   let n = G.n g in
-  Obs.Counter.incr m_flood_runs;
+  Obs.Counter.incr mt.m_flood_runs;
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
   let payloads = Pool.tabulate n payload in
   if n = 0 || radius <= 0 then by_round
@@ -483,14 +523,14 @@ let flood_gather inst ~radius payload =
       !acc >= nc
     in
     let emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes =
-      if Obs.Registry.enabled () then begin
-        Obs.Counter.incr m_flood_rounds;
-        Obs.Counter.add m_flood_messages msgs;
-        Obs.Counter.add m_flood_bytes bytes
+      if Obs.Registry.live mt.reg then begin
+        Obs.Counter.incr mt.m_flood_rounds;
+        Obs.Counter.add mt.m_flood_messages msgs;
+        Obs.Counter.add mt.m_flood_bytes bytes
       end;
       if traced then begin
         let rng0, chunks0, chunk_ns0 = marks0 in
-        let rng1, chunks1, chunk_ns1 = obs_marks () in
+        let rng1, chunks1, chunk_ns1 = obs_marks mt in
         Obs.Trace.emit
           (Obs.Trace.Round
              {
@@ -517,12 +557,12 @@ let flood_gather inst ~radius payload =
       let next = Array.init n (fun _ -> B.create nc) in
       for r = 0 to radius - 1 do
         let traced = Obs.Trace.active () in
-        let marks0 = if traced then obs_marks () else (0, 0, 0) in
+        let marks0 = if traced then obs_marks mt else (0, 0, 0) in
         if audit then
           Pool.parallel_for ~n (fun v ->
               Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
         let msgs, mbox_max, bytes =
-          if Obs.Registry.enabled () then
+          if Obs.Registry.live mt.reg then
             flood_account g n (fun v ->
                 let acc = ref [] in
                 B.iter (fun c -> acc := class_payload.(c) :: !acc) known.(v);
@@ -574,7 +614,7 @@ let flood_gather inst ~radius payload =
       let known = Array.init n (fun v -> [| class_of.(v) |]) in
       let snap = Array.make n [||] in
       let account () =
-        if Obs.Registry.enabled () then
+        if Obs.Registry.live mt.reg then
           flood_account g n (fun v ->
               let s = snap.(v) in
               let acc = ref [] in
@@ -658,7 +698,7 @@ let flood_gather inst ~radius payload =
            expects, so audited floods keep the O(n + m) rounds *)
         for r = 0 to radius - 1 do
           let traced = Obs.Trace.active () in
-          let marks0 = if traced then obs_marks () else (0, 0, 0) in
+          let marks0 = if traced then obs_marks mt else (0, 0, 0) in
           Pool.parallel_for ~n (fun v ->
               snap.(v) <- known.(v);
               Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
@@ -684,7 +724,7 @@ let flood_gather inst ~radius payload =
         let in_changed v = Frontier_set.mem changed v in
         for r = 0 to radius - 1 do
           let traced = Obs.Trace.active () in
-          let marks0 = if traced then obs_marks () else (0, 0, 0) in
+          let marks0 = if traced then obs_marks mt else (0, 0, 0) in
           Pool.parallel_for ~n:(Frontier_set.cardinal changed) (fun k ->
               let v = Frontier_set.member changed k in
               snap.(v) <- known.(v));

@@ -20,15 +20,44 @@
 
 module Obs = Repro_obs
 
-(* dispatch telemetry; all no-ops while the registry is disabled. The
-   engine reads chunk/chunk_ns deltas around each round to fill the
-   timing fields of its trace events — both are schedule-dependent and
-   excluded from the determinism contract (see Obs.Trace). *)
-let m_jobs = Obs.Registry.counter "local.pool.jobs"
-let m_seq_loops = Obs.Registry.counter "local.pool.seq_loops"
-let m_chunks = Obs.Registry.counter "local.pool.chunks"
-let m_chunk_ns = Obs.Registry.counter "local.pool.chunk_ns"
-let m_chunk_hist = Obs.Registry.histogram "local.pool.chunk_ns.hist"
+(* dispatch telemetry; all no-ops while the owning registry is
+   disabled. Metrics are resolved against the ambient registry at
+   dispatch time (memoized on physical registry identity, so the common
+   case is one load and a pointer compare) and stored in the job record
+   — worker domains read them from there and never consult the ambient
+   slot themselves. The engine reads chunk/chunk_ns deltas around each
+   round to fill the timing fields of its trace events — both are
+   schedule-dependent and excluded from the determinism contract (see
+   Obs.Trace). *)
+type metrics = {
+  preg : Obs.Registry.t;
+  m_jobs : Obs.Counter.t;
+  m_seq_loops : Obs.Counter.t;
+  m_chunks : Obs.Counter.t;
+  m_chunk_ns : Obs.Counter.t;
+  m_chunk_hist : Obs.Histogram.t;
+}
+
+let make_metrics reg =
+  {
+    preg = reg;
+    m_jobs = Obs.Registry.counter reg "local.pool.jobs";
+    m_seq_loops = Obs.Registry.counter reg "local.pool.seq_loops";
+    m_chunks = Obs.Registry.counter reg "local.pool.chunks";
+    m_chunk_ns = Obs.Registry.counter reg "local.pool.chunk_ns";
+    m_chunk_hist = Obs.Registry.histogram reg "local.pool.chunk_ns.hist";
+  }
+
+let memo : metrics option ref = ref None
+
+let metrics () =
+  let reg = Obs.Registry.ambient () in
+  match !memo with
+  | Some m when m.preg == reg -> m
+  | _ ->
+    let m = make_metrics reg in
+    memo := Some m;
+    m
 
 (* the range/body fields are mutable so a prebuilt job (see {!fused})
    can be re-dispatched with a new range without allocating: the
@@ -42,6 +71,7 @@ type job = {
   completed : int Atomic.t; (* chunks fully executed *)
   mutable body : int -> int -> unit; (* [body lo hi]: indices [lo, hi) *)
   failed : exn option Atomic.t;
+  mutable jm : metrics; (* the dispatching run's metrics, see above *)
 }
 
 type pool = {
@@ -95,7 +125,8 @@ let run_job pool job =
     let c = Atomic.fetch_and_add job.next 1 in
     if c < job.chunks then begin
       (if Atomic.get job.failed = None then begin
-         let timed = Obs.Registry.enabled () in
+         let m = job.jm in
+         let timed = Obs.Registry.live m.preg in
          let t0 = if timed then Obs.Clock.now_ns () else 0 in
          (try
             job.body (c * job.chunk_size)
@@ -103,9 +134,9 @@ let run_job pool job =
           with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
          if timed then begin
            let dt = Obs.Clock.now_ns () - t0 in
-           Obs.Counter.incr m_chunks;
-           Obs.Counter.add m_chunk_ns dt;
-           Obs.Histogram.observe m_chunk_hist dt
+           Obs.Counter.incr m.m_chunks;
+           Obs.Counter.add m.m_chunk_ns dt;
+           Obs.Histogram.observe m.m_chunk_hist dt
          end
        end);
       if Atomic.fetch_and_add job.completed 1 = job.chunks - 1 then begin
@@ -208,8 +239,9 @@ let chunk_layout ?chunk ~n sz =
   (chunk_size, 1 + ((n - 1) / chunk_size))
 
 let run_parallel ?chunk ~n ~make_body ~seq () =
+  let m = metrics () in
   let seq () =
-    Obs.Counter.incr m_seq_loops;
+    Obs.Counter.incr m.m_seq_loops;
     seq ()
   in
   if n <= 0 then seq ()
@@ -230,9 +262,10 @@ let run_parallel ?chunk ~n ~make_body ~seq () =
             completed = Atomic.make 0;
             body = make_body ~chunk_size;
             failed = Atomic.make None;
+            jm = m;
           }
         in
-        Obs.Counter.incr m_jobs;
+        Obs.Counter.incr m.m_jobs;
         busy := true;
         Fun.protect
           ~finally:(fun () -> busy := false)
@@ -308,6 +341,7 @@ let fused ?chunk body =
           completed = Atomic.make 0;
           body = (fun _ _ -> ());
           failed = Atomic.make None;
+          jm = metrics ();
         };
       fu_slots = Array.make (max 1 (size ())) 0;
     }
@@ -326,13 +360,14 @@ let fused ?chunk body =
 let run_fused t ~n =
   if n <= 0 then 0
   else begin
+    let m = metrics () in
     let sz = size () in
     let pool =
       if sz <= 1 || n < sequential_cutoff || !busy then None else ensure_pool ()
     in
     match pool with
     | None ->
-      Obs.Counter.incr m_seq_loops;
+      Obs.Counter.incr m.m_seq_loops;
       let b = t.fu_body in
       let s = ref 0 in
       for i = 0 to n - 1 do
@@ -348,10 +383,11 @@ let run_fused t ~n =
       job.total <- n;
       job.chunk_size <- chunk_size;
       job.chunks <- chunks;
+      job.jm <- m;
       Atomic.set job.next 0;
       Atomic.set job.completed 0;
       Atomic.set job.failed None;
-      Obs.Counter.incr m_jobs;
+      Obs.Counter.incr m.m_jobs;
       busy := true;
       (match dispatch pool job with
       | () -> busy := false

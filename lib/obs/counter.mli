@@ -1,21 +1,22 @@
 (** A monotonic event counter, safe to bump from any pool domain.
 
-    All mutation is gated on the global telemetry switch: while the
-    registry is disabled, {!incr} and {!add} are a load-and-branch no-op,
-    which is what keeps always-on instrumentation out of the hot paths'
-    profiles. Use {!Registry.counter} to obtain (and share) instances by
-    name; [make] is exposed for unregistered scratch counters in tests. *)
+    All mutation is gated on the owning registry's telemetry switch
+    (passed as [gate] at creation): while that registry is disabled,
+    {!incr} and {!add} are a load-and-branch no-op, which is what keeps
+    always-on instrumentation out of the hot paths' profiles. Use
+    {!Registry.counter} to obtain (and share) instances by name; [make]
+    is exposed for unregistered scratch counters in tests. *)
 
 type t
 
-val make : string -> t
+val make : gate:bool ref -> string -> t
 val name : t -> string
 
 val incr : t -> unit
-(** No-op while telemetry is disabled. *)
+(** No-op while the owning gate is off. *)
 
 val add : t -> int -> unit
-(** [add c k] adds [k]; no-op while telemetry is disabled. *)
+(** [add c k] adds [k]; no-op while the owning gate is off. *)
 
 val value : t -> int
 val reset : t -> unit

@@ -5,6 +5,7 @@
 
 type t = {
   name : string;
+  gate : bool ref;
   cells : int Atomic.t array;
   count : int Atomic.t;
   sum : int Atomic.t;
@@ -20,9 +21,10 @@ type snapshot = {
 
 let n_buckets = 63
 
-let make name =
+let make ~gate name =
   {
     name;
+    gate;
     cells = Array.init n_buckets (fun _ -> Atomic.make 0);
     count = Atomic.make 0;
     sum = Atomic.make 0;
@@ -47,7 +49,7 @@ let rec store_max cell v =
   if v > cur && not (Atomic.compare_and_set cell cur v) then store_max cell v
 
 let observe h v =
-  if !Gate.on then begin
+  if !(h.gate) then begin
     ignore (Atomic.fetch_and_add h.cells.(bucket_of v) 1);
     ignore (Atomic.fetch_and_add h.count 1);
     ignore (Atomic.fetch_and_add h.sum v);

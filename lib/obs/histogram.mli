@@ -1,7 +1,8 @@
 (** A lock-free power-of-two-bucket histogram for non-negative samples
     (path lengths, chunk wall times, ...). Like {!Counter}, observation
-    is a no-op while telemetry is disabled and is safe from any pool
-    domain; count/sum/bucket totals are schedule-independent. *)
+    is gated on the owning registry's switch (a no-op while off) and is
+    safe from any pool domain; count/sum/bucket totals are
+    schedule-independent. *)
 
 type t
 
@@ -15,7 +16,7 @@ type snapshot = {
           the bucket with lower bound 0 holds samples [<= 1]. *)
 }
 
-val make : string -> t
+val make : gate:bool ref -> string -> t
 val name : t -> string
 
 val observe : t -> int -> unit

@@ -35,48 +35,82 @@ type event =
 (* recorder                                                           *)
 (* ------------------------------------------------------------------ *)
 
-(* Events are emitted from the main domain only (the engines emit
-   between parallel phases), so a plain accumulator list suffices. *)
-let buf : event list ref = ref []
-let recording = ref false
-let base : (string * int) list ref = ref []
+(* One recorder per registry, keyed by Registry.id in a side table (the
+   recorder cannot live inside Registry.t without a module cycle on the
+   event type). Every module-level operation below resolves the ambient
+   registry first, so a recording is owned by the registry that was
+   ambient at [start] — under the serve scheduler that is the owning
+   request, and aborting one request's trace leaves every other
+   request's recorder armed. Entries are removed on [finish]/[abort],
+   so a long-lived daemon does not accumulate them.
 
-let active () = !recording
-let emit e = if !recording then buf := e :: !buf
+   Events are emitted from the dispatching domain only (the engines
+   emit between parallel phases), so the recorder itself needs no
+   internal locking; the table mutex only guards the find/create/remove
+   of entries. *)
+type recorder = {
+  mutable buf : event list;
+  mutable base : (string * int) list;
+}
+
+let recorders : (int, recorder) Hashtbl.t = Hashtbl.create 8
+let recorders_mutex = Mutex.create ()
+
+let with_table f =
+  Mutex.lock recorders_mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock recorders_mutex) f
+
+let recorder_opt () =
+  let rid = Registry.id (Registry.ambient ()) in
+  with_table (fun () -> Hashtbl.find_opt recorders rid)
+
+let active () = recorder_opt () <> None
+
+let emit e =
+  match recorder_opt () with
+  | Some r -> r.buf <- e :: r.buf
+  | None -> ()
 
 let start ?(label = "") ?(n = 0) () =
   Registry.enable ();
-  buf := [];
-  base := Registry.counters ();
-  recording := true;
+  let rid = Registry.id (Registry.ambient ()) in
+  let r = { buf = []; base = Registry.counters () } in
+  with_table (fun () -> Hashtbl.replace recorders rid r);
   if label <> "" || n > 0 then emit (Meta { label; n })
 
-let events () = List.rev !buf
+let events () =
+  match recorder_opt () with Some r -> List.rev r.buf | None -> []
+
+let drop () =
+  let rid = Registry.id (Registry.ambient ()) in
+  with_table (fun () -> Hashtbl.remove recorders rid)
 
 let abort () =
   (* drop everything: a run that raised mid-trace must not leak its
-     events or counter baselines into the next recording *)
-  recording := false;
-  buf := [];
-  base := []
+     events or counter baselines into the next recording — and only the
+     ambient (owning) registry's recorder is dropped, so concurrent
+     requests' recorders stay armed *)
+  drop ()
 
 let finish () =
-  (* close the trace with the per-trace counter deltas, so every trace
-     file is self-contained: its Counter lines are the totals consumed
-     between start and finish, not process-lifetime values *)
-  let deltas =
-    List.filter_map
-      (fun (name, v) ->
-        let b = match List.assoc_opt name !base with Some b -> b | None -> 0 in
-        if v - b <> 0 then Some (Counter { name; value = v - b }) else None)
-      (Registry.counters ())
-  in
-  List.iter emit deltas;
-  recording := false;
-  let evs = List.rev !buf in
-  buf := [];
-  base := [];
-  evs
+  match recorder_opt () with
+  | None -> []
+  | Some r ->
+    (* close the trace with the per-trace counter deltas, so every trace
+       file is self-contained: its Counter lines are the totals consumed
+       between start and finish, not process-lifetime values *)
+    let deltas =
+      List.filter_map
+        (fun (name, v) ->
+          let b =
+            match List.assoc_opt name r.base with Some b -> b | None -> 0
+          in
+          if v - b <> 0 then Some (Counter { name; value = v - b }) else None)
+        (Registry.counters ())
+    in
+    List.iter (fun e -> r.buf <- e :: r.buf) deltas;
+    drop ();
+    List.rev r.buf
 
 let record ?label ?n f =
   start ?label ?n ();

@@ -55,30 +55,40 @@ type event =
       ok : bool;
     }  (** Closing summary of a radius certificate. *)
 
-(** {2 Recorder} — main-domain only; the engines emit between parallel
-    phases. *)
+(** {2 Recorder} — one per registry, resolved against the ambient
+    registry ({!Registry.ambient}) on every call; the engines emit
+    between parallel phases, from the dispatching domain only. Under the
+    serve scheduler each request runs inside its own
+    {!Registry.scoped}, so recordings are isolated per request. *)
 
 val start : ?label:string -> ?n:int -> unit -> unit
-(** Clear the buffer, enable the registry, snapshot counter values and
-    begin recording; emits a [Meta] event when [label]/[n] are given. *)
+(** Start a fresh recording on the ambient registry: enable it,
+    snapshot its counter values and begin buffering; emits a [Meta]
+    event when [label]/[n] are given. Replaces any recording already
+    open on that registry. *)
 
 val active : unit -> bool
+(** Whether the ambient registry has a recording open. *)
+
 val emit : event -> unit
-(** Dropped unless recording. *)
+(** Dropped unless the ambient registry is recording. *)
 
 val events : unit -> event list
-(** Events recorded so far, oldest first. *)
+(** Events recorded so far on the ambient registry, oldest first. *)
 
 val finish : unit -> event list
-(** Append the per-trace counter deltas, stop recording, and return the
-    full trace (the registry stays enabled; disable it via
-    {!Registry.disable} if telemetry should go quiet again). *)
+(** Append the per-trace counter deltas, close the ambient registry's
+    recording, and return the full trace (the registry stays enabled;
+    disable it via {!Registry.disable} if telemetry should go quiet
+    again). [[]] if no recording was open. *)
 
 val abort : unit -> unit
-(** Stop recording and drop the buffer and counter baselines. Call this
-    when an engine raises mid-run while a trace is active — otherwise
-    the recorder stays armed and the next run's trace silently inherits
-    stale events and baselines. *)
+(** Close the {e ambient} registry's recording and drop its buffer and
+    counter baselines — other registries' recorders stay armed, so one
+    request raising mid-trace cannot tear down a concurrent request's
+    recording. Call this when an engine raises mid-run while a trace is
+    active — otherwise the recorder stays armed and the next run's
+    trace silently inherits stale events and baselines. *)
 
 val record : ?label:string -> ?n:int -> (unit -> 'a) -> 'a * event list
 (** [record f] runs [f] between {!start} and {!finish} with a protective

@@ -6,10 +6,6 @@ module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module Obs = Repro_obs
 
-let m_runs = Obs.Registry.counter "problems.coloring.runs"
-let m_rounds = Obs.Registry.counter "problems.coloring.rounds"
-let m_cv_rounds = Obs.Registry.counter "problems.coloring.cv_rounds"
-
 type output = (int, unit, unit) Labeling.t
 
 let problem ~delta : (unit, unit, unit, int, unit, unit) Ne_lcl.t =
@@ -33,7 +29,8 @@ let lowest_diff_bit a b =
   go 0
 
 let solve inst =
-  Obs.Counter.incr m_runs;
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "problems.coloring.runs");
   let g = inst.Instance.graph in
   let ids = inst.Instance.ids in
   let n = G.n g in
@@ -202,8 +199,10 @@ let solve inst =
     i := !j
   done;
   rounds := !rounds + (pow3.(delta) - delta - 1);
-  Obs.Counter.add m_cv_rounds !max_forest_rounds;
-  Obs.Counter.add m_rounds !rounds;
+  Obs.Counter.add
+    (Obs.Registry.counter reg "problems.coloring.cv_rounds")
+    !max_forest_rounds;
+  Obs.Counter.add (Obs.Registry.counter reg "problems.coloring.rounds") !rounds;
   Meter.charge_all meter !rounds;
   let out = Labeling.init g ~v:(fun v -> color.(v)) ~e:(fun _ -> ()) ~b:(fun _ -> ()) in
   (out, meter)

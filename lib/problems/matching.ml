@@ -6,10 +6,6 @@ module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module Obs = Repro_obs
 
-let m_runs = Obs.Registry.counter "problems.matching.runs"
-let m_matched = Obs.Registry.counter "problems.matching.matched_edges"
-let m_classes = Obs.Registry.counter "problems.matching.palette_classes"
-
 type output = (bool, bool, unit) Labeling.t
 
 let problem : (unit, unit, unit, bool, bool, unit) Ne_lcl.t =
@@ -49,7 +45,8 @@ let is_valid g output =
   Ne_lcl.is_valid problem g ~input ~output
 
 let solve inst =
-  Obs.Counter.incr m_runs;
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "problems.matching.runs");
   let g = inst.Instance.graph in
   let coloring, meter = Coloring.solve inst in
   let color v = coloring.Labeling.v.(v) in
@@ -95,9 +92,12 @@ let solve inst =
             node_matched.(v) <- true
           end)
   done;
-  if Obs.Registry.enabled () then begin
-    Obs.Counter.add m_classes palette;
-    Obs.Counter.add m_matched
+  if Obs.Registry.live reg then begin
+    Obs.Counter.add
+      (Obs.Registry.counter reg "problems.matching.palette_classes")
+      palette;
+    Obs.Counter.add
+      (Obs.Registry.counter reg "problems.matching.matched_edges")
       (Array.fold_left (fun a b -> if b then a + 1 else a) 0 matched)
   end;
   (* the sweep is one round per palette class *)

@@ -6,9 +6,6 @@ module Meter = Repro_local.Meter
 module Pool = Repro_local.Pool
 module Obs = Repro_obs
 
-let m_runs = Obs.Registry.counter "problems.mis.runs"
-let m_members = Obs.Registry.counter "problems.mis.members"
-
 type half_out = { mine : bool; claim : bool }
 type output = (bool, unit, half_out) Labeling.t
 
@@ -42,7 +39,8 @@ let is_valid g output =
   Ne_lcl.is_valid problem g ~input ~output
 
 let solve inst =
-  Obs.Counter.incr m_runs;
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "problems.mis.runs");
   let g = inst.Instance.graph in
   let n = G.n g in
   let coloring, meter = Coloring.solve inst in
@@ -82,8 +80,9 @@ let solve inst =
           List.iter (fun w -> blocked.(w) <- true) (G.neighbors g v)
         end)
   done;
-  if Obs.Registry.enabled () then
-    Obs.Counter.add m_members
+  if Obs.Registry.live reg then
+    Obs.Counter.add
+      (Obs.Registry.counter reg "problems.mis.members")
       (Array.fold_left (fun a b -> if b then a + 1 else a) 0 members);
   Meter.charge_all meter (Meter.max_radius meter + delta + 1);
   (of_members g members, meter)

@@ -1,0 +1,105 @@
+module Json = Repro_obs.Json
+
+type 'a entry = { value : 'a; mutable tick : int }
+
+type 'a t = {
+  cname : string;
+  capacity : int;
+  mutex : Mutex.t;
+  table : (string, 'a entry) Hashtbl.t;
+  mutable clock : int; (* bumped per access; entry.tick = last access *)
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+  capacity : int;
+}
+
+let create ?(capacity = 64) cname =
+  {
+    cname;
+    capacity = max 1 capacity;
+    mutex = Mutex.create ();
+    table = Hashtbl.create 32;
+    clock = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+let name c = c.cname
+
+let locked c f =
+  Mutex.lock c.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock c.mutex) f
+
+(* O(size) scan on eviction: capacities are small (dozens), misses are
+   the expensive path anyway, and a scan keeps the structure a plain
+   hashtable instead of an intrusive list *)
+let evict_lru c =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, t) when t <= e.tick -> ()
+      | _ -> victim := Some (k, e.tick))
+    c.table;
+  match !victim with
+  | Some (k, _) ->
+    Hashtbl.remove c.table k;
+    c.evictions <- c.evictions + 1
+  | None -> ()
+
+let find_or_add c key build =
+  let cached =
+    locked c (fun () ->
+        c.clock <- c.clock + 1;
+        match Hashtbl.find_opt c.table key with
+        | Some e ->
+          e.tick <- c.clock;
+          c.hits <- c.hits + 1;
+          Some e.value
+        | None ->
+          c.misses <- c.misses + 1;
+          None)
+  in
+  match cached with
+  | Some v -> (true, v)
+  | None ->
+    let v = build () in
+    locked c (fun () ->
+        if not (Hashtbl.mem c.table key) then begin
+          if Hashtbl.length c.table >= c.capacity then evict_lru c;
+          Hashtbl.replace c.table key { value = v; tick = c.clock }
+        end);
+    (false, v)
+
+let mem c key = locked c (fun () -> Hashtbl.mem c.table key)
+
+let stats c =
+  locked c (fun () ->
+      {
+        hits = c.hits;
+        misses = c.misses;
+        evictions = c.evictions;
+        size = Hashtbl.length c.table;
+        capacity = c.capacity;
+      })
+
+let stats_json c =
+  let s = stats c in
+  Json.Obj
+    [
+      ("name", Json.String c.cname);
+      ("hits", Json.Int s.hits);
+      ("misses", Json.Int s.misses);
+      ("evictions", Json.Int s.evictions);
+      ("size", Json.Int s.size);
+      ("capacity", Json.Int s.capacity);
+    ]

@@ -1,0 +1,43 @@
+(** Content-addressed LRU caches for the server's expensive immutable
+    artifacts — gadget families by [(delta, height)], padded hierarchy
+    levels, hard instances by [(kind, n, seed)], and whole replies by
+    canonical request hash ({!Protocol.request_hash}).
+
+    Values must be immutable (or treated as such by every consumer):
+    a cached artifact is handed to many requests. Keys are strings; the
+    conventional forms are the canonical request hash for replies and
+    ["delta=3;height=8"]-style parameter strings for artifacts.
+
+    Thread-safe: a mutex guards every operation, so the executor thread
+    can populate caches while connection threads read {!stats}. *)
+
+type 'a t
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;  (** entries currently held *)
+  capacity : int;
+}
+
+val create : ?capacity:int -> string -> 'a t
+(** Named cache holding at most [capacity] (default 64) entries;
+    least-recently-used entries are evicted beyond that. *)
+
+val name : _ t -> string
+
+val find_or_add : 'a t -> string -> (unit -> 'a) -> bool * 'a
+(** [find_or_add c key build] returns [(true, v)] on a hit and
+    [(false, build ())] on a miss, recording the value under [key].
+    [build] runs outside any lock conflict concern: the server's
+    executor is the only writer. If [build] raises, nothing is cached
+    and the miss is still counted. *)
+
+val mem : _ t -> string -> bool
+(** Pure lookup — does not touch recency or the hit/miss counters. *)
+
+val stats : _ t -> stats
+
+val stats_json : _ t -> Repro_obs.Json.t
+(** [{name; hits; misses; evictions; size; capacity}]. *)

@@ -1,0 +1,33 @@
+module Json = Repro_obs.Json
+
+type t = { fd : Unix.file_descr }
+
+let connect addr =
+  let fd, sockaddr =
+    match addr with
+    | Server.Unix_path path ->
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Server.Tcp (host, port) ->
+      ( Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0,
+        Unix.ADDR_INET (Unix.inet_addr_of_string host, port) )
+  in
+  (try Unix.connect fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  { fd }
+
+let call t req =
+  Protocol.write_frame t.fd req;
+  match Protocol.read_frame t.fd with
+  | Ok reply -> reply
+  | Error err ->
+    failwith
+      (Printf.sprintf "repro call: bad reply frame (%s)"
+         (Protocol.decode_error_to_string err))
+
+let close t = try Unix.close t.fd with _ -> ()
+
+let with_connection addr f =
+  let t = connect addr in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

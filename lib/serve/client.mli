@@ -1,0 +1,17 @@
+(** The [repro call] side of the wire: connect, frame a request, read the
+    framed reply. One connection can carry any number of sequential
+    calls. *)
+
+type t
+
+val connect : Server.addr -> t
+(** Raises [Unix.Unix_error] if the server is not there. *)
+
+val call : t -> Repro_obs.Json.t -> Repro_obs.Json.t
+(** Send one request frame and block for the reply frame. Raises
+    [Failure] if the connection dies or the reply frame is malformed. *)
+
+val close : t -> unit
+
+val with_connection : Server.addr -> (t -> 'a) -> 'a
+(** [connect], run, [close] (also on exceptions). *)

@@ -1,0 +1,77 @@
+module Json = Repro_obs.Json
+
+type decode_error =
+  | Eof
+  | Truncated
+  | Oversized of int
+  | Bad_json of string
+
+let decode_error_to_string = function
+  | Eof -> "eof"
+  | Truncated -> "truncated frame"
+  | Oversized n -> Printf.sprintf "oversized frame: %d bytes declared" n
+  | Bad_json e -> Printf.sprintf "bad json: %s" e
+
+let max_frame = 16 * 1024 * 1024
+
+(* read exactly [len] bytes, reporting how many arrived before EOF *)
+let really_read fd buf len =
+  let got = ref 0 in
+  (try
+     while !got < len do
+       let k = Unix.read fd buf !got (len - !got) in
+       if k = 0 then raise Exit;
+       got := !got + k
+     done
+   with Exit -> ());
+  !got
+
+let read_frame fd =
+  let header = Bytes.create 4 in
+  match really_read fd header 4 with
+  | 0 -> Error Eof
+  | k when k < 4 -> Error Truncated
+  | _ ->
+    let len = Int32.to_int (Bytes.get_int32_be header 0) in
+    if len < 0 || len > max_frame then Error (Oversized (len land 0xffffffff))
+    else begin
+      let payload = Bytes.create len in
+      if really_read fd payload len < len then Error Truncated
+      else
+        match Json.of_string (Bytes.unsafe_to_string payload) with
+        | Ok j -> Ok j
+        | Error e -> Error (Bad_json e)
+    end
+
+let write_frame fd json =
+  let payload = Json.to_string json in
+  let len = String.length payload in
+  if len > max_frame then
+    invalid_arg (Printf.sprintf "Protocol.write_frame: %d bytes" len);
+  let buf = Bytes.create (4 + len) in
+  Bytes.set_int32_be buf 0 (Int32.of_int len);
+  Bytes.blit_string payload 0 buf 4 len;
+  let sent = ref 0 in
+  while !sent < Bytes.length buf do
+    sent := !sent + Unix.write fd buf !sent (Bytes.length buf - !sent)
+  done
+
+let rec canonical = function
+  | Json.Obj fields ->
+    Json.Obj
+      (List.sort
+         (fun (a, _) (b, _) -> String.compare a b)
+         (List.map (fun (k, v) -> (k, canonical v)) fields))
+  | Json.List items -> Json.List (List.map canonical items)
+  | (Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.String _) as j
+    -> j
+
+let request_hash j = Digest.to_hex (Digest.string (Json.to_string (canonical j)))
+
+let error_reply ~code message =
+  Json.Obj
+    [
+      ("ok", Json.Bool false);
+      ("error", Json.String code);
+      ("message", Json.String message);
+    ]

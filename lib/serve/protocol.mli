@@ -1,0 +1,45 @@
+(** Wire protocol of [repro serve]: length-prefixed JSON frames.
+
+    A frame is a 4-byte big-endian unsigned length followed by that many
+    bytes of JSON ({!Repro_obs.Json}, single line). Both directions use
+    the same framing. The length covers the payload only, and frames
+    above {!max_frame} are rejected without reading the payload —
+    a malicious or confused peer cannot make the server allocate
+    unboundedly.
+
+    Decoding never raises on bad input: every malformed frame maps to a
+    {!decode_error}, which the server answers with a structured error
+    reply before closing the connection (framing is unrecoverable after
+    a bad frame — there is no resync marker). *)
+
+type decode_error =
+  | Eof  (** clean close: the peer hung up between frames *)
+  | Truncated  (** the stream ended mid-header or mid-payload *)
+  | Oversized of int  (** declared length exceeds {!max_frame} *)
+  | Bad_json of string  (** payload is not valid JSON *)
+
+val decode_error_to_string : decode_error -> string
+
+val max_frame : int
+(** Maximum accepted payload size in bytes (16 MiB). *)
+
+val read_frame : Unix.file_descr -> (Repro_obs.Json.t, decode_error) result
+(** Blocking read of one complete frame. *)
+
+val write_frame : Unix.file_descr -> Repro_obs.Json.t -> unit
+(** Blocking write of one complete frame.
+    @raise Unix.Unix_error if the peer is gone. *)
+
+val canonical : Repro_obs.Json.t -> Repro_obs.Json.t
+(** Recursively sort object keys — two structurally equal requests
+    canonicalize to the same tree regardless of field order. *)
+
+val request_hash : Repro_obs.Json.t -> string
+(** Content address of a request: hex digest of the canonical
+    single-line rendering. The key of the reply cache. *)
+
+(** {2 Reply conventions} *)
+
+val error_reply : code:string -> string -> Repro_obs.Json.t
+(** [{ok: false; error: code; message}]. Codes in use: ["bad-frame"],
+    ["bad-request"], ["busy"], ["internal"], ["shutting-down"]. *)

@@ -1,0 +1,120 @@
+module Json = Repro_obs.Json
+
+type ticket = {
+  t_mutex : Mutex.t;
+  t_cond : Condition.t;
+  mutable t_result : Json.t option;
+}
+
+type job = { run : unit -> Json.t; ticket : ticket }
+
+type t = {
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  queue : job Queue.t;
+  capacity : int;
+  mutable stopping : bool;
+  mutable executed : int;
+  mutable rejected : int;
+  mutable executor : Thread.t option;
+}
+
+let locked t f =
+  Mutex.lock t.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.mutex) f
+
+let resolve ticket reply =
+  Mutex.lock ticket.t_mutex;
+  ticket.t_result <- Some reply;
+  Condition.broadcast ticket.t_cond;
+  Mutex.unlock ticket.t_mutex
+
+let executor_loop t =
+  let running = ref true in
+  while !running do
+    let next =
+      locked t (fun () ->
+          while Queue.is_empty t.queue && not t.stopping do
+            Condition.wait t.nonempty t.mutex
+          done;
+          if Queue.is_empty t.queue then begin
+            (* stopping and drained *)
+            running := false;
+            None
+          end
+          else Some (Queue.pop t.queue))
+    in
+    match next with
+    | None -> ()
+    | Some job ->
+      let reply =
+        try job.run ()
+        with e ->
+          Protocol.error_reply ~code:"internal" (Printexc.to_string e)
+      in
+      locked t (fun () -> t.executed <- t.executed + 1);
+      resolve job.ticket reply
+  done
+
+let create ?(capacity = 64) () =
+  let t =
+    {
+      mutex = Mutex.create ();
+      nonempty = Condition.create ();
+      queue = Queue.create ();
+      capacity = max 1 capacity;
+      stopping = false;
+      executed = 0;
+      rejected = 0;
+      executor = None;
+    }
+  in
+  t.executor <- Some (Thread.create executor_loop t);
+  t
+
+let submit t run =
+  locked t (fun () ->
+      if t.stopping then `Shutdown
+      else if Queue.length t.queue >= t.capacity then begin
+        t.rejected <- t.rejected + 1;
+        `Busy
+      end
+      else begin
+        let ticket =
+          {
+            t_mutex = Mutex.create ();
+            t_cond = Condition.create ();
+            t_result = None;
+          }
+        in
+        Queue.push { run; ticket } t.queue;
+        Condition.signal t.nonempty;
+        `Accepted ticket
+      end)
+
+let wait ticket =
+  Mutex.lock ticket.t_mutex;
+  let rec go () =
+    match ticket.t_result with
+    | Some r ->
+      Mutex.unlock ticket.t_mutex;
+      r
+    | None ->
+      Condition.wait ticket.t_cond ticket.t_mutex;
+      go ()
+  in
+  go ()
+
+let depth t = locked t (fun () -> Queue.length t.queue)
+let stats t = locked t (fun () -> (t.executed, t.rejected, Queue.length t.queue))
+
+let shutdown t =
+  let joinable =
+    locked t (fun () ->
+        t.stopping <- true;
+        Condition.broadcast t.nonempty;
+        let e = t.executor in
+        t.executor <- None;
+        e)
+  in
+  match joinable with Some th -> Thread.join th | None -> ()

@@ -1,0 +1,564 @@
+module Json = Repro_obs.Json
+module Obs = Repro_obs
+module G = Core.Graph.Multigraph
+module Instance = Core.Local.Instance
+module Meter = Core.Local.Meter
+module SO = Core.Problems.Sinkless_orientation
+module AC = Core.Problems.Audit_catalog
+module DC = Core.Lcl.Distributed_check
+module GB = Core.Gadget.Build
+module GL = Core.Gadget.Labels
+module V = Core.Gadget.Verifier
+module Spec = Core.Padding.Spec
+module Hierarchy = Core.Padding.Hierarchy
+module Targets = Core.Fuzz.Targets
+module Prov = Obs.Provenance
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  queue_capacity : int;
+  reply_cache_capacity : int;
+  log_path : string option;
+}
+
+let default_config addr =
+  { addr; queue_capacity = 64; reply_cache_capacity = 256; log_path = None }
+
+type t = {
+  config : config;
+  listen_fd : Unix.file_descr;
+  sched : Scheduler.t;
+  replies : Json.t Cache.t;
+  gadgets : GL.t Cache.t;
+  levels : Spec.packed Cache.t;
+  instances : G.t Cache.t;
+  started : float;
+  mutable stopping : bool;
+  mutex : Mutex.t; (* guards conns, op_counts, stopping, log *)
+  mutable conns : (int * Unix.file_descr) list;
+  mutable next_conn : int;
+  mutable threads : Thread.t list;
+  op_counts : (string, int) Hashtbl.t;
+  log : out_channel option;
+  mutable accept_thread : Thread.t option;
+}
+
+let locked srv f =
+  Mutex.lock srv.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock srv.mutex) f
+
+(* ------------------------------------------------------------------ *)
+(* request parsing *)
+
+exception Bad_request of string
+
+let field req name = Json.member name req
+
+let field_int req name ~default =
+  match field req name with
+  | None | Some Json.Null -> default
+  | Some j -> (
+    match Json.to_int j with
+    | Some i -> i
+    | None -> raise (Bad_request (Printf.sprintf "field %S must be an integer" name)))
+
+let field_str req name ~default =
+  match field req name with
+  | None | Some Json.Null -> default
+  | Some j -> (
+    match Json.to_str j with
+    | Some s -> s
+    | None -> raise (Bad_request (Printf.sprintf "field %S must be a string" name)))
+
+let req_str req name =
+  match field req name with
+  | Some j -> (
+    match Json.to_str j with
+    | Some s -> s
+    | None -> raise (Bad_request (Printf.sprintf "field %S must be a string" name)))
+  | None -> raise (Bad_request (Printf.sprintf "missing field %S" name))
+
+let add_fields reply extra =
+  match reply with
+  | Json.Obj fields -> Json.Obj (fields @ extra)
+  | j -> j
+
+(* ------------------------------------------------------------------ *)
+(* artifact caches *)
+
+let hard_instance srv ~n ~seed =
+  Cache.find_or_add srv.instances
+    (Printf.sprintf "kind=so;n=%d;seed=%d" n seed)
+    (fun () -> SO.hard_instance (Random.State.make [| seed |]) ~n)
+
+let gadget_family srv ~delta ~height =
+  Cache.find_or_add srv.gadgets
+    (Printf.sprintf "delta=%d;height=%d" delta height)
+    (fun () -> GB.gadget ~delta ~height)
+
+let hierarchy_level srv i =
+  Cache.find_or_add srv.levels (Printf.sprintf "level=%d" i) (fun () ->
+      Hierarchy.level i)
+
+(* ------------------------------------------------------------------ *)
+(* op handlers — these run on the scheduler's executor thread, inside a
+   fresh per-request registry scope *)
+
+let solve_instance srv req =
+  let n = field_int req "n" ~default:1000 in
+  let seed = field_int req "seed" ~default:1 in
+  if n < 2 || n > 2_000_000 then raise (Bad_request "n out of range [2, 2e6]");
+  let problem = field_str req "problem" ~default:"so-det" in
+  let solver =
+    match problem with
+    | "so-det" -> SO.solve_deterministic
+    | "so-rand" -> SO.solve_randomized
+    | "so-wave" -> fun inst -> SO.solve_randomized_frontier inst
+    | other ->
+      raise
+        (Bad_request
+           (Printf.sprintf "unknown problem %S (try: so-det, so-rand, so-wave)"
+              other))
+  in
+  let _, g = hard_instance srv ~n ~seed in
+  let inst = Instance.create ~seed g in
+  let out, meter = solver inst in
+  (problem, g, inst, out, meter)
+
+let handle_solve srv req =
+  let problem, g, _, out, meter = solve_instance srv req in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "solve");
+      ("problem", Json.String problem);
+      ("n", Json.Int (G.n g));
+      ("valid", Json.Bool (SO.is_valid g out));
+      ("sinks", Json.Int (SO.count_sinks g out));
+      ("rounds", Json.Int (Meter.max_radius meter));
+    ]
+
+let handle_check srv req =
+  let problem, g, inst, out, _ = solve_instance srv req in
+  let verdict = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
+  let rejecting =
+    Array.fold_left (fun acc a -> if a then acc else acc + 1) 0 verdict.DC.accepts
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "check");
+      ("problem", Json.String problem);
+      ("n", Json.Int (G.n g));
+      ("all_accept", Json.Bool verdict.DC.all_accept);
+      ("rejecting_nodes", Json.Int rejecting);
+      ("checker_rounds", Json.Int verdict.DC.rounds);
+    ]
+
+(* the gadget verifier's audit entry lives here for the same reason it
+   lives in bin/repro.ml rather than the catalog: repro_problems does not
+   depend on repro_gadget, but the server layer sees both *)
+let verifier_entry : AC.entry =
+  {
+    AC.a_name = "verifier";
+    a_doc = "gadget prover V, O(log n) on a (log,\xce\x94)-gadget (\xc2\xa74.5)";
+    a_run =
+      (fun ~seed:_ ~n ->
+        let rec pick h =
+          let t = GB.gadget ~delta:3 ~height:h in
+          if G.n t.GL.graph >= n || h >= 14 then t else pick (h + 1)
+        in
+        let t = pick 2 in
+        let _, _, cert = V.audited_run ~delta:3 ~n:(G.n t.GL.graph) t in
+        cert);
+    a_replay = None;
+  }
+
+let audit_entries = AC.all @ [ verifier_entry ]
+
+let handle_audit req =
+  let name = req_str req "problem" in
+  let n = field_int req "n" ~default:300 in
+  let seed = field_int req "seed" ~default:1 in
+  match List.find_opt (fun e -> e.AC.a_name = name) audit_entries with
+  | None ->
+    raise
+      (Bad_request
+         (Printf.sprintf "unknown audit target %S (try: %s)" name
+            (String.concat ", " (List.map (fun e -> e.AC.a_name) audit_entries))))
+  | Some entry ->
+    let cert = entry.AC.a_run ~seed ~n in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.String "audit");
+        ("problem", Json.String name);
+        ("n", Json.Int cert.Prov.c_n);
+        ("engine", Json.String cert.Prov.c_engine);
+        ("declared", Json.Int cert.Prov.c_declared);
+        ("max_influence_radius", Json.Int cert.Prov.c_max_influence_radius);
+        ("violations", Json.Int (List.length cert.Prov.c_violations));
+        ("cert_ok", Json.Bool cert.Prov.c_ok);
+      ]
+
+let handle_fuzz req =
+  let name = req_str req "target" in
+  let count = field_int req "count" ~default:50 in
+  let seed = field_int req "seed" ~default:1 in
+  match Targets.find name with
+  | None ->
+    raise
+      (Bad_request
+         (Printf.sprintf "unknown fuzz target %S (try: %s)" name
+            (String.concat ", " Targets.names)))
+  | Some target ->
+    let report = Targets.run target ~count ~seed in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.String "fuzz");
+        ("target", Json.String name);
+        ("report", Targets.json_of_report report);
+      ]
+
+let handle_bench srv req =
+  let target = field_str req "target" ~default:"gadget" in
+  match target with
+  | "gadget" ->
+    let delta = field_int req "delta" ~default:3 in
+    let height = field_int req "height" ~default:6 in
+    if delta < 3 || delta > 8 then raise (Bad_request "delta out of range [3, 8]");
+    if height < 1 || height > 12 then
+      raise (Bad_request "height out of range [1, 12]");
+    let hit, labels = gadget_family srv ~delta ~height in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.String "bench");
+        ("target", Json.String "gadget");
+        ("delta", Json.Int delta);
+        ("height", Json.Int height);
+        ("nodes", Json.Int (G.n labels.GL.graph));
+        ("artifact_cache", Json.String (if hit then "hit" else "miss"));
+      ]
+  | "level" ->
+    let i = field_int req "i" ~default:1 in
+    if i < 0 || i > 6 then raise (Bad_request "i out of range [0, 6]");
+    let hit, packed = hierarchy_level srv i in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.String "bench");
+        ("target", Json.String "level");
+        ("i", Json.Int i);
+        ("name", Json.String (Spec.packed_name packed));
+        ("artifact_cache", Json.String (if hit then "hit" else "miss"));
+      ]
+  | other ->
+    raise
+      (Bad_request (Printf.sprintf "unknown bench target %S (try: gadget, level)" other))
+
+let handle srv op req =
+  match op with
+  | "solve" -> handle_solve srv req
+  | "check" -> handle_check srv req
+  | "audit" -> handle_audit req
+  | "fuzz" -> handle_fuzz req
+  | "bench" -> handle_bench srv req
+  | other -> raise (Bad_request (Printf.sprintf "unknown op %S" other))
+
+(* run one admitted request inside its own registry: its counters, and
+   any trace it may open, are invisible to every other request; on
+   failure only this request's recorder is aborted *)
+let run_request srv op req =
+  let reg = Obs.Registry.create () in
+  Obs.Registry.scoped reg (fun () ->
+      Obs.Registry.enable ();
+      match handle srv op req with
+      | reply ->
+        let telemetry =
+          List.filter_map
+            (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
+            (Obs.Registry.counters ())
+        in
+        add_fields reply [ ("telemetry", Json.Obj telemetry) ]
+      | exception Bad_request msg ->
+        Obs.Trace.abort ();
+        Protocol.error_reply ~code:"bad-request" msg
+      | exception e ->
+        Obs.Trace.abort ();
+        Protocol.error_reply ~code:"internal" (Printexc.to_string e))
+
+(* ------------------------------------------------------------------ *)
+(* stats — answered inline by connection threads: read-only *)
+
+let stats_json srv =
+  let executed, rejected, depth = Scheduler.stats srv.sched in
+  let ops =
+    locked srv (fun () ->
+        Hashtbl.fold (fun op k acc -> (op, Json.Int k) :: acc) srv.op_counts [])
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "stats");
+      ("uptime_s", Json.Float (Unix.gettimeofday () -. srv.started));
+      ("requests", Json.Obj (List.sort compare ops));
+      ( "scheduler",
+        Json.Obj
+          [
+            ("executed", Json.Int executed);
+            ("rejected", Json.Int rejected);
+            ("depth", Json.Int depth);
+          ] );
+      ( "caches",
+        Json.List
+          [
+            Cache.stats_json srv.replies;
+            Cache.stats_json srv.gadgets;
+            Cache.stats_json srv.levels;
+            Cache.stats_json srv.instances;
+          ] );
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* per-connection request processing *)
+
+exception Uncacheable of Json.t
+
+let count_request srv op =
+  locked srv (fun () ->
+      Hashtbl.replace srv.op_counts op
+        (1 + Option.value ~default:0 (Hashtbl.find_opt srv.op_counts op)))
+
+let log_line srv ~op ~cache ~elapsed_s reply =
+  match srv.log with
+  | None -> ()
+  | Some oc ->
+    let ok = match Json.member "ok" reply with Some (Json.Bool b) -> b | _ -> false in
+    let err =
+      match Json.member "error" reply with Some (Json.String e) -> [ ("error", Json.String e) ] | _ -> []
+    in
+    let line =
+      Json.Obj
+        ([
+           ("ts", Json.Float (Unix.gettimeofday ()));
+           ("op", Json.String op);
+           ("ok", Json.Bool ok);
+           ("cache", Json.String cache);
+           ("ms", Json.Float (elapsed_s *. 1000.));
+         ]
+        @ err)
+    in
+    locked srv (fun () ->
+        output_string oc (Json.to_string line);
+        output_char oc '\n';
+        flush oc)
+
+let process srv req =
+  let op =
+    match Json.member "op" req with
+    | None -> Error "missing field \"op\""
+    | Some j -> (
+      match Json.to_str j with
+      | Some op -> Ok op
+      | None -> Error "field \"op\" must be a string")
+  in
+  match op with
+  | Error msg -> Protocol.error_reply ~code:"bad-request" msg
+  | Ok op ->
+    count_request srv op;
+    let t0 = Unix.gettimeofday () in
+    let cache_status = ref "none" in
+    let reply =
+      if op = "stats" then stats_json srv
+      else begin
+        (* reply cache first: a hit never touches the scheduler. Errors
+           and busy replies propagate as Uncacheable so they are never
+           stored. *)
+        let hash = Protocol.request_hash req in
+        match
+          Cache.find_or_add srv.replies hash (fun () ->
+              match Scheduler.submit srv.sched (fun () -> run_request srv op req) with
+              | `Busy ->
+                raise
+                  (Uncacheable
+                     (Protocol.error_reply ~code:"busy"
+                        "admission queue full, retry later"))
+              | `Shutdown ->
+                raise
+                  (Uncacheable
+                     (Protocol.error_reply ~code:"shutting-down"
+                        "server is shutting down"))
+              | `Accepted ticket -> (
+                let reply = Scheduler.wait ticket in
+                match Json.member "ok" reply with
+                | Some (Json.Bool true) -> reply
+                | _ -> raise (Uncacheable reply)))
+        with
+        | hit, reply ->
+          cache_status := (if hit then "hit" else "miss");
+          add_fields reply [ ("cache", Json.String !cache_status) ]
+        | exception Uncacheable reply -> reply
+      end
+    in
+    log_line srv ~op ~cache:!cache_status ~elapsed_s:(Unix.gettimeofday () -. t0)
+      reply;
+    reply
+
+let connection_loop srv fd =
+  let rec loop () =
+    match Protocol.read_frame fd with
+    | Error Protocol.Eof -> ()
+    | Error err ->
+      (* malformed frame: reply with a structured error, then close — the
+         stream position is unrecoverable after a framing error *)
+      (try
+         Protocol.write_frame fd
+           (Protocol.error_reply ~code:"bad-frame"
+              (Protocol.decode_error_to_string err))
+       with _ -> ())
+    | Ok req ->
+      let reply = process srv req in
+      let sent = try Protocol.write_frame fd reply; true with _ -> false in
+      if sent then loop ()
+  in
+  (try loop () with _ -> ())
+
+let handle_connection srv cid fd =
+  Fun.protect
+    ~finally:(fun () ->
+      let still_mine =
+        locked srv (fun () ->
+            let mine = List.mem_assoc cid srv.conns in
+            srv.conns <- List.remove_assoc cid srv.conns;
+            mine)
+      in
+      if still_mine then try Unix.close fd with _ -> ())
+    (fun () -> connection_loop srv fd)
+
+(* ------------------------------------------------------------------ *)
+(* lifecycle *)
+
+let bind_listen addr =
+  let fd, sockaddr =
+    match addr with
+    | Unix_path path ->
+      (try Unix.unlink path with _ -> ());
+      (Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0, Unix.ADDR_UNIX path)
+    | Tcp (host, port) ->
+      let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      Unix.setsockopt fd Unix.SO_REUSEADDR true;
+      (fd, Unix.ADDR_INET (Unix.inet_addr_of_string host, port))
+  in
+  (try Unix.bind fd sockaddr
+   with e ->
+     (try Unix.close fd with _ -> ());
+     raise e);
+  Unix.listen fd 16;
+  fd
+
+let accept_loop srv =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept srv.listen_fd with
+    | fd, _ ->
+      let admitted =
+        locked srv (fun () ->
+            if srv.stopping then false
+            else begin
+              let cid = srv.next_conn in
+              srv.next_conn <- cid + 1;
+              srv.conns <- (cid, fd) :: srv.conns;
+              let th = Thread.create (fun () -> handle_connection srv cid fd) () in
+              srv.threads <- th :: srv.threads;
+              true
+            end)
+      in
+      if not admitted then ( try Unix.close fd with _ -> ())
+    | exception Unix.Unix_error _ -> continue := false
+    | exception _ -> continue := false
+  done
+
+let start config =
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with _ -> ());
+  let listen_fd = bind_listen config.addr in
+  let srv =
+    {
+      config;
+      listen_fd;
+      sched = Scheduler.create ~capacity:config.queue_capacity ();
+      replies = Cache.create ~capacity:config.reply_cache_capacity "replies";
+      gadgets = Cache.create ~capacity:16 "gadgets";
+      levels = Cache.create ~capacity:8 "levels";
+      instances = Cache.create ~capacity:32 "instances";
+      started = Unix.gettimeofday ();
+      stopping = false;
+      mutex = Mutex.create ();
+      conns = [];
+      next_conn = 0;
+      threads = [];
+      op_counts = Hashtbl.create 8;
+      log = Option.map open_out config.log_path;
+      accept_thread = None;
+    }
+  in
+  srv.accept_thread <- Some (Thread.create accept_loop srv);
+  srv
+
+let stop srv =
+  let first =
+    locked srv (fun () ->
+        if srv.stopping then false
+        else begin
+          srv.stopping <- true;
+          true
+        end)
+  in
+  if first then begin
+    (* shutdown (not just close) kicks the accept thread out of accept(2):
+       on Linux, close of an fd another thread is blocked on does not wake
+       the blocked call *)
+    (try Unix.shutdown srv.listen_fd Unix.SHUTDOWN_ALL with _ -> ());
+    (try Unix.close srv.listen_fd with _ -> ());
+    (match srv.accept_thread with Some th -> Thread.join th | None -> ());
+    (* drain every admitted request so connected clients get their reply *)
+    Scheduler.shutdown srv.sched;
+    (* now unblock connection threads still waiting on idle clients *)
+    let fds = locked srv (fun () -> srv.conns) in
+    List.iter
+      (fun (cid, fd) ->
+        let mine =
+          locked srv (fun () ->
+              let m = List.mem_assoc cid srv.conns in
+              srv.conns <- List.remove_assoc cid srv.conns;
+              m)
+        in
+        if mine then begin
+          (* shutdown (not just close) wakes a thread blocked in read *)
+          (try Unix.shutdown fd Unix.SHUTDOWN_ALL with _ -> ());
+          try Unix.close fd with _ -> ()
+        end)
+      fds;
+    List.iter Thread.join (locked srv (fun () -> srv.threads));
+    (match srv.log with Some oc -> ( try close_out oc with _ -> ()) | None -> ());
+    match srv.config.addr with
+    | Unix_path path -> ( try Unix.unlink path with _ -> ())
+    | Tcp _ -> ()
+  end
+
+let run config =
+  (* Sys.Signal_handle does not cut it here: with worker threads parked in
+     accept(2)/read(2), the OS can deliver the signal to one of them and
+     the handler never reaches a safe point. Blocking the signals BEFORE
+     spawning any thread (the mask is inherited) and parking the main
+     thread in [Thread.wait_signal] is race-free by construction. *)
+  let signals = [ Sys.sigterm; Sys.sigint ] in
+  let (_ : int list) = Thread.sigmask Unix.SIG_BLOCK signals in
+  let srv = start config in
+  let (_ : int) = Thread.wait_signal signals in
+  stop srv;
+  let (_ : int list) = Thread.sigmask Unix.SIG_UNBLOCK signals in
+  ()

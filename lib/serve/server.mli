@@ -1,0 +1,48 @@
+(** The [repro serve] daemon: a long-lived service over the process's one
+    domain pool.
+
+    One systhread per client connection reads length-prefixed JSON frames
+    ({!Protocol}); every engine-running request goes through the
+    {!Scheduler} (FIFO-fair, bounded, explicit [busy] backpressure) and
+    executes inside a fresh per-request {!Repro_obs.Registry} scope, so
+    each reply carries only its own telemetry counters and a failed
+    request can abort only its own trace. Successful replies to
+    deterministic requests are cached by canonical request hash
+    ({!Cache}), alongside artifact caches for gadget families, padded
+    hierarchy levels, and hard instances.
+
+    Request vocabulary ([op] field): [solve], [check], [audit], [fuzz],
+    [bench], [stats]. [stats] is answered inline by the connection
+    thread — it only reads counters — and is never cached; every other
+    reply gains a ["cache": "hit" | "miss"] field. See README §Serving
+    for the wire-level walkthrough. *)
+
+type addr = Unix_path of string | Tcp of string * int
+
+type config = {
+  addr : addr;
+  queue_capacity : int;  (** admission bound before [busy] replies *)
+  reply_cache_capacity : int;
+  log_path : string option;  (** JSONL request log, one line per reply *)
+}
+
+val default_config : addr -> config
+(** [queue_capacity = 64], [reply_cache_capacity = 256], no log. *)
+
+type t
+
+val start : config -> t
+(** Bind, listen, and spawn the accept thread; returns immediately.
+    Raises [Unix.Unix_error] if the address cannot be bound. *)
+
+val stop : t -> unit
+(** Graceful shutdown: stop accepting, drain every already-admitted
+    request, close live connections, join all threads. Idempotent. *)
+
+val stats_json : t -> Repro_obs.Json.t
+(** The same document the [stats] op returns, for in-process callers. *)
+
+val run : config -> unit
+(** [start], then block until SIGTERM or SIGINT, then [stop] — the
+    [repro serve] main loop. Returns normally (exit 0) on either
+    signal. *)

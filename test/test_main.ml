@@ -20,4 +20,5 @@ let () =
       ("provenance", Test_provenance.suite);
       ("fuzz", Test_fuzz.suite);
       ("mutation", Test_mutation.suite);
+      ("serve", Test_serve.suite);
     ]

@@ -23,35 +23,37 @@ let with_enabled f =
 (* counters *)
 
 let test_counter_arithmetic () =
-  let c = Obs.Counter.make "test.scratch.counter" in
+  let gate = ref false in
+  let c = Obs.Counter.make ~gate "test.scratch.counter" in
   Alcotest.(check string) "name" "test.scratch.counter" (Obs.Counter.name c);
   Obs.Counter.incr c;
   Obs.Counter.add c 41;
-  check_int "disabled mutation is a no-op" 0 (Obs.Counter.value c);
-  with_enabled (fun () ->
-      Obs.Counter.incr c;
-      Obs.Counter.add c 5;
-      check_int "incr + add" 6 (Obs.Counter.value c));
+  check_int "gated-off mutation is a no-op" 0 (Obs.Counter.value c);
+  gate := true;
+  Obs.Counter.incr c;
+  Obs.Counter.add c 5;
+  check_int "incr + add" 6 (Obs.Counter.value c);
   Obs.Counter.reset c;
   check_int "reset" 0 (Obs.Counter.value c)
 
 (* histograms *)
 
 let test_histogram_arithmetic () =
-  let h = Obs.Histogram.make "test.scratch.hist" in
+  let gate = ref false in
+  let h = Obs.Histogram.make ~gate "test.scratch.hist" in
   Obs.Histogram.observe h 100;
-  check_int "disabled observation is a no-op" 0 (Obs.Histogram.count h);
-  with_enabled (fun () ->
-      List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 8 ];
-      check_int "count" 5 (Obs.Histogram.count h);
-      check_int "sum" 14 (Obs.Histogram.sum h);
-      check_int "max" 8 (Obs.Histogram.max_value h);
-      check "mean" true (abs_float (Obs.Histogram.mean h -. 2.8) < 1e-9);
-      let s = Obs.Histogram.snapshot h in
-      Alcotest.(check (list (pair int int)))
-        "power-of-two buckets, ascending"
-        [ (0, 1); (1, 1); (2, 2); (8, 1) ]
-        s.Obs.Histogram.buckets);
+  check_int "gated-off observation is a no-op" 0 (Obs.Histogram.count h);
+  gate := true;
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 8 ];
+  check_int "count" 5 (Obs.Histogram.count h);
+  check_int "sum" 14 (Obs.Histogram.sum h);
+  check_int "max" 8 (Obs.Histogram.max_value h);
+  check "mean" true (abs_float (Obs.Histogram.mean h -. 2.8) < 1e-9);
+  let s = Obs.Histogram.snapshot h in
+  Alcotest.(check (list (pair int int)))
+    "power-of-two buckets, ascending"
+    [ (0, 1); (1, 1); (2, 2); (8, 1) ]
+    s.Obs.Histogram.buckets;
   Obs.Histogram.reset h;
   check_int "reset count" 0 (Obs.Histogram.count h);
   check_int "reset sum" 0 (Obs.Histogram.sum h)
@@ -59,18 +61,43 @@ let test_histogram_arithmetic () =
 (* registry *)
 
 let test_registry_sharing () =
-  let a = Obs.Registry.counter "test.registry.shared" in
-  let b = Obs.Registry.counter "test.registry.shared" in
+  let reg = Obs.Registry.ambient () in
+  let a = Obs.Registry.counter reg "test.registry.shared" in
+  let b = Obs.Registry.counter reg "test.registry.shared" in
   check "find-or-create returns the same instance" true (a == b);
   with_enabled (fun () ->
       Obs.Counter.add a 3;
       check_int "both handles see the value" 3 (Obs.Counter.value b));
   check "kind mismatch raises" true
-    (match Obs.Registry.histogram "test.registry.shared" with
+    (match Obs.Registry.histogram reg "test.registry.shared" with
     | exception Invalid_argument _ -> true
     | _ -> false);
   check "registered and listed" true
     (List.mem_assoc "test.registry.shared" (Obs.Registry.counters ()))
+
+let test_registry_isolation () =
+  let r1 = Obs.Registry.create () in
+  let r2 = Obs.Registry.create () in
+  Obs.Registry.enable ~reg:r1 ();
+  Obs.Registry.enable ~reg:r2 ();
+  let c1 = Obs.Registry.counter r1 "test.iso.counter" in
+  let c2 = Obs.Registry.counter r2 "test.iso.counter" in
+  check "same name, distinct registries, distinct instances" true
+    (not (c1 == c2));
+  Obs.Counter.add c1 5;
+  check_int "no cross-registry bleed" 0 (Obs.Counter.value c2);
+  Obs.Registry.scoped r1 (fun () ->
+      check_int "ambient resolution sees the scoped registry" 5
+        (match
+           List.assoc_opt "test.iso.counter" (Obs.Registry.counters ())
+         with
+        | Some v -> v
+        | None -> -1));
+  check "default registry untouched" false
+    (List.mem_assoc "test.iso.counter" (Obs.Registry.counters ()));
+  Obs.Registry.disable ~reg:r1 ();
+  Obs.Counter.incr c1;
+  check_int "per-registry gate" 5 (Obs.Counter.value c1)
 
 (* JSONL *)
 
@@ -185,6 +212,32 @@ let test_trace_record_disarms_on_raise () =
       check "fresh trace still consistent" true
         (Obs.Trace.check_invariants events = []))
 
+(* regression for the serve scheduler's isolation contract: aborting one
+   registry's trace (an engine raising mid-request) must leave another
+   registry's recorder armed with its events intact *)
+
+let test_trace_abort_scoped_to_registry () =
+  let r1 = Obs.Registry.create () in
+  let r2 = Obs.Registry.create () in
+  Obs.Registry.scoped r1 (fun () -> Obs.Trace.start ~label:"keep" ~n:1 ());
+  Obs.Registry.scoped r2 (fun () ->
+      Obs.Trace.start ~label:"doomed" ~n:1 ();
+      Obs.Trace.abort ();
+      check "aborted recorder disarmed" false (Obs.Trace.active ()));
+  Obs.Registry.scoped r1 (fun () ->
+      check "concurrent recorder still armed" true (Obs.Trace.active ());
+      let events = Obs.Trace.finish () in
+      check "survivor kept its own events" true
+        (List.exists
+           (function
+             | Obs.Trace.Meta { label; _ } -> label = "keep" | _ -> false)
+           events);
+      check "no events leaked from the aborted trace" false
+        (List.exists
+           (function
+             | Obs.Trace.Meta { label; _ } -> label = "doomed" | _ -> false)
+           events))
+
 let test_trace_messages_match_counter () =
   let events = traced_dcheck ~n:300 ~seed:7 () in
   let per_round = Obs.Trace.total_messages ~engine:"message_passing" events in
@@ -219,6 +272,8 @@ let suite =
     ("counter arithmetic and gating", `Quick, test_counter_arithmetic);
     ("histogram arithmetic and gating", `Quick, test_histogram_arithmetic);
     ("registry find-or-create", `Quick, test_registry_sharing);
+    ("registry isolation", `Quick, test_registry_isolation);
+    ("trace abort scoped to registry", `Quick, test_trace_abort_scoped_to_registry);
     ("jsonl round-trip", `Quick, test_jsonl_round_trip);
     ("json parser rejects garbage", `Quick, test_json_parser_rejects_garbage);
     ("json value round-trips", `Quick, test_json_value_round_trips);

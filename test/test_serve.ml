@@ -1,0 +1,427 @@
+(* The serve layer: protocol framing (malformed frames become structured
+   errors, never exceptions escaping the accept loop), the LRU artifact
+   cache, scheduler admission/backpressure, and a live in-process server
+   exercised through real sockets — including two interleaved clients
+   whose replies must carry only their own request's telemetry. *)
+
+module Serve = Repro_serve
+module Protocol = Serve.Protocol
+module Cache = Serve.Cache
+module Scheduler = Serve.Scheduler
+module Json = Repro_obs.Json
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let member_str name j =
+  match Json.member name j with Some (Json.String s) -> Some s | _ -> None
+
+let member_int name j =
+  match Json.member name j with Some j -> Json.to_int j | _ -> None
+
+let is_ok j = match Json.member "ok" j with Some (Json.Bool b) -> b | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* protocol framing over a socketpair: the decoder must map every kind of
+   malformed input to a structured [decode_error] *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Unix.close a with _ -> ());
+      try Unix.close b with _ -> ())
+    (fun () -> f a b)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let sent = ref 0 in
+  while !sent < Bytes.length b do
+    sent := !sent + Unix.write fd b !sent (Bytes.length b - !sent)
+  done
+
+let header_of_len len =
+  let b = Bytes.create 4 in
+  Bytes.set_int32_be b 0 (Int32.of_int len);
+  Bytes.to_string b
+
+let test_frame_roundtrip () =
+  with_socketpair (fun a b ->
+      let j =
+        Json.Obj [ ("op", Json.String "solve"); ("n", Json.Int 42) ]
+      in
+      Protocol.write_frame a j;
+      match Protocol.read_frame b with
+      | Ok j' -> check_str "roundtrip" (Json.to_string j) (Json.to_string j')
+      | Error e -> Alcotest.fail (Protocol.decode_error_to_string e))
+
+let test_frame_eof () =
+  with_socketpair (fun a b ->
+      Unix.close a;
+      match Protocol.read_frame b with
+      | Error Protocol.Eof -> ()
+      | _ -> Alcotest.fail "expected Eof")
+
+let test_frame_truncated_header () =
+  with_socketpair (fun a b ->
+      write_all a "\x00\x00";
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | Error Protocol.Truncated -> ()
+      | _ -> Alcotest.fail "expected Truncated on short header")
+
+let test_frame_truncated_payload () =
+  with_socketpair (fun a b ->
+      write_all a (header_of_len 10 ^ "abcd");
+      Unix.shutdown a Unix.SHUTDOWN_SEND;
+      match Protocol.read_frame b with
+      | Error Protocol.Truncated -> ()
+      | _ -> Alcotest.fail "expected Truncated on short payload")
+
+let test_frame_oversized () =
+  with_socketpair (fun a b ->
+      write_all a (header_of_len (Protocol.max_frame + 1));
+      match Protocol.read_frame b with
+      | Error (Protocol.Oversized n) ->
+        check_int "declared size" (Protocol.max_frame + 1) n
+      | _ -> Alcotest.fail "expected Oversized")
+
+let test_frame_negative_length () =
+  with_socketpair (fun a b ->
+      write_all a "\xff\xff\xff\xff";
+      match Protocol.read_frame b with
+      | Error (Protocol.Oversized _) -> ()
+      | _ -> Alcotest.fail "expected Oversized on negative length")
+
+let test_frame_garbage_payload () =
+  with_socketpair (fun a b ->
+      write_all a (header_of_len 5 ^ "hel{o");
+      match Protocol.read_frame b with
+      | Error (Protocol.Bad_json _) -> ()
+      | _ -> Alcotest.fail "expected Bad_json")
+
+let test_request_hash_canonical () =
+  let a =
+    Json.Obj
+      [
+        ("op", Json.String "solve");
+        ("n", Json.Int 7);
+        ("inner", Json.Obj [ ("x", Json.Int 1); ("y", Json.Int 2) ]);
+      ]
+  in
+  let b =
+    Json.Obj
+      [
+        ("inner", Json.Obj [ ("y", Json.Int 2); ("x", Json.Int 1) ]);
+        ("n", Json.Int 7);
+        ("op", Json.String "solve");
+      ]
+  in
+  let c = Json.Obj [ ("op", Json.String "solve"); ("n", Json.Int 8) ] in
+  check_str "key order is canonical" (Protocol.request_hash a)
+    (Protocol.request_hash b);
+  check "different requests differ" true
+    (Protocol.request_hash a <> Protocol.request_hash c)
+
+(* ------------------------------------------------------------------ *)
+(* cache *)
+
+let test_cache_hit_miss_evict () =
+  let c = Cache.create ~capacity:2 "test" in
+  let builds = ref 0 in
+  let get k =
+    fst (Cache.find_or_add c k (fun () -> incr builds; k))
+  in
+  check "first is a miss" false (get "a");
+  check "second is a hit" true (get "a");
+  check_int "one build" 1 !builds;
+  ignore (get "b");
+  ignore (get "a");
+  (* LRU is "b": inserting "c" evicts it *)
+  ignore (get "c");
+  check "a survived (recently used)" true (Cache.mem c "a");
+  check "b evicted (least recent)" false (Cache.mem c "b");
+  let s = Cache.stats c in
+  check_int "hits" 2 s.Cache.hits;
+  check_int "misses" 3 s.Cache.misses;
+  check_int "evictions" 1 s.Cache.evictions;
+  check_int "size" 2 s.Cache.size
+
+let test_cache_build_failure_not_cached () =
+  let c = Cache.create "test" in
+  (try ignore (Cache.find_or_add c "k" (fun () -> failwith "boom"))
+   with Failure _ -> ());
+  check "failed build not cached" false (Cache.mem c "k");
+  let hit, v = Cache.find_or_add c "k" (fun () -> 7) in
+  check "retry is a miss" false hit;
+  check_int "retry builds" 7 v
+
+(* ------------------------------------------------------------------ *)
+(* scheduler: FIFO order, bounded admission, busy backpressure,
+   exception containment, drain on shutdown *)
+
+let test_scheduler_busy_and_order () =
+  let sched = Scheduler.create ~capacity:1 () in
+  let gate_m = Mutex.create () in
+  let gate_c = Condition.create () in
+  let gate_open = ref false in
+  let blocker () =
+    Mutex.lock gate_m;
+    while not !gate_open do
+      Condition.wait gate_c gate_m
+    done;
+    Mutex.unlock gate_m;
+    Json.Obj [ ("ok", Json.Bool true); ("job", Json.Int 0) ]
+  in
+  let t1 =
+    match Scheduler.submit sched blocker with
+    | `Accepted t -> t
+    | _ -> Alcotest.fail "first submit must be accepted"
+  in
+  (* wait for the executor to pick job 1 up, freeing the queue slot *)
+  let rec settle n =
+    if Scheduler.depth sched > 0 && n > 0 then (Thread.delay 0.01; settle (n - 1))
+  in
+  settle 200;
+  let t2 =
+    match
+      Scheduler.submit sched (fun () ->
+          Json.Obj [ ("ok", Json.Bool true); ("job", Json.Int 2) ])
+    with
+    | `Accepted t -> t
+    | _ -> Alcotest.fail "second submit fills the queue"
+  in
+  (match Scheduler.submit sched (fun () -> Json.Null) with
+  | `Busy -> ()
+  | _ -> Alcotest.fail "third submit must be refused: queue is full");
+  Mutex.lock gate_m;
+  gate_open := true;
+  Condition.broadcast gate_c;
+  Mutex.unlock gate_m;
+  check_int "job 1 reply" 0
+    (Option.get (member_int "job" (Scheduler.wait t1)));
+  check_int "job 2 reply (FIFO)" 2
+    (Option.get (member_int "job" (Scheduler.wait t2)));
+  let executed, rejected, depth = Scheduler.stats sched in
+  check_int "executed" 2 executed;
+  check_int "rejected" 1 rejected;
+  check_int "depth drained" 0 depth;
+  Scheduler.shutdown sched;
+  (match Scheduler.submit sched (fun () -> Json.Null) with
+  | `Shutdown -> ()
+  | _ -> Alcotest.fail "submit after shutdown")
+
+let test_scheduler_exception_contained () =
+  let sched = Scheduler.create () in
+  let t =
+    match Scheduler.submit sched (fun () -> failwith "kaboom") with
+    | `Accepted t -> t
+    | _ -> Alcotest.fail "accepted"
+  in
+  let reply = Scheduler.wait t in
+  check "raising job yields an error reply" false (is_ok reply);
+  check_str "internal code" "internal" (Option.get (member_str "error" reply));
+  (* the executor survived *)
+  let t2 =
+    match Scheduler.submit sched (fun () -> Json.Obj [ ("ok", Json.Bool true) ]) with
+    | `Accepted t -> t
+    | _ -> Alcotest.fail "accepted after exception"
+  in
+  check "executor still alive" true (is_ok (Scheduler.wait t2));
+  Scheduler.shutdown sched
+
+(* ------------------------------------------------------------------ *)
+(* live server over a real unix socket *)
+
+let with_server ?(queue = 64) f =
+  let path =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "repro-serve-test-%d.sock" (Unix.getpid ()))
+  in
+  let config =
+    {
+      (Serve.Server.default_config (Serve.Server.Unix_path path)) with
+      Serve.Server.queue_capacity = queue;
+    }
+  in
+  let srv = Serve.Server.start config in
+  Fun.protect
+    ~finally:(fun () -> Serve.Server.stop srv)
+    (fun () -> f srv (Serve.Server.Unix_path path))
+
+let call addr req = Serve.Client.with_connection addr (fun c -> Serve.Client.call c req)
+
+let solve_req n seed =
+  Json.Obj
+    [
+      ("op", Json.String "solve");
+      ("problem", Json.String "so-det");
+      ("n", Json.Int n);
+      ("seed", Json.Int seed);
+    ]
+
+let test_server_solve_and_reply_cache () =
+  with_server (fun _srv addr ->
+      let r1 = call addr (solve_req 400 5) in
+      check "solve ok" true (is_ok r1);
+      check "solve valid" true
+        (match Json.member "valid" r1 with Some (Json.Bool b) -> b | _ -> false);
+      check_str "first is a miss" "miss" (Option.get (member_str "cache" r1));
+      let r2 = call addr (solve_req 400 5) in
+      check_str "repeat is a hit" "hit" (Option.get (member_str "cache" r2));
+      (* field order must not defeat the canonical hash *)
+      let permuted =
+        Json.Obj
+          [
+            ("seed", Json.Int 5);
+            ("n", Json.Int 400);
+            ("problem", Json.String "so-det");
+            ("op", Json.String "solve");
+          ]
+      in
+      check_str "permuted fields still hit" "hit"
+        (Option.get (member_str "cache" (call addr permuted))))
+
+let test_server_bad_requests () =
+  with_server (fun _srv addr ->
+      let r = call addr (Json.Obj [ ("n", Json.Int 3) ]) in
+      check_str "missing op" "bad-request" (Option.get (member_str "error" r));
+      let r = call addr (Json.Obj [ ("op", Json.String "frobnicate") ]) in
+      check_str "unknown op" "bad-request" (Option.get (member_str "error" r));
+      let r =
+        call addr
+          (Json.Obj [ ("op", Json.String "solve"); ("problem", Json.String "nope") ])
+      in
+      check_str "unknown problem" "bad-request" (Option.get (member_str "error" r));
+      let r =
+        call addr (Json.Obj [ ("op", Json.String "audit"); ("problem", Json.Int 3) ])
+      in
+      check_str "ill-typed field" "bad-request" (Option.get (member_str "error" r));
+      (* errors are not cached: a good request identical to nothing above
+         still works, and the bad one stays bad rather than replaying *)
+      let r = call addr (Json.Obj [ ("op", Json.String "frobnicate") ]) in
+      check "error reply carries no cache field" true
+        (member_str "cache" r = None))
+
+let test_server_malformed_frame () =
+  with_server (fun _srv addr ->
+      let path = match addr with Serve.Server.Unix_path p -> p | _ -> assert false in
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Unix.connect fd (Unix.ADDR_UNIX path);
+      write_all fd (header_of_len 7 ^ "not{json");
+      let reply =
+        match Protocol.read_frame fd with
+        | Ok j -> j
+        | Error e -> Alcotest.fail (Protocol.decode_error_to_string e)
+      in
+      Unix.close fd;
+      check_str "garbage frame yields structured bad-frame" "bad-frame"
+        (Option.get (member_str "error" reply));
+      (* and the server is still serving *)
+      check "server alive after bad frame" true (is_ok (call addr (solve_req 300 1))))
+
+let test_server_stats_and_audit () =
+  with_server (fun srv addr ->
+      let r =
+        call addr
+          (Json.Obj
+             [
+               ("op", Json.String "audit");
+               ("problem", Json.String "so-det");
+               ("n", Json.Int 200);
+             ])
+      in
+      check "audit ok" true (is_ok r);
+      check "certificate ok" true
+        (match Json.member "cert_ok" r with Some (Json.Bool b) -> b | _ -> false);
+      let stats = call addr (Json.Obj [ ("op", Json.String "stats") ]) in
+      check "stats ok" true (is_ok stats);
+      (match Json.member "caches" stats with
+      | Some (Json.List (_ :: _)) -> ()
+      | _ -> Alcotest.fail "stats must list the caches");
+      (* in-process view agrees with the wire view on the request count *)
+      let wire_ops = Json.member "requests" stats in
+      let local_ops = Json.member "requests" (Serve.Server.stats_json srv) in
+      check "stats_json matches the stats op" true
+        (Option.map Json.to_string wire_ops <> None
+        && Option.map Json.to_string wire_ops = Option.map Json.to_string local_ops))
+
+(* two clients interleaving distinct request streams: each reply's
+   telemetry must describe only its own request — the deterministic
+   solver's counters never leak into the randomized solver's reply and
+   vice versa, whatever the arrival order *)
+let test_server_two_client_isolation () =
+  with_server (fun _srv addr ->
+      let telemetry_names reply =
+        match Json.member "telemetry" reply with
+        | Some (Json.Obj fields) -> List.map fst fields
+        | _ -> []
+      in
+      let run_client problem seeds results =
+        Serve.Client.with_connection addr (fun c ->
+            results :=
+              List.map
+                (fun seed ->
+                  Serve.Client.call c
+                    (Json.Obj
+                       [
+                         ("op", Json.String "solve");
+                         ("problem", Json.String problem);
+                         ("n", Json.Int 300);
+                         ("seed", Json.Int seed);
+                       ]))
+                seeds)
+      in
+      let det_replies = ref [] and rand_replies = ref [] in
+      let t1 = Thread.create (fun () -> run_client "so-det" [ 11; 12; 13 ] det_replies) () in
+      let t2 = Thread.create (fun () -> run_client "so-rand" [ 11; 12; 13 ] rand_replies) () in
+      Thread.join t1;
+      Thread.join t2;
+      check_int "det client got all replies" 3 (List.length !det_replies);
+      check_int "rand client got all replies" 3 (List.length !rand_replies);
+      List.iter
+        (fun r ->
+          check "det reply ok" true (is_ok r);
+          let names = telemetry_names r in
+          check "det telemetry has det counters" true
+            (List.mem "problems.so.det.runs" names);
+          check "det telemetry free of rand counters" false
+            (List.exists
+               (fun n -> String.length n >= 16 && String.sub n 0 16 = "problems.so.rand")
+               names))
+        !det_replies;
+      List.iter
+        (fun r ->
+          check "rand reply ok" true (is_ok r);
+          let names = telemetry_names r in
+          check "rand telemetry has rand counters" true
+            (List.mem "problems.so.rand.runs" names);
+          check "rand telemetry free of det counters" false
+            (List.mem "problems.so.det.runs" names))
+        !rand_replies)
+
+let suite =
+  [
+    Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
+    Alcotest.test_case "frame eof" `Quick test_frame_eof;
+    Alcotest.test_case "frame truncated header" `Quick test_frame_truncated_header;
+    Alcotest.test_case "frame truncated payload" `Quick test_frame_truncated_payload;
+    Alcotest.test_case "frame oversized" `Quick test_frame_oversized;
+    Alcotest.test_case "frame negative length" `Quick test_frame_negative_length;
+    Alcotest.test_case "frame garbage payload" `Quick test_frame_garbage_payload;
+    Alcotest.test_case "request hash canonical" `Quick test_request_hash_canonical;
+    Alcotest.test_case "cache hit/miss/evict" `Quick test_cache_hit_miss_evict;
+    Alcotest.test_case "cache failed build" `Quick test_cache_build_failure_not_cached;
+    Alcotest.test_case "scheduler busy + fifo" `Quick test_scheduler_busy_and_order;
+    Alcotest.test_case "scheduler exception contained" `Quick
+      test_scheduler_exception_contained;
+    Alcotest.test_case "server solve + reply cache" `Quick
+      test_server_solve_and_reply_cache;
+    Alcotest.test_case "server bad requests" `Quick test_server_bad_requests;
+    Alcotest.test_case "server malformed frame" `Quick test_server_malformed_frame;
+    Alcotest.test_case "server stats + audit" `Quick test_server_stats_and_audit;
+    Alcotest.test_case "server two-client isolation" `Quick
+      test_server_two_client_isolation;
+  ]
