@@ -1,4 +1,4 @@
-(* Validate a BENCH_parallel.json against the repro-bench-parallel/4
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/5
    schema. CI's bench-smoke and frontier-1m jobs (and the runtest smoke
    rule) run this right after `main.exe --json --quick`, so a malformed
    bench file fails the pipeline instead of silently corrupting the perf
@@ -124,10 +124,11 @@ let () =
       fields
   | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
-  if schema <> "repro-bench-parallel/4" then
-    fail "unexpected schema %S (want repro-bench-parallel/4)" schema;
-  (* the serve leg (schema /4): cold-vs-warm over the reply cache. Closed
-     like the top level, counts consistent with one cold pass of the mix *)
+  if schema <> "repro-bench-parallel/5" then
+    fail "unexpected schema %S (want repro-bench-parallel/5)" schema;
+  (* the serve leg (schema /5): cold-vs-warm over the reply cache plus the
+     traced-vs-disarmed span pair. Closed like the top level, counts
+     consistent with one cold pass of the mix *)
   (let sv = get "serve" j in
    (match sv with
    | J.Obj fields ->
@@ -135,6 +136,8 @@ let () =
        [
          "mix"; "requests"; "cold_ns_per_req"; "warm_ns_per_req"; "cold_rps";
          "warm_rps"; "warm_cold_ratio"; "reply_cache_hits"; "reply_cache_misses";
+         "span_n"; "span_requests"; "disarmed_ns_per_req"; "traced_ns_per_req";
+         "span_overhead_ratio";
        ]
      in
      List.iter
@@ -167,7 +170,19 @@ let () =
      fail "serve: %d reply-cache misses for a %d-request cold pass" misses
        requests;
    if hits < requests then
-     fail "serve: %d reply-cache hits — the warm passes never hit" hits);
+     fail "serve: %d reply-cache hits — the warm passes never hit" hits;
+   (* the span-overhead pair: fresh-seed solves, disarmed vs traced *)
+   let span_n = as_int "span_n" sv in
+   if span_n < 1 then fail "serve: span_n = %d, want >= 1" span_n;
+   let span_reqs = as_int "span_requests" sv in
+   if span_reqs < 1 then fail "serve: span_requests = %d, want >= 1" span_reqs;
+   let disarmed = pos "disarmed_ns_per_req" in
+   let traced = pos "traced_ns_per_req" in
+   let span_ratio = pos "span_overhead_ratio" in
+   if abs_float (span_ratio -. (traced /. disarmed)) > 0.01 *. span_ratio then
+     fail "serve: span_overhead_ratio %g inconsistent with traced/disarmed %g"
+       span_ratio
+       (traced /. disarmed));
   let domains = as_int "domains" j in
   if domains < 1 then fail "domains = %d, want >= 1" domains;
   let cores = as_int "cores" j in

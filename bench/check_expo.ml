@@ -1,0 +1,219 @@
+(* Validate the serve daemon's [metrics] reply: well-formed Prometheus
+   text exposition (format 0.0.4), and no registered metric missing from
+   the body. CI's metrics-smoke job runs this over the JSON reply of
+   `repro call '{"op": "metrics"}'` against a live daemon — a rendering
+   bug or a metric that silently stopped being exported fails the
+   pipeline instead of breaking dashboards later.
+
+   Checks:
+     - reply has ok=true and a text/plain content type
+     - every non-comment body line is `name value` or `name{labels} value`
+       with a legal metric name and a parseable value
+     - every sample's family (histogram suffixes stripped) has a # TYPE
+       line, declared before its first sample
+     - histogram families have cumulative non-decreasing le buckets, end
+       in an le="+Inf" bucket, and the +Inf count equals _count
+     - every name in the reply's "names" list (the registry's view of
+       what it exported) appears in the body — a counter as itself, a
+       histogram via its _bucket/_sum/_count series
+
+   Usage: check_expo.exe [FILE]   (default: metrics-reply.json) *)
+
+module J = Repro_obs.Json
+
+let fail fmt = Printf.ksprintf (fun s -> prerr_endline ("FAIL: " ^ s); exit 1) fmt
+
+let is_name_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = ':'
+
+let legal_name s =
+  s <> ""
+  && (not (s.[0] >= '0' && s.[0] <= '9'))
+  && String.for_all is_name_char s
+
+let parse_value s =
+  match s with
+  | "+Inf" | "Inf" -> Some infinity
+  | "-Inf" -> Some neg_infinity
+  | "NaN" -> Some nan
+  | _ -> float_of_string_opt s
+
+(* `name value` or `name{l1="v1",...} value`; labels are not interpreted
+   beyond extracting `le` for the bucket checks *)
+let parse_sample ~lineno line =
+  let name_end =
+    let i = ref 0 in
+    while !i < String.length line && is_name_char line.[!i] do incr i done;
+    !i
+  in
+  let name = String.sub line 0 name_end in
+  if not (legal_name name) then
+    fail "line %d: illegal metric name in %S" lineno line;
+  let rest = String.sub line name_end (String.length line - name_end) in
+  let le, rest =
+    if String.length rest > 0 && rest.[0] = '{' then begin
+      match String.index_opt rest '}' with
+      | None -> fail "line %d: unterminated label set in %S" lineno line
+      | Some close ->
+        let labels = String.sub rest 1 (close - 1) in
+        let le =
+          List.find_map
+            (fun pair ->
+              match String.index_opt pair '=' with
+              | Some eq when String.sub pair 0 eq = "le" ->
+                let v = String.sub pair (eq + 1) (String.length pair - eq - 1) in
+                let v =
+                  if String.length v >= 2 && v.[0] = '"' then
+                    String.sub v 1 (String.length v - 2)
+                  else v
+                in
+                Some v
+              | _ -> None)
+            (String.split_on_char ',' labels)
+        in
+        (le, String.sub rest (close + 1) (String.length rest - close - 1))
+    end
+    else (None, rest)
+  in
+  let value =
+    match String.split_on_char ' ' (String.trim rest) with
+    | v :: _ -> (
+      match parse_value v with
+      | Some f -> f
+      | None -> fail "line %d: unparseable value %S in %S" lineno v line)
+    | [] -> fail "line %d: sample %S has no value" lineno line
+  in
+  (name, le, value)
+
+let strip_suffix name =
+  List.fold_left
+    (fun acc suf ->
+      match acc with
+      | Some _ -> acc
+      | None ->
+        let ls = String.length suf and ln = String.length name in
+        if ln > ls && String.sub name (ln - ls) ls = suf then
+          Some (String.sub name 0 (ln - ls))
+        else None)
+    None
+    [ "_bucket"; "_sum"; "_count" ]
+
+let () =
+  let file =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "metrics-reply.json"
+  in
+  let contents =
+    try In_channel.with_open_text file In_channel.input_all
+    with Sys_error e -> fail "cannot read %s: %s" file e
+  in
+  let j =
+    match J.of_string contents with
+    | Ok j -> j
+    | Error e -> fail "%s: parse error: %s" file e
+  in
+  (match J.member "ok" j with
+  | Some (J.Bool true) -> ()
+  | _ -> fail "%s: reply is not ok=true" file);
+  (match Option.map J.to_str (J.member "content_type" j) with
+  | Some (Some ct)
+    when String.length ct >= 10 && String.sub ct 0 10 = "text/plain" -> ()
+  | _ -> fail "%s: content_type missing or not text/plain" file);
+  let body =
+    match Option.map J.to_str (J.member "body" j) with
+    | Some (Some b) -> b
+    | _ -> fail "%s: missing exposition body" file
+  in
+  let names =
+    match Option.map J.to_list (J.member "names" j) with
+    | Some (Some l) ->
+      List.map
+        (fun v ->
+          match J.to_str v with
+          | Some s -> s
+          | None -> fail "%s: non-string entry in \"names\"" file)
+        l
+    | _ -> fail "%s: missing \"names\" list" file
+  in
+  if names = [] then fail "%s: empty \"names\" list" file;
+  let typed = Hashtbl.create 16 in  (* family -> "counter" | "gauge" | ... *)
+  let sampled = Hashtbl.create 64 in  (* sample name -> () *)
+  (* family -> (le, count) buckets in emission order, plus _count value *)
+  let buckets : (string, (string * float) list) Hashtbl.t = Hashtbl.create 16 in
+  let counts = Hashtbl.create 16 in
+  List.iteri
+    (fun i line ->
+      let lineno = i + 1 in
+      let line = String.trim line in
+      if line = "" then ()
+      else if String.length line >= 1 && line.[0] = '#' then begin
+        match String.split_on_char ' ' line with
+        | "#" :: "HELP" :: name :: _ when legal_name name -> ()
+        | "#" :: "TYPE" :: name :: [ kind ] when legal_name name ->
+          if not (List.mem kind [ "counter"; "gauge"; "histogram"; "summary"; "untyped" ])
+          then fail "line %d: unknown TYPE %S for %s" lineno kind name;
+          if Hashtbl.mem typed name then
+            fail "line %d: duplicate TYPE for %s" lineno name;
+          Hashtbl.replace typed name kind
+        | _ -> fail "line %d: malformed comment %S" lineno line
+      end
+      else begin
+        let name, le, value = parse_sample ~lineno line in
+        let family =
+          match strip_suffix name with
+          | Some base when Hashtbl.mem typed base -> base
+          | _ -> name
+        in
+        if not (Hashtbl.mem typed family) then
+          fail "line %d: sample %s has no preceding # TYPE" lineno name;
+        Hashtbl.replace sampled name ();
+        if Hashtbl.find typed family = "histogram" then begin
+          match (le, strip_suffix name) with
+          | Some le, _ ->
+            Hashtbl.replace buckets family
+              ((le, value) :: (try Hashtbl.find buckets family with Not_found -> []))
+          | None, Some _ when Filename.check_suffix name "_count" ->
+            Hashtbl.replace counts family value
+          | _ -> ()
+        end
+      end)
+    (String.split_on_char '\n' body);
+  (* histogram invariants: buckets cumulative, +Inf last and = _count *)
+  Hashtbl.iter
+    (fun family bs ->
+      let bs = List.rev bs in
+      (match bs with
+      | [] -> fail "histogram %s has no buckets" family
+      | _ ->
+        let last_le, last_v = List.nth bs (List.length bs - 1) in
+        if last_le <> "+Inf" then
+          fail "histogram %s: final bucket le=%S, want +Inf" family last_le;
+        (match Hashtbl.find_opt counts family with
+        | Some c when c = last_v -> ()
+        | Some c ->
+          fail "histogram %s: +Inf bucket %g <> _count %g" family last_v c
+        | None -> fail "histogram %s has no _count sample" family));
+      ignore
+        (List.fold_left
+           (fun prev (le, v) ->
+             if v < prev then
+               fail "histogram %s: bucket le=%S count %g below predecessor %g"
+                 family le v prev;
+             v)
+           0.0 bs))
+    buckets;
+  (* registry cross-check: every exported name must be in the body *)
+  List.iter
+    (fun name ->
+      let present =
+        Hashtbl.mem sampled name
+        || (Hashtbl.find_opt typed name = Some "histogram"
+           && Hashtbl.mem sampled (name ^ "_count"))
+      in
+      if not present then
+        fail "registered metric %s missing from the exposition body" name)
+    names;
+  Printf.printf "%s: ok (%d samples, %d families, %d registered names)\n" file
+    (Hashtbl.length sampled) (Hashtbl.length typed) (List.length names)

@@ -4,7 +4,7 @@
    Usage: compare_bench.exe BASELINE CURRENT
 
    Hard failures (exit 1):
-     - either file fails to parse or is not repro-bench-parallel/4
+     - either file fails to parse or is not repro-bench-parallel/5
      - the current serve leg's warm/cold ratio falls below 5x: the reply
        cache exists to make a warm gadget-family-heavy mix at least that
        much faster than its cold pass, and both numbers come from the
@@ -18,6 +18,15 @@
        (n=3000, height 8): the engine's per-node allocation is
        size-independent, and the 2x tolerance absorbs the residual
        fixed costs that don't scale with n.
+     - the serve leg's disarmed span instrumentation costs more than 3%
+       over the committed baseline, at equal span workload only
+       (baseline and current must have measured the same span_n; a
+       --quick run against the full-size baseline is skipped, not
+       compared). The disarmed path is the one every untraced request
+       pays, so its cost is gated directly; the traced/disarmed
+       overhead ratio is printed for information but never gated — a
+       slower disarmed denominator would shrink it, moving it the
+       wrong way exactly when the regression happens.
      - a case's par/seq overhead ratio regresses by more than 1.15x, at
        equal n only. The ratio (par_ns / seq_ns) divides out the
        machine's absolute speed — both numerators come from the same
@@ -44,12 +53,20 @@ let alloc_floor = 0.05
 let ratio_regression_limit = 1.15
 let wallclock_advisory_ratio = 1.5
 let serve_warm_ratio_floor = 5.0
+let span_disarmed_limit = 1.03
 
 type row = {
   n : int;
   seq_ns : float option;
   par_seq_ratio : float option;
   minor_per_round : float;
+}
+
+type serve = {
+  warm_cold_ratio : float;
+  span_n : int;
+  disarmed_ns : float;
+  traced_ns : float;
 }
 
 let load file =
@@ -68,15 +85,23 @@ let load file =
     | None -> fail "%s: missing field %S" file name
   in
   (match J.to_str (get "schema" j) with
-  | Some "repro-bench-parallel/4" -> ()
-  | Some s -> fail "%s: schema %S (want repro-bench-parallel/4)" file s
+  | Some "repro-bench-parallel/5" -> ()
+  | Some s -> fail "%s: schema %S (want repro-bench-parallel/5)" file s
   | None -> fail "%s: schema is not a string" file);
-  let serve_ratio =
+  let serve =
     match J.member "serve" j with
-    | Some sv -> (
-      match Option.map J.to_float (J.member "warm_cold_ratio" sv) with
-      | Some (Some r) -> r
-      | _ -> fail "%s: serve.warm_cold_ratio missing or not a number" file)
+    | Some sv ->
+      let num fname =
+        match Option.map J.to_float (J.member fname sv) with
+        | Some (Some r) -> r
+        | _ -> fail "%s: serve.%s missing or not a number" file fname
+      in
+      {
+        warm_cold_ratio = num "warm_cold_ratio";
+        span_n = int_of_float (num "span_n");
+        disarmed_ns = num "disarmed_ns_per_req";
+        traced_ns = num "traced_ns_per_req";
+      }
     | None -> fail "%s: missing \"serve\" leg" file
   in
   let results =
@@ -109,26 +134,50 @@ let load file =
           minor_per_round = num "minor_words_per_round";
         })
     results;
-  (tbl, serve_ratio)
+  (tbl, serve)
 
 let () =
   if Array.length Sys.argv <> 3 then
     fail "usage: compare_bench.exe BASELINE CURRENT";
-  let baseline, _ = load Sys.argv.(1) in
-  let current, serve_ratio = load Sys.argv.(2) in
+  let baseline, base_serve = load Sys.argv.(1) in
+  let current, serve = load Sys.argv.(2) in
   let failures = ref 0 in
   let checked = ref 0 in
   (* serve gate: an absolute floor on the current run, not a
      baseline-relative one — the 5x promise is part of the cache's
      contract, whatever the host *)
-  if serve_ratio < serve_warm_ratio_floor then begin
+  if serve.warm_cold_ratio < serve_warm_ratio_floor then begin
     incr failures;
     Printf.eprintf "FAIL: serve warm/cold ratio %.3f below the %.1fx floor\n"
-      serve_ratio serve_warm_ratio_floor
+      serve.warm_cold_ratio serve_warm_ratio_floor
   end
   else
     Printf.printf "ok    %-24s warm/cold ratio %.3f (floor %.1fx)\n" "serve"
-      serve_ratio serve_warm_ratio_floor;
+      serve.warm_cold_ratio serve_warm_ratio_floor;
+  (* span-instrumentation gate: the disarmed per-request cost may not
+     creep more than 3% over the baseline. Both sides must have measured
+     the same instance size — a --quick current against the full-size
+     committed baseline is incomparable and skipped, like the par/seq
+     gate at unequal n *)
+  if serve.span_n = base_serve.span_n && base_serve.disarmed_ns > 0.0 then begin
+    if serve.disarmed_ns > span_disarmed_limit *. base_serve.disarmed_ns then begin
+      incr failures;
+      Printf.eprintf
+        "FAIL: serve disarmed span cost %.0f ns/req vs baseline %.0f (> %.2fx)\n"
+        serve.disarmed_ns base_serve.disarmed_ns span_disarmed_limit
+    end
+    else
+      Printf.printf
+        "ok    %-24s disarmed %.0f ns/req (baseline %.0f, limit %.2fx)\n"
+        "serve spans" serve.disarmed_ns base_serve.disarmed_ns
+        span_disarmed_limit
+  end
+  else
+    Printf.printf
+      "skip  %-24s span_n %d vs baseline %d — incomparable workloads\n"
+      "serve spans" serve.span_n base_serve.span_n;
+  Printf.printf "info  %-24s traced/disarmed overhead %.3fx\n" "serve spans"
+    (serve.traced_ns /. serve.disarmed_ns);
   Hashtbl.iter
     (fun name (b : row) ->
       match Hashtbl.find_opt current name with

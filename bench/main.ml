@@ -260,6 +260,10 @@ type serve_stats = {
   sv_warm_ns : float;  (** ns per request, later passes (all hits) *)
   sv_hits : int;
   sv_misses : int;
+  sv_span_n : int;  (** instance size of the span-overhead solves *)
+  sv_span_reqs : int;  (** requests per span-overhead pass *)
+  sv_disarmed_ns : float;  (** ns per fresh-seed solve, spans disarmed *)
+  sv_traced_ns : float;  (** ns per fresh-seed solve, spans recorded *)
 }
 
 let bench_serve ~quick () =
@@ -312,6 +316,35 @@ let bench_serve ~quick () =
   let cold_s = time run_mix in
   let reps = if quick then 5 else 20 in
   let warm_s = time (fun () -> for _ = 1 to reps do run_mix () done) in
+  (* span-overhead pair: fresh-seed so-wave solves so every request is a
+     reply-cache miss and actually runs the wave engine. One pass with the
+     span pipeline disarmed (plain request), one with ["spans": true]
+     (arm + record + encode the full tree). disarmed_ns_per_req is the
+     compare_bench gate: the disarmed instrumentation must stay within 3%
+     of the committed baseline at equal span workload. *)
+  let span_n = if quick then 400 else 2000 in
+  let span_reps = if quick then 4 else 10 in
+  let span_solve ?(spans = false) n seed =
+    o
+      ([
+         ("op", s "solve"); ("problem", s "so-wave"); ("n", i n);
+         ("seed", i seed);
+       ]
+      @ if spans then [ ("spans", Obs.Json.Bool true) ] else [])
+  in
+  let run_span_pass ~spans ~seed0 =
+    for k = 1 to span_reps do
+      let reply = Client.call c (span_solve ~spans span_n (seed0 + k)) in
+      match Obs.Json.member "ok" reply with
+      | Some (Obs.Json.Bool true) -> ()
+      | _ ->
+        failwith
+          (Printf.sprintf "bench serve: span-leg request failed: %s"
+             (Obs.Json.to_string reply))
+    done
+  in
+  let disarmed_s = time (fun () -> run_span_pass ~spans:false ~seed0:910_000) in
+  let traced_s = time (fun () -> run_span_pass ~spans:true ~seed0:920_000) in
   let hits, misses =
     match Obs.Json.member "caches" (Server.stats_json srv) with
     | Some (Obs.Json.List caches) ->
@@ -335,6 +368,10 @@ let bench_serve ~quick () =
     sv_warm_ns = warm_s *. 1e9 /. float_of_int (reps * requests);
     sv_hits = hits;
     sv_misses = misses;
+    sv_span_n = span_n;
+    sv_span_reqs = span_reps;
+    sv_disarmed_ns = disarmed_s *. 1e9 /. float_of_int span_reps;
+    sv_traced_ns = traced_s *. 1e9 /. float_of_int span_reps;
   }
 
 (* --json: measure every case under 1 domain and under [domains], write
@@ -383,6 +420,10 @@ let run_json ~quick () =
     "serve                    %d-request mix   cold %12.0f ns/req   warm %12.0f ns/req   (%.1fx)\n"
     serve.sv_requests serve.sv_cold_ns serve.sv_warm_ns
     (serve.sv_cold_ns /. serve.sv_warm_ns);
+  Printf.printf
+    "serve spans              n=%d solves      disarmed %10.0f ns/req   traced %10.0f ns/req   (%.3fx)\n"
+    serve.sv_span_n serve.sv_disarmed_ns serve.sv_traced_ns
+    (serve.sv_traced_ns /. serve.sv_disarmed_ns);
   let file = "BENCH_parallel.json" in
   let oc = open_out file in
   let field = function
@@ -398,7 +439,7 @@ let run_json ~quick () =
   (* cores records oversubscription: speedup is only physically possible
      when domains <= cores (a 1-core container shows slowdowns) *)
   Printf.fprintf oc
-    "{\n  \"schema\": \"repro-bench-parallel/4\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
+    "{\n  \"schema\": \"repro-bench-parallel/5\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
     domains
     (Domain.recommended_domain_count ())
     quick;
@@ -408,12 +449,16 @@ let run_json ~quick () =
     "  \"serve\": {\"mix\": \"gadget-heavy\", \"requests\": %d, \"cold_ns_per_req\": \
      %.1f, \"warm_ns_per_req\": %.1f, \"cold_rps\": %.1f, \"warm_rps\": %.1f, \
      \"warm_cold_ratio\": %.3f, \"reply_cache_hits\": %d, \
-     \"reply_cache_misses\": %d},\n"
+     \"reply_cache_misses\": %d, \"span_n\": %d, \"span_requests\": %d, \
+     \"disarmed_ns_per_req\": %.1f, \"traced_ns_per_req\": %.1f, \
+     \"span_overhead_ratio\": %.3f},\n"
     serve.sv_requests serve.sv_cold_ns serve.sv_warm_ns
     (1e9 /. serve.sv_cold_ns)
     (1e9 /. serve.sv_warm_ns)
     (serve.sv_cold_ns /. serve.sv_warm_ns)
-    serve.sv_hits serve.sv_misses;
+    serve.sv_hits serve.sv_misses serve.sv_span_n serve.sv_span_reqs
+    serve.sv_disarmed_ns serve.sv_traced_ns
+    (serve.sv_traced_ns /. serve.sv_disarmed_ns);
   Printf.fprintf oc "  \"results\": [\n";
   List.iteri
     (fun i (case, seq, par, minor_w, promoted_w, fstats) ->

@@ -59,9 +59,24 @@ let with_obs ~label (trace, stats) f =
     match trace with
     | None -> f ()
     | Some file ->
-      (* Trace.record aborts the recorder if f raises, so a failed run
-         cannot leave it armed and polluting the next trace *)
-      let result, events = Obs.Trace.record ~label f in
+      (* spans arm alongside the trace: the run executes under a
+         cli.<label> root span, and every engine/pool span underneath
+         drains into the same JSONL as the round events. On failure both
+         recorders are aborted so a failed run cannot leave them armed
+         and polluting the next trace. *)
+      Obs.Trace.start ~label ();
+      let (_ : int) = Obs.Span.arm () in
+      let result =
+        try
+          let r = Obs.Span.with_span ("cli." ^ label) f in
+          Obs.Span.flush_to_trace ();
+          r
+        with e ->
+          Obs.Span.abort ();
+          Obs.Trace.abort ();
+          raise e
+      in
+      let events = Obs.Trace.finish () in
       Obs.Trace.write_jsonl file events;
       Printf.printf "wrote %s (%d events)\n" file (List.length events);
       result
@@ -416,11 +431,15 @@ let audit_cmd =
     Term.(ret (const run $ problem $ n $ seed_arg $ cert_file $ obs_args))
 
 let trace_report_cmd =
-  let run file against =
+  let run file against spans =
     match Obs.Trace.read_jsonl file with
     | Error msg -> `Error (false, Printf.sprintf "%s: %s" file msg)
     | Ok events -> (
       Format.printf "%a@." Obs.Summary.pp_trace events;
+      (if spans then
+         match Obs.Trace.spans events with
+         | [] -> Printf.printf "no span events in %s\n" file
+         | ss -> Format.printf "%a@." Obs.Summary.pp_span_report ss);
       let counters =
         List.filter_map
           (function
@@ -472,12 +491,21 @@ let trace_report_cmd =
             "Also check that the deterministic projection matches $(docv) \
              (e.g. the same run at a different REPRO_DOMAINS).")
   in
+  let spans =
+    Arg.(
+      value & flag
+      & info [ "spans" ]
+          ~doc:
+            "Print the span report: the reconstructed span tree of each \
+             trace, its critical path, and per-label self-time attribution.")
+  in
   Cmd.v
     (Cmd.info "trace-report"
        ~doc:
          "Recompute trace invariants offline from a recorded JSONL file: \
-          round/counter consistency, audit balls, certificate summaries.")
-    Term.(ret (const run $ file $ against))
+          round/counter consistency, audit balls, certificate summaries, \
+          span nesting; $(b,--spans) adds the span-tree report.")
+    Term.(ret (const run $ file $ against $ spans))
 
 (* ------------------------------------------------------------------ *)
 
@@ -658,23 +686,45 @@ let serve_cmd =
     (Cmd.info "serve"
        ~doc:
          "Run the long-lived service: length-prefixed JSON requests (solve, \
-          check, audit, fuzz, bench, stats) over one domain pool, with \
-          content-addressed reply/artifact caches and per-request telemetry. \
-          SIGTERM or SIGINT shuts down cleanly (exit 0).")
+          check, audit, fuzz, bench, stats, metrics) over one domain pool, \
+          with content-addressed reply/artifact caches, per-request \
+          telemetry and span traces, and Prometheus-format metrics. SIGTERM \
+          or SIGINT shuts down cleanly (exit 0).")
     Term.(ret (const run $ addr_args $ queue $ cache $ log))
 
 let call_cmd =
-  let run addr request =
+  let run addr request spans_out =
     match addr with
     | Error msg -> `Error (false, msg)
     | Ok addr -> (
       match Obs.Json.of_string request with
       | Error e -> `Error (false, Printf.sprintf "request is not JSON: %s" e)
       | Ok req -> (
+        (* --spans-out implies asking the server to trace the request *)
+        let req =
+          match (spans_out, req) with
+          | Some _, Obs.Json.Obj fields when not (List.mem_assoc "spans" fields)
+            ->
+            Obs.Json.Obj (fields @ [ ("spans", Obs.Json.Bool true) ])
+          | _ -> req
+        in
         let reply =
           Serve.Client.with_connection addr (fun c -> Serve.Client.call c req)
         in
         print_endline (Obs.Json.to_string reply);
+        (match spans_out with
+        | None -> ()
+        | Some file -> (
+          match Obs.Json.member "spans" reply with
+          | Some (Obs.Json.List items) ->
+            let events =
+              List.filter_map
+                (fun j -> Result.to_option (Obs.Trace.event_of_json j))
+                items
+            in
+            Obs.Trace.write_jsonl file events;
+            Printf.eprintf "wrote %s (%d spans)\n%!" file (List.length events)
+          | _ -> Printf.eprintf "reply carried no spans\n%!"));
         match Obs.Json.member "ok" reply with
         | Some (Obs.Json.Bool true) -> `Ok ()
         | _ -> `Error (false, "server replied with an error")))
@@ -686,12 +736,22 @@ let call_cmd =
       & info [] ~docv:"REQUEST" ~doc:"The request as a JSON object, e.g. \
           '{\"op\": \"solve\", \"problem\": \"so-det\", \"n\": 1000}'.")
   in
+  let spans_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spans-out" ] ~docv:"FILE"
+          ~doc:
+            "Ask the server to trace the request (sets \"spans\": true) and \
+             write the returned span tree as JSONL to $(docv), ready for \
+             $(b,repro trace-report --spans).")
+  in
   Cmd.v
     (Cmd.info "call"
        ~doc:
          "Send one framed JSON request to a running repro serve daemon and \
           print the reply. Exits non-zero if the reply is an error.")
-    Term.(ret (const run $ addr_args $ request))
+    Term.(ret (const run $ addr_args $ request $ spans_out))
 
 let () =
   let doc = "Reproduction of 'How much does randomness help with locally checkable problems?' (PODC 2020)" in

@@ -191,8 +191,10 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
   let send_dense = Pool.fused (fun w -> FS.fold_word live w 0 send_fold) in
   let recv_sparse = Pool.fused (fun k -> recv_one (FS.member live k)) in
   let recv_dense = Pool.fused (fun w -> FS.fold_word live w 0 recv_fold) in
+  let run_sp = Obs.Span.enter "frontier.run" in
   while !remaining > 0 && !round < limit do
     let r = !round in
+    let rsp = Obs.Span.enter "frontier.round" in
     let t0 = Obs.Clock.now_ns () in
     let dense = FS.is_dense live in
     let active = FS.cardinal live in
@@ -243,14 +245,19 @@ let run ?limit ?dense_threshold inst (alg : _ MP.algorithm) =
              chunk_ns = chunk_ns1 - chunk_ns0;
            })
     end;
+    (* clamped: the gettimeofday fallback clock can step backwards *)
     FS.Stats.record recorder ~active ~edges ~dense
-      ~ns:(Obs.Clock.now_ns () - t0);
+      ~ns:(max 0 (Obs.Clock.now_ns () - t0));
+    if Obs.Span.live rsp then
+      Obs.Span.exit ~kvs:[ ("round", r); ("active", active) ] rsp;
     incr round
   done;
   if !remaining > 0 then
     failwith
       (Printf.sprintf "Frontier.run: %d nodes still running after %d rounds"
          !remaining limit);
+  if Obs.Span.live run_sp then
+    Obs.Span.exit ~kvs:[ ("rounds", !round); ("n", n) ] run_sp;
   let outputs = Array.map Fun.id out_buf in
   if audit then
     Obs.Provenance.submit

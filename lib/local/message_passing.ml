@@ -270,14 +270,23 @@ let run ?limit inst alg =
            })
     end
   in
+  let run_sp = Obs.Span.enter "mp.run" in
   while !remaining > 0 && !round < limit do
+    (* round spans nest under mp.run; worker chunk spans recorded during
+       the two pool phases parent under the round via the cross-slot
+       parent (see Obs.Span). Disarmed cost: one boolean load per call,
+       and the kv list is only built when the handle is live. *)
+    let rsp = Obs.Span.enter "mp.round" in
     deliver ();
+    if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", !round) ] rsp;
     incr round
   done;
   if !remaining > 0 then
     failwith
       (Printf.sprintf "Message_passing.run: %d nodes still running after %d rounds"
          !remaining limit);
+  if Obs.Span.live run_sp then
+    Obs.Span.exit ~kvs:[ ("rounds", !round); ("n", n) ] run_sp;
   (* rebuild with the element type's own representation before the array
      escapes to (possibly monomorphic) user code *)
   let outputs = Array.map Fun.id out_buf in
@@ -476,6 +485,7 @@ let flood_gather inst ~radius payload =
   let payloads = Pool.tabulate n payload in
   if n = 0 || radius <= 0 then by_round
   else begin
+    let run_sp = Obs.Span.enter "flood.run" in
     (* intern payloads into classes (main domain: the table is shared) *)
     let class_of = Array.make n 0 in
     let class_payload = Array.make n payloads.(0) in
@@ -556,6 +566,7 @@ let flood_gather inst ~radius payload =
       in
       let next = Array.init n (fun _ -> B.create nc) in
       for r = 0 to radius - 1 do
+        let rsp = Obs.Span.enter "flood.round" in
         let traced = Obs.Trace.active () in
         let marks0 = if traced then obs_marks mt else (0, 0, 0) in
         if audit then
@@ -589,7 +600,8 @@ let flood_gather inst ~radius payload =
           known.(v) <- next.(v);
           next.(v) <- t
         done;
-        emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+        emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes;
+        if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", r) ] rsp
       done
     end
     else begin
@@ -697,6 +709,7 @@ let flood_gather inst ~radius payload =
            neighbour every round, exactly as the certificate model
            expects, so audited floods keep the O(n + m) rounds *)
         for r = 0 to radius - 1 do
+          let rsp = Obs.Span.enter "flood.round" in
           let traced = Obs.Trace.active () in
           let marks0 = if traced then obs_marks mt else (0, 0, 0) in
           Pool.parallel_for ~n (fun v ->
@@ -704,7 +717,8 @@ let flood_gather inst ~radius payload =
               Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
           let msgs, mbox_max, bytes = account () in
           Pool.parallel_for ~n (merge_node (fun _ -> true) r);
-          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes;
+          if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", r) ] rsp
         done
       else begin
         (* frontier path: only nodes whose set grew last round
@@ -723,6 +737,7 @@ let flood_gather inst ~radius payload =
         Frontier_set.fill_all changed;
         let in_changed v = Frontier_set.mem changed v in
         for r = 0 to radius - 1 do
+          let rsp = Obs.Span.enter "flood.round" in
           let traced = Obs.Trace.active () in
           let marks0 = if traced then obs_marks mt else (0, 0, 0) in
           Pool.parallel_for ~n:(Frontier_set.cardinal changed) (fun k ->
@@ -737,7 +752,8 @@ let flood_gather inst ~radius payload =
           Frontier_set.clear changed;
           Frontier_set.iter cand (fun w ->
               if known.(w) != snap.(w) then Frontier_set.add changed w);
-          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes
+          emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes;
+          if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", r) ] rsp
         done
       end
     end;
@@ -749,5 +765,7 @@ let flood_gather inst ~radius payload =
           influence = inf_state;
           rounds_active = Array.make n radius;
         };
+    if Obs.Span.live run_sp then
+      Obs.Span.exit ~kvs:[ ("radius", radius); ("n", n) ] run_sp;
     by_round
   end

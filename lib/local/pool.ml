@@ -117,6 +117,11 @@ let index_key : int Domain.DLS.key = Domain.DLS.new_key (fun () -> 0)
 let worker_index () = Domain.DLS.get index_key
 let worker_slots () = size ()
 
+(* give Span its slot geometry: repro_obs cannot depend on this library,
+   so the pool registers itself (module initialization runs before any
+   engine code can arm a recording) *)
+let () = Obs.Span.set_worker_source ~slots:worker_slots ~index:worker_index
+
 (* claim and run chunks until the range drains; after a body raises, the
    remaining chunks are still claimed (so the completed count drains) but
    their bodies are skipped *)
@@ -128,12 +133,18 @@ let run_job pool job =
          let m = job.jm in
          let timed = Obs.Registry.live m.preg in
          let t0 = if timed then Obs.Clock.now_ns () else 0 in
+         let sp =
+           if Obs.Span.armed () then Obs.Span.enter "pool.chunk"
+           else Obs.Span.null
+         in
          (try
             job.body (c * job.chunk_size)
               (min job.total ((c * job.chunk_size) + job.chunk_size))
           with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
+         if Obs.Span.live sp then Obs.Span.exit ~kvs:[ ("chunk", c) ] sp;
          if timed then begin
-           let dt = Obs.Clock.now_ns () - t0 in
+           (* clamped: the gettimeofday fallback clock can step *)
+           let dt = max 0 (Obs.Clock.now_ns () - t0) in
            Obs.Counter.incr m.m_chunks;
            Obs.Counter.add m.m_chunk_ns dt;
            Obs.Histogram.observe m.m_chunk_hist dt

@@ -1,5 +1,18 @@
-(* Wall-clock nanoseconds for chunk timing. [Unix.gettimeofday] has
-   microsecond granularity, which is plenty for telemetry (timing fields
-   are excluded from the determinism contract anyway, see Trace). *)
+(* Monotonic nanoseconds for delta timing. The C stub reads
+   CLOCK_MONOTONIC, which cannot step backwards under NTP adjustments —
+   [Unix.gettimeofday] can, and a backwards step between the two reads
+   of a delta timer produced negative chunk/round times. The stub
+   returns -1 where the clock is unavailable; then (and only then) we
+   fall back to the old gettimeofday path, and the consumers clamp
+   their deltas at 0.
 
-let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9)
+   Monotonic values count from an arbitrary origin (boot, typically),
+   not the epoch — callers must only ever subtract two of them. *)
+
+external monotonic_ns : unit -> int = "repro_clock_monotonic_ns" [@@noalloc]
+
+let monotonic_available = monotonic_ns () >= 0
+
+let now_ns =
+  if monotonic_available then monotonic_ns
+  else fun () -> int_of_float (Unix.gettimeofday () *. 1e9)

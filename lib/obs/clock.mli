@@ -1,4 +1,13 @@
-(** Wall-clock time for telemetry timing fields. *)
+(** Monotonic time for telemetry timing fields. *)
 
 val now_ns : unit -> int
-(** Nanoseconds since the epoch (microsecond granularity). *)
+(** Nanoseconds on a monotonic clock ([clock_gettime(CLOCK_MONOTONIC)]
+    via a C stub). The origin is arbitrary — only differences between
+    two reads are meaningful. Falls back to [Unix.gettimeofday] (epoch
+    nanoseconds, microsecond granularity, {e not} monotonic) where the
+    monotonic clock is unavailable; consumers clamp deltas at 0 to stay
+    safe under that fallback. *)
+
+val monotonic_available : bool
+(** Whether {!now_ns} is backed by the monotonic clock (as opposed to
+    the gettimeofday fallback). *)

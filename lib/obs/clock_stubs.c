@@ -1,0 +1,25 @@
+/* Monotonic nanosecond clock for telemetry timing fields.
+ *
+ * CLOCK_MONOTONIC never steps backwards under NTP slews or manual clock
+ * changes, which is the property the pool/engine delta timers need
+ * (gettimeofday deltas can go negative). Returns -1 if the syscall is
+ * unavailable so the OCaml side can fall back to gettimeofday.
+ *
+ * The result is an immediate (Val_long, [@@noalloc] on the OCaml side):
+ * 2^62 ns is ~146 years of uptime, so tagged 63-bit ints never overflow.
+ */
+#include <caml/mlvalues.h>
+#include <time.h>
+
+CAMLprim value repro_clock_monotonic_ns(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return Val_long(-1);
+  return Val_long((intnat)ts.tv_sec * 1000000000 + (intnat)ts.tv_nsec);
+#else
+  return Val_long(-1);
+#endif
+}

@@ -1,0 +1,53 @@
+(* Prometheus text exposition (version 0.0.4) over a Registry.
+
+   Dot-separated registry names become underscore metric names under a
+   namespace prefix. Counters render as-is; histograms render with
+   cumulative [le] buckets derived from the power-of-two layout: bucket
+   [lo, 2*lo) holds integer samples <= 2*lo - 1, so the upper bounds
+   are 0, 1, 3, 7, ... — exact for integer-valued observations, which
+   is all Histogram accepts. Gauges are caller-supplied (uptime, queue
+   depth, ...): the registry itself has no gauge kind, and inventing
+   one for two values that are trivially recomputed at scrape time
+   would be machinery without a payoff. *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c
+      | _ -> '_')
+    name
+
+let metric_name ~namespace name = namespace ^ "_" ^ sanitize name
+
+(* integer upper bound of the bucket with lower bound [lo] *)
+let le_of lo = if lo = 0 then 0 else (2 * lo) - 1
+
+let render ?(namespace = "repro") ?(gauges = []) reg =
+  let b = Buffer.create 1024 in
+  let line fmt = Printf.ksprintf (fun s -> Buffer.add_string b s) fmt in
+  List.iter
+    (fun (name, value) ->
+      let m = metric_name ~namespace name in
+      line "# TYPE %s gauge\n%s %g\n" m m value)
+    gauges;
+  List.iter
+    (fun (name, value) ->
+      let m = metric_name ~namespace name in
+      line "# TYPE %s counter\n%s %d\n" m m value)
+    (Registry.counters ~reg ());
+  List.iter
+    (fun (name, (s : Histogram.snapshot)) ->
+      let m = metric_name ~namespace name in
+      line "# TYPE %s histogram\n" m;
+      let cum = ref 0 in
+      List.iter
+        (fun (lo, c) ->
+          cum := !cum + c;
+          line "%s_bucket{le=\"%d\"} %d\n" m (le_of lo) !cum)
+        s.buckets;
+      line "%s_bucket{le=\"+Inf\"} %d\n" m s.count;
+      line "%s_sum %d\n" m s.sum;
+      line "%s_count %d\n" m s.count)
+    (Registry.histograms ~reg ());
+  Buffer.contents b

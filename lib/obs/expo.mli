@@ -1,0 +1,16 @@
+(** Prometheus text exposition (format version 0.0.4) for a registry —
+    the rendering behind the serve daemon's [metrics] op. *)
+
+val render :
+  ?namespace:string -> ?gauges:(string * float) list -> Registry.t -> string
+(** Render every registered counter and histogram of the registry, plus
+    the caller-supplied gauges, as Prometheus text. Names are
+    [namespace] (default ["repro"]) + ["_"] + the registry name with
+    every non-[[a-zA-Z0-9_:]] character replaced by [_]. Histograms
+    emit cumulative [le] buckets with integer-exact upper bounds
+    ([2*lo - 1] for the power-of-two bucket at [lo]), a [+Inf] bucket,
+    [_sum] and [_count]. *)
+
+val metric_name : namespace:string -> string -> string
+(** The exposition name a registry name maps to — exposed so the smoke
+    checker can assert every registered metric appears in the output. *)

@@ -72,6 +72,32 @@ let snapshot h =
   done;
   { count = count h; sum = sum h; max = max_value h; buckets = !buckets }
 
+(* Quantile estimate from a snapshot: walk the cumulative bucket counts
+   to rank q*count and interpolate linearly inside the landing bucket
+   [lo, 2*lo) (the 0 bucket collapses to [0, 1]). Power-of-two buckets
+   bound the relative error at 2x, which is plenty for latency
+   reporting; the result is capped at the observed max so p99 of a
+   skewed distribution cannot exceed a value that was never seen. *)
+let quantile (s : snapshot) q =
+  if s.count = 0 then 0.0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let rank = q *. float_of_int s.count in
+    let rec go cum = function
+      | [] -> float_of_int s.max
+      | (lo, c) :: rest ->
+        let cum' = cum +. float_of_int c in
+        if cum' >= rank && c > 0 then begin
+          let lo_f = float_of_int lo in
+          let hi = if lo = 0 then 1.0 else 2.0 *. lo_f in
+          let frac = (rank -. cum) /. float_of_int c in
+          Float.min (lo_f +. (frac *. (hi -. lo_f))) (float_of_int s.max)
+        end
+        else go cum' rest
+    in
+    go 0.0 s.buckets
+  end
+
 let reset h =
   Array.iter (fun c -> Atomic.set c 0) h.cells;
   Atomic.set h.count 0;

@@ -28,4 +28,12 @@ val sum : t -> int
 val max_value : t -> int
 val mean : t -> float
 val snapshot : t -> snapshot
+
+val quantile : snapshot -> float -> float
+(** [quantile s q] estimates the [q]-quantile ([0.0 <= q <= 1.0], so
+    p99 is [quantile s 0.99]) by linear interpolation inside the
+    power-of-two bucket holding rank [q * count] — relative error is
+    bounded by the 2x bucket width. Capped at the observed max; [0.0]
+    on an empty snapshot. *)
+
 val reset : t -> unit

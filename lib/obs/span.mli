@@ -1,0 +1,91 @@
+(** Hierarchical timing spans with near-zero disarmed cost.
+
+    A span is a labelled interval with a parent, forming per-request
+    (per-{e trace-id}) trees: the serve stack opens a root span per
+    request, the engines open one per round, the pool one per executed
+    chunk. Closed spans are buffered in per-slot ring buffers (one per
+    pool slot, see {!Repro_local.Pool.worker_index}), so armed recording
+    never contends; while disarmed every operation is a single boolean
+    load (the {!Provenance} discipline). Spans drain into the ambient
+    {!Trace} stream as [Trace.Span] events.
+
+    Arming follows the ambient-scoping contract ({!Registry}): a single
+    mutator, never while a pool job is in flight. The serve scheduler's
+    single executor satisfies it by construction; one-shot CLI runs arm
+    around the whole run. *)
+
+type handle
+(** An open span. Handles returned while disarmed are inert: exiting
+    them is a no-op, so callers need not branch on {!armed}. *)
+
+val null : handle
+(** The inert handle ({!live} is [false]). *)
+
+val live : handle -> bool
+(** [false] for handles issued while disarmed — use it to skip building
+    an [exit ~kvs] attribute list on the disarmed path. *)
+
+val arm : ?trace_id:int -> unit -> int
+(** Start recording under the given trace id (default: fresh from
+    {!fresh_trace_id}); sizes one ring per current pool slot. Returns
+    the trace id. Replaces any recording in progress. *)
+
+val disarm : unit -> unit
+(** Stop recording; buffered spans stay available to {!take}. *)
+
+val armed : unit -> bool
+
+val fresh_trace_id : unit -> int
+(** Process-unique (atomic counter). The serve layer assigns one per
+    request — also to requests that never arm, so log lines can always
+    join against span dumps. *)
+
+val enter : ?start_ns:int -> string -> handle
+(** Open a span on the calling slot's stack; its parent is the slot's
+    innermost open span, or — for a worker slot between chunks — the
+    dispatching slot's innermost open span. [start_ns] (default: now)
+    lets a caller backdate the root to a timestamp taken on another
+    thread, e.g. request arrival. *)
+
+val exit : ?kvs:(string * int) list -> handle -> unit
+(** Close the span and write it to the slot's ring. Keys ending in
+    [_ns] are treated as timing data by the deterministic projection. *)
+
+val with_span : ?kvs:(string * int) list -> string -> (unit -> 'a) -> 'a
+(** [enter]/[exit] around a callback (also on exceptions). *)
+
+val record :
+  label:string ->
+  start_ns:int ->
+  stop_ns:int ->
+  ?parent:int ->
+  ?kvs:(string * int) list ->
+  unit ->
+  int
+(** Write an already-measured interval (timestamps collected elsewhere,
+    e.g. queue wait measured across threads) as a closed span; parent
+    defaults as in {!enter}. Returns the span id, or [-1] while
+    disarmed. *)
+
+val take : unit -> Trace.span list
+(** Disarm and drain: the dispatching slot's spans first (deterministic
+    order), then the worker slots' chunk spans. An overflowed ring
+    yields its newest {e capacity} spans (the root span closes last, so
+    overflow sheds the oldest, innermost data first). *)
+
+val dropped : unit -> int
+(** Spans lost to ring overflow so far (reset by {!take}/{!arm}). *)
+
+val abort : unit -> unit
+(** Disarm and discard the buffered spans — the span-side counterpart
+    of {!Trace.abort}. *)
+
+val flush_to_trace : unit -> unit
+(** {!take} into the ambient trace: emit every drained span as a
+    [Trace.Span] event. Call from the dispatching thread only (the
+    recorder is single-threaded by contract), before [Trace.finish]. *)
+
+val set_worker_source : slots:(unit -> int) -> index:(unit -> int) -> unit
+(** Register the pool's slot geometry ([Pool.worker_slots] /
+    [Pool.worker_index]); called by [Repro_local.Pool] at module
+    initialization. Defaults to a single slot 0. *)

@@ -10,10 +10,21 @@ type round = {
   chunk_ns : int;
 }
 
+type span = {
+  trace_id : int;
+  span_id : int;
+  parent : int;
+  label : string;
+  start_ns : int;
+  stop_ns : int;
+  kvs : (string * int) list;
+}
+
 type event =
   | Meta of { label : string; n : int }
   | Round of round
   | Counter of { name : string; value : int }
+  | Span of span
   | Audit of {
       node : int;
       rounds_active : int;
@@ -151,6 +162,18 @@ let event_to_json = function
         ("name", Json.String name);
         ("value", Json.Int value);
       ]
+  | Span s ->
+    Json.Obj
+      [
+        ("type", Json.String "span");
+        ("trace_id", Json.Int s.trace_id);
+        ("span_id", Json.Int s.span_id);
+        ("parent", Json.Int s.parent);
+        ("label", Json.String s.label);
+        ("start_ns", Json.Int s.start_ns);
+        ("stop_ns", Json.Int s.stop_ns);
+        ("kvs", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.kvs));
+      ]
   | Audit a ->
     Json.Obj
       [
@@ -224,6 +247,28 @@ let event_of_json j =
     let* name = str "name" in
     let* value = int "value" in
     Ok (Counter { name; value })
+  | "span" ->
+    let* trace_id = int "trace_id" in
+    let* span_id = int "span_id" in
+    let* parent = int "parent" in
+    let* label = str "label" in
+    let* start_ns = int "start_ns" in
+    let* stop_ns = int "stop_ns" in
+    let* kvs =
+      match Json.member "kvs" j with
+      | Some (Json.Obj fields) ->
+        List.fold_left
+          (fun acc (k, v) ->
+            let* acc = acc in
+            match Json.to_int v with
+            | Some i -> Ok ((k, i) :: acc)
+            | None -> Error (Printf.sprintf "span kv %S is not an int" k))
+          (Ok []) fields
+        |> Result.map List.rev
+      | Some _ -> Error "span field \"kvs\" is not an object"
+      | None -> Error "missing object field \"kvs\""
+    in
+    Ok (Span { trace_id; span_id; parent; label; start_ns; stop_ns; kvs })
   | "audit" ->
     let* node = int "node" in
     let* rounds_active = int "rounds_active" in
@@ -284,13 +329,63 @@ let read_jsonl path =
 let is_pool_counter name =
   String.length name >= 11 && String.sub name 0 11 = "local.pool."
 
+(* pool.* spans describe how the pool happened to chunk the work — the
+   only spans recorded by worker domains, and the only
+   schedule-dependent ones *)
+let is_pool_span label =
+  String.length label >= 5 && String.sub label 0 5 = "pool."
+
+let is_ns_kv key =
+  let n = String.length key in
+  (n >= 3 && String.sub key (n - 3) 3 = "_ns") || key = "ns"
+
 let deterministic_projection evs =
-  List.filter_map
+  let kept =
+    List.filter_map
+      (function
+        | Round r -> Some (Round { r with chunks = 0; chunk_ns = 0 })
+        | Counter { name; _ } when is_pool_counter name -> None
+        | Span s when is_pool_span s.label -> None
+        | Span s ->
+          Some
+            (Span
+               {
+                 s with
+                 start_ns = 0;
+                 stop_ns = 0;
+                 kvs = List.filter (fun (k, _) -> not (is_ns_kv k)) s.kvs;
+               })
+        | e -> Some e)
+      evs
+  in
+  (* span/trace ids are allocated from per-slot counters (Span), so the
+     raw values depend on the pool size; renumber both in order of
+     appearance so two runs of the same work project identically. The
+     remaining spans were all recorded by the dispatching thread, so
+     their order is deterministic. *)
+  let tids = Hashtbl.create 4 and sids = Hashtbl.create 16 in
+  let canon tbl id =
+    if id < 0 then id
+    else
+      match Hashtbl.find_opt tbl id with
+      | Some c -> c
+      | None ->
+        let c = Hashtbl.length tbl in
+        Hashtbl.add tbl id c;
+        c
+  in
+  List.map
     (function
-      | Round r -> Some (Round { r with chunks = 0; chunk_ns = 0 })
-      | Counter { name; _ } when is_pool_counter name -> None
-      | e -> Some e)
-    evs
+      | Span s ->
+        Span
+          {
+            s with
+            trace_id = canon tids s.trace_id;
+            span_id = canon sids s.span_id;
+            parent = canon sids s.parent;
+          }
+      | e -> e)
+    kept
 
 let deterministic_equal a b =
   deterministic_projection a = deterministic_projection b
@@ -312,6 +407,8 @@ let counter_value name evs =
       | Counter c when c.name = name -> Some c.value
       | _ -> acc)
     None evs
+
+let spans evs = List.filter_map (function Span s -> Some s | _ -> None) evs
 
 (* The offline re-check of the recorded invariants: everything here is
    recomputable from the JSONL file alone (the point of the per-trace
@@ -377,4 +474,43 @@ let check_invariants evs =
   if !certs > 0 && !cert_violations > 0 && !audit_violations = 0 then
     fail "cert events report %d violation pair(s) but no audit record violates"
       !cert_violations;
+  (* 4. spans nest: within a trace id, span ids are unique, every parent
+     pointer resolves (or is -1 for a root), intervals are well-formed
+     and a child's interval lies inside its parent's. Timing-stripped
+     projections pass trivially ([0,0] within [0,0]). *)
+  let by_trace : (int, (int, span) Hashtbl.t) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun (s : span) ->
+      let tbl =
+        match Hashtbl.find_opt by_trace s.trace_id with
+        | Some tbl -> tbl
+        | None ->
+          let tbl = Hashtbl.create 16 in
+          Hashtbl.add by_trace s.trace_id tbl;
+          tbl
+      in
+      if Hashtbl.mem tbl s.span_id then
+        fail "trace %d: duplicate span id %d (%s)" s.trace_id s.span_id s.label
+      else Hashtbl.add tbl s.span_id s;
+      if s.stop_ns < s.start_ns then
+        fail "trace %d: span %d (%s) stops %d ns before it starts" s.trace_id
+          s.span_id s.label (s.start_ns - s.stop_ns))
+    (spans evs);
+  List.iter
+    (fun (s : span) ->
+      if s.parent >= 0 then
+        let tbl = Hashtbl.find by_trace s.trace_id in
+        match Hashtbl.find_opt tbl s.parent with
+        | None ->
+          fail "trace %d: span %d (%s) has unknown parent %d" s.trace_id
+            s.span_id s.label s.parent
+        | Some p ->
+          if p.span_id = s.span_id then
+            fail "trace %d: span %d (%s) is its own parent" s.trace_id s.span_id
+              s.label
+          else if s.start_ns < p.start_ns || s.stop_ns > p.stop_ns then
+            fail "trace %d: span %d (%s) [%d,%d] escapes parent %d (%s) [%d,%d]"
+              s.trace_id s.span_id s.label s.start_ns s.stop_ns p.span_id
+              p.label p.start_ns p.stop_ns)
+    (spans evs);
   List.rev !failures

@@ -17,7 +17,11 @@
     {!deterministic_projection} drops exactly those fields (and the
     [local.pool.*] counters), and the telemetry determinism suite in
     [test/test_obs.ml] asserts the projection is identical for
-    sequential and parallel runs. *)
+    sequential and parallel runs. For spans, the projection drops
+    [pool.]-prefixed spans (worker chunk timing — the only
+    schedule-dependent ones), strips the timing fields, and renumbers
+    trace/span ids canonically in order of appearance (the raw ids come
+    from per-slot counters, so they depend on the pool size). *)
 
 type round = {
   engine : string;  (** ["message_passing"] or ["flood_gather"] *)
@@ -31,10 +35,28 @@ type round = {
   chunk_ns : int;  (** total chunk wall time (timing data, see above) *)
 }
 
+type span = {
+  trace_id : int;  (** groups the spans of one recording/request *)
+  span_id : int;  (** unique within the trace *)
+  parent : int;  (** [span_id] of the enclosing span, or [-1] for a root *)
+  label : string;
+      (** dot-separated, [layer.operation]; labels prefixed [pool.] are
+          schedule-dependent and dropped by {!deterministic_projection} *)
+  start_ns : int;  (** {!Clock.now_ns} at entry (monotonic origin) *)
+  stop_ns : int;  (** {!Clock.now_ns} at exit; [>= start_ns] *)
+  kvs : (string * int) list;
+      (** attributes; keys ending in [_ns] are timing data and stripped
+          by the deterministic projection *)
+}
+(** One closed interval of a hierarchical timing tree — recorded by
+    {!Span}, carried in the same event stream as rounds and counters so
+    one JSONL file holds the whole observation of a run. *)
+
 type event =
   | Meta of { label : string; n : int }
   | Round of round
   | Counter of { name : string; value : int }
+  | Span of span
   | Audit of {
       node : int;
       rounds_active : int;
@@ -113,10 +135,14 @@ val total_messages : ?engine:string -> event list -> int
 val counter_value : string -> event list -> int option
 (** Value of the last [Counter] event with that name, if any. *)
 
+val spans : event list -> span list
+(** All [Span] events, in stream order. *)
+
 val check_invariants : event list -> string list
 (** Recompute the recorded invariants offline, from the events alone:
     per-engine round message sums equal the engine's counter delta,
     round numbering is consecutive, audit records respect their declared
-    balls, and certificate summaries agree with the records they close.
-    Returns failure messages; [[]] means the trace is consistent. This
-    is the engine behind [repro trace-report]. *)
+    balls, certificate summaries agree with the records they close, and
+    spans nest (unique ids per trace, parents resolve, child intervals
+    inside parent intervals). Returns failure messages; [[]] means the
+    trace is consistent. This is the engine behind [repro trace-report]. *)

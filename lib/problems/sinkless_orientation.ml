@@ -550,7 +550,10 @@ let solve_randomized_frontier ?stats inst =
       region.(u) <- u;
       FS.add front u)
     sinks;
+  let run_sp = Obs.Span.enter "wave.run" in
+  let wround = ref 0 in
   while FS.cardinal front > 0 do
+    let rsp = Obs.Span.enter "wave.round" in
     let t0 = Obs.Clock.now_ns () in
     let active = FS.cardinal front and dense = FS.is_dense front in
     let edges =
@@ -595,9 +598,16 @@ let solve_randomized_frontier ?stats inst =
     Obs.Counter.incr mt.m_wave_rounds;
     (match stats with
     | Some r ->
-      FS.Stats.record r ~active ~edges ~dense ~ns:(Obs.Clock.now_ns () - t0)
-    | None -> ())
+      (* clamped: the gettimeofday fallback clock can step backwards *)
+      FS.Stats.record r ~active ~edges ~dense
+        ~ns:(max 0 (Obs.Clock.now_ns () - t0))
+    | None -> ());
+    if Obs.Span.live rsp then
+      Obs.Span.exit ~kvs:[ ("round", !wround); ("active", active) ] rsp;
+    incr wround
   done;
+  if Obs.Span.live run_sp then
+    Obs.Span.exit ~kvs:[ ("rounds", !wround); ("n", n) ] run_sp;
   (* deferred flips, in sink-id order (order is immaterial: the paths
      are node-disjoint) *)
   List.iter

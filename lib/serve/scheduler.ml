@@ -1,4 +1,5 @@
 module Json = Repro_obs.Json
+module Clock = Repro_obs.Clock
 
 type ticket = {
   t_mutex : Mutex.t;
@@ -6,7 +7,10 @@ type ticket = {
   mutable t_result : Json.t option;
 }
 
-type job = { run : unit -> Json.t; ticket : ticket }
+(* [admitted_ns] timestamps admission so the executor can hand the job
+   its own queue latency — the server turns it into the queue-wait span
+   and the serve.queue.wait_ns histogram *)
+type job = { run : queue_ns:int -> Json.t; admitted_ns : int; ticket : ticket }
 
 type t = {
   mutex : Mutex.t;
@@ -47,8 +51,9 @@ let executor_loop t =
     match next with
     | None -> ()
     | Some job ->
+      let queue_ns = max 0 (Clock.now_ns () - job.admitted_ns) in
       let reply =
-        try job.run ()
+        try job.run ~queue_ns
         with e ->
           Protocol.error_reply ~code:"internal" (Printexc.to_string e)
       in
@@ -87,7 +92,7 @@ let submit t run =
             t_result = None;
           }
         in
-        Queue.push { run; ticket } t.queue;
+        Queue.push { run; admitted_ns = Clock.now_ns (); ticket } t.queue;
         Condition.signal t.nonempty;
         `Accepted ticket
       end)

@@ -26,10 +26,14 @@ val create : ?capacity:int -> unit -> t
     be queued ahead of execution. *)
 
 val submit :
-  t -> (unit -> Repro_obs.Json.t) -> [ `Accepted of ticket | `Busy | `Shutdown ]
+  t ->
+  (queue_ns:int -> Repro_obs.Json.t) ->
+  [ `Accepted of ticket | `Busy | `Shutdown ]
 (** Enqueue a job. [`Busy] when the queue is full, [`Shutdown] after
     {!shutdown} began. A job that raises resolves its ticket to an
-    [internal] error reply — exceptions never kill the executor. *)
+    [internal] error reply — exceptions never kill the executor. The
+    executor calls the job with [queue_ns], its measured
+    admission-to-start latency (monotonic clock, clamped at 0). *)
 
 val wait : ticket -> Repro_obs.Json.t
 (** Block until the job has run and return its reply. *)

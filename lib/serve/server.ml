@@ -35,6 +35,12 @@ type t = {
   levels : Spec.packed Cache.t;
   instances : G.t Cache.t;
   started : float;
+  started_ns : int;
+  (* server-lifetime metrics, distinct from the per-request registries:
+     request counts per op, per-op latency histograms, queue-wait
+     histogram. Enabled from birth; the [metrics] op renders it as
+     Prometheus text and [stats] summarizes its quantiles. *)
+  metrics_reg : Obs.Registry.t;
   mutable stopping : bool;
   mutex : Mutex.t; (* guards conns, op_counts, stopping, log *)
   mutable conns : (int * Unix.file_descr) list;
@@ -88,19 +94,26 @@ let add_fields reply extra =
 (* ------------------------------------------------------------------ *)
 (* artifact caches *)
 
+(* builders run under a span so a traced request shows whether its time
+   went into constructing the artifact or into the engines; on a cache
+   hit the builder never runs and no span appears *)
 let hard_instance srv ~n ~seed =
   Cache.find_or_add srv.instances
     (Printf.sprintf "kind=so;n=%d;seed=%d" n seed)
-    (fun () -> SO.hard_instance (Random.State.make [| seed |]) ~n)
+    (fun () ->
+      Obs.Span.with_span "serve.artifact.build" (fun () ->
+          SO.hard_instance (Random.State.make [| seed |]) ~n))
 
 let gadget_family srv ~delta ~height =
   Cache.find_or_add srv.gadgets
     (Printf.sprintf "delta=%d;height=%d" delta height)
-    (fun () -> GB.gadget ~delta ~height)
+    (fun () ->
+      Obs.Span.with_span "serve.artifact.build" (fun () ->
+          GB.gadget ~delta ~height))
 
 let hierarchy_level srv i =
   Cache.find_or_add srv.levels (Printf.sprintf "level=%d" i) (fun () ->
-      Hierarchy.level i)
+      Obs.Span.with_span "serve.artifact.build" (fun () -> Hierarchy.level i))
 
 (* ------------------------------------------------------------------ *)
 (* op handlers — these run on the scheduler's executor thread, inside a
@@ -269,30 +282,125 @@ let handle srv op req =
   | "bench" -> handle_bench srv req
   | other -> raise (Bad_request (Printf.sprintf "unknown op %S" other))
 
+(* metric names are clamped to the known op set so a client sending
+   made-up ops cannot grow the metrics registry without bound *)
+let known_ops = [ "solve"; "check"; "audit"; "fuzz"; "bench"; "stats"; "metrics" ]
+let metric_op op = if List.mem op known_ops then op else "other"
+
+(* timestamps the connection thread collected before handing off; the
+   executor turns them into spans. Connection threads never record
+   spans themselves — the recorder is single-mutator by contract. *)
+type span_ctx = {
+  sc_arrival_ns : int;  (** request decoded, before the cache probe *)
+  sc_probe_start_ns : int;
+  sc_probe_stop_ns : int;  (** around the reply-cache [mem] probe *)
+  sc_submit_ns : int;  (** just before [Scheduler.submit] *)
+}
+
 (* run one admitted request inside its own registry: its counters, and
-   any trace it may open, are invisible to every other request; on
-   failure only this request's recorder is aborted *)
-let run_request srv op req =
+   any trace or span recording it may open, are invisible to every other
+   request; on failure only this request's recorders are aborted *)
+let run_request srv op req ~queue_ns ~trace_id ~span_ctx =
+  Obs.Histogram.observe
+    (Obs.Registry.histogram srv.metrics_reg "serve.queue.wait_ns")
+    queue_ns;
   let reg = Obs.Registry.create () in
   Obs.Registry.scoped reg (fun () ->
       Obs.Registry.enable ();
-      match handle srv op req with
-      | reply ->
+      let telemetry_fields () =
         let telemetry =
           List.filter_map
             (fun (name, v) -> if v = 0 then None else Some (name, Json.Int v))
             (Obs.Registry.counters ())
         in
-        add_fields reply [ ("telemetry", Json.Obj telemetry) ]
-      | exception Bad_request msg ->
-        Obs.Trace.abort ();
-        Protocol.error_reply ~code:"bad-request" msg
-      | exception e ->
-        Obs.Trace.abort ();
-        Protocol.error_reply ~code:"internal" (Printexc.to_string e))
+        [ ("telemetry", Json.Obj telemetry) ]
+      in
+      match span_ctx with
+      | None -> (
+        match handle srv op req with
+        | reply -> add_fields reply (telemetry_fields ())
+        | exception Bad_request msg ->
+          Obs.Trace.abort ();
+          Protocol.error_reply ~code:"bad-request" msg
+        | exception e ->
+          Obs.Trace.abort ();
+          Protocol.error_reply ~code:"internal" (Printexc.to_string e))
+      | Some sc -> (
+        let (_ : int) = Obs.Span.arm ~trace_id () in
+        match
+          (* root backdated to arrival so queue wait and the cache probe
+             sit inside it; both were measured on the connection thread *)
+          let root = Obs.Span.enter ~start_ns:sc.sc_arrival_ns ("serve." ^ op) in
+          let (_ : int) =
+            Obs.Span.record ~label:"serve.cache.lookup"
+              ~start_ns:sc.sc_probe_start_ns ~stop_ns:sc.sc_probe_stop_ns ()
+          in
+          let (_ : int) =
+            Obs.Span.record ~label:"serve.queue.wait" ~start_ns:sc.sc_submit_ns
+              ~stop_ns:(sc.sc_submit_ns + queue_ns) ()
+          in
+          let reply = Obs.Span.with_span "serve.execute" (fun () -> handle srv op req) in
+          (* reference encoding: write_frame re-encodes the (augmented)
+             reply later, this measures the dominant cost and its size *)
+          let e0 = Obs.Clock.now_ns () in
+          let bytes = String.length (Json.to_string reply) in
+          let e1 = Obs.Clock.now_ns () in
+          let (_ : int) =
+            Obs.Span.record ~label:"serve.encode" ~start_ns:e0 ~stop_ns:e1
+              ~kvs:[ ("bytes", bytes) ] ()
+          in
+          Obs.Span.exit root;
+          reply
+        with
+        | reply ->
+          let spans = Obs.Span.take () in
+          add_fields reply
+            (telemetry_fields ()
+            @ [
+                ("trace_id", Json.Int trace_id);
+                ( "spans",
+                  Json.List
+                    (List.map
+                       (fun s -> Obs.Trace.event_to_json (Obs.Trace.Span s))
+                       spans) );
+              ])
+        | exception Bad_request msg ->
+          Obs.Span.abort ();
+          Obs.Trace.abort ();
+          Protocol.error_reply ~code:"bad-request" msg
+        | exception e ->
+          Obs.Span.abort ();
+          Obs.Trace.abort ();
+          Protocol.error_reply ~code:"internal" (Printexc.to_string e)))
 
 (* ------------------------------------------------------------------ *)
-(* stats — answered inline by connection threads: read-only *)
+(* stats and metrics — answered inline by connection threads: read-only *)
+
+let ns_to_ms ns = ns /. 1e6
+
+(* per-op latency summaries from the lifetime histograms; quantiles are
+   power-of-two-bucket estimates (see Histogram.quantile) *)
+let latency_json srv =
+  List.filter_map
+    (fun (name, snap) ->
+      if snap.Obs.Histogram.count = 0 then None
+      else
+        let q p = Json.Float (ns_to_ms (Obs.Histogram.quantile snap p)) in
+        Some
+          ( name,
+            Json.Obj
+              [
+                ("count", Json.Int snap.Obs.Histogram.count);
+                ( "mean_ms",
+                  Json.Float
+                    (ns_to_ms
+                       (float_of_int snap.Obs.Histogram.sum
+                       /. float_of_int snap.Obs.Histogram.count)) );
+                ("p50_ms", q 0.5);
+                ("p90_ms", q 0.9);
+                ("p99_ms", q 0.99);
+              ] ))
+    (Obs.Registry.histograms ~reg:srv.metrics_reg ())
 
 let stats_json srv =
   let executed, rejected, depth = Scheduler.stats srv.sched in
@@ -306,6 +414,7 @@ let stats_json srv =
       ("op", Json.String "stats");
       ("uptime_s", Json.Float (Unix.gettimeofday () -. srv.started));
       ("requests", Json.Obj (List.sort compare ops));
+      ("latency", Json.Obj (latency_json srv));
       ( "scheduler",
         Json.Obj
           [
@@ -323,6 +432,35 @@ let stats_json srv =
           ] );
     ]
 
+(* Prometheus text exposition of the lifetime registry plus two computed
+   gauges; [names] lets a checker assert nothing registered went missing
+   from [body] without re-implementing the renderer *)
+let metrics_json srv =
+  let uptime =
+    float_of_int (max 0 (Obs.Clock.now_ns () - srv.started_ns)) /. 1e9
+  in
+  let gauges =
+    [
+      ("uptime_seconds", uptime);
+      ("scheduler_queue_depth", float_of_int (Scheduler.depth srv.sched));
+    ]
+  in
+  let body = Obs.Expo.render ~gauges srv.metrics_reg in
+  let name n = Json.String (Obs.Expo.metric_name ~namespace:"repro" n) in
+  let names =
+    List.map (fun (g, _) -> name g) gauges
+    @ List.map (fun (n, _) -> name n) (Obs.Registry.counters ~reg:srv.metrics_reg ())
+    @ List.map (fun (n, _) -> name n) (Obs.Registry.histograms ~reg:srv.metrics_reg ())
+  in
+  Json.Obj
+    [
+      ("ok", Json.Bool true);
+      ("op", Json.String "metrics");
+      ("content_type", Json.String "text/plain; version=0.0.4");
+      ("names", Json.List names);
+      ("body", Json.String body);
+    ]
+
 (* ------------------------------------------------------------------ *)
 (* per-connection request processing *)
 
@@ -333,7 +471,12 @@ let count_request srv op =
       Hashtbl.replace srv.op_counts op
         (1 + Option.value ~default:0 (Hashtbl.find_opt srv.op_counts op)))
 
-let log_line srv ~op ~cache ~elapsed_s reply =
+(* one JSONL line per request; schema documented in README §serving.
+   [queue_ms] is 0 for requests that never reached the scheduler (cache
+   hits, inline stats/metrics, busy rejections); [trace_id] is assigned
+   to every request so lines join against span dumps even when the
+   client did not ask for spans. *)
+let log_line srv ~op ~cache ~queue_ms ~trace_id ~elapsed_s reply =
   match srv.log with
   | None -> ()
   | Some oc ->
@@ -349,6 +492,8 @@ let log_line srv ~op ~cache ~elapsed_s reply =
            ("ok", Json.Bool ok);
            ("cache", Json.String cache);
            ("ms", Json.Float (elapsed_s *. 1000.));
+           ("queue_ms", Json.Float queue_ms);
+           ("trace_id", Json.Int trace_id);
          ]
         @ err)
     in
@@ -370,10 +515,63 @@ let process srv req =
   | Error msg -> Protocol.error_reply ~code:"bad-request" msg
   | Ok op ->
     count_request srv op;
+    Obs.Counter.incr
+      (Obs.Registry.counter srv.metrics_reg ("serve.requests." ^ metric_op op));
     let t0 = Unix.gettimeofday () in
+    let arrival_ns = Obs.Clock.now_ns () in
+    let trace_id = Obs.Span.fresh_trace_id () in
+    let want_spans =
+      match field req "spans" with Some (Json.Bool true) -> true | _ -> false
+    in
     let cache_status = ref "none" in
+    (* written by the executor inside the job, read here after wait — the
+       ticket hand-off orders the two; stays 0 when no job ran *)
+    let queue_ns_cell = ref 0 in
+    let submit_run ~span_ctx =
+      match
+        Scheduler.submit srv.sched (fun ~queue_ns ->
+            queue_ns_cell := queue_ns;
+            run_request srv op req ~queue_ns ~trace_id ~span_ctx)
+      with
+      | `Busy ->
+        raise
+          (Uncacheable
+             (Protocol.error_reply ~code:"busy"
+                "admission queue full, retry later"))
+      | `Shutdown ->
+        raise
+          (Uncacheable
+             (Protocol.error_reply ~code:"shutting-down"
+                "server is shutting down"))
+      | `Accepted ticket -> Scheduler.wait ticket
+    in
     let reply =
       if op = "stats" then stats_json srv
+      else if op = "metrics" then metrics_json srv
+      else if want_spans then begin
+        (* a span request bypasses the reply cache on both sides: a
+           cached reply would carry another request's trace, and storing
+           this one would replay its trace to later callers. The probe is
+           timed so the trace still shows where a cache hit would have
+           been decided. *)
+        cache_status := "bypass";
+        let hash = Protocol.request_hash req in
+        let p0 = Obs.Clock.now_ns () in
+        let (_ : bool) = Cache.mem srv.replies hash in
+        let p1 = Obs.Clock.now_ns () in
+        let span_ctx =
+          Some
+            {
+              sc_arrival_ns = arrival_ns;
+              sc_probe_start_ns = p0;
+              sc_probe_stop_ns = p1;
+              sc_submit_ns = Obs.Clock.now_ns ();
+            }
+        in
+        match submit_run ~span_ctx with
+        | reply -> add_fields reply [ ("cache", Json.String "bypass") ]
+        | exception Uncacheable reply -> reply
+      end
       else begin
         (* reply cache first: a hit never touches the scheduler. Errors
            and busy replies propagate as Uncacheable so they are never
@@ -381,22 +579,10 @@ let process srv req =
         let hash = Protocol.request_hash req in
         match
           Cache.find_or_add srv.replies hash (fun () ->
-              match Scheduler.submit srv.sched (fun () -> run_request srv op req) with
-              | `Busy ->
-                raise
-                  (Uncacheable
-                     (Protocol.error_reply ~code:"busy"
-                        "admission queue full, retry later"))
-              | `Shutdown ->
-                raise
-                  (Uncacheable
-                     (Protocol.error_reply ~code:"shutting-down"
-                        "server is shutting down"))
-              | `Accepted ticket -> (
-                let reply = Scheduler.wait ticket in
-                match Json.member "ok" reply with
-                | Some (Json.Bool true) -> reply
-                | _ -> raise (Uncacheable reply)))
+              let reply = submit_run ~span_ctx:None in
+              match Json.member "ok" reply with
+              | Some (Json.Bool true) -> reply
+              | _ -> raise (Uncacheable reply))
         with
         | hit, reply ->
           cache_status := (if hit then "hit" else "miss");
@@ -404,7 +590,14 @@ let process srv req =
         | exception Uncacheable reply -> reply
       end
     in
-    log_line srv ~op ~cache:!cache_status ~elapsed_s:(Unix.gettimeofday () -. t0)
+    Obs.Histogram.observe
+      (Obs.Registry.histogram srv.metrics_reg
+         ("serve.op." ^ metric_op op ^ ".latency_ns"))
+      (max 0 (Obs.Clock.now_ns () - arrival_ns));
+    log_line srv ~op ~cache:!cache_status
+      ~queue_ms:(float_of_int !queue_ns_cell /. 1e6)
+      ~trace_id
+      ~elapsed_s:(Unix.gettimeofday () -. t0)
       reply;
     reply
 
@@ -495,6 +688,11 @@ let start config =
       levels = Cache.create ~capacity:8 "levels";
       instances = Cache.create ~capacity:32 "instances";
       started = Unix.gettimeofday ();
+      started_ns = Obs.Clock.now_ns ();
+      metrics_reg =
+        (let reg = Obs.Registry.create () in
+         Obs.Registry.enable ~reg ();
+         reg);
       stopping = false;
       mutex = Mutex.create ();
       conns = [];

@@ -12,10 +12,23 @@
     hierarchy levels, and hard instances.
 
     Request vocabulary ([op] field): [solve], [check], [audit], [fuzz],
-    [bench], [stats]. [stats] is answered inline by the connection
-    thread — it only reads counters — and is never cached; every other
-    reply gains a ["cache": "hit" | "miss"] field. See README §Serving
-    for the wire-level walkthrough. *)
+    [bench], [stats], [metrics]. [stats] and [metrics] are answered
+    inline by the connection thread — they only read counters — and are
+    never cached; every other reply gains a
+    ["cache": "hit" | "miss"] field. [metrics] renders the server's
+    lifetime registry (per-op request counts, per-op latency histograms,
+    queue-wait histogram) as Prometheus text exposition
+    ({!Repro_obs.Expo}).
+
+    Tracing: a request carrying ["spans": true] bypasses the reply cache
+    (its reply embeds a request-specific span tree) and comes back with
+    ["trace_id"] and ["spans"] — the full hierarchical span tree of its
+    execution, from a root backdated to request arrival through
+    queue-wait, cache-probe, execute (with per-round engine spans and
+    pool chunk spans underneath), and encode children. Every request,
+    traced or not, is assigned a trace id, which the JSONL request log
+    records together with its measured queue wait — see README §Serving
+    for the full log schema. *)
 
 type addr = Unix_path of string | Tcp of string * int
 

@@ -58,6 +58,21 @@ let test_histogram_arithmetic () =
   check_int "reset count" 0 (Obs.Histogram.count h);
   check_int "reset sum" 0 (Obs.Histogram.sum h)
 
+let test_histogram_quantile () =
+  let gate = ref true in
+  let h = Obs.Histogram.make ~gate "test.scratch.quantile" in
+  check "empty snapshot quantile is 0" true
+    (Obs.Histogram.quantile (Obs.Histogram.snapshot h) 0.5 = 0.0);
+  List.iter (Obs.Histogram.observe h) [ 0; 1; 2; 3; 8 ];
+  let s = Obs.Histogram.snapshot h in
+  let q p = Obs.Histogram.quantile s p in
+  check "p0 is the bottom of the first bucket" true (abs_float (q 0.0) < 1e-9);
+  (* rank 2.5 lands a quarter into bucket [2,4) *)
+  check "median interpolates inside its bucket" true
+    (abs_float (q 0.5 -. 2.5) < 1e-9);
+  check "p100 capped at the observed max" true (abs_float (q 1.0 -. 8.0) < 1e-9);
+  check "out-of-range q clamped" true (abs_float (q 2.0 -. 8.0) < 1e-9)
+
 (* registry *)
 
 let test_registry_sharing () =
@@ -267,10 +282,253 @@ let test_trace_seq_par_identical () =
             (Obs.Trace.deterministic_equal seq par))
         [ 2; 4 ])
 
+(* ------------------------------------------------------------------ *)
+(* spans: recording semantics, abort, nesting invariants, and the
+   seq-vs-par deterministic projection *)
+
+let test_span_record_and_take () =
+  (* disarmed: inert handles, nothing recorded, single-load discipline *)
+  check "starts disarmed" false (Obs.Span.armed ());
+  let h = Obs.Span.enter "test.disarmed" in
+  check "disarmed handle is inert" false (Obs.Span.live h);
+  Obs.Span.exit h;
+  check_int "record while disarmed" (-1)
+    (Obs.Span.record ~label:"test.x" ~start_ns:0 ~stop_ns:1 ());
+  check "take while disarmed" true (Obs.Span.take () = []);
+  (* armed: a three-span tree *)
+  let tid = Obs.Span.arm () in
+  let root = Obs.Span.enter "test.root" in
+  check "armed handle is live" true (Obs.Span.live root);
+  let child = Obs.Span.enter "test.child" in
+  Obs.Span.exit ~kvs:[ ("k", 7) ] child;
+  check "record returns an id" true
+    (Obs.Span.record ~label:"test.record" ~start_ns:5 ~stop_ns:9 () >= 0);
+  Obs.Span.exit root;
+  let spans = Obs.Span.take () in
+  check "take disarms" false (Obs.Span.armed ());
+  check_int "three spans drained" 3 (List.length spans);
+  let find l = List.find (fun s -> s.Obs.Trace.label = l) spans in
+  let sroot = find "test.root" in
+  let schild = find "test.child" in
+  let srec = find "test.record" in
+  check "all spans carry the armed trace id" true
+    (List.for_all (fun s -> s.Obs.Trace.trace_id = tid) spans);
+  check_int "root has no parent" (-1) sroot.Obs.Trace.parent;
+  check_int "child parents under root" sroot.Obs.Trace.span_id
+    schild.Obs.Trace.parent;
+  check_int "record parents under the innermost open span"
+    sroot.Obs.Trace.span_id srec.Obs.Trace.parent;
+  check "exit kvs kept" true (schild.Obs.Trace.kvs = [ ("k", 7) ]);
+  check "child interval inside root interval" true
+    (sroot.Obs.Trace.start_ns <= schild.Obs.Trace.start_ns
+    && schild.Obs.Trace.stop_ns <= sroot.Obs.Trace.stop_ns);
+  check "second take is empty" true (Obs.Span.take () = [])
+
+let test_span_abort_discards () =
+  let (_ : int) = Obs.Span.arm () in
+  let h = Obs.Span.enter "test.doomed" in
+  Obs.Span.exit h;
+  Obs.Span.abort ();
+  check "abort disarms" false (Obs.Span.armed ());
+  check "abort discards buffered spans" true (Obs.Span.take () = []);
+  (* a failed recording leaves the next one pristine *)
+  let (_ : int) = Obs.Span.arm () in
+  let h = Obs.Span.enter "test.fresh" in
+  Obs.Span.exit h;
+  let spans = Obs.Span.take () in
+  check "next recording sees only its own spans" true
+    (List.for_all (fun s -> s.Obs.Trace.label = "test.fresh") spans
+    && List.length spans = 1)
+
+let sp ~tid ~id ~parent ~label ~a ~b kvs =
+  Obs.Trace.Span
+    {
+      Obs.Trace.trace_id = tid;
+      span_id = id;
+      parent;
+      label;
+      start_ns = a;
+      stop_ns = b;
+      kvs;
+    }
+
+let test_span_nesting_invariants () =
+  let good =
+    [
+      sp ~tid:7 ~id:3 ~parent:(-1) ~label:"serve.solve" ~a:100 ~b:900 [];
+      sp ~tid:7 ~id:5 ~parent:3 ~label:"serve.execute" ~a:150 ~b:800
+        [ ("n", 42) ];
+    ]
+  in
+  check "well-nested spans pass" true (Obs.Trace.check_invariants good = []);
+  let escaped =
+    [
+      sp ~tid:7 ~id:3 ~parent:(-1) ~label:"serve.solve" ~a:100 ~b:900 [];
+      sp ~tid:7 ~id:5 ~parent:3 ~label:"serve.execute" ~a:150 ~b:950 [];
+    ]
+  in
+  check "child escaping its parent interval fails" true
+    (Obs.Trace.check_invariants escaped <> []);
+  let dup =
+    [
+      sp ~tid:7 ~id:3 ~parent:(-1) ~label:"a" ~a:0 ~b:10 [];
+      sp ~tid:7 ~id:3 ~parent:(-1) ~label:"b" ~a:0 ~b:10 [];
+    ]
+  in
+  check "duplicate span ids fail" true (Obs.Trace.check_invariants dup <> []);
+  check "unknown parent fails" true
+    (Obs.Trace.check_invariants
+       [ sp ~tid:7 ~id:3 ~parent:99 ~label:"orphan" ~a:0 ~b:10 [] ]
+    <> []);
+  check "backwards interval fails" true
+    (Obs.Trace.check_invariants
+       [ sp ~tid:7 ~id:3 ~parent:(-1) ~label:"rev" ~a:10 ~b:5 [] ]
+    <> []);
+  (* same ids in different traces are independent *)
+  check "ids are scoped per trace" true
+    (Obs.Trace.check_invariants
+       [
+         sp ~tid:1 ~id:3 ~parent:(-1) ~label:"a" ~a:0 ~b:10 [];
+         sp ~tid:2 ~id:3 ~parent:(-1) ~label:"a" ~a:0 ~b:10 [];
+       ]
+    = [])
+
+let test_span_projection_canonicalizes () =
+  (* same tree shape recorded under different pool geometry: different
+     raw ids, different timestamps, different chunk spans *)
+  let run1 =
+    [
+      sp ~tid:7 ~id:3 ~parent:(-1) ~label:"mp.run" ~a:100 ~b:900
+        [ ("rounds", 2); ("wall_ns", 800) ];
+      sp ~tid:7 ~id:6 ~parent:3 ~label:"mp.round" ~a:110 ~b:400
+        [ ("round", 0) ];
+      sp ~tid:7 ~id:9 ~parent:6 ~label:"pool.chunk" ~a:120 ~b:200
+        [ ("chunk", 0) ];
+    ]
+  in
+  let run2 =
+    [
+      sp ~tid:41 ~id:8 ~parent:(-1) ~label:"mp.run" ~a:5000 ~b:6000
+        [ ("rounds", 2); ("wall_ns", 950) ];
+      sp ~tid:41 ~id:13 ~parent:8 ~label:"mp.round" ~a:5100 ~b:5400
+        [ ("round", 0) ];
+      sp ~tid:41 ~id:21 ~parent:13 ~label:"pool.chunk" ~a:5150 ~b:5160
+        [ ("chunk", 4) ];
+      sp ~tid:41 ~id:29 ~parent:13 ~label:"pool.chunk" ~a:5150 ~b:5170
+        [ ("chunk", 5) ];
+    ]
+  in
+  check "projection: ids/timing/pool spans are canonicalized away" true
+    (Obs.Trace.deterministic_equal run1 run2);
+  let run3 =
+    [
+      sp ~tid:41 ~id:8 ~parent:(-1) ~label:"mp.run" ~a:5000 ~b:6000
+        [ ("rounds", 3); ("wall_ns", 950) ];
+      sp ~tid:41 ~id:13 ~parent:8 ~label:"mp.round" ~a:5100 ~b:5400
+        [ ("round", 0) ];
+    ]
+  in
+  check "projection still sees real attribute differences" false
+    (Obs.Trace.deterministic_equal run1 run3)
+
+(* the forest rebuild must work on the stream order take() produces:
+   children close (and are listed) before their parents *)
+let test_span_forest_rebuild () =
+  let raw ~id ~parent ~label ~a ~b =
+    {
+      Obs.Trace.trace_id = 7;
+      span_id = id;
+      parent;
+      label;
+      start_ns = a;
+      stop_ns = b;
+      kvs = [];
+    }
+  in
+  let stream =
+    [
+      raw ~id:2 ~parent:1 ~label:"leaf" ~a:120 ~b:180;
+      raw ~id:1 ~parent:0 ~label:"mid.short" ~a:110 ~b:200;
+      raw ~id:3 ~parent:0 ~label:"mid.long" ~a:210 ~b:900;
+      raw ~id:0 ~parent:(-1) ~label:"root" ~a:100 ~b:950;
+      raw ~id:9 ~parent:42 ~label:"orphan" ~a:300 ~b:310;
+    ]
+  in
+  match Obs.Summary.span_forest stream with
+  | [ (7, roots) ] ->
+    let labels ns = List.map (fun n -> n.Obs.Summary.node.Obs.Trace.label) ns in
+    check "roots: real root plus the unresolvable orphan" true
+      (labels roots = [ "root"; "orphan" ]);
+    let root = List.hd roots in
+    check "children attach under the root, ordered by start" true
+      (labels root.Obs.Summary.children = [ "mid.short"; "mid.long" ]);
+    check "grandchild attaches one level down" true
+      (labels (List.hd root.Obs.Summary.children).Obs.Summary.children
+      = [ "leaf" ]);
+    check "critical path follows the widest child" true
+      (labels (Obs.Summary.critical_path root) = [ "root"; "mid.long" ]);
+    check "self time excludes child cover" true
+      (Obs.Summary.self_time root = 950 - 100 - (200 - 110) - (900 - 210))
+  | _ -> check "forest grouped as one trace under id 7" true false
+
+(* a traced + span-armed distributed check: the span stream drains into
+   the same trace the round events use *)
+let span_traced_dcheck ~n ~seed () =
+  let rng = Random.State.make [| seed |] in
+  let g = SO.hard_instance rng ~n in
+  let inst = Instance.create ~seed g in
+  let out, _ = SO.solve_randomized inst in
+  Obs.Trace.start ~label:"test" ~n ();
+  let (_ : int) = Obs.Span.arm () in
+  Fun.protect
+    ~finally:(fun () -> Obs.Registry.disable ())
+    (fun () ->
+      let v =
+        Obs.Span.with_span "cli.test" (fun () ->
+            DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out)
+      in
+      check "output accepted" true v.DC.all_accept;
+      Obs.Span.flush_to_trace ();
+      Obs.Trace.finish ())
+
+let test_span_seq_par_identical () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 1;
+      let seq = span_traced_dcheck ~n:300 ~seed:13 () in
+      check "trace carries span events" true (Obs.Trace.spans seq <> []);
+      check "span nesting invariants hold" true
+        (Obs.Trace.check_invariants seq = []);
+      check "engine round spans present" true
+        (List.exists
+           (fun s -> s.Obs.Trace.label = "mp.round")
+           (Obs.Trace.spans seq));
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          let par = span_traced_dcheck ~n:300 ~seed:13 () in
+          check
+            (Printf.sprintf "span invariants hold at pool size %d" s)
+            true
+            (Obs.Trace.check_invariants par = []);
+          check
+            (Printf.sprintf "span projection identical at pool size %d" s)
+            true
+            (Obs.Trace.deterministic_equal seq par))
+        [ 2; 4 ])
+
 let suite =
   [
     ("counter arithmetic and gating", `Quick, test_counter_arithmetic);
     ("histogram arithmetic and gating", `Quick, test_histogram_arithmetic);
+    ("histogram quantiles", `Quick, test_histogram_quantile);
+    ("span record and take", `Quick, test_span_record_and_take);
+    ("span abort discards", `Quick, test_span_abort_discards);
+    ("span nesting invariants", `Quick, test_span_nesting_invariants);
+    ("span projection canonicalizes", `Quick, test_span_projection_canonicalizes);
+    ("span forest rebuild", `Quick, test_span_forest_rebuild);
+    ("seq-vs-par span telemetry", `Quick, test_span_seq_par_identical);
     ("registry find-or-create", `Quick, test_registry_sharing);
     ("registry isolation", `Quick, test_registry_isolation);
     ("trace abort scoped to registry", `Quick, test_trace_abort_scoped_to_registry);

@@ -9,6 +9,7 @@ module Protocol = Serve.Protocol
 module Cache = Serve.Cache
 module Scheduler = Serve.Scheduler
 module Json = Repro_obs.Json
+module Obs = Repro_obs
 
 let check = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -166,7 +167,7 @@ let test_scheduler_busy_and_order () =
   let gate_m = Mutex.create () in
   let gate_c = Condition.create () in
   let gate_open = ref false in
-  let blocker () =
+  let blocker ~queue_ns:_ =
     Mutex.lock gate_m;
     while not !gate_open do
       Condition.wait gate_c gate_m
@@ -186,13 +187,13 @@ let test_scheduler_busy_and_order () =
   settle 200;
   let t2 =
     match
-      Scheduler.submit sched (fun () ->
+      Scheduler.submit sched (fun ~queue_ns:_ ->
           Json.Obj [ ("ok", Json.Bool true); ("job", Json.Int 2) ])
     with
     | `Accepted t -> t
     | _ -> Alcotest.fail "second submit fills the queue"
   in
-  (match Scheduler.submit sched (fun () -> Json.Null) with
+  (match Scheduler.submit sched (fun ~queue_ns:_ -> Json.Null) with
   | `Busy -> ()
   | _ -> Alcotest.fail "third submit must be refused: queue is full");
   Mutex.lock gate_m;
@@ -208,14 +209,14 @@ let test_scheduler_busy_and_order () =
   check_int "rejected" 1 rejected;
   check_int "depth drained" 0 depth;
   Scheduler.shutdown sched;
-  (match Scheduler.submit sched (fun () -> Json.Null) with
+  (match Scheduler.submit sched (fun ~queue_ns:_ -> Json.Null) with
   | `Shutdown -> ()
   | _ -> Alcotest.fail "submit after shutdown")
 
 let test_scheduler_exception_contained () =
   let sched = Scheduler.create () in
   let t =
-    match Scheduler.submit sched (fun () -> failwith "kaboom") with
+    match Scheduler.submit sched (fun ~queue_ns:_ -> failwith "kaboom") with
     | `Accepted t -> t
     | _ -> Alcotest.fail "accepted"
   in
@@ -224,7 +225,7 @@ let test_scheduler_exception_contained () =
   check_str "internal code" "internal" (Option.get (member_str "error" reply));
   (* the executor survived *)
   let t2 =
-    match Scheduler.submit sched (fun () -> Json.Obj [ ("ok", Json.Bool true) ]) with
+    match Scheduler.submit sched (fun ~queue_ns:_ -> Json.Obj [ ("ok", Json.Bool true) ]) with
     | `Accepted t -> t
     | _ -> Alcotest.fail "accepted after exception"
   in
@@ -234,7 +235,7 @@ let test_scheduler_exception_contained () =
 (* ------------------------------------------------------------------ *)
 (* live server over a real unix socket *)
 
-let with_server ?(queue = 64) f =
+let with_server ?(queue = 64) ?log f =
   let path =
     Filename.concat
       (Filename.get_temp_dir_name ())
@@ -244,6 +245,7 @@ let with_server ?(queue = 64) f =
     {
       (Serve.Server.default_config (Serve.Server.Unix_path path)) with
       Serve.Server.queue_capacity = queue;
+      log_path = log;
     }
   in
   let srv = Serve.Server.start config in
@@ -402,6 +404,206 @@ let test_server_two_client_isolation () =
             (List.mem "problems.so.det.runs" names))
         !rand_replies)
 
+(* ------------------------------------------------------------------ *)
+(* metrics exposition, span trees, cache bypass, request log *)
+
+let contains hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let test_server_metrics_op () =
+  with_server (fun _srv addr ->
+      check "warm-up solve ok" true (is_ok (call addr (solve_req 300 3)));
+      let r = call addr (Json.Obj [ ("op", Json.String "metrics") ]) in
+      check "metrics ok" true (is_ok r);
+      check_str "prometheus content type" "text/plain; version=0.0.4"
+        (Option.get (member_str "content_type" r));
+      let body = Option.get (member_str "body" r) in
+      check "solve counter exposed" true
+        (contains body "repro_serve_requests_solve 1");
+      check "metrics op counts itself" true
+        (contains body "repro_serve_requests_metrics");
+      check "latency histogram exposed" true
+        (contains body "repro_serve_op_solve_latency_ns_bucket");
+      check "queue-wait histogram exposed" true
+        (contains body "repro_serve_queue_wait_ns_count");
+      check "+Inf bucket present" true (contains body "le=\"+Inf\"");
+      check "computed gauges present" true
+        (contains body "repro_uptime_seconds"
+        && contains body "repro_scheduler_queue_depth");
+      (* the names list is the checker's ground truth: everything the
+         registry knows must have made it into the exposition *)
+      (match Json.member "names" r with
+      | Some (Json.List names) ->
+        check "names nonempty" true (names <> []);
+        List.iter
+          (fun n ->
+            match n with
+            | Json.String n ->
+              check (Printf.sprintf "name %s appears in body" n) true
+                (contains body n)
+            | _ -> Alcotest.fail "names must be strings")
+          names
+      | _ -> Alcotest.fail "metrics reply must carry names");
+      (* a made-up op is clamped to "other", not a fresh metric *)
+      let (_ : Json.t) = call addr (Json.Obj [ ("op", Json.String "zzz") ]) in
+      let r2 = call addr (Json.Obj [ ("op", Json.String "metrics") ]) in
+      let body2 = Option.get (member_str "body" r2) in
+      check "unknown ops clamp to other" true
+        (contains body2 "repro_serve_requests_other 1");
+      check "no attacker-named metric" false (contains body2 "zzz"))
+
+(* so-wave runs round-by-round over the frontier wave, so the tree has
+   per-round spans (so-det is the centralized BFS solver — no rounds) *)
+let spans_req n seed =
+  Json.Obj
+    [
+      ("op", Json.String "solve");
+      ("problem", Json.String "so-wave");
+      ("n", Json.Int n);
+      ("seed", Json.Int seed);
+      ("spans", Json.Bool true);
+    ]
+
+let reply_spans reply =
+  match Json.member "spans" reply with
+  | Some (Json.List items) ->
+    List.filter_map
+      (fun j ->
+        match Obs.Trace.event_of_json j with
+        | Ok (Obs.Trace.Span s) -> Some s
+        | _ -> None)
+      items
+  | _ -> []
+
+let test_server_span_tree () =
+  with_server (fun _srv addr ->
+      (* a failed span request first: its aborted recording must not
+         leak into the next request's tree *)
+      let bad =
+        call addr
+          (Json.Obj
+             [
+               ("op", Json.String "solve");
+               ("problem", Json.String "nope");
+               ("spans", Json.Bool true);
+             ])
+      in
+      check "bad span request is an error" false (is_ok bad);
+      let r = call addr (spans_req 400 5) in
+      check "span solve ok" true (is_ok r);
+      check_str "span request bypasses the cache" "bypass"
+        (Option.get (member_str "cache" r));
+      let tid =
+        match Json.member "trace_id" r with
+        | Some (Json.Int t) -> t
+        | _ -> Alcotest.fail "reply must carry trace_id"
+      in
+      let spans = reply_spans r in
+      check "spans nonempty" true (spans <> []);
+      check "all spans in the reply's trace" true
+        (List.for_all (fun s -> s.Obs.Trace.trace_id = tid) spans);
+      let labels = List.map (fun s -> s.Obs.Trace.label) spans in
+      List.iter
+        (fun l -> check (Printf.sprintf "has %s span" l) true (List.mem l labels))
+        [
+          "serve.solve"; "serve.cache.lookup"; "serve.queue.wait";
+          "serve.execute"; "serve.encode"; "serve.artifact.build";
+        ];
+      check "has per-round engine spans" true
+        (List.exists
+           (fun l ->
+             List.mem l
+               [ "mp.round"; "flood.round"; "frontier.round"; "wave.round" ])
+           labels);
+      (* the tree nests: root is serve.solve, execute under root, engine
+         rounds under execute's subtree *)
+      let events = List.map (fun s -> Obs.Trace.Span s) spans in
+      check "span invariants hold" true (Obs.Trace.check_invariants events = []);
+      let find l = List.find (fun s -> s.Obs.Trace.label = l) spans in
+      let root = find "serve.solve" in
+      check_int "serve root has no parent" (-1) root.Obs.Trace.parent;
+      check_int "execute under the root" root.Obs.Trace.span_id
+        (find "serve.execute").Obs.Trace.parent;
+      (* a second span request gets a fresh trace, never a replay *)
+      let r2 = call addr (spans_req 400 5) in
+      check_str "repeat still bypasses" "bypass"
+        (Option.get (member_str "cache" r2));
+      let tid2 =
+        match Json.member "trace_id" r2 with
+        | Some (Json.Int t) -> t
+        | _ -> Alcotest.fail "second reply must carry trace_id"
+      in
+      check "fresh trace id per request" false (tid = tid2);
+      check "fresh spans per request" true (reply_spans r2 <> []);
+      (* and the plain path is untouched by all this *)
+      let plain = call addr (solve_req 400 5) in
+      check "plain reply has no spans" true (Json.member "spans" plain = None))
+
+let test_server_log_schema () =
+  let log =
+    Filename.temp_file "repro-serve-log" ".jsonl"
+  in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log with _ -> ())
+    (fun () ->
+      with_server ~log (fun _srv addr ->
+          check "miss ok" true (is_ok (call addr (solve_req 300 9)));
+          check "hit ok" true (is_ok (call addr (solve_req 300 9)));
+          check "stats ok" true
+            (is_ok (call addr (Json.Obj [ ("op", Json.String "stats") ]))));
+      (* server stopped: the log is flushed and closed *)
+      let ic = open_in log in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> close_in ic);
+      let lines = List.rev !lines in
+      check_int "one line per request" 3 (List.length lines);
+      let parsed =
+        List.map
+          (fun l ->
+            match Json.of_string l with
+            | Ok j -> j
+            | Error e -> Alcotest.failf "log line not JSON: %s" e)
+          lines
+      in
+      List.iter
+        (fun j ->
+          check "line has ts" true (Json.member "ts" j <> None);
+          check "line has queue_ms" true
+            (match Json.member "queue_ms" j with
+            | Some (Json.Float q) -> q >= 0.0
+            | _ -> false);
+          check "line has trace_id" true
+            (match Json.member "trace_id" j with
+            | Some (Json.Int t) -> t > 0
+            | _ -> false))
+        parsed;
+      (* trace ids are per-request, never reused *)
+      let tids =
+        List.filter_map
+          (fun j ->
+            match Json.member "trace_id" j with
+            | Some (Json.Int t) -> Some t
+            | _ -> None)
+          parsed
+      in
+      check "distinct trace ids" true
+        (List.length (List.sort_uniq compare tids) = List.length tids);
+      (* the cache hit never queued *)
+      match List.nth parsed 1 with
+      | j ->
+        check_str "second line is the hit" "hit"
+          (Option.get (member_str "cache" j));
+        check "hit has zero queue wait" true
+          (match Json.member "queue_ms" j with
+          | Some (Json.Float q) -> q = 0.0
+          | _ -> false))
+
 let suite =
   [
     Alcotest.test_case "frame roundtrip" `Quick test_frame_roundtrip;
@@ -424,4 +626,7 @@ let suite =
     Alcotest.test_case "server stats + audit" `Quick test_server_stats_and_audit;
     Alcotest.test_case "server two-client isolation" `Quick
       test_server_two_client_isolation;
+    Alcotest.test_case "server metrics exposition" `Quick test_server_metrics_op;
+    Alcotest.test_case "server span tree" `Quick test_server_span_tree;
+    Alcotest.test_case "server log schema" `Quick test_server_log_schema;
   ]
