@@ -28,6 +28,12 @@ module Pi = Core.Padding.Pi_prime
 module PG = Core.Padding.Padded_graph
 module H = Core.Padding.Hierarchy
 module DC = Core.Lcl.Distributed_check
+module MP = Core.Local.Message_passing
+module Gen = Core.Graph.Generators
+module Mis = Core.Problems.Mis
+module Coloring = Core.Problems.Coloring
+module Luby = Core.Problems.Luby
+module LFlood = Core.Linalg.Flood
 module Obs = Core.Obs
 module FS = Core.Local.Frontier_set
 module Frontier = Core.Local.Frontier
@@ -53,6 +59,9 @@ type case = {
   rounds : int;
   run : unit -> unit;
   frontier : (unit -> FS.Stats.t) option;
+  linalg : (unit -> unit) option;
+      (** the vectorized-backend twin of [run], when the round is
+          linalg-expressible; measured as the [linalg_vs_engine_ns] pair *)
 }
 
 let cases ~quick () =
@@ -87,6 +96,14 @@ let cases ~quick () =
   let replay_alg =
     Audit.flood_algorithm ~actual:(fun v -> 1 + (v * 7919 mod replay_rounds))
   in
+  (* the linalg-pair legs: the vectorizable rounds on a simple 3-regular
+     instance, engine vs semiring backend measured as a per-case pair
+     (names stay "-2k" under --quick; [n] records the actual size) *)
+  let n_lin = if quick then 400 else 2000 in
+  let glin =
+    Gen.random_simple_regular (Random.State.make [| 23 |]) ~n:n_lin ~d:3
+  in
+  let lininst = Instance.create ~seed:23 glin in
   [
     {
       name = "ball-gather-r10-3k";
@@ -94,6 +111,7 @@ let cases ~quick () =
       rounds = 10;
       run = (fun () -> ignore (Core.Local.Ball.gather g3k ~center:0 ~radius:10));
       frontier = None;
+      linalg = None;
     };
     {
       name = "so-det-3k";
@@ -101,6 +119,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (SO.solve_deterministic inst3k));
       frontier = None;
+      linalg = None;
     };
     {
       name = "so-rand-3k";
@@ -108,6 +127,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (SO.solve_randomized inst3k));
       frontier = None;
+      linalg = None;
     };
     {
       name = "gadget-build-h8";
@@ -115,6 +135,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (GB.gadget ~delta:3 ~height));
       frontier = None;
+      linalg = None;
     };
     {
       name = "gadget-check-h8";
@@ -122,6 +143,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (GC.is_valid ~delta:3 gadget8));
       frontier = None;
+      linalg = None;
     };
     {
       name = "verifier-h8";
@@ -129,6 +151,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (V.run ~delta:3 ~n:gadget_n gadget8));
       frontier = None;
+      linalg = None;
     };
     {
       name = "pi2-solve-det";
@@ -136,6 +159,7 @@ let cases ~quick () =
       rounds = 1;
       run = (fun () -> ignore (so'.Spec.solve_det pinst pinp));
       frontier = None;
+      linalg = None;
     };
     (* the telemetry overhead pair: the same one-round engine workload
        with the registry disabled (the gated fast path — this is the
@@ -148,6 +172,10 @@ let cases ~quick () =
         (fun () ->
           ignore (DC.run SO.problem inst3k ~input:so_inp ~output:so_out));
       frontier = None;
+      linalg =
+        Some
+          (fun () ->
+            ignore (DC.run_linalg SO.problem inst3k ~input:so_inp ~output:so_out));
     };
     {
       name = "dcheck-so-3k-traced";
@@ -160,6 +188,7 @@ let cases ~quick () =
           ignore (Obs.Trace.finish ());
           Obs.Registry.disable ());
       frontier = None;
+      linalg = None;
     };
     (* same workload with provenance audit mode armed: the third leg of
        the overhead story — per-message influence tracking vs the gated
@@ -176,6 +205,7 @@ let cases ~quick () =
           | Some _ -> ()
           | None -> failwith "dcheck-so-3k-audited: engine submitted no audit");
       frontier = None;
+      linalg = None;
     };
     (* the 1M legs: wall-clock via bechamel like every other case, plus
        the per-round frontier columns (deterministic, so measured once) *)
@@ -190,6 +220,7 @@ let cases ~quick () =
             let stats = FS.Stats.recorder () in
             ignore (SO.solve_randomized_frontier ~stats finst);
             FS.Stats.snapshot stats);
+      linalg = None;
     };
     {
       name = "frontier-replay-1m";
@@ -198,6 +229,40 @@ let cases ~quick () =
       run = (fun () -> ignore (Frontier.run finst replay_alg));
       frontier =
         Some (fun () -> (Frontier.run finst replay_alg).Frontier.stats);
+      linalg = None;
+    };
+    {
+      name = "mis-sweep-2k";
+      n = n_lin;
+      rounds = 1;
+      run = (fun () -> ignore (Mis.solve lininst));
+      frontier = None;
+      linalg = Some (fun () -> ignore (Mis.solve_linalg lininst));
+    };
+    {
+      name = "luby-mis-2k";
+      n = n_lin;
+      rounds = 1;
+      run = (fun () -> ignore (Luby.solve lininst));
+      frontier = None;
+      linalg = Some (fun () -> ignore (Luby.solve_linalg lininst));
+    };
+    {
+      name = "coloring-2k";
+      n = n_lin;
+      rounds = 1;
+      run = (fun () -> ignore (Coloring.solve lininst));
+      frontier = None;
+      linalg = Some (fun () -> ignore (Coloring.solve_linalg lininst));
+    };
+    {
+      name = "flood-r3-2k";
+      n = n_lin;
+      rounds = 3;
+      run = (fun () -> ignore (MP.flood_gather lininst ~radius:3 (fun v -> v)));
+      frontier = None;
+      linalg =
+        Some (fun () -> ignore (LFlood.gather lininst ~radius:3 (fun v -> v)));
     };
   ]
 
@@ -405,6 +470,17 @@ let run_json ~quick () =
             Pool.set_size 1;
             Some (f ())
         in
+        (* the linalg twin, measured like the engine's seq leg (pool size
+           1, same quota) so the pair divides out machine speed *)
+        let lin =
+          match case.linalg with
+          | None -> None
+          | Some run ->
+            Pool.set_size 1;
+            Some
+              (estimate ~quota ~limit
+                 { case with name = case.name ^ "-linalg"; run })
+        in
         Printf.printf
           "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run   minor %12.1f w/round\n"
           case.name case.n
@@ -412,7 +488,7 @@ let run_json ~quick () =
           domains
           (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-")
           minor_w;
-        (case, seq, par, minor_w, promoted_w, fstats))
+        (case, seq, par, minor_w, promoted_w, fstats, lin))
       cases
   in
   let serve = bench_serve ~quick () in
@@ -439,7 +515,7 @@ let run_json ~quick () =
   (* cores records oversubscription: speedup is only physically possible
      when domains <= cores (a 1-core container shows slowdowns) *)
   Printf.fprintf oc
-    "{\n  \"schema\": \"repro-bench-parallel/5\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
+    "{\n  \"schema\": \"repro-bench-parallel/6\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
     domains
     (Domain.recommended_domain_count ())
     quick;
@@ -461,7 +537,7 @@ let run_json ~quick () =
     (serve.sv_traced_ns /. serve.sv_disarmed_ns);
   Printf.fprintf oc "  \"results\": [\n";
   List.iteri
-    (fun i (case, seq, par, minor_w, promoted_w, fstats) ->
+    (fun i (case, seq, par, minor_w, promoted_w, fstats, lin) ->
       let speedup =
         match (seq, par) with
         | Some s, Some p when p > 0.0 -> Printf.sprintf "%.3f" (s /. p)
@@ -487,6 +563,19 @@ let run_json ~quick () =
           (int_array st.FS.Stats.frontier_edges)
           (bool_array st.FS.Stats.dense_rounds)
           (int_array st.FS.Stats.round_ns));
+      (match lin with
+      | None -> ()
+      | Some lt ->
+        (* engine_ns repeats the seq estimate so the pair reads standalone *)
+        let ratio =
+          match (seq, lt) with
+          | Some e, Some l when e > 0.0 -> Printf.sprintf "%.3f" (l /. e)
+          | _ -> "null"
+        in
+        Printf.fprintf oc
+          ",\n     \"linalg_vs_engine_ns\": {\"engine_ns\": %s, \"linalg_ns\": \
+           %s, \"linalg_engine_ratio\": %s}"
+          (field seq) (field lt) ratio);
       Printf.fprintf oc "}%s\n"
         (if i = List.length measured - 1 then "" else ","))
     measured;

@@ -258,6 +258,61 @@ let solve_so_cmd =
     (Cmd.info "solve-so" ~doc:"Sinkless orientation, both solvers.")
     Term.(const run $ n $ seed_arg $ obs_args)
 
+let solve_cmd =
+  let module Catalog = Core.Problems.Solver_catalog in
+  let run problem backend n seed out_file obs =
+    with_obs ~label:"solve" obs @@ fun () ->
+    let backend =
+      match Core.Local.Backend.of_string backend with
+      | Ok b -> b
+      | Error msg -> failwith msg
+    in
+    match Catalog.solve ~problem ~backend ~seed ~n with
+    | Error msg -> failwith msg
+    | Ok solved ->
+      Printf.printf "problem=%s backend=%s n=%d seed=%d rounds=%d valid=%b\n"
+        problem
+        (Core.Local.Backend.to_string backend)
+        n seed solved.Catalog.s_rounds solved.Catalog.s_valid;
+      (match out_file with
+      | None -> ()
+      | Some file ->
+        let oc = open_out_bin file in
+        output_string oc solved.Catalog.s_output;
+        close_out oc;
+        Printf.printf "wrote %s (%d bytes)\n" file
+          (String.length solved.Catalog.s_output));
+      if not solved.Catalog.s_valid then exit 1
+  in
+  let problem =
+    Arg.(
+      value & opt string "mis"
+      & info [ "p"; "problem" ] ~docv:"PROBLEM"
+          ~doc:
+            (Printf.sprintf "Catalog problem: %s."
+               (String.concat ", " Catalog.names)))
+  in
+  let backend =
+    Arg.(
+      value & opt string "engine"
+      & info [ "b"; "backend" ] ~docv:"BACKEND"
+          ~doc:"Execution backend: engine or linalg. The canonical output \
+                bytes are backend-blind (CI diffs them with cmp).")
+  in
+  let n = Arg.(value & opt int 1000 & info [ "n" ] ~docv:"N" ~doc:"Nodes.") in
+  let out_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE"
+          ~doc:"Write the canonical solve bytes to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "solve"
+       ~doc:
+         "Solve a catalog problem under a chosen execution backend and dump \
+          the canonical (backend-blind) output bytes.")
+    Term.(const run $ problem $ backend $ n $ seed_arg $ out_file $ obs_args)
+
 let decompose_cmd =
   let run n p seed obs =
     with_obs ~label:"decompose" obs @@ fun () ->
@@ -759,7 +814,7 @@ let () =
     (Cmd.eval
        (Cmd.group (Cmd.info "repro" ~doc)
           [
-            landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd;
+            landscape_cmd; hierarchy_cmd; gadget_cmd; solve_so_cmd; solve_cmd;
             decompose_cmd; experiment_cmd; audit_cmd; trace_report_cmd;
             fuzz_cmd; serve_cmd; call_cmd;
           ]))

@@ -11,6 +11,8 @@ module DC = Repro_lcl.Distributed_check
 module SO = Repro_problems.Sinkless_orientation
 module Coloring = Repro_problems.Coloring
 module Mis = Repro_problems.Mis
+module Luby = Repro_problems.Luby
+module LFlood = Repro_linalg.Flood
 module Matching = Repro_problems.Matching
 module Two = Repro_problems.Two_coloring
 module ND = Repro_problems.Network_decomposition
@@ -265,6 +267,105 @@ let frontier_vs_flat (recipe, seed) =
           Pool.set_size s;
           let& () = check_alg (Printf.sprintf "ids@%dd" s) flood_ids_alg in
           let& () = check_alg (Printf.sprintf "float@%dd" s) float_sum_alg in
+          go rest
+      in
+      go [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* linalg backend differential *)
+
+(* gather the radius-[radius] ball's ids through the engine proper,
+   halting on an explicit hop counter carried in the state (so the
+   round-numbering convention cannot skew the comparison) *)
+let ball_ids_alg radius : (int list * int, int list, int list) MP.algorithm =
+  {
+    MP.init = (fun inst v -> ([ Instance.id inst v ], 0));
+    send = (fun (known, _) ~round:_ ~port:_ -> known);
+    receive =
+      (fun (known, hops) ~round:_ msgs ->
+        let known =
+          List.sort_uniq compare
+            (Array.fold_left (fun acc l -> l @ acc) known msgs)
+        in
+        if hops + 1 >= radius then Either.Right known
+        else Either.Left (known, hops + 1));
+  }
+
+(* The backend matrix: for every vectorized solver, the linalg run must
+   be byte-identical to its engine twin — labelings, meters, verdicts
+   and per-round flood output — and the flood knowledge must also agree
+   with the same gather executed through MP.run and MP.run_boxed. Swept
+   at 1, 2 and 4 domains. *)
+let linalg_vs_engine (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let inst = Instance.create ~seed g in
+  let radius = 3 in
+  let once label =
+    let ce, me = Coloring.solve inst in
+    let cl, ml = Coloring.solve_linalg inst in
+    let& () =
+      requiref (ce = cl) "%s: coloring backends produce different labels" label
+    in
+    let& () =
+      requiref
+        (Meter.max_radius me = Meter.max_radius ml)
+        "%s: coloring backends charge different rounds" label
+    in
+    let ma, mma = Mis.solve inst in
+    let mb, mmb = Mis.solve_linalg inst in
+    let& () = requiref (ma = mb) "%s: mis backends differ" label in
+    let& () =
+      requiref
+        (Meter.max_radius mma = Meter.max_radius mmb)
+        "%s: mis backends charge different rounds" label
+    in
+    let& () = requiref (Mis.is_valid g mb) "%s: linalg mis invalid" label in
+    let la, lma = Luby.solve inst in
+    let lb, lmb = Luby.solve_linalg inst in
+    let& () = requiref (la = lb) "%s: luby backends differ" label in
+    let& () =
+      requiref
+        (Meter.max_radius lma = Meter.max_radius lmb)
+        "%s: luby backends charge different rounds" label
+    in
+    let& () = requiref (Luby.is_valid g lb) "%s: linalg luby-mis invalid" label in
+    let payload v = Instance.id inst v in
+    let fe = MP.flood_gather inst ~radius payload in
+    let fl = LFlood.gather inst ~radius payload in
+    let& () =
+      requiref (fe = fl) "%s: flood by_round differs between backends" label
+    in
+    let derived =
+      Array.init (G.n g) (fun v ->
+          List.sort_uniq compare
+            (payload v :: List.concat (Array.to_list fe.(v))))
+    in
+    let eng = MP.run inst (ball_ids_alg radius) in
+    let boxed = MP.run_boxed inst (ball_ids_alg radius) in
+    let& () =
+      requiref
+        (eng.MP.outputs = boxed.MP.outputs)
+        "%s: MP.run vs run_boxed ball ids differ" label
+    in
+    let& () =
+      requiref (eng.MP.outputs = derived)
+        "%s: engine-run ball ids differ from flood knowledge" label
+    in
+    let so_out, _ = SO.solve_deterministic inst in
+    let input = unit_input g in
+    let va = DC.run SO.problem inst ~input ~output:so_out in
+    let vb = DC.run_linalg SO.problem inst ~input ~output:so_out in
+    requiref (va = vb) "%s: dcheck verdicts differ between backends" label
+  in
+  let saved = Pool.size () in
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size saved)
+    (fun () ->
+      let rec go = function
+        | [] -> Ok ()
+        | s :: rest ->
+          Pool.set_size s;
+          let& () = once (Printf.sprintf "%dd" s) in
           go rest
       in
       go [ 1; 2; 4 ])

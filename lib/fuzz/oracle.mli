@@ -59,6 +59,16 @@ val engines : Gen_graph.recipe * int -> verdict
 (** Pool-size differential: SO (det) outputs, meters and a flood-gather
     must be identical at 1, 2 and 4 domains. *)
 
+val linalg_vs_engine : Gen_graph.recipe * int -> verdict
+(** Backend differential on a simple graph: every vectorized solver in
+    {!Repro_linalg} against its message-passing twin — coloring, MIS
+    (coloring-sweep and Luby), flood-gather and the one-round
+    distributed check. Labelings, meters, by-round flood output and
+    checker verdicts must be byte-identical; the flood knowledge must
+    also match the same radius-3 ball gather executed through
+    {!Repro_local.Message_passing.run} and [run_boxed]. Swept at 1, 2
+    and 4 domains. *)
+
 val frontier_vs_flat : Gen_graph.recipe * int -> verdict
 (** Engine differential for the frontier engine:
     {!Repro_local.Frontier.run} vs {!Repro_local.Message_passing.run}

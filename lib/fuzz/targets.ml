@@ -45,6 +45,10 @@ let dcheck_prop =
 let engines_prop =
   graph_prop ~name:"engines" ~shape:Gen_graph.Any ~max_n:30 Oracle.engines
 
+let linalg_vs_engine_prop =
+  graph_prop ~name:"linalg-vs-engine" ~shape:Gen_graph.Simple ~max_n:30
+    Oracle.linalg_vs_engine
+
 let flat_vs_boxed_prop =
   graph_prop ~name:"engine-flat-vs-boxed" ~shape:Gen_graph.Any ~max_n:30
     Oracle.flat_vs_boxed
@@ -108,6 +112,11 @@ let all =
       t_name = "engines";
       t_doc = "pool-size differential: 1 = 2 = 4 domains, outputs and meters";
       t_prop = P engines_prop;
+    };
+    {
+      t_name = "linalg-vs-engine";
+      t_doc = "semiring/bitset backend vs the message-passing engine (and run_boxed): byte-identical labelings, meters and flood knowledge at 1/2/4 domains";
+      t_prop = P linalg_vs_engine_prop;
     };
     {
       t_name = "engine-flat-vs-boxed";

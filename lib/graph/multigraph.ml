@@ -132,6 +132,7 @@ let max_degree g =
 
 let ports_off g = g.ports_off
 let ports_flat g = g.ports
+let half_node_flat g = g.half_node
 let halves g v = Array.sub g.ports g.ports_off.(v) (degree g v)
 
 let iter_halves g v ~f =

@@ -121,6 +121,13 @@ val neighbors : t -> node -> node list
 val ports_off : t -> int array
 val ports_flat : t -> int array
 
+val half_node_flat : t -> int array
+(** The incidence array itself: [(half_node_flat g).(h)] is
+    [half_node g h] without the function call. Combined with
+    {!ports_off}/{!ports_flat} this is everything a vectorized pass
+    needs: node [v]'s neighbour at slice position [i] is
+    [hn.(ports.(i) lxor 1)]. Do not mutate. *)
+
 (** {1 Folds and iteration} *)
 
 val fold_nodes : t -> init:'a -> f:('a -> node -> 'a) -> 'a

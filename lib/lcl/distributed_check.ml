@@ -104,6 +104,86 @@ let run p inst ~input ~output =
     rounds = result.MP.max_rounds;
   }
 
+(* The vectorized twin: the one-round check is a single masked fused
+   pass — node [v]'s verdict reads only labels inside its radius-1
+   ball, and the message a port would have delivered is just the mate
+   of the port's half-edge, available directly from the CSR arrays
+   ([prt.(i) lxor 1]). So instead of running a round on the engine
+   (mailbox arena, send phase, receive phase), evaluate every node
+   view in one [Pool] pass and fold acceptance with the linalg fused
+   reduce. Verdicts are bit-identical to [run]: same constraint
+   evaluations on the same scratch views, same per-index ownership. *)
+let run_linalg p inst ~input ~output =
+  let g = inst.Repro_local.Instance.graph in
+  let n = G.n g in
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let slots = Pool.worker_slots () in
+  let nv_scratch =
+    Array.init slots (fun _ -> Array.make (G.max_degree g + 1) None)
+  in
+  let ev_scratch = Array.make slots None in
+  let accepts = Array.make n false in
+  Pool.parallel_for ~n (fun v ->
+      let wi = Pool.worker_index () in
+      let lo = off.(v) in
+      let d = off.(v + 1) - lo in
+      let nv =
+        match nv_scratch.(wi).(d) with
+        | Some nv ->
+          Ne_lcl.fill_node_view g ~input ~output nv v;
+          nv
+        | None ->
+          let nv = Ne_lcl.node_view g ~input ~output v in
+          nv_scratch.(wi).(d) <- Some nv;
+          nv
+      in
+      let node_ok = p.Ne_lcl.check_node nv in
+      let edges_ok = ref true in
+      for i = 0 to d - 1 do
+        let h = prt.(lo + i) in
+        let hw = G.mate h in
+        let e = G.edge_of_half h in
+        let w = G.half_node g hw in
+        let ev =
+          match ev_scratch.(wi) with
+          | Some ev -> ev
+          | None ->
+            let ev = Ne_lcl.edge_view g ~input ~output e in
+            ev_scratch.(wi) <- Some ev;
+            ev
+        in
+        ev.Ne_lcl.self_loop <- w = v;
+        ev.Ne_lcl.u_in <- input.Labeling.v.(v);
+        ev.Ne_lcl.u_out <- output.Labeling.v.(v);
+        ev.Ne_lcl.w_in <- input.Labeling.v.(w);
+        ev.Ne_lcl.w_out <- output.Labeling.v.(w);
+        ev.Ne_lcl.ee_in <- input.Labeling.e.(e);
+        ev.Ne_lcl.ee_out <- output.Labeling.e.(e);
+        ev.Ne_lcl.bu_in <- input.Labeling.b.(h);
+        ev.Ne_lcl.bu_out <- output.Labeling.b.(h);
+        ev.Ne_lcl.bw_in <- input.Labeling.b.(hw);
+        ev.Ne_lcl.bw_out <- output.Labeling.b.(hw);
+        if not (p.Ne_lcl.check_edge ev) then edges_ok := false
+      done;
+      accepts.(v) <- node_ok && !edges_ok);
+  let accepted = Repro_linalg.Spmv.count accepts in
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "lcl.dcheck.runs");
+  if Obs.Registry.live reg then
+    Obs.Counter.add
+      (Obs.Registry.counter reg "lcl.dcheck.rejecting_nodes")
+      (n - accepted);
+  {
+    accepts;
+    all_accept = accepted = n;
+    rounds = (if n = 0 then 0 else 1);
+  }
+
+let run_with ~backend p inst ~input ~output =
+  match backend with
+  | `Engine -> run p inst ~input ~output
+  | `Linalg -> run_linalg p inst ~input ~output
+
 (* the checker's declared bound: one round, by the definition of an LCL *)
 let declared_rounds = 1
 

@@ -24,6 +24,26 @@ val run :
   output:('vo, 'eo, 'bo) Labeling.t ->
   verdict
 
+val run_linalg :
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Ne_lcl.t ->
+  Repro_local.Instance.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  verdict
+(** The vectorized twin of {!run}: the one-round exchange collapses to
+    a direct masked pass over the CSR arrays (the message a port
+    delivers is the mate half-edge, already addressable), with
+    acceptance folded by the linalg fused reduce. Bit-identical
+    verdicts at any [REPRO_DOMAINS]. *)
+
+val run_with :
+  backend:Repro_local.Backend.t ->
+  ('vi, 'ei, 'bi, 'vo, 'eo, 'bo) Ne_lcl.t ->
+  Repro_local.Instance.t ->
+  input:('vi, 'ei, 'bi) Labeling.t ->
+  output:('vo, 'eo, 'bo) Labeling.t ->
+  verdict
+
 val declared_rounds : int
 (** [1]: the round bound the checker declares to the provenance
     auditor — LCLs are constant-radius checkable by definition. *)

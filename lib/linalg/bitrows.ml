@@ -1,0 +1,16 @@
+module G = Repro_graph.Multigraph
+module Pool = Repro_local.Pool
+module B = Repro_obs.Provenance.Bitset
+
+let step g ~x ~y =
+  let n = G.n g in
+  if Array.length x < n || Array.length y < n then
+    invalid_arg "Bitrows.step: row arrays shorter than the node count";
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let hn = G.half_node_flat g in
+  Pool.parallel_for ~n (fun v ->
+      let row = y.(v) in
+      B.blit ~src:x.(v) ~dst:row;
+      for i = off.(v) to off.(v + 1) - 1 do
+        B.union_into ~into:row x.(hn.(prt.(i) lxor 1))
+      done)

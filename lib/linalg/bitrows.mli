@@ -1,0 +1,20 @@
+(** Boolean-semiring SpMV where each vector entry is itself a
+    {!Repro_obs.Provenance.Bitset} row — the matrix-matrix step behind
+    the dense flooding regime: if [X] is the n × nc knowledge matrix
+    (row [v] = the classes node [v] knows), one step of
+    [(I ∨ A) · X] over the boolean semiring is exactly one flooding
+    round.
+
+    Rows are double-buffered by the caller: [step] reads [x] only and
+    writes [y] row-by-row ({!Repro_local.Pool} contract), so swapping
+    the two arrays of rows between steps is safe — the buffers must not
+    share any [Bitset.t]. *)
+
+val step :
+  Repro_graph.Multigraph.t ->
+  x:Repro_obs.Provenance.Bitset.t array ->
+  y:Repro_obs.Provenance.Bitset.t array ->
+  unit
+(** [step g ~x ~y]: [y.(v) := x.(v) ∪ ⋃_{w ~ v} x.(w)] for every node
+    (the reflexive closure keeps knowledge monotone, like the engine's
+    blit-then-union). All rows must share one capacity. *)

@@ -1,0 +1,83 @@
+module G = Repro_graph.Multigraph
+module MP = Repro_local.Message_passing
+module Instance = Repro_local.Instance
+module Pool = Repro_local.Pool
+module Obs = Repro_obs
+module B = Obs.Provenance.Bitset
+
+(* the engine's dense test, verbatim: a radius ball could cover the
+   classes iff sum_{i<=radius} maxdeg^i >= nc, with saturation *)
+let dense_regime inst ~radius ~nc =
+  let md = G.max_degree inst.Instance.graph in
+  let acc = ref 1 and frontier = ref 1 and i = ref 0 in
+  while !i < radius && !acc < nc do
+    frontier :=
+      (let f = !frontier * max 1 md in
+       if f <= 0 || f > nc then nc else f);
+    acc := min nc (!acc + !frontier);
+    incr i
+  done;
+  !acc >= nc
+
+let gather inst ~radius payload =
+  let g = inst.Instance.graph in
+  let n = G.n g in
+  let reg = Obs.Registry.ambient () in
+  Obs.Counter.incr (Obs.Registry.counter reg "linalg.flood.runs");
+  if n = 0 || radius <= 0 then
+    Array.init n (fun _ -> Array.make (max radius 0) [])
+  else begin
+    (* intern payloads into classes in node order, exactly as the
+       engine does — class ids must match for the dense test and the
+       emitted fresh-payload lists to match *)
+    let payloads = Pool.tabulate n payload in
+    let class_of = Array.make n 0 in
+    let class_payload = Array.make n payloads.(0) in
+    let class_tbl = Hashtbl.create (2 * n) in
+    let class_count = ref 0 in
+    for v = 0 to n - 1 do
+      match Hashtbl.find_opt class_tbl payloads.(v) with
+      | Some c -> class_of.(v) <- c
+      | None ->
+        let c = !class_count in
+        incr class_count;
+        Hashtbl.replace class_tbl payloads.(v) c;
+        class_payload.(c) <- payloads.(v);
+        class_of.(v) <- c
+    done;
+    let nc = !class_count in
+    if Obs.Provenance.active () || not (dense_regime inst ~radius ~nc) then
+      (* sparse merges and influence tracking are per-element passes,
+         not whole-vector ones — the engine runs them; its result is the
+         byte-identical reference either way *)
+      MP.flood_gather inst ~radius payload
+    else begin
+      let by_round = Array.init n (fun _ -> Array.make radius []) in
+      let known =
+        Array.init n (fun v ->
+            let b = B.create nc in
+            B.add b class_of.(v);
+            b)
+      in
+      let next = Array.init n (fun _ -> B.create nc) in
+      for r = 0 to radius - 1 do
+        Obs.Counter.incr (Obs.Registry.counter reg "linalg.flood.rounds");
+        (* one boolean matrix step, then emit this round's fresh
+           classes from the (next, known) diff — ascending class order,
+           like the engine *)
+        Bitrows.step g ~x:known ~y:next;
+        Pool.parallel_for ~n (fun w ->
+            let acc = ref [] in
+            B.iter_diff
+              (fun c -> acc := class_payload.(c) :: !acc)
+              next.(w) known.(w);
+            if !acc <> [] then by_round.(w).(r) <- List.rev !acc);
+        for v = 0 to n - 1 do
+          let t = known.(v) in
+          known.(v) <- next.(v);
+          next.(v) <- t
+        done
+      done;
+      by_round
+    end
+  end

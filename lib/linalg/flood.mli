@@ -1,0 +1,27 @@
+(** The linear-algebra twin of
+    {!Repro_local.Message_passing.flood_gather}.
+
+    In the dense regime the engine's knowledge sets are already Bitset
+    rows, so a flooding round {e is} one boolean-semiring step of
+    [(I ∨ A) · X] ({!Bitrows.step}) followed by the same
+    [Bitset.iter_diff] emission over the same double buffers — the
+    twin recomputes the engine's regime decision from the same formula
+    ([Σ_{i ≤ radius} Δ^i ≥ nc], saturating) and takes over exactly the
+    dense case. The sparse regime (sorted-array merges with a frontier
+    set) and audited runs (which must grow influence sets inside the
+    round loop) are not linalg-expressible as a whole-vector pass and
+    delegate to the engine — whose outputs are byte-identical by the
+    engine's own contract, so [gather] equals the engine on {e every}
+    instance, at any [REPRO_DOMAINS]. *)
+
+val gather :
+  Repro_local.Instance.t -> radius:int -> (int -> 'a) -> 'a list array array
+(** Same signature and byte-identical result as
+    [Message_passing.flood_gather]: [(gather inst ~radius p).(v).(r)]
+    lists the payloads node [v] first learned in round [r + 1]. *)
+
+val dense_regime : Repro_local.Instance.t -> radius:int -> nc:int -> bool
+(** The regime decision, exposed for tests: [true] iff a radius-[radius]
+    ball could plausibly cover [nc] classes
+    ([Σ_{i ≤ radius} Δ^i ≥ nc], computed with saturation — the
+    engine's formula, verbatim). *)

@@ -1,0 +1,87 @@
+type 'a t = {
+  sr_name : string;
+  add : 'a -> 'a -> 'a;
+  mul : 'a -> 'a -> 'a;
+  zero : 'a;
+  one : 'a;
+  laws : law list;
+}
+
+and law =
+  | Add_assoc
+  | Add_comm
+  | Add_identity
+  | Mul_assoc
+  | Mul_left_identity
+  | Mul_right_identity
+  | Distrib
+  | Annihilator
+
+let law_name = function
+  | Add_assoc -> "add-assoc"
+  | Add_comm -> "add-comm"
+  | Add_identity -> "add-identity"
+  | Mul_assoc -> "mul-assoc"
+  | Mul_left_identity -> "mul-left-identity"
+  | Mul_right_identity -> "mul-right-identity"
+  | Distrib -> "distrib"
+  | Annihilator -> "annihilator"
+
+let full_laws =
+  [
+    Add_assoc;
+    Add_comm;
+    Add_identity;
+    Mul_assoc;
+    Mul_left_identity;
+    Mul_right_identity;
+    Distrib;
+    Annihilator;
+  ]
+
+let boolean =
+  {
+    sr_name = "boolean";
+    add = ( || );
+    mul = ( && );
+    zero = false;
+    one = true;
+    laws = full_laws;
+  }
+
+let bits =
+  {
+    sr_name = "bits";
+    add = ( lor );
+    mul = ( land );
+    zero = 0;
+    one = -1;
+    laws = full_laws;
+  }
+
+(* saturating [+]: [max_int] is the tropical zero, and ordinary
+   addition would wrap it negative, destroying both the annihilator and
+   the min-reduction *)
+let sat_plus a b = if a = max_int || b = max_int then max_int else a + b
+
+let min_plus =
+  {
+    sr_name = "min-plus";
+    add = min;
+    mul = sat_plus;
+    zero = max_int;
+    one = 0;
+    laws = full_laws;
+  }
+
+let max_select =
+  {
+    sr_name = "max-select";
+    add = max;
+    mul = (fun _ y -> y);
+    zero = min_int;
+    one = min_int;
+    laws = [ Add_assoc; Add_comm; Add_identity; Mul_assoc; Mul_left_identity ];
+  }
+
+let all = [ bits; min_plus; max_select ]

@@ -1,0 +1,59 @@
+(** Semirings for the linear-algebra backend.
+
+    A GraphBLAS-style pass is a sparse matrix-vector product over a
+    [(⊕, ⊗, 0, 1)] structure: [y.(v) = ⊕_{w ~ v} A(v,w) ⊗ x.(w)]. Our
+    adjacency matrices are structural — every stored entry is [one] —
+    so what {!Spmv} actually requires of an instance is only the
+    {e ⊕-monoid} laws plus the left-one contract [one ⊗ x = x]; the
+    full semiring laws are declared per instance ({!laws}) and checked
+    by the property suite, not assumed by the kernels.
+
+    The instance set mirrors the rounds the backend vectorizes:
+    {!boolean} (reachability / blocking), {!bits} (neighbour color
+    masks), {!min_plus} (distances), {!max_select} (Luby-style priority
+    contests, the GraphBLAS [max]/[select2nd] pair). *)
+
+type 'a t = {
+  sr_name : string;
+  add : 'a -> 'a -> 'a;  (** [⊕] — must be associative and commutative *)
+  mul : 'a -> 'a -> 'a;  (** [⊗] — must satisfy [mul one x = x] *)
+  zero : 'a;  (** [⊕]-identity; the value of an empty reduction *)
+  one : 'a;  (** the weight of every stored adjacency entry *)
+  laws : law list;  (** laws this instance promises (property-tested) *)
+}
+
+and law =
+  | Add_assoc  (** [(a ⊕ b) ⊕ c = a ⊕ (b ⊕ c)] *)
+  | Add_comm  (** [a ⊕ b = b ⊕ a] *)
+  | Add_identity  (** [zero ⊕ a = a = a ⊕ zero] *)
+  | Mul_assoc  (** [(a ⊗ b) ⊗ c = a ⊗ (b ⊗ c)] *)
+  | Mul_left_identity  (** [one ⊗ a = a] — required by every instance *)
+  | Mul_right_identity  (** [a ⊗ one = a] *)
+  | Distrib  (** [a ⊗ (b ⊕ c) = (a ⊗ b) ⊕ (a ⊗ c)], and on the right *)
+  | Annihilator  (** [zero ⊗ a = zero = a ⊗ zero] *)
+
+val law_name : law -> string
+
+val boolean : bool t
+(** [(∨, ∧, false, true)] — the boolean semiring. Full laws. *)
+
+val bits : int t
+(** [(lor, land, 0, -1)] — the boolean semiring lifted to 63 parallel
+    bit lanes; what the coloring reduction uses for neighbour color
+    masks. Full laws. *)
+
+val min_plus : int t
+(** [(min, +, max_int, 0)] — tropical distances; [+] saturates at
+    [max_int] so the annihilator survives machine arithmetic. Full
+    laws. *)
+
+val max_select : int t
+(** [(max, select2nd, min_int, min_int)] — the Luby priority contest:
+    [y.(v)] becomes the largest neighbour priority. [select2nd] is
+    associative with {e every} value as a left identity, but has no
+    right identity and no annihilator — only the declared subset of
+    laws holds, which is all a structural SpMV needs. *)
+
+val all : int t list
+(** The int-valued instances, for law sweeps: bits, min_plus,
+    max_select. *)

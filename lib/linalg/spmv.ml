@@ -1,0 +1,71 @@
+module G = Repro_graph.Multigraph
+module Pool = Repro_local.Pool
+module Obs = Repro_obs
+
+(* one row of the structural product: fold x over the far endpoints of
+   v's CSR slice. [mul one _] is the identity by the semiring contract,
+   but we keep the application so a non-structural instance would still
+   be honest. *)
+let row (sr : 'a Semiring.t) off prt hn x ~accum y v =
+  let acc = ref (if accum then y.(v) else sr.Semiring.zero) in
+  for i = off.(v) to off.(v + 1) - 1 do
+    acc := sr.add !acc (sr.mul sr.one x.(hn.(prt.(i) lxor 1)))
+  done;
+  y.(v) <- !acc
+
+let counters () =
+  let reg = Obs.Registry.ambient () in
+  if Obs.Registry.live reg then
+    Some
+      ( Obs.Registry.counter reg "linalg.spmv.runs",
+        Obs.Registry.counter reg "linalg.spmv.rows" )
+  else None
+
+let charge counters rows =
+  match counters with
+  | None -> ()
+  | Some (runs, rws) ->
+    Obs.Counter.incr runs;
+    Obs.Counter.add rws rows
+
+let run sr ?(accum = false) g ~x ~y =
+  let n = G.n g in
+  if Array.length x < n || Array.length y < n then
+    invalid_arg "Spmv.run: vector shorter than the node count";
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let hn = G.half_node_flat g in
+  charge (counters ()) n;
+  Pool.parallel_for ~n (fun v -> row sr off prt hn x ~accum y v)
+
+let run_masked sr ?(complement = false) ?(accum = false) g ~mask ~x ~y =
+  let n = G.n g in
+  if Array.length mask < n then
+    invalid_arg "Spmv.run_masked: mask shorter than the node count";
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let hn = G.half_node_flat g in
+  charge (counters ()) n;
+  Pool.parallel_for ~n (fun v ->
+      if mask.(v) <> complement then row sr off prt hn x ~accum y v)
+
+let run_rows sr ?(accum = false) g ~rows ~pos ~len ~x ~y =
+  if pos < 0 || len < 0 || pos + len > Array.length rows then
+    invalid_arg "Spmv.run_rows: bad segment";
+  let off = G.ports_off g and prt = G.ports_flat g in
+  let hn = G.half_node_flat g in
+  charge (counters ()) len;
+  Pool.parallel_for ~n:len (fun k ->
+      row sr off prt hn x ~accum y rows.(pos + k))
+
+let assign_masked ?(complement = false) ~mask c y =
+  let n = Array.length y in
+  if Array.length mask < n then
+    invalid_arg "Spmv.assign_masked: mask shorter than the vector";
+  Pool.parallel_for ~n (fun v -> if mask.(v) <> complement then y.(v) <- c)
+
+let reduce (sr : 'a Semiring.t) x =
+  Pool.parallel_for_reduce ~n:(Array.length x) ~neutral:sr.Semiring.zero
+    ~combine:sr.add (fun i -> x.(i))
+
+let count b =
+  let f = Pool.fused (fun i -> if b.(i) then 1 else 0) in
+  Pool.run_fused f ~n:(Array.length b)

@@ -1,0 +1,78 @@
+(** Masked structural SpMV over the flat CSR arrays.
+
+    The adjacency matrix is never materialized: row [v] is the slice
+    [(ports_off g).(v) .. (ports_off g).(v+1) - 1] of
+    [ports_flat g], and the column of slice entry [i] is
+    [(half_node_flat g).(ports.(i) lxor 1)] — the far endpoint of the
+    half-edge, so self-loops contribute [x.(v)] itself and parallel
+    edges contribute once per edge, exactly as the message-passing
+    engine delivers one message per port.
+
+    {2 Masking contract}
+
+    A mask selects {e rows} (GraphBLAS write masks): a masked-out row's
+    [y] slot is left untouched, never zeroed. Two mask forms exist —
+    a dense [bool array] (optionally complemented) and a sparse row
+    list ({!run_rows}), the frontier/color-class shape. Masks never
+    affect columns; [x] is read in full.
+
+    {2 Determinism}
+
+    Every operation writes [y.(v)] from row [v] only and reads [x]
+    read-only, so the {!Repro_local.Pool} determinism contract applies:
+    any [REPRO_DOMAINS] produces bit-identical vectors. [x] and [y]
+    must not alias. *)
+
+val run :
+  'a Semiring.t ->
+  ?accum:bool ->
+  Repro_graph.Multigraph.t ->
+  x:'a array ->
+  y:'a array ->
+  unit
+(** [run sr g ~x ~y] sets [y.(v) <- ⊕_{w ~ v} one ⊗ x.(w)] for every
+    node; an isolated node gets [zero]. With [~accum:true] the old
+    [y.(v)] seeds the reduction ([y.(v) <- y.(v) ⊕ ...]). *)
+
+val run_masked :
+  'a Semiring.t ->
+  ?complement:bool ->
+  ?accum:bool ->
+  Repro_graph.Multigraph.t ->
+  mask:bool array ->
+  x:'a array ->
+  y:'a array ->
+  unit
+(** Dense write mask: only rows with [mask.(v)] ([not mask.(v)] under
+    [~complement:true]) are computed; other rows keep their [y]. *)
+
+val run_rows :
+  'a Semiring.t ->
+  ?accum:bool ->
+  Repro_graph.Multigraph.t ->
+  rows:int array ->
+  pos:int ->
+  len:int ->
+  x:'a array ->
+  y:'a array ->
+  unit
+(** Sparse structural mask: exactly the rows [rows.(pos) ..
+    rows.(pos + len - 1)], which must be pairwise distinct (each row's
+    slot is written once). This is the color-class / frontier shape:
+    the engine's per-class sweeps become one [run_rows] per bucket
+    segment. *)
+
+val assign_masked :
+  ?complement:bool -> mask:bool array -> 'a -> 'a array -> unit
+(** [assign_masked ~mask c y]: [y.(v) <- c] where the mask selects [v];
+    the masked-out slots keep their value. *)
+
+val reduce : 'a Semiring.t -> 'a array -> 'a
+(** [⊕]-reduction of the whole vector ([zero] for the empty one), via
+    {!Repro_local.Pool.parallel_for_reduce} — associativity and
+    commutativity of [⊕] make it schedule-independent. *)
+
+val count : bool array -> int
+(** Number of set entries, as one fused pool dispatch
+    ({!Repro_local.Pool.fused}) — the reduction the backend uses for
+    convergence tests and telemetry. *)

@@ -1,0 +1,18 @@
+type t = [ `Engine | `Linalg ]
+
+let to_string = function `Engine -> "engine" | `Linalg -> "linalg"
+
+let of_string = function
+  | "engine" -> Ok `Engine
+  | "linalg" -> Ok `Linalg
+  | s -> Error (Printf.sprintf "unknown backend %S (engine|linalg)" s)
+
+let all = [ `Engine; `Linalg ]
+
+let default () =
+  match Sys.getenv_opt "REPRO_BACKEND" with
+  | None | Some "" -> `Engine
+  | Some s -> (
+    match of_string s with
+    | Ok b -> b
+    | Error e -> invalid_arg ("REPRO_BACKEND: " ^ e))

@@ -1,0 +1,25 @@
+(** Execution-backend tags for the solver catalog.
+
+    A LOCAL algorithm's output is a function of radius-T balls, not of
+    how the rounds are executed — so the same problem can be solved by
+    the message-passing engine or by the vectorized semiring passes in
+    [lib/linalg], and the two must be byte-identical. This module only
+    names the backends; the dispatch itself lives with each solver
+    (e.g. [Mis.solve_with]) so [repro_local] never depends on the
+    backends built on top of it. *)
+
+type t = [ `Engine | `Linalg ]
+
+val to_string : t -> string
+(** ["engine"] / ["linalg"] — the tags used by the catalog, the serve
+    [solve] op and the CLI. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}; [Error] names the valid tags. *)
+
+val all : t list
+
+val default : unit -> t
+(** The ambient backend: [REPRO_BACKEND] from the environment if set
+    (same spelling as {!of_string}; anything else is an
+    [Invalid_argument]), else [`Engine]. *)

@@ -5,6 +5,7 @@ module Instance = Core.Local.Instance
 module Meter = Core.Local.Meter
 module SO = Core.Problems.Sinkless_orientation
 module AC = Core.Problems.Audit_catalog
+module Catalog = Core.Problems.Solver_catalog
 module DC = Core.Lcl.Distributed_check
 module GB = Core.Gadget.Build
 module GL = Core.Gadget.Labels
@@ -132,26 +133,59 @@ let solve_instance srv req =
     | other ->
       raise
         (Bad_request
-           (Printf.sprintf "unknown problem %S (try: so-det, so-rand, so-wave)"
-              other))
+           (Printf.sprintf "unknown problem %S (try: so-det, so-rand, so-wave, %s)"
+              other
+              (String.concat ", " Catalog.names)))
   in
   let _, g = hard_instance srv ~n ~seed in
   let inst = Instance.create ~seed g in
   let out, meter = solver inst in
   (problem, g, inst, out, meter)
 
-let handle_solve srv req =
-  let problem, g, _, out, meter = solve_instance srv req in
+(* catalog problems take a [backend] field ("engine" / "linalg"); the
+   canonical solve bytes are backend-blind, so the digest in the reply
+   must be identical under both tags — the CI gate asserts exactly that *)
+let handle_catalog_solve (entry : Catalog.entry) req =
+  let n = field_int req "n" ~default:1000 in
+  let seed = field_int req "seed" ~default:1 in
+  if n < 2 || n > 2_000_000 then raise (Bad_request "n out of range [2, 2e6]");
+  let backend =
+    let s = field_str req "backend" ~default:"engine" in
+    match Core.Local.Backend.of_string s with
+    | Ok b -> b
+    | Error msg -> raise (Bad_request msg)
+  in
+  let solved = entry.Catalog.c_solve ~backend ~seed ~n in
   Json.Obj
     [
       ("ok", Json.Bool true);
       ("op", Json.String "solve");
-      ("problem", Json.String problem);
-      ("n", Json.Int (G.n g));
-      ("valid", Json.Bool (SO.is_valid g out));
-      ("sinks", Json.Int (SO.count_sinks g out));
-      ("rounds", Json.Int (Meter.max_radius meter));
+      ("problem", Json.String entry.Catalog.c_name);
+      ("backend", Json.String (Core.Local.Backend.to_string backend));
+      ("n", Json.Int n);
+      ("seed", Json.Int seed);
+      ("rounds", Json.Int solved.Catalog.s_rounds);
+      ("valid", Json.Bool solved.Catalog.s_valid);
+      ("output_bytes", Json.Int (String.length solved.Catalog.s_output));
+      ( "output_digest",
+        Json.String (Digest.to_hex (Digest.string solved.Catalog.s_output)) );
     ]
+
+let handle_solve srv req =
+  match Catalog.find (field_str req "problem" ~default:"so-det") with
+  | Some entry -> handle_catalog_solve entry req
+  | None ->
+    let problem, g, _, out, meter = solve_instance srv req in
+    Json.Obj
+      [
+        ("ok", Json.Bool true);
+        ("op", Json.String "solve");
+        ("problem", Json.String problem);
+        ("n", Json.Int (G.n g));
+        ("valid", Json.Bool (SO.is_valid g out));
+        ("sinks", Json.Int (SO.count_sinks g out));
+        ("rounds", Json.Int (Meter.max_radius meter));
+      ]
 
 let handle_check srv req =
   let problem, g, inst, out, _ = solve_instance srv req in

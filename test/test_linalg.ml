@@ -1,0 +1,441 @@
+(* The linear-algebra backend suite: semiring laws as properties,
+   masked SpMV against a naive dense-matrix reference, goldens pinning
+   the linalg solvers to committed engine outputs at 1/2/4 domains, and
+   Bitset edge cases at word boundaries (the flood double-buffer
+   substrate). *)
+
+module G = Repro_graph.Multigraph
+module Gen = Repro_graph.Generators
+module Pool = Repro_local.Pool
+module Instance = Repro_local.Instance
+module Meter = Repro_local.Meter
+module MP = Repro_local.Message_passing
+module Labeling = Repro_lcl.Labeling
+module Coloring = Repro_problems.Coloring
+module Mis = Repro_problems.Mis
+module Luby = Repro_problems.Luby
+module Catalog = Repro_problems.Solver_catalog
+module SR = Repro_linalg.Semiring
+module Spmv = Repro_linalg.Spmv
+module Flood = Repro_linalg.Flood
+module B = Repro_obs.Provenance.Bitset
+module FGen = Repro_fuzz.Gen
+module Gen_graph = Repro_fuzz.Gen_graph
+module Prop = Repro_fuzz.Prop
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let with_sizes f =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      List.iter
+        (fun s ->
+          Pool.set_size s;
+          f s)
+        [ 1; 2; 4 ])
+
+(* ------------------------------------------------------------------ *)
+(* semiring laws (satellite: property tests via Fuzz.Prop)             *)
+(* ------------------------------------------------------------------ *)
+
+(* check every law the instance declares on a concrete triple *)
+let check_laws (type a) (sr : a SR.t) ((a, b, c) : a * a * a) =
+  let holds = function
+    | SR.Add_assoc -> sr.add (sr.add a b) c = sr.add a (sr.add b c)
+    | SR.Add_comm -> sr.add a b = sr.add b a
+    | SR.Add_identity -> sr.add sr.zero a = a && sr.add a sr.zero = a
+    | SR.Mul_assoc -> sr.mul (sr.mul a b) c = sr.mul a (sr.mul b c)
+    | SR.Mul_left_identity -> sr.mul sr.one a = a
+    | SR.Mul_right_identity -> sr.mul a sr.one = a
+    | SR.Distrib ->
+      sr.mul a (sr.add b c) = sr.add (sr.mul a b) (sr.mul a c)
+      && sr.mul (sr.add a b) c = sr.add (sr.mul a c) (sr.mul b c)
+    | SR.Annihilator ->
+      sr.mul sr.zero a = sr.zero && sr.mul a sr.zero = sr.zero
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | l :: rest ->
+      if holds l then go rest
+      else Error (Printf.sprintf "%s violates %s" sr.sr_name (SR.law_name l))
+  in
+  go sr.laws
+
+(* element generators hit the absorbing values (zero, one, min/max_int)
+   often enough that identity and annihilator laws are really exercised *)
+let int_elt sr =
+  let open FGen in
+  let* k = int_range 0 9 in
+  match k with
+  | 0 -> return sr.SR.zero
+  | 1 -> return sr.SR.one
+  | 2 -> return 0
+  | 3 -> return (-1)
+  | _ -> int_range (-1000) 1000
+
+let law_prop (type a) (sr : a SR.t) (elt : a FGen.t) (show : a -> string) =
+  Prop.make
+    ~name:(Printf.sprintf "semiring-laws-%s" sr.SR.sr_name)
+    ~show:(fun (a, b, c) ->
+      Printf.sprintf "(%s, %s, %s)" (show a) (show b) (show c))
+    (FGen.triple elt elt elt)
+    (check_laws sr)
+
+let int_law_cases =
+  List.map
+    (fun sr ->
+      Fuzz_support.case ~count:300 (law_prop sr (int_elt sr) string_of_int))
+    SR.all
+
+let bool_law_case =
+  Fuzz_support.case ~count:50 (law_prop SR.boolean FGen.bool_ string_of_bool)
+
+(* a law max_select does NOT declare must actually fail, so the per-
+   instance declaration is load-bearing, not decorative *)
+let test_undeclared_laws_fail () =
+  let sr = SR.max_select in
+  check "max_select has no right identity" false (sr.SR.mul 7 sr.SR.one = 7);
+  check "max_select has no annihilator" false
+    (sr.SR.mul 7 sr.SR.zero = sr.SR.zero && sr.SR.mul sr.SR.zero 7 = sr.SR.zero)
+
+(* ------------------------------------------------------------------ *)
+(* masked SpMV = naive dense reference (satellite)                     *)
+(* ------------------------------------------------------------------ *)
+
+(* dense adjacency counts straight from the half-edge pairing — built
+   without touching the CSR slices the kernels traverse *)
+let adj_matrix g =
+  let n = G.n g in
+  let hn = G.half_node_flat g in
+  let adj = Array.make_matrix n n 0 in
+  for e = 0 to G.m g - 1 do
+    let u = hn.(2 * e) and w = hn.((2 * e) + 1) in
+    adj.(u).(w) <- adj.(u).(w) + 1;
+    adj.(w).(u) <- adj.(w).(u) + 1
+  done;
+  adj
+
+let naive_row (type a) (sr : a SR.t) adj ~accum ~(x : a array) ~(y : a array)
+    v =
+  let acc = ref (if accum then y.(v) else sr.SR.zero) in
+  Array.iteri
+    (fun w c ->
+      for _ = 1 to c do
+        acc := sr.SR.add !acc (sr.SR.mul sr.SR.one x.(w))
+      done)
+    adj.(v);
+  y.(v) <- !acc
+
+let spmv_vs_naive_for (type a) (sr : a SR.t) g adj rng
+    (rand_elt : Random.State.t -> a) =
+  let n = G.n g in
+  let x = Array.init n (fun _ -> rand_elt rng) in
+  let y0 = Array.init n (fun _ -> rand_elt rng) in
+  let mask = Array.init n (fun _ -> Random.State.bool rng) in
+  let ( let& ) v f = match v with Ok () -> f () | Error _ as e -> e in
+  let expect label impl naive =
+    let yi = Array.copy y0 and yn = Array.copy y0 in
+    impl yi;
+    naive yn;
+    if yi = yn then Ok ()
+    else Error (Printf.sprintf "%s: %s differs from naive" sr.SR.sr_name label)
+  in
+  let naive_all ~accum sel y =
+    for v = 0 to n - 1 do
+      if sel v then naive_row sr adj ~accum ~x ~y v
+    done
+  in
+  let& () =
+    expect "run"
+      (fun y -> Spmv.run sr g ~x ~y)
+      (naive_all ~accum:false (fun _ -> true))
+  in
+  let& () =
+    expect "run ~accum"
+      (fun y -> Spmv.run sr ~accum:true g ~x ~y)
+      (naive_all ~accum:true (fun _ -> true))
+  in
+  let& () =
+    expect "run_masked"
+      (fun y -> Spmv.run_masked sr g ~mask ~x ~y)
+      (naive_all ~accum:false (fun v -> mask.(v)))
+  in
+  let& () =
+    expect "run_masked ~complement ~accum"
+      (fun y -> Spmv.run_masked sr ~complement:true ~accum:true g ~mask ~x ~y)
+      (naive_all ~accum:true (fun v -> not mask.(v)))
+  in
+  (* sparse row list over a strict sub-segment of the selected rows *)
+  let rows =
+    Array.of_list
+      (List.filter (fun v -> mask.(v)) (List.init n (fun v -> v)))
+  in
+  let k = Array.length rows in
+  let pos = k / 4 in
+  let len = k - pos - (k / 5) in
+  let& () =
+    expect "run_rows"
+      (fun y -> Spmv.run_rows sr g ~rows ~pos ~len ~x ~y)
+      (fun y ->
+        for i = pos to pos + len - 1 do
+          naive_row sr adj ~accum:false ~x ~y rows.(i)
+        done)
+  in
+  let c = rand_elt rng in
+  let& () =
+    expect "assign_masked"
+      (fun y -> Spmv.assign_masked ~mask c y)
+      (fun y ->
+        for v = 0 to n - 1 do
+          if mask.(v) then y.(v) <- c
+        done)
+  in
+  let reduced = Spmv.reduce sr x in
+  let& () =
+    if reduced = Array.fold_left sr.SR.add sr.SR.zero x then Ok ()
+    else Error (Printf.sprintf "%s: reduce differs from fold" sr.SR.sr_name)
+  in
+  let trues = Array.fold_left (fun a b -> if b then a + 1 else a) 0 mask in
+  if Spmv.count mask = trues then Ok ()
+  else Error "count differs from fold"
+
+let spmv_vs_naive (recipe, seed) =
+  let g = Gen_graph.to_graph recipe in
+  let adj = adj_matrix g in
+  let rng = Random.State.make [| seed |] in
+  let ( let& ) v f = match v with Ok () -> f () | Error _ as e -> e in
+  let& () =
+    spmv_vs_naive_for SR.boolean g adj rng (fun rng -> Random.State.bool rng)
+  in
+  let& () =
+    spmv_vs_naive_for SR.bits g adj rng (fun rng ->
+        Random.State.int rng 4096)
+  in
+  let& () =
+    spmv_vs_naive_for SR.min_plus g adj rng (fun rng ->
+        if Random.State.int rng 8 = 0 then max_int
+        else Random.State.int rng 1000)
+  in
+  spmv_vs_naive_for SR.max_select g adj rng (fun rng ->
+      if Random.State.int rng 8 = 0 then min_int
+      else Random.State.int rng 1000 - 500)
+
+let spmv_prop =
+  Prop.make ~name:"spmv-vs-naive"
+    ~size_of:(fun (r, _) -> Gen_graph.nodes_of r)
+    ~show:(fun (r, s) ->
+      Format.asprintf "%a seed=%d" Gen_graph.pp_recipe r s)
+    FGen.(pair (Gen_graph.gen ~max_n:20 ~max_deg:4 Gen_graph.Any)
+            (int_range 0 9999))
+    spmv_vs_naive
+
+let spmv_case = Fuzz_support.case ~count:120 spmv_prop
+
+(* ------------------------------------------------------------------ *)
+(* goldens: linalg backend pinned to committed engine outputs          *)
+(* (satellite: ecc24/flood24 fixtures, 1/2/4 domains)                  *)
+(* ------------------------------------------------------------------ *)
+
+(* the flood24 fixture proper (may contain self-loops) *)
+let ecc24_graph () = Gen.random_regular (Random.State.make [| 9 |]) ~n:24 ~d:3
+
+(* its simple sibling, for the loop-free solvers: same seed recipe,
+   rejection-sampled to simplicity *)
+let simple24_graph () =
+  Gen.random_simple_regular (Random.State.make [| 9 |]) ~n:24 ~d:3
+
+(* engine goldens on simple24, committed; both backends must reproduce
+   them bit-for-bit at every pool size *)
+let coloring24 =
+  [| 0; 2; 2; 2; 1; 1; 3; 3; 1; 1; 3; 0; 0; 1; 1; 1; 1; 0; 1; 2; 0; 0; 0; 0 |]
+
+let coloring24_rounds = 32
+
+let mis24 =
+  [|
+    true; false; false; false; false; false; false; true; false; false; false;
+    true; true; false; false; false; false; true; false; false; true; true;
+    true; true;
+  |]
+
+let mis24_rounds = 36
+
+let luby24 =
+  [|
+    false; false; false; false; true; true; true; false; true; true; false;
+    false; false; true; false; false; true; true; true; true; false; false;
+    false; false;
+  |]
+
+let luby24_rounds = 4
+
+let test_golden_solvers () =
+  let inst = Instance.create (simple24_graph ()) in
+  with_sizes (fun s ->
+      List.iter
+        (fun backend ->
+          let tag = Repro_local.Backend.to_string backend in
+          let col, cm = Coloring.solve_with ~backend inst in
+          check (Printf.sprintf "coloring24 %s, %d domains" tag s) true
+            (col.Labeling.v = coloring24);
+          check_int
+            (Printf.sprintf "coloring24 rounds %s, %d domains" tag s)
+            coloring24_rounds (Meter.max_radius cm);
+          let mis, mm = Mis.solve_with ~backend inst in
+          check (Printf.sprintf "mis24 %s, %d domains" tag s) true
+            (mis.Labeling.v = mis24);
+          check_int
+            (Printf.sprintf "mis24 rounds %s, %d domains" tag s)
+            mis24_rounds (Meter.max_radius mm);
+          let lub, lm = Luby.solve_with ~backend inst in
+          check (Printf.sprintf "luby24 %s, %d domains" tag s) true
+            (lub.Labeling.v = luby24);
+          check_int
+            (Printf.sprintf "luby24 rounds %s, %d domains" tag s)
+            luby24_rounds (Meter.max_radius lm))
+        Repro_local.Backend.all)
+
+(* the committed flood24 knowledge (test_message_passing pins the same
+   lists for the engine); the linalg gather must reproduce it *)
+let test_golden_flood24_linalg () =
+  let inst = Instance.create (ecc24_graph ()) in
+  with_sizes (fun s ->
+      let by_round = Flood.gather inst ~radius:3 (fun v -> v) in
+      let engine = MP.flood_gather inst ~radius:3 (fun v -> v) in
+      check (Printf.sprintf "linalg = engine by_round, %d domains" s) true
+        (by_round = engine);
+      let at d = List.sort compare by_round.(0).(d) in
+      check (Printf.sprintf "node 0 d1, %d domains" s) true
+        (at 0 = [ 1; 16; 17 ]);
+      check (Printf.sprintf "node 0 d2, %d domains" s) true
+        (at 1 = [ 3; 5; 10; 11 ]);
+      check (Printf.sprintf "node 0 d3, %d domains" s) true
+        (at 2 = [ 2; 6; 7; 12; 13; 18; 19; 22 ]))
+
+(* the catalog contract: canonical solve bytes are backend-blind *)
+let test_catalog_bytes_equal () =
+  with_sizes (fun s ->
+      List.iter
+        (fun name ->
+          let run backend =
+            match Catalog.solve ~problem:name ~backend ~seed:7 ~n:48 with
+            | Ok r -> r
+            | Error e -> Alcotest.fail e
+          in
+          let eng = run `Engine and lin = run `Linalg in
+          check (Printf.sprintf "%s bytes, %d domains" name s) true
+            (String.equal eng.Catalog.s_output lin.Catalog.s_output);
+          check (Printf.sprintf "%s valid, %d domains" name s) true
+            eng.Catalog.s_valid)
+        Catalog.names)
+
+(* ------------------------------------------------------------------ *)
+(* Bitset edge cases (satellite: word boundaries, masks, aliasing)     *)
+(* ------------------------------------------------------------------ *)
+
+let bitset_of len members =
+  let s = B.create len in
+  List.iter (B.add s) members;
+  s
+
+let elements s =
+  let acc = ref [] in
+  B.iter (fun i -> acc := i :: !acc) s;
+  List.rev !acc
+
+let diff_elements a b =
+  let acc = ref [] in
+  B.iter_diff (fun i -> acc := i :: !acc) a b;
+  List.rev !acc
+
+(* iter_diff straddling the 63/64/65-bit word boundaries: membership
+   patterns chosen so the boundary bit itself flips in and out *)
+let test_iter_diff_word_boundaries () =
+  List.iter
+    (fun len ->
+      let evens = List.filter (fun i -> i mod 2 = 0) (List.init len Fun.id) in
+      let threes = List.filter (fun i -> i mod 3 = 0) (List.init len Fun.id) in
+      let a = bitset_of len evens and b = bitset_of len threes in
+      let expect = List.filter (fun i -> i mod 3 <> 0) evens in
+      check (Printf.sprintf "len %d evens\\threes" len) true
+        (diff_elements a b = expect);
+      let expect' = List.filter (fun i -> i mod 2 <> 0) threes in
+      check (Printf.sprintf "len %d threes\\evens" len) true
+        (diff_elements b a = expect');
+      (* the last valid index sits right at the boundary *)
+      let top = bitset_of len [ len - 1 ] in
+      let empty = B.create len in
+      check (Printf.sprintf "len %d top bit survives" len) true
+        (diff_elements top empty = [ len - 1 ]);
+      check (Printf.sprintf "len %d top bit cancels" len) true
+        (diff_elements top top = []))
+    [ 1; 62; 63; 64; 65; 127; 128; 129 ]
+
+let test_empty_full_masks () =
+  List.iter
+    (fun len ->
+      let all = List.init len Fun.id in
+      let full = bitset_of len all and empty = B.create len in
+      check_int (Printf.sprintf "len %d full cardinal" len) len
+        (B.cardinal full);
+      check_int (Printf.sprintf "len %d empty cardinal" len) 0
+        (B.cardinal empty);
+      check (Printf.sprintf "len %d full\\empty" len) true
+        (diff_elements full empty = all);
+      check (Printf.sprintf "len %d empty\\full" len) true
+        (diff_elements empty full = []);
+      check (Printf.sprintf "len %d full\\full" len) true
+        (diff_elements full full = []);
+      check (Printf.sprintf "len %d iter full" len) true
+        (elements full = all))
+    [ 1; 63; 64; 65; 128 ]
+
+(* self-aliasing of the mutators: the flood double-buffer swap makes
+   [union_into] and [blit] hit a buffer that was just the source *)
+let test_aliasing () =
+  let s = bitset_of 70 [ 0; 13; 63; 64; 69 ] in
+  let before = elements s in
+  B.union_into ~into:s s;
+  check "self union is identity" true (elements s = before);
+  B.blit ~src:s ~dst:s;
+  check "self blit is identity" true (elements s = before)
+
+(* double-buffer swap, exactly the flood regime: known/next pointers
+   swapped each round over a path, against a closed-form reachable set *)
+let test_double_buffer_swap () =
+  let n = 130 in
+  let g = Gen.path n in
+  let known = ref (Array.init n (fun v -> bitset_of n [ v ])) in
+  let next = ref (Array.init n (fun _ -> B.create n)) in
+  for r = 1 to 3 do
+    Repro_linalg.Bitrows.step g ~x:!known ~y:!next;
+    let tmp = !known in
+    known := !next;
+    next := tmp;
+    (* after r swapped steps node v knows exactly the radius-r ball *)
+    for v = 0 to n - 1 do
+      let lo = max 0 (v - r) and hi = min (n - 1) (v + r) in
+      let expect = List.init (hi - lo + 1) (fun i -> lo + i) in
+      check
+        (Printf.sprintf "round %d node %d ball" r v)
+        true
+        (elements !known.(v) = expect)
+    done
+  done
+
+let suite =
+  bool_law_case :: int_law_cases
+  @ [
+      ("undeclared laws really fail", `Quick, test_undeclared_laws_fail);
+      spmv_case;
+      ("golden mis/coloring/luby24, both backends", `Quick,
+       test_golden_solvers);
+      ("golden flood24, linalg gather", `Quick, test_golden_flood24_linalg);
+      ("catalog solve bytes backend-blind", `Quick, test_catalog_bytes_equal);
+      ("iter_diff at word boundaries", `Quick, test_iter_diff_word_boundaries);
+      ("empty and full masks", `Quick, test_empty_full_masks);
+      ("aliased union/blit", `Quick, test_aliasing);
+      ("flood double-buffer swap", `Quick, test_double_buffer_swap);
+    ]
