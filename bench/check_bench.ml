@@ -1,4 +1,4 @@
-(* Validate a BENCH_parallel.json against the repro-bench-parallel/6
+(* Validate a BENCH_parallel.json against the repro-bench-parallel/7
    schema. CI's bench-smoke and frontier-1m jobs (and the runtest smoke
    rule) run this right after `main.exe --json --quick`, so a malformed
    bench file fails the pipeline instead of silently corrupting the perf
@@ -11,7 +11,13 @@
    means the engine re-activated a halted node — a frontier-contract
    break (DESIGN.md §13), not a perf regression.
 
-   Usage: check_bench.exe [FILE]   (default: BENCH_parallel.json) *)
+   With --max-par-seq-ratio X, additionally fail if any case's
+   par_seq_ratio exceeds X — the dispatch-smoke CI job's absolute bound
+   on parallel overhead (null ratios pass: no estimate is not a
+   regression).
+
+   Usage: check_bench.exe [FILE] [--max-par-seq-ratio X]
+   (default FILE: BENCH_parallel.json) *)
 
 module J = Repro_obs.Json
 
@@ -148,7 +154,23 @@ let linalg_pair_cases =
   [ "mis-sweep-2k"; "luby-mis-2k"; "coloring-2k"; "flood-r3-2k"; "dcheck-so-3k" ]
 
 let () =
-  let file = if Array.length Sys.argv > 1 then Sys.argv.(1) else "BENCH_parallel.json" in
+  let file = ref "BENCH_parallel.json" in
+  let max_ratio = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--max-par-seq-ratio" :: v :: rest -> (
+      match float_of_string_opt v with
+      | Some x when x > 0.0 ->
+        max_ratio := Some x;
+        parse rest
+      | Some _ | None -> fail "--max-par-seq-ratio wants a positive number, got %S" v)
+    | [ "--max-par-seq-ratio" ] -> fail "--max-par-seq-ratio needs a value"
+    | f :: rest ->
+      file := f;
+      parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let file = !file in
   let contents =
     try In_channel.with_open_text file In_channel.input_all
     with Sys_error e -> fail "cannot read %s: %s" file e
@@ -171,8 +193,8 @@ let () =
       fields
   | _ -> fail "top level is not a JSON object");
   let schema = as_str "schema" j in
-  if schema <> "repro-bench-parallel/6" then
-    fail "unexpected schema %S (want repro-bench-parallel/6)" schema;
+  if schema <> "repro-bench-parallel/7" then
+    fail "unexpected schema %S (want repro-bench-parallel/7)" schema;
   (* the serve leg (schema /5): cold-vs-warm over the reply cache plus the
      traced-vs-disarmed span pair. Closed like the top level, counts
      consistent with one cold pass of the mix *)
@@ -266,6 +288,28 @@ let () =
       if as_num "minor_words_per_round" < 0.0 then
         fail "%s (%s): negative minor_words_per_round" ctx name;
       ignore (as_num "promoted_words_per_round");
+      (* dispatch economics (schema /7): dispatch_ns is measured, never
+         null; 0 is the honest value on a host where the cutoff keeps
+         every loop inline. grain is null exactly when nothing
+         dispatched, else a positive observed ns/index *)
+      let disp = as_int "dispatch_ns" r in
+      if disp < 0 then fail "%s (%s): negative dispatch_ns" ctx name;
+      (match get "grain" r with
+      | J.Null -> ()
+      | v -> (
+        match J.to_float v with
+        | Some g when g > 0.0 -> ()
+        | Some g -> fail "%s (%s): grain = %g, want > 0 or null" ctx name g
+        | None -> fail "%s (%s): grain is neither a number nor null" ctx name));
+      (match !max_ratio with
+      | None -> ()
+      | Some x -> (
+        match J.to_float (get "par_seq_ratio" r) with
+        | Some ratio when ratio > x ->
+          fail "%s (%s): par_seq_ratio %.3f above the --max-par-seq-ratio %.3f \
+                bound"
+            ctx name ratio x
+        | Some _ | None -> ()));
       (match J.member "linalg_vs_engine_ns" r with
       | None -> ()
       | Some p -> check_linalg_pair ~ctx ~name p);

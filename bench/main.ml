@@ -13,7 +13,12 @@
                       domains), written to BENCH_parallel.json — the
                       machine-readable perf trajectory across PRs
      --quick          shrink instances and quotas (the `dune runtest`
-                      smoke invocation uses `--json --quick`) *)
+                      smoke invocation uses `--json --quick`)
+     --filter NAME    measure only the cases whose name contains NAME
+                      (substring match); prints to the console only —
+                      the serve leg and the JSON file are skipped, so a
+                      filtered run never clobbers the trajectory. A
+                      NAME matching no case exits non-zero. *)
 
 module G = Core.Graph.Multigraph
 module Instance = Core.Local.Instance
@@ -303,14 +308,32 @@ let alloc_stats case =
   ( per_round (m1 -. m0),
     per_round (s1.Gc.promoted_words -. s0.Gc.promoted_words) )
 
-let w_bechamel () =
+let contains_substring s sub =
+  let n = String.length s and m = String.length sub in
+  let rec at i = i + m <= n && (String.sub s i m = sub || at (i + 1)) in
+  m = 0 || at 0
+
+(* --filter NAME: the matching subset, or a hard error when NAME matches
+   nothing (a typo must not silently measure zero cases) *)
+let filter_cases ~filter cases =
+  match filter with
+  | None -> cases
+  | Some f -> (
+    match List.filter (fun c -> contains_substring c.name f) cases with
+    | [] ->
+      Printf.eprintf "bench: --filter %S matches no case; known cases:\n" f;
+      List.iter (fun c -> Printf.eprintf "  %s\n" c.name) cases;
+      exit 1
+    | kept -> kept)
+
+let w_bechamel ~filter () =
   section "W-bechamel (wall-clock micro-benchmarks)";
   List.iter
     (fun case ->
       match estimate ~quota:0.5 ~limit:100 case with
       | Some t -> Printf.printf "%-24s %14.0f ns/run\n" case.name t
       | None -> Printf.printf "%-24s (no estimate)\n" case.name)
-    (cases ~quick:false ())
+    (filter_cases ~filter (cases ~quick:false ()))
 
 (* the serve leg: cold-vs-warm requests/s over a live unix-socket server.
    Measured by hand (wall clock over a fixed request mix) rather than via
@@ -439,9 +462,36 @@ let bench_serve ~quick () =
     sv_traced_ns = traced_s *. 1e9 /. float_of_int span_reps;
   }
 
+(* observed dispatch economics of the parallel leg: the pool's telemetry
+   counters around one run at the parallel pool size. [dispatch_ns] is
+   whole-job dispatch wall time; [grain] is chunk_ns / par_idx — the
+   measured ns per dispatched index, the figure the autotuner's EMA and
+   the ?grain hints estimate — null when the cutoff kept every loop
+   inline (a 1-core or oversubscribed host dispatches nothing, which the
+   schema records as dispatch_ns 0 / grain null rather than hiding) *)
+let dispatch_stats case =
+  let reg = Obs.Registry.ambient () in
+  let c_dispatch = Obs.Registry.counter reg "local.pool.dispatch_ns" in
+  let c_chunk = Obs.Registry.counter reg "local.pool.chunk_ns" in
+  let c_idx = Obs.Registry.counter reg "local.pool.par_idx" in
+  let was_enabled = Obs.Registry.enabled ~reg () in
+  Obs.Registry.enable ~reg ();
+  let d0 = Obs.Counter.value c_dispatch
+  and t0 = Obs.Counter.value c_chunk
+  and i0 = Obs.Counter.value c_idx in
+  case.run ();
+  let d1 = Obs.Counter.value c_dispatch
+  and t1 = Obs.Counter.value c_chunk
+  and i1 = Obs.Counter.value c_idx in
+  if not was_enabled then Obs.Registry.disable ~reg ();
+  let idx = i1 - i0 in
+  ( d1 - d0,
+    if idx > 0 then Some (float_of_int (t1 - t0) /. float_of_int idx)
+    else None )
+
 (* --json: measure every case under 1 domain and under [domains], write
    BENCH_parallel.json in the current directory *)
-let run_json ~quick () =
+let run_json ~quick ~filter () =
   let domains =
     match Sys.getenv_opt "REPRO_DOMAINS" with
     | Some s -> (
@@ -452,7 +502,7 @@ let run_json ~quick () =
   in
   let quota = if quick then 0.05 else 0.5 in
   let limit = if quick then 20 else 100 in
-  let cases = cases ~quick () in
+  let cases = filter_cases ~filter (cases ~quick ()) in
   let measured =
     List.map
       (fun case ->
@@ -460,6 +510,9 @@ let run_json ~quick () =
         let seq = estimate ~quota ~limit case in
         Pool.set_size domains;
         let par = estimate ~quota ~limit case in
+        (* dispatch telemetry on the parallel pool, before alloc_stats
+           shrinks it back to 1 *)
+        let disp_ns, grain_obs = dispatch_stats case in
         let minor_w, promoted_w = alloc_stats case in
         (* per-round frontier columns: deterministic (pool-size
            independent), so one instrumented run at pool size 1 suffices *)
@@ -482,15 +535,26 @@ let run_json ~quick () =
                  { case with name = case.name ^ "-linalg"; run })
         in
         Printf.printf
-          "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run   minor %12.1f w/round\n"
+          "%-24s n=%-7d seq %12s ns/run   par(%d) %12s ns/run   minor %12.1f \
+           w/round   dispatch %9d ns   grain %s\n"
           case.name case.n
           (match seq with Some t -> Printf.sprintf "%.0f" t | None -> "-")
           domains
           (match par with Some t -> Printf.sprintf "%.0f" t | None -> "-")
-          minor_w;
-        (case, seq, par, minor_w, promoted_w, fstats, lin))
+          minor_w disp_ns
+          (match grain_obs with
+          | Some g -> Printf.sprintf "%.1f ns/idx" g
+          | None -> "-");
+        (case, seq, par, disp_ns, grain_obs, minor_w, promoted_w, fstats, lin))
       cases
   in
+  if filter <> None then begin
+    (* a filtered run is a console probe: no serve leg, no JSON — the
+       committed trajectory only ever holds full case sets *)
+    Printf.printf "filtered run (%d case(s)): BENCH_parallel.json not written\n"
+      (List.length measured);
+    exit 0
+  end;
   let serve = bench_serve ~quick () in
   Printf.printf
     "serve                    %d-request mix   cold %12.0f ns/req   warm %12.0f ns/req   (%.1fx)\n"
@@ -515,7 +579,7 @@ let run_json ~quick () =
   (* cores records oversubscription: speedup is only physically possible
      when domains <= cores (a 1-core container shows slowdowns) *)
   Printf.fprintf oc
-    "{\n  \"schema\": \"repro-bench-parallel/6\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
+    "{\n  \"schema\": \"repro-bench-parallel/7\",\n  \"domains\": %d,\n  \"cores\": %d,\n  \"quick\": %b,\n"
     domains
     (Domain.recommended_domain_count ())
     quick;
@@ -537,7 +601,7 @@ let run_json ~quick () =
     (serve.sv_traced_ns /. serve.sv_disarmed_ns);
   Printf.fprintf oc "  \"results\": [\n";
   List.iteri
-    (fun i (case, seq, par, minor_w, promoted_w, fstats, lin) ->
+    (fun i (case, seq, par, disp_ns, grain_obs, minor_w, promoted_w, fstats, lin) ->
       let speedup =
         match (seq, par) with
         | Some s, Some p when p > 0.0 -> Printf.sprintf "%.3f" (s /. p)
@@ -550,10 +614,16 @@ let run_json ~quick () =
         | Some s, Some p when s > 0.0 -> Printf.sprintf "%.3f" (p /. s)
         | _ -> "null"
       in
+      (* dispatch economics (schema /7): dispatch_ns is the measured
+         whole-job dispatch wall time of one parallel-leg run; grain the
+         observed ns per dispatched index, null when nothing dispatched *)
       Printf.fprintf oc
-        "    {\"name\": %S, \"n\": %d, \"rounds\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s, \"par_seq_ratio\": %s, \"minor_words_per_round\": %.1f, \"promoted_words_per_round\": %.1f"
+        "    {\"name\": %S, \"n\": %d, \"rounds\": %d, \"seq_ns_per_run\": %s, \"par_ns_per_run\": %s, \"speedup\": %s, \"par_seq_ratio\": %s, \"minor_words_per_round\": %.1f, \"promoted_words_per_round\": %.1f, \"dispatch_ns\": %d, \"grain\": %s"
         case.name case.n case.rounds (field seq) (field par) speedup ratio
-        minor_w promoted_w;
+        minor_w promoted_w disp_ns
+        (match grain_obs with
+        | Some g -> Printf.sprintf "%.1f" g
+        | None -> "null");
       (match fstats with
       | None -> ()
       | Some st ->
@@ -586,7 +656,19 @@ let run_json ~quick () =
 let () =
   let args = Array.to_list Sys.argv in
   let quick = List.mem "--quick" args in
-  if List.mem "--json" args then run_json ~quick ()
+  let filter =
+    let rec find = function
+      | "--filter" :: name :: _ -> Some name
+      | [ "--filter" ] ->
+        prerr_endline "bench: --filter needs a case-name substring";
+        exit 1
+      | _ :: rest -> find rest
+      | [] -> None
+    in
+    find args
+  in
+  if List.mem "--json" args then run_json ~quick ~filter ()
+  else if filter <> None then w_bechamel ~filter ()
   else begin
     Printf.printf "Reproduction harness: every table/figure of the paper.\n";
     Printf.printf
@@ -597,7 +679,7 @@ let () =
         section (Printf.sprintf "%s (%s)" e.Runs.id e.Runs.doc);
         Runs.run_and_print ~quick:false e)
       Runs.all;
-    w_bechamel ();
+    w_bechamel ~filter:None ();
     Printf.printf "\nAll experiment sections completed in %.1f s.\n"
       (Unix.gettimeofday () -. t0)
   end

@@ -176,5 +176,201 @@ let violations ~delta t =
 
 let is_valid ~delta t = violations ~delta t = []
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free twin of [node_violations <> []]                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The verifier evaluates the per-node predicate once per node per prove
+   call — by far the hottest checker path — so it must not build the
+   rule list or any intermediate label/color arrays. Everything below is
+   a top-level function taking its state as explicit arguments: local
+   closures and the [Some h] results of [Labels.half_with]/[follow]
+   would otherwise dominate the prover's allocation (they did — see
+   EXPERIMENTS.md's W-dispatch allocation table). Kept in lockstep with
+   [node_violations] by the equivalence sweep in test/test_gadget.ml. *)
+
+exception Bad_node
+
+(* the half at [v] labeled [l] (a constant constructor), or -1 *)
+let rec half_find (t : Labels.t) v l k d =
+  if k >= d then -1
+  else
+    let h = G.half_at t.graph v k in
+    if t.halves.(h) = l then h else half_find t v l (k + 1) d
+
+let half_with_i (t : Labels.t) v l = half_find t v l 0 (G.degree t.graph v)
+let has_half_i t v l = half_with_i t v l >= 0
+
+(* the neighbor across the [l]-labeled half of [v], or -1 *)
+let follow_i (t : Labels.t) v l =
+  let h = half_with_i t v l in
+  if h < 0 then -1 else G.half_node t.graph (G.mate h)
+
+(* all of [u]'s labels are LChild/RChild/Up (3e's root shape) *)
+let rec root_labels (t : Labels.t) u k d =
+  k >= d
+  ||
+  match t.halves.(G.half_at t.graph u k) with
+  | LChild | RChild | Up -> root_labels t u (k + 1) d
+  | Parent | Left | Right | Down _ -> false
+
+let rec center_count (t : Labels.t) g u k d acc =
+  if k >= d then acc
+  else
+    let w = G.half_node g (G.mate (G.half_at g u k)) in
+    center_count t g u (k + 1) d
+      (if t.nodes.(w).kind = Center then acc + 1 else acc)
+
+let node_bad ~delta (t : Labels.t) u =
+  let g = t.graph in
+  let d = G.degree g u in
+  let nl = t.nodes.(u) in
+  try
+    (* presence bitmask over the constant structural labels *)
+    let mask = ref 0 in
+    for k = 0 to d - 1 do
+      (match t.halves.(G.half_at g u k) with
+      | Parent -> mask := !mask lor 1
+      | LChild -> mask := !mask lor 2
+      | RChild -> mask := !mask lor 4
+      | Left -> mask := !mask lor 8
+      | Right -> mask := !mask lor 16
+      | Up -> mask := !mask lor 32
+      | Down _ -> mask := !mask lor 64)
+    done;
+    let m = !mask in
+    let has_parent = m land 1 <> 0 and has_lchild = m land 2 <> 0 in
+    let has_rchild = m land 4 <> 0 and has_left = m land 8 <> 0 in
+    let has_right = m land 16 <> 0 in
+    let c = nl.color2 in
+    (* one pairwise pass: 1a (self-loops, parallel edges), 1b (duplicate
+       labels), d2 (duplicate far colors); one linear pass: fl (truthful
+       replicated flags), d2 (replicated color, far color <> ours) *)
+    let fr = has_right and fle = has_left in
+    let fc = has_lchild || has_rchild in
+    for i = 0 to d - 1 do
+      let hi = G.half_at g u i in
+      let fari = G.half_node g (G.mate hi) in
+      if fari = u then raise Bad_node;
+      let f = t.half_flags.(hi) in
+      if f.f_right <> fr || f.f_left <> fle || f.f_child <> fc then
+        raise Bad_node;
+      if t.half_color2.(hi) <> c then raise Bad_node;
+      if t.nodes.(fari).color2 = c then raise Bad_node;
+      for j = i + 1 to d - 1 do
+        let hj = G.half_at g u j in
+        let farj = G.half_node g (G.mate hj) in
+        if fari = farj then raise Bad_node;
+        if t.halves.(hi) = t.halves.(hj) then raise Bad_node;
+        if t.nodes.(fari).color2 = t.nodes.(farj).color2 then raise Bad_node
+      done
+    done;
+    (match nl.kind with
+    | Center ->
+      (* c2a-c2d, 1d *)
+      if d <> delta then raise Bad_node;
+      if nl.port <> None then raise Bad_node;
+      for k = 0 to d - 1 do
+        let h = G.half_at g u k in
+        let w = G.half_node g (G.mate h) in
+        (match t.nodes.(w).kind with
+        | Index i -> (
+          match t.halves.(h) with
+          | Down j -> if j <> i then raise Bad_node
+          | _ -> raise Bad_node)
+        | Center -> raise Bad_node);
+        if t.halves.(G.mate h) <> Up then raise Bad_node
+      done;
+      for i = 0 to d - 1 do
+        for j = i + 1 to d - 1 do
+          match
+            ( t.nodes.(G.half_node g (G.mate (G.half_at g u i))).kind,
+              t.nodes.(G.half_node g (G.mate (G.half_at g u j))).kind )
+          with
+          | Index a, Index b -> if a = b then raise Bad_node
+          | (Center | Index _), _ -> ()
+        done
+      done
+    | Index i ->
+      (* 1c, 1d, 2a / 2b *)
+      (match nl.port with
+      | Some j -> if j <> i then raise Bad_node
+      | None -> ());
+      for k = 0 to d - 1 do
+        let h = G.half_at g u k in
+        let w = G.half_node g (G.mate h) in
+        let ml = t.halves.(G.mate h) in
+        match t.halves.(h) with
+        | Parent | LChild | RChild | Left | Right ->
+          (match t.nodes.(w).kind with
+          | Index j -> if j <> i then raise Bad_node
+          | Center -> raise Bad_node);
+          (match t.halves.(h) with
+          | Left -> if ml <> Right then raise Bad_node
+          | Right -> if ml <> Left then raise Bad_node
+          | Parent -> if ml <> RChild && ml <> LChild then raise Bad_node
+          | LChild | RChild -> if ml <> Parent then raise Bad_node
+          | Up | Down _ -> ())
+        | Up -> if t.nodes.(w).kind <> Center then raise Bad_node
+        | Down _ -> raise Bad_node
+      done;
+      (* 2c: u(LChild, Right, Parent) = u *)
+      let w1 = follow_i t u LChild in
+      if w1 >= 0 then begin
+        let w2 = follow_i t w1 Right in
+        if w2 >= 0 then begin
+          let w3 = follow_i t w2 Parent in
+          if w3 >= 0 && w3 <> u then raise Bad_node
+        end
+      end;
+      (* 2d: u(Right, LChild, Left, Parent) = u *)
+      let w1 = follow_i t u Right in
+      if w1 >= 0 then begin
+        let w2 = follow_i t w1 LChild in
+        if w2 >= 0 then begin
+          let w3 = follow_i t w2 Left in
+          if w3 >= 0 then begin
+            let w4 = follow_i t w3 Parent in
+            if w4 >= 0 && w4 <> u then raise Bad_node
+          end
+        end
+      end;
+      (* 3a-3d *)
+      let ph = half_with_i t u Parent in
+      if ph >= 0 then begin
+        let p = G.half_node g (G.mate ph) in
+        let mlab = t.halves.(G.mate ph) in
+        if (not has_right) <> ((not (has_half_i t p Right)) && mlab = RChild)
+        then raise Bad_node;
+        if (not has_left) <> ((not (has_half_i t p Left)) && mlab = LChild)
+        then raise Bad_node;
+        if (not has_right) && mlab <> RChild then raise Bad_node;
+        if (not has_left) && mlab <> LChild then raise Bad_node
+      end;
+      (* 3e *)
+      if
+        (not has_right) && (not has_left)
+        && not (has_lchild && has_rchild && root_labels t u 0 d)
+      then raise Bad_node;
+      (* 3f *)
+      if has_rchild <> has_lchild then raise Bad_node;
+      (* 3g *)
+      if (not has_lchild) && not has_rchild then begin
+        let ok_dir w =
+          w < 0 || ((not (has_half_i t w LChild)) && not (has_half_i t w RChild))
+        in
+        if not (ok_dir (follow_i t u Left) && ok_dir (follow_i t u Right))
+        then raise Bad_node
+      end;
+      (* 3h *)
+      if
+        (nl.port <> None)
+        <> ((not has_right) && (not has_lchild) && not has_rchild)
+      then raise Bad_node;
+      (* c1 *)
+      if (not has_parent) && center_count t g u 0 d 0 <> 1 then raise Bad_node);
+    false
+  with Bad_node -> true
+
 let erring_nodes ~delta t =
-  Array.init (G.n t.graph) (fun u -> node_violations ~delta t u <> [])
+  Array.init (G.n t.graph) (fun u -> node_bad ~delta t u)

@@ -20,6 +20,11 @@ val violations : delta:int -> Labels.t -> violation list
 
 val is_valid : delta:int -> Labels.t -> bool
 
+val node_bad : delta:int -> Labels.t -> int -> bool
+(** [node_bad ~delta t u] iff [node_violations ~delta t u <> []] — the
+    allocation-free form the hot prover path uses; the equivalence is a
+    tested invariant. *)
+
 val erring_nodes : delta:int -> Labels.t -> bool array
 (** [true] for every node with at least one violation — the nodes the
     prover {!Verifier} must label [Error]. *)

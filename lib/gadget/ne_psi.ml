@@ -463,15 +463,21 @@ let prove ~delta ~n (t : Labels.t) =
   for u = 0 to G.n g - 1 do
     if chains.(u) <> [] && status.(u) = NOk then status.(u) <- NWit
   done;
-  let node_out u = { status = status.(u); chains = List.sort compare chains.(u) } in
+  (* one node_out per node, shared between the node slot and every
+     incident half's mirror — the mirrors are structurally equal either
+     way, and sharing keeps the per-half cost at the one half_out record
+     the solution type requires *)
+  let outs =
+    Array.init (G.n g) (fun u ->
+        { status = status.(u); chains = List.sort compare chains.(u) })
+  in
   let sol : solution =
     Labeling.init g
-      ~v:(fun u -> node_out u)
+      ~v:(fun u -> outs.(u))
       ~e:(fun _ -> ())
       ~b:(fun h ->
-        let u = G.half_node g h in
         {
-          mirror = node_out u;
+          mirror = outs.(G.half_node g h);
           bad_edge = Hashtbl.mem bad_edge_mark h;
           color_claim = Hashtbl.find_opt color_claim_mark h;
           to_next = (try Hashtbl.find to_next_tag h with Not_found -> []);

@@ -166,14 +166,16 @@ let run ~delta ~n (t : Labels.t) =
       if comp.(v) = c && da.(v) > da.(!b) then b := v
     done;
     let db = T.bfs g !b in
-    Pool.parallel_for ~n:size (fun v ->
+    Pool.parallel_for ~grain:20 ~n:size (fun v ->
         if comp.(v) = c then ecc_est.(v) <- max da.(v) db.(v))
   done;
   let cap = size in
   (* the per-node verdicts are independent: pointer_for only reads the
      labelled gadget and the precomputed err/dist tables, and each node
      writes its own output and meter slot — the verifier's hot loop *)
-  Pool.parallel_for ~n:size (fun u ->
+  (* one index = a radius-ball pointer check: by far the heaviest
+     per-index body in the repo (see EXPERIMENTS.md W-dispatch) *)
+  Pool.parallel_for ~grain:2_500 ~n:size (fun u ->
       if err.(u) then begin
         out.(u) <- Psi.Error;
         Obs.Counter.incr mt.m_err;

@@ -10,41 +10,52 @@ let bridges g =
   let disc = Array.make n (-1) in
   let low = Array.make n max_int in
   let timer = ref 0 in
+  (* explicit DFS stack in three flat arrays (node / incoming edge id or
+     -1 / next port cursor): same traversal as the tuple-list stack it
+     replaces, without the per-entry tuple+ref+cons allocations *)
+  let st_v = Array.make (max 1 n) 0 in
+  let st_e = Array.make (max 1 n) 0 in
+  let st_p = Array.make (max 1 n) 0 in
   for root = 0 to n - 1 do
     if disc.(root) < 0 then begin
-      (* stack entries: (node, incoming edge id or -1, next port to try) *)
-      let stack = ref [ (root, -1, ref 0) ] in
+      st_v.(0) <- root;
+      st_e.(0) <- -1;
+      st_p.(0) <- 0;
+      let sp = ref 1 in
       disc.(root) <- !timer;
       low.(root) <- !timer;
       incr timer;
-      while !stack <> [] do
-        match !stack with
-        | [] -> ()
-        | (v, in_edge, next) :: rest ->
-          if !next < G.degree g v then begin
-            let h = G.half_at g v !next in
-            incr next;
-            let e = G.edge_of_half h in
-            let w = G.half_node g (G.mate h) in
-            if w = v then () (* self-loop: ignore *)
-            else if e = in_edge then () (* don't re-traverse the tree edge *)
-            else if disc.(w) < 0 then begin
-              disc.(w) <- !timer;
-              low.(w) <- !timer;
-              incr timer;
-              stack := (w, e, ref 0) :: !stack
-            end
-            else if disc.(w) < low.(v) then low.(v) <- disc.(w)
+      while !sp > 0 do
+        let top = !sp - 1 in
+        let v = st_v.(top) in
+        if st_p.(top) < G.degree g v then begin
+          let h = G.half_at g v st_p.(top) in
+          st_p.(top) <- st_p.(top) + 1;
+          let e = G.edge_of_half h in
+          let w = G.half_node g (G.mate h) in
+          if w = v then () (* self-loop: ignore *)
+          else if e = st_e.(top) then () (* don't re-traverse the tree edge *)
+          else if disc.(w) < 0 then begin
+            disc.(w) <- !timer;
+            low.(w) <- !timer;
+            incr timer;
+            st_v.(!sp) <- w;
+            st_e.(!sp) <- e;
+            st_p.(!sp) <- 0;
+            incr sp
           end
-          else begin
-            (* done with v: propagate lowlink to parent *)
-            stack := rest;
-            match rest with
-            | (p, _, _) :: _ ->
-              if low.(v) < low.(p) then low.(p) <- low.(v);
-              if low.(v) > disc.(p) && in_edge >= 0 then is_bridge.(in_edge) <- true
-            | [] -> ()
+          else if disc.(w) < low.(v) then low.(v) <- disc.(w)
+        end
+        else begin
+          (* done with v: propagate lowlink to parent *)
+          decr sp;
+          if !sp > 0 then begin
+            let p = st_v.(!sp - 1) in
+            if low.(v) < low.(p) then low.(p) <- low.(v);
+            if low.(v) > disc.(p) && st_e.(top) >= 0 then
+              is_bridge.(st_e.(top)) <- true
           end
+        end
       done
     end
   done;
@@ -54,21 +65,27 @@ let two_edge_connected_components g =
   let is_bridge = bridges g in
   let n = G.n g in
   let cls = Array.make n (-1) in
+  let q = Array.make (max 1 n) 0 in
   let k = ref 0 in
   for s = 0 to n - 1 do
     if cls.(s) < 0 then begin
-      let q = Queue.create () in
+      let head = ref 0 and tail = ref 0 in
       cls.(s) <- !k;
-      Queue.add s q;
-      while not (Queue.is_empty q) do
-        let v = Queue.take q in
-        G.iter_halves g v ~f:(fun h ->
-            let e = G.edge_of_half h in
-            let w = G.half_node g (G.mate h) in
-            if (not is_bridge.(e)) && cls.(w) < 0 then begin
-              cls.(w) <- !k;
-              Queue.add w q
-            end)
+      q.(!tail) <- s;
+      incr tail;
+      while !head < !tail do
+        let v = q.(!head) in
+        incr head;
+        for i = 0 to G.degree g v - 1 do
+          let h = G.half_at g v i in
+          let e = G.edge_of_half h in
+          let w = G.half_node g (G.mate h) in
+          if (not is_bridge.(e)) && cls.(w) < 0 then begin
+            cls.(w) <- !k;
+            q.(!tail) <- w;
+            incr tail
+          end
+        done
       done;
       incr k
     end

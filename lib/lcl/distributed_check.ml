@@ -123,7 +123,8 @@ let run_linalg p inst ~input ~output =
   in
   let ev_scratch = Array.make slots None in
   let accepts = Array.make n false in
-  Pool.parallel_for ~n (fun v ->
+  (* one index = rebuild a node view and run the checker on it *)
+  Pool.parallel_for ~grain:400 ~n (fun v ->
       let wi = Pool.worker_index () in
       let lo = off.(v) in
       let d = off.(v + 1) - lo in

@@ -8,7 +8,8 @@ let step g ~x ~y =
     invalid_arg "Bitrows.step: row arrays shorter than the node count";
   let off = G.ports_off g and prt = G.ports_flat g in
   let hn = G.half_node_flat g in
-  Pool.parallel_for ~n (fun v ->
+  (* one index = one bitset row blit plus a union per port *)
+  Pool.parallel_for ~grain:500 ~n (fun v ->
       let row = y.(v) in
       B.blit ~src:x.(v) ~dst:row;
       for i = off.(v) to off.(v + 1) - 1 do

@@ -30,7 +30,7 @@ let gather inst ~radius payload =
     (* intern payloads into classes in node order, exactly as the
        engine does — class ids must match for the dense test and the
        emitted fresh-payload lists to match *)
-    let payloads = Pool.tabulate n payload in
+    let payloads = Pool.tabulate ~grain:300 n payload in
     let class_of = Array.make n 0 in
     let class_payload = Array.make n payloads.(0) in
     let class_tbl = Hashtbl.create (2 * n) in
@@ -60,13 +60,16 @@ let gather inst ~radius payload =
             b)
       in
       let next = Array.init n (fun _ -> B.create nc) in
+      (* each radius step is a Bitrows dispatch plus a diff-emit
+         dispatch: one resident-worker session for the whole sweep *)
+      Pool.run_rounds @@ fun () ->
       for r = 0 to radius - 1 do
         Obs.Counter.incr (Obs.Registry.counter reg "linalg.flood.rounds");
         (* one boolean matrix step, then emit this round's fresh
            classes from the (next, known) diff — ascending class order,
            like the engine *)
         Bitrows.step g ~x:known ~y:next;
-        Pool.parallel_for ~n (fun w ->
+        Pool.parallel_for ~grain:400 ~n (fun w ->
             let acc = ref [] in
             B.iter_diff
               (fun c -> acc := class_payload.(c) :: !acc)

@@ -35,7 +35,7 @@ let run sr ?(accum = false) g ~x ~y =
   let off = G.ports_off g and prt = G.ports_flat g in
   let hn = G.half_node_flat g in
   charge (counters ()) n;
-  Pool.parallel_for ~n (fun v -> row sr off prt hn x ~accum y v)
+  Pool.parallel_for ~grain:150 ~n (fun v -> row sr off prt hn x ~accum y v)
 
 let run_masked sr ?(complement = false) ?(accum = false) g ~mask ~x ~y =
   let n = G.n g in
@@ -44,7 +44,7 @@ let run_masked sr ?(complement = false) ?(accum = false) g ~mask ~x ~y =
   let off = G.ports_off g and prt = G.ports_flat g in
   let hn = G.half_node_flat g in
   charge (counters ()) n;
-  Pool.parallel_for ~n (fun v ->
+  Pool.parallel_for ~grain:150 ~n (fun v ->
       if mask.(v) <> complement then row sr off prt hn x ~accum y v)
 
 let run_rows sr ?(accum = false) g ~rows ~pos ~len ~x ~y =
@@ -53,19 +53,19 @@ let run_rows sr ?(accum = false) g ~rows ~pos ~len ~x ~y =
   let off = G.ports_off g and prt = G.ports_flat g in
   let hn = G.half_node_flat g in
   charge (counters ()) len;
-  Pool.parallel_for ~n:len (fun k ->
+  Pool.parallel_for ~grain:150 ~n:len (fun k ->
       row sr off prt hn x ~accum y rows.(pos + k))
 
 let assign_masked ?(complement = false) ~mask c y =
   let n = Array.length y in
   if Array.length mask < n then
     invalid_arg "Spmv.assign_masked: mask shorter than the vector";
-  Pool.parallel_for ~n (fun v -> if mask.(v) <> complement then y.(v) <- c)
+  Pool.parallel_for ~grain:10 ~n (fun v -> if mask.(v) <> complement then y.(v) <- c)
 
 let reduce (sr : 'a Semiring.t) x =
-  Pool.parallel_for_reduce ~n:(Array.length x) ~neutral:sr.Semiring.zero
+  Pool.parallel_for_reduce ~grain:20 ~n:(Array.length x) ~neutral:sr.Semiring.zero
     ~combine:sr.add (fun i -> x.(i))
 
 let count b =
-  let f = Pool.fused (fun i -> if b.(i) then 1 else 0) in
+  let f = Pool.fused ~grain:5 (fun i -> if b.(i) then 1 else 0) in
   Pool.run_fused f ~n:(Array.length b)

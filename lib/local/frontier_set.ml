@@ -154,7 +154,7 @@ let expand ~g ?(keep = fun _ -> true) ~src ~dst s =
   let edges = offs.(card) in
   s.cand <- ensure edges s.cand;
   let cand = s.cand in
-  Pool.parallel_for ~n:card (fun k ->
+  Pool.parallel_for ~grain:50 ~n:card (fun k ->
       let v = src.members.(k) in
       let base = offs.(k) in
       let d = G.degree g v in

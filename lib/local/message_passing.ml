@@ -154,7 +154,10 @@ let run ?limit inst alg =
      hot path allocates nothing beyond what the algorithm itself does.
      The bodies read the current round through [round]. *)
   let send_task =
-    Pool.fused (fun v ->
+    (* per active node: one send closure per port at degree ≤ Δ (small);
+       the grain hints seed the autotuner's EMA, which refines them from
+       observed cost after the first sampled rounds *)
+    Pool.fused ~grain:150 (fun v ->
         if not halted.(v) then begin
           let st = states.(v) in
           let r = !round in
@@ -172,7 +175,7 @@ let run ?limit inst alg =
         0)
   in
   let recv_task =
-    Pool.fused (fun v ->
+    Pool.fused ~grain:250 (fun v ->
         if halted.(v) then 0
         else begin
           if audit then
@@ -271,16 +274,23 @@ let run ?limit inst alg =
     end
   in
   let run_sp = Obs.Span.enter "mp.run" in
-  while !remaining > 0 && !round < limit do
-    (* round spans nest under mp.run; worker chunk spans recorded during
-       the two pool phases parent under the round via the cross-slot
-       parent (see Obs.Span). Disarmed cost: one boolean load per call,
-       and the kv list is only built when the handle is live. *)
-    let rsp = Obs.Span.enter "mp.round" in
-    deliver ();
-    if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", !round) ] rsp;
-    incr round
-  done;
+  (* the whole round loop is one resident-worker session: consecutive
+     send/recv dispatches reuse spinning workers instead of paying a
+     park/wake cycle per phase (Pool.run_rounds; a no-op bracket when
+     spinning cannot help) *)
+  Pool.run_rounds (fun () ->
+      while !remaining > 0 && !round < limit do
+        (* round spans nest under mp.run; worker chunk spans recorded
+           during the two pool phases parent under the round via the
+           cross-slot parent (see Obs.Span). Disarmed cost: one boolean
+           load per call, and the kv list is only built when the handle
+           is live. *)
+        let rsp = Obs.Span.enter "mp.round" in
+        deliver ();
+        if Obs.Span.live rsp then
+          Obs.Span.exit ~kvs:[ ("round", !round) ] rsp;
+        incr round
+      done);
   if !remaining > 0 then
     failwith
       (Printf.sprintf "Message_passing.run: %d nodes still running after %d rounds"
@@ -338,7 +348,7 @@ let run_boxed ?limit inst alg =
     let rng0, chunks0, chunk_ns0 =
       if traced then obs_marks mt else (0, 0, 0)
     in
-    Pool.parallel_for ~n (fun v ->
+    Pool.parallel_for ~grain:800 ~n (fun v ->
         if not halted.(v) then begin
           Array.iteri
             (fun p h ->
@@ -374,7 +384,7 @@ let run_boxed ?limit inst alg =
       Obs.Counter.add mt.m_bytes !bytes
     end;
     let newly_halted =
-      Pool.parallel_for_reduce ~n ~neutral:0 ~combine:( + ) (fun v ->
+      Pool.parallel_for_reduce ~grain:800 ~n ~neutral:0 ~combine:( + ) (fun v ->
           if halted.(v) then 0
           else begin
             if audit then
@@ -482,7 +492,7 @@ let flood_gather inst ~radius payload =
   let n = G.n g in
   Obs.Counter.incr mt.m_flood_runs;
   let by_round = Array.init n (fun _ -> Array.make (max radius 0) []) in
-  let payloads = Pool.tabulate n payload in
+  let payloads = Pool.tabulate ~grain:300 n payload in
   if n = 0 || radius <= 0 then by_round
   else begin
     let run_sp = Obs.Span.enter "flood.run" in
@@ -565,12 +575,15 @@ let flood_gather inst ~radius payload =
             b)
       in
       let next = Array.init n (fun _ -> B.create nc) in
+      (* each double-buffer step is a pair of dispatches; keep the
+         workers resident across the whole radius *)
+      Pool.run_rounds @@ fun () ->
       for r = 0 to radius - 1 do
         let rsp = Obs.Span.enter "flood.round" in
         let traced = Obs.Trace.active () in
         let marks0 = if traced then obs_marks mt else (0, 0, 0) in
         if audit then
-          Pool.parallel_for ~n (fun v ->
+          Pool.parallel_for ~grain:200 ~n (fun v ->
               Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
         let msgs, mbox_max, bytes =
           if Obs.Registry.live mt.reg then
@@ -582,7 +595,7 @@ let flood_gather inst ~radius payload =
         in
         (* pull: [known] is frozen this phase; node [w] writes only
            [next.(w)] and its own by_round slot *)
-        Pool.parallel_for ~n (fun w ->
+        Pool.parallel_for ~grain:600 ~n (fun w ->
             let nx = next.(w) in
             B.blit ~src:known.(w) ~dst:nx;
             G.iter_halves g w ~f:(fun h ->
@@ -708,15 +721,16 @@ let flood_gather inst ~radius payload =
         (* full-scan path: the influence sets must union every
            neighbour every round, exactly as the certificate model
            expects, so audited floods keep the O(n + m) rounds *)
+        Pool.run_rounds @@ fun () ->
         for r = 0 to radius - 1 do
           let rsp = Obs.Span.enter "flood.round" in
           let traced = Obs.Trace.active () in
           let marks0 = if traced then obs_marks mt else (0, 0, 0) in
-          Pool.parallel_for ~n (fun v ->
+          Pool.parallel_for ~grain:300 ~n (fun v ->
               snap.(v) <- known.(v);
               Obs.Provenance.Bitset.blit ~src:inf_state.(v) ~dst:inf_out.(v));
           let msgs, mbox_max, bytes = account () in
-          Pool.parallel_for ~n (merge_node (fun _ -> true) r);
+          Pool.parallel_for ~grain:500 ~n (merge_node (fun _ -> true) r);
           emit_round ~r ~traced ~marks0 ~msgs ~mbox_max ~bytes;
           if Obs.Span.live rsp then Obs.Span.exit ~kvs:[ ("round", r) ] rsp
         done
@@ -736,17 +750,19 @@ let flood_gather inst ~radius payload =
         let fscratch = Frontier_set.scratch () in
         Frontier_set.fill_all changed;
         let in_changed v = Frontier_set.mem changed v in
+        Pool.run_rounds @@ fun () ->
         for r = 0 to radius - 1 do
           let rsp = Obs.Span.enter "flood.round" in
           let traced = Obs.Trace.active () in
           let marks0 = if traced then obs_marks mt else (0, 0, 0) in
-          Pool.parallel_for ~n:(Frontier_set.cardinal changed) (fun k ->
+          Pool.parallel_for ~grain:30 ~n:(Frontier_set.cardinal changed)
+            (fun k ->
               let v = Frontier_set.member changed k in
               snap.(v) <- known.(v));
           let msgs, mbox_max, bytes = account () in
           ignore (Frontier_set.expand ~g ~src:changed ~dst:cand fscratch);
-          Pool.parallel_for ~n:(Frontier_set.cardinal cand) (fun k ->
-              merge_node in_changed r (Frontier_set.member cand k));
+          Pool.parallel_for ~grain:500 ~n:(Frontier_set.cardinal cand)
+            (fun k -> merge_node in_changed r (Frontier_set.member cand k));
           (* next frontier: the candidates that grew (fresh [known]
              pointer), in candidate order — deterministic *)
           Frontier_set.clear changed;

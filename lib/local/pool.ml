@@ -4,7 +4,8 @@
    main domain, one after another). A job is a chunked index range plus a
    body; workers and the calling domain race on an atomic chunk counter
    until the range drains. Workers park on a condition variable between
-   jobs, so an idle pool costs nothing.
+   jobs (spinning briefly first inside a {!run_rounds} session), so an
+   idle pool costs nothing.
 
    Completion is tracked per chunk, not per worker: the dispatching
    domain returns as soon as every chunk has run, even if some workers
@@ -12,11 +13,32 @@
    and go back to sleep. This keeps dispatch latency at "time to run the
    chunks", with no straggler wait.
 
+   Dispatch is cost-aware (DESIGN §17): a job is handed to the workers
+   only when its estimated work — [n] times a per-callsite grain hint,
+   refined by an EMA of observed cost for prebuilt fused jobs — clears
+   the pool's calibrated dispatch cost by the parallel gain the
+   effective core count can actually deliver. Everything else runs
+   inline on the calling domain with no atomics, no signalling and no
+   job setup at all. On a host where the pool is oversubscribed
+   (size > recommended_domain_count) the model correctly concludes that
+   no job can win and never dispatches; the [Always] and [Work_ns]
+   modes exist so tests exercise the worker machinery regardless.
+
    Determinism does not depend on the schedule: every chunk is executed
    exactly once, chunks run their indices in ascending order, and callers
    only write index-owned locations (see pool.mli). The atomic
    completed-counter gives the happens-before edge that makes the
-   workers' plain-array writes visible to the caller. *)
+   workers' plain-array writes visible to the caller.
+
+   Job records are reused across dispatches (see {!fused}), and a worker
+   that was descheduled for a whole epoch may issue one more claim on a
+   record that has since been re-armed. Claims are therefore
+   epoch-tagged: the chunk counter packs (epoch << chunk_bits | chunk),
+   and the armed epoch+chunk-count pair lives in one atomic word, so a
+   stale claim can never read a torn (epoch, layout) state — it either
+   sees its own drained epoch and stops, or a mismatched epoch and
+   stops. A claim that does match the armed word has read-from the
+   re-arm publication, which makes the job's plain fields visible. *)
 
 module Obs = Repro_obs
 
@@ -33,8 +55,11 @@ type metrics = {
   preg : Obs.Registry.t;
   m_jobs : Obs.Counter.t;
   m_seq_loops : Obs.Counter.t;
+  m_cutoff_inline : Obs.Counter.t;
   m_chunks : Obs.Counter.t;
   m_chunk_ns : Obs.Counter.t;
+  m_par_idx : Obs.Counter.t;
+  m_dispatch_ns : Obs.Counter.t;
   m_chunk_hist : Obs.Histogram.t;
 }
 
@@ -43,8 +68,11 @@ let make_metrics reg =
     preg = reg;
     m_jobs = Obs.Registry.counter reg "local.pool.jobs";
     m_seq_loops = Obs.Registry.counter reg "local.pool.seq_loops";
+    m_cutoff_inline = Obs.Registry.counter reg "local.pool.cutoff_inline";
     m_chunks = Obs.Registry.counter reg "local.pool.chunks";
     m_chunk_ns = Obs.Registry.counter reg "local.pool.chunk_ns";
+    m_par_idx = Obs.Registry.counter reg "local.pool.par_idx";
+    m_dispatch_ns = Obs.Registry.counter reg "local.pool.dispatch_ns";
     m_chunk_hist = Obs.Registry.histogram reg "local.pool.chunk_ns.hist";
   }
 
@@ -59,16 +87,32 @@ let metrics () =
     memo := Some m;
     m
 
+(* claims pack (epoch << chunk_bits) | chunk in one atomic int; so does
+   the armed word, (epoch << chunk_bits) | chunks. 26 bits bound a
+   single job at ~67M chunks (layouts are capped well below) and leave
+   36 bits of monotonically increasing epoch — enough for 6.8e10
+   dispatches per process. *)
+let chunk_bits = 26
+let chunk_mask = (1 lsl chunk_bits) - 1
+let max_chunks = 1 lsl 24
+
 (* the range/body fields are mutable so a prebuilt job (see {!fused})
    can be re-dispatched with a new range without allocating: the
-   dispatching domain writes them before taking the pool mutex, and the
-   mutex hand-off in [dispatch]/[worker] publishes them to the workers *)
+   dispatching domain writes them, then publishes [armed] and resets
+   [next]; a worker whose claim matches the armed word has synchronized
+   with that publication and sees the fields *)
 type job = {
   mutable chunks : int;
   mutable chunk_size : int;
   mutable total : int;
-  next : int Atomic.t; (* next chunk index to claim *)
-  completed : int Atomic.t; (* chunks fully executed *)
+  (* satellite: telemetry arming is decided once per job at dispatch
+     time; chunk execution reads these two flags instead of doing a
+     registry-liveness load and a Span.armed load per chunk *)
+  mutable j_timed : bool;
+  mutable j_span : bool;
+  armed : int Atomic.t; (* (epoch << chunk_bits) | chunks *)
+  next : int Atomic.t; (* (epoch << chunk_bits) | next chunk to claim *)
+  completed : int Atomic.t; (* chunks fully executed this epoch *)
   mutable body : int -> int -> unit; (* [body lo hi]: indices [lo, hi) *)
   failed : exn option Atomic.t;
   mutable jm : metrics; (* the dispatching run's metrics, see above *)
@@ -76,15 +120,79 @@ type job = {
 
 type pool = {
   mutex : Mutex.t;
-  work : Condition.t; (* a new job (or shutdown) is available *)
+  work : Condition.t; (* a new epoch (or shutdown) is available *)
   finished : Condition.t; (* the last chunk of the current job is done *)
-  mutable job : job option;
-  mutable epoch : int; (* bumped once per job *)
-  mutable stop : bool;
+  cur_job : job option Atomic.t;
+  epoch : int Atomic.t; (* bumped once per job, by the dispatcher only *)
+  stop : bool Atomic.t;
+  parked : int Atomic.t; (* workers inside Condition.wait *)
+  spin : int; (* resident-session spin budget; 0 when it cannot help *)
+  mutable cost_ns : int; (* calibrated dispatch cost; 0 = not yet *)
   mutable workers : unit Domain.t array;
 }
 
+(* hard floor below which a loop is never worth any bookkeeping, and
+   the dispatch threshold of the pre-autotuner [Always] policy *)
 let sequential_cutoff = 16
+
+(* estimated ns per index when a call site gives no [?grain] hint: the
+   median of observed per-index costs across the engine's loops on the
+   reference host (EXPERIMENTS.md, W-dispatch); individual sites that
+   sit far from it pass explicit hints *)
+let default_grain = 100
+
+(* autotuned layouts aim chunks at this much work: large enough to
+   amortize a claim (one fetch_and_add) to noise, small enough to keep
+   16×size chunks of load balance when the job has the work to spare *)
+let target_chunk_ns = 20_000
+
+(* a dispatched job must be predicted to win at least this many times
+   the calibrated dispatch cost; the margin absorbs grain-hint error so
+   borderline jobs stay inline *)
+let dispatch_margin = 2
+
+(* inline fused runs cheaper than this estimate skip the two clock
+   reads that feed the EMA; jobs this small never dispatch anyway, so
+   their grain estimate only has to be right to within the cutoff *)
+let ema_sample_min_ns = 65_536
+
+let cores = Domain.recommended_domain_count ()
+
+type dispatch_mode = Auto | Always | Work_ns of int
+
+let parse_mode s =
+  match String.lowercase_ascii (String.trim s) with
+  | "" | "auto" -> Auto
+  | "always" -> Always
+  | s -> (
+    match int_of_string_opt s with Some t when t >= 0 -> Work_ns t | _ -> Auto)
+
+let mode =
+  ref
+    (match Sys.getenv_opt "REPRO_POOL_CUTOFF" with
+    | Some s -> parse_mode s
+    | None -> Auto)
+
+let set_dispatch_mode m = mode := m
+let dispatch_mode () = !mode
+
+let grain_override =
+  ref
+    (match Sys.getenv_opt "REPRO_GRAIN" with
+    | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some g when g >= 1 -> Some g
+      | _ -> None)
+    | None -> None)
+
+let set_grain_override g =
+  grain_override := (match g with Some g when g >= 1 -> Some g | _ -> None)
+
+let effective_grain hint =
+  match !grain_override with
+  | Some g -> g
+  | None -> (
+    match hint with Some g when g >= 1 -> g | Some _ | None -> default_grain)
 
 let env_size =
   lazy
@@ -102,6 +210,11 @@ let state : pool option ref = ref None
    body (any domain) falls back to a sequential loop instead of
    deadlocking on the single-job pool *)
 let busy = ref false
+
+(* true inside a {!run_rounds} session: workers spend their spin budget
+   before parking, so consecutive engine rounds skip the park/wake
+   cycle entirely on hosts with real cores to spin on *)
+let resident = Atomic.make false
 
 let size () =
   match !requested with Some k -> k | None -> Lazy.force env_size
@@ -122,36 +235,45 @@ let worker_slots () = size ()
    engine code can arm a recording) *)
 let () = Obs.Span.set_worker_source ~slots:worker_slots ~index:worker_index
 
-(* claim and run chunks until the range drains; after a body raises, the
-   remaining chunks are still claimed (so the completed count drains) but
-   their bodies are skipped *)
+(* claim and run chunks until the range drains or the claim's epoch tag
+   stops matching the armed word; after a body raises, the remaining
+   chunks are still claimed (so the completed count drains) but their
+   bodies are skipped *)
 let run_job pool job =
   let rec claim () =
-    let c = Atomic.fetch_and_add job.next 1 in
-    if c < job.chunks then begin
+    let v = Atomic.fetch_and_add job.next 1 in
+    let armed = Atomic.get job.armed in
+    let c = v land chunk_mask in
+    if v lsr chunk_bits = armed lsr chunk_bits && c < armed land chunk_mask
+    then begin
       (if Atomic.get job.failed = None then begin
-         let m = job.jm in
-         let timed = Obs.Registry.live m.preg in
+         let timed = job.j_timed in
          let t0 = if timed then Obs.Clock.now_ns () else 0 in
          let sp =
-           if Obs.Span.armed () then Obs.Span.enter "pool.chunk"
-           else Obs.Span.null
+           if job.j_span then Obs.Span.enter "pool.chunk" else Obs.Span.null
          in
-         (try
-            job.body (c * job.chunk_size)
-              (min job.total ((c * job.chunk_size) + job.chunk_size))
+         let lo = c * job.chunk_size in
+         let hi = min job.total (lo + job.chunk_size) in
+         (try job.body lo hi
           with e -> ignore (Atomic.compare_and_set job.failed None (Some e)));
          if Obs.Span.live sp then Obs.Span.exit ~kvs:[ ("chunk", c) ] sp;
          if timed then begin
            (* clamped: the gettimeofday fallback clock can step *)
+           let m = job.jm in
            let dt = max 0 (Obs.Clock.now_ns () - t0) in
            Obs.Counter.incr m.m_chunks;
            Obs.Counter.add m.m_chunk_ns dt;
+           Obs.Counter.add m.m_par_idx (hi - lo);
            Obs.Histogram.observe m.m_chunk_hist dt
          end
        end);
-      if Atomic.fetch_and_add job.completed 1 = job.chunks - 1 then begin
-        (* last chunk overall: wake the dispatcher if it is waiting *)
+      if
+        Atomic.fetch_and_add job.completed 1 = job.chunks - 1
+        && worker_index () <> 0
+      then begin
+        (* last chunk overall, run by a worker: wake the dispatcher if
+           it is waiting (it rechecks the count under the mutex, so a
+           signal landing before it parks is never lost) *)
         Mutex.lock pool.mutex;
         Condition.signal pool.finished;
         Mutex.unlock pool.mutex
@@ -162,22 +284,34 @@ let run_job pool job =
   claim ()
 
 let worker pool =
-  let last_epoch = ref 0 in
-  let running = ref true in
-  while !running do
-    Mutex.lock pool.mutex;
-    while (not pool.stop) && pool.epoch = !last_epoch do
-      Condition.wait pool.work pool.mutex
-    done;
-    if pool.stop then begin
-      Mutex.unlock pool.mutex;
-      running := false
+  let last = ref 0 in
+  let stopped () = Atomic.get pool.stop in
+  while not (stopped ()) do
+    let e = Atomic.get pool.epoch in
+    if e <> !last then begin
+      last := e;
+      match Atomic.get pool.cur_job with
+      | Some job -> run_job pool job
+      | None -> ()
     end
     else begin
-      let job = match pool.job with Some j -> j | None -> assert false in
-      last_epoch := pool.epoch;
-      Mutex.unlock pool.mutex;
-      run_job pool job
+      (* resident sessions: burn the spin budget watching the epoch
+         before touching the mutex — a round dispatched meanwhile is
+         picked up without a park/wake cycle *)
+      let k = ref (if Atomic.get resident then pool.spin else 0) in
+      while !k > 0 && Atomic.get pool.epoch = !last && not (stopped ()) do
+        Domain.cpu_relax ();
+        decr k
+      done;
+      if Atomic.get pool.epoch = !last && not (stopped ()) then begin
+        Mutex.lock pool.mutex;
+        Atomic.incr pool.parked;
+        while Atomic.get pool.epoch = !last && not (stopped ()) do
+          Condition.wait pool.work pool.mutex
+        done;
+        Atomic.decr pool.parked;
+        Mutex.unlock pool.mutex
+      end
     end
   done
 
@@ -186,8 +320,8 @@ let shutdown () =
   | None -> ()
   | Some pool ->
     state := None;
+    Atomic.set pool.stop true;
     Mutex.lock pool.mutex;
-    pool.stop <- true;
     Condition.broadcast pool.work;
     Mutex.unlock pool.mutex;
     Array.iter Domain.join pool.workers
@@ -212,9 +346,14 @@ let ensure_pool () =
           mutex = Mutex.create ();
           work = Condition.create ();
           finished = Condition.create ();
-          job = None;
-          epoch = 0;
-          stop = false;
+          cur_job = Atomic.make None;
+          epoch = Atomic.make 0;
+          stop = Atomic.make false;
+          parked = Atomic.make 0;
+          (* spinning only helps when every pool member has a real core
+             to spin on; oversubscribed pools park immediately *)
+          spin = (if cores > 1 && sz <= cores then 2048 else 0);
+          cost_ns = 0;
           workers = [||];
         }
       in
@@ -226,65 +365,174 @@ let ensure_pool () =
       state := Some pool;
       Some pool
 
+(* arm the job for a fresh epoch and publish; then help drain it and
+   wait for the chunk count. The publication order matters: fields are
+   plain writes, [armed] then [next] make them visible to any claim
+   that will execute, [cur_job]/[epoch] make the job visible to
+   workers, and the parked check closes the wakeup race (a worker
+   rechecks the epoch under the mutex before and after parking). *)
 let dispatch pool job =
-  Mutex.lock pool.mutex;
-  pool.job <- Some job;
-  pool.epoch <- pool.epoch + 1;
-  Condition.broadcast pool.work;
-  Mutex.unlock pool.mutex;
+  let e = Atomic.get pool.epoch + 1 in
+  Atomic.set job.completed 0;
+  Atomic.set job.failed None;
+  Atomic.set job.armed ((e lsl chunk_bits) lor job.chunks);
+  Atomic.set job.next (e lsl chunk_bits);
+  Atomic.set pool.cur_job (Some job);
+  Atomic.set pool.epoch e;
+  if Atomic.get pool.parked > 0 then begin
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.work;
+    Mutex.unlock pool.mutex
+  end;
   run_job pool job;
-  Mutex.lock pool.mutex;
-  while Atomic.get job.completed < job.chunks do
-    Condition.wait pool.finished pool.mutex
-  done;
-  (* pool.job is left in place: a worker that only wakes up now finds the
-     drained range, claims nothing, and parks again for the next epoch *)
-  Mutex.unlock pool.mutex
+  if Atomic.get job.completed < job.chunks then begin
+    let k = ref pool.spin in
+    while !k > 0 && Atomic.get job.completed < job.chunks do
+      Domain.cpu_relax ();
+      decr k
+    done;
+    if Atomic.get job.completed < job.chunks then begin
+      Mutex.lock pool.mutex;
+      while Atomic.get job.completed < job.chunks do
+        Condition.wait pool.finished pool.mutex
+      done;
+      Mutex.unlock pool.mutex
+    end
+  end
 
-let chunk_layout ?chunk ~n sz =
+(* measured dispatch cost: the round-trip wall time of an empty job
+   through the live pool, calibrated once per pool spawn on first use
+   by the Auto policy. Clamped — a descheduled worker can make one
+   probe absurd, and a zero would make every loop look dispatchable. *)
+let calibrate pool =
+  let sz = Array.length pool.workers + 1 in
+  let probe =
+    {
+      chunks = sz;
+      chunk_size = 1;
+      total = sz;
+      j_timed = false;
+      j_span = false;
+      armed = Atomic.make 0;
+      next = Atomic.make 0;
+      completed = Atomic.make 0;
+      body = (fun _ _ -> ());
+      failed = Atomic.make None;
+      jm = metrics ();
+    }
+  in
+  let warm = 2 and reps = 8 in
+  let acc = ref 0 in
+  busy := true;
+  Fun.protect
+    ~finally:(fun () -> busy := false)
+    (fun () ->
+      for k = 1 to warm + reps do
+        let t0 = Obs.Clock.now_ns () in
+        dispatch pool probe;
+        let dt = max 0 (Obs.Clock.now_ns () - t0) in
+        if k > warm then acc := !acc + dt
+      done);
+  pool.cost_ns <- max 1_000 (min 5_000_000 (!acc / reps))
+
+let dispatch_cost pool =
+  if pool.cost_ns = 0 then calibrate pool;
+  pool.cost_ns
+
+let dispatch_cost_ns () =
+  match !state with
+  | Some pool when pool.cost_ns > 0 -> Some pool.cost_ns
+  | _ -> None
+
+(* the cutoff: [Some pool] when the job should be dispatched. Auto is
+   the cost model; Always is the pre-autotuner policy (any loop of at
+   least [sequential_cutoff] indices dispatches), kept so determinism
+   suites exercise the worker machinery even on a one-core host;
+   Work_ns is a fixed work threshold for experiments. *)
+let plan ~n ~grain =
+  if n < 2 || !busy then None
+  else
+    let sz = size () in
+    if sz <= 1 then None
+    else
+      match !mode with
+      | Always -> if n < sequential_cutoff then None else ensure_pool ()
+      | Work_ns t -> if n * grain < t then None else ensure_pool ()
+      | Auto ->
+        let eff = min sz cores in
+        if eff <= 1 then None
+        else (
+          match ensure_pool () with
+          | None -> None
+          | Some pool ->
+            (* dispatch only when the predicted parallel gain — the
+               work the other cores would take off this domain — clears
+               the measured dispatch cost with margin *)
+            let work = n * grain in
+            let gain = work * (eff - 1) / eff in
+            if gain >= dispatch_margin * dispatch_cost pool then Some pool
+            else None)
+
+let chunk_layout ?chunk ~grain ~n sz =
   let chunk_size =
     match chunk with
     | Some c when c >= 1 -> c
-    | Some _ | None -> max 1 (1 + ((n - 1) / (8 * sz)))
+    | Some _ | None ->
+      (* aim each chunk at [target_chunk_ns] of estimated work, kept
+         between one chunk per domain (no idle member) and 16 per
+         domain (claim traffic stays noise) *)
+      let upper = max 1 (1 + ((n - 1) / sz)) in
+      let lower = max 1 (1 + ((n - 1) / (16 * sz))) in
+      min upper (max lower (target_chunk_ns / max 1 grain))
+  in
+  let chunk_size =
+    if 1 + ((n - 1) / chunk_size) > max_chunks then 1 + ((n - 1) / max_chunks)
+    else chunk_size
   in
   (chunk_size, 1 + ((n - 1) / chunk_size))
 
-let run_parallel ?chunk ~n ~make_body ~seq () =
+let run_parallel ?chunk ?grain ~n ~make_body ~seq () =
   let m = metrics () in
-  let seq () =
+  let inline () =
     Obs.Counter.incr m.m_seq_loops;
+    if n >= 2 && (not !busy) && size () > 1 then
+      Obs.Counter.incr m.m_cutoff_inline;
     seq ()
   in
-  if n <= 0 then seq ()
+  if n <= 0 then inline ()
   else
-    let sz = size () in
-    if sz <= 1 || n < sequential_cutoff || !busy then seq ()
-    else
-      match ensure_pool () with
-      | None -> seq ()
-      | Some pool ->
-        let chunk_size, chunks = chunk_layout ?chunk ~n sz in
-        let job =
-          {
-            chunks;
-            chunk_size;
-            total = n;
-            next = Atomic.make 0;
-            completed = Atomic.make 0;
-            body = make_body ~chunk_size;
-            failed = Atomic.make None;
-            jm = m;
-          }
-        in
-        Obs.Counter.incr m.m_jobs;
-        busy := true;
-        Fun.protect
-          ~finally:(fun () -> busy := false)
-          (fun () -> dispatch pool job);
-        (match Atomic.get job.failed with Some e -> raise e | None -> ())
+    let g = effective_grain grain in
+    match plan ~n ~grain:g with
+    | None -> inline ()
+    | Some pool ->
+      let chunk_size, chunks = chunk_layout ?chunk ~grain:g ~n (size ()) in
+      let job =
+        {
+          chunks;
+          chunk_size;
+          total = n;
+          j_timed = Obs.Registry.live m.preg;
+          j_span = Obs.Span.armed ();
+          armed = Atomic.make 0;
+          next = Atomic.make 0;
+          completed = Atomic.make 0;
+          body = make_body ~chunk_size;
+          failed = Atomic.make None;
+          jm = m;
+        }
+      in
+      Obs.Counter.incr m.m_jobs;
+      let t0 = if job.j_timed then Obs.Clock.now_ns () else 0 in
+      busy := true;
+      Fun.protect
+        ~finally:(fun () -> busy := false)
+        (fun () -> dispatch pool job);
+      if job.j_timed then
+        Obs.Counter.add m.m_dispatch_ns (max 0 (Obs.Clock.now_ns () - t0));
+      (match Atomic.get job.failed with Some e -> raise e | None -> ())
 
-let parallel_for ?chunk ~n f =
-  run_parallel ?chunk ~n
+let parallel_for ?chunk ?grain ~n f =
+  run_parallel ?chunk ?grain ~n
     ~make_body:(fun ~chunk_size:_ lo hi ->
       for i = lo to hi - 1 do
         f i
@@ -295,7 +543,7 @@ let parallel_for ?chunk ~n f =
       done)
     ()
 
-let parallel_for_reduce ?chunk ~n ~neutral ~combine f =
+let parallel_for_reduce ?chunk ?grain ~n ~neutral ~combine f =
   if n <= 0 then neutral
   else begin
     let fold lo hi =
@@ -307,7 +555,7 @@ let parallel_for_reduce ?chunk ~n ~neutral ~combine f =
     in
     (* sized at dispatch time inside make_body; one slot per chunk *)
     let partial = ref [||] in
-    run_parallel ?chunk ~n
+    run_parallel ?chunk ?grain ~n
       ~make_body:(fun ~chunk_size ->
         let chunks = 1 + ((n - 1) / chunk_size) in
         partial := Array.make chunks neutral;
@@ -330,15 +578,21 @@ let parallel_for_reduce ?chunk ~n ~neutral ~combine f =
    and associative, so the total is independent of which worker ran
    which chunk — the determinism contract is untouched. Re-dispatching
    reuses the job record and the slots, so a round costs zero
-   allocation beyond what the body itself allocates. *)
+   allocation beyond what the body itself allocates.
+
+   Being the repeated-same-shape case, fused tasks also carry the grain
+   EMA: each sampled run folds observed ns/index into [fu_grain], which
+   feeds the next run's cutoff decision and chunk layout. The EMA moves
+   schedules only, never results. *)
 type fused = {
   fu_chunk : int option;
   fu_body : int -> int;
   fu_job : job;
+  mutable fu_grain : int;
   mutable fu_slots : int array;
 }
 
-let fused ?chunk body =
+let fused ?chunk ?grain body =
   let t =
     {
       fu_chunk = chunk;
@@ -348,12 +602,17 @@ let fused ?chunk body =
           chunks = 0;
           chunk_size = 1;
           total = 0;
+          j_timed = false;
+          j_span = false;
+          armed = Atomic.make 0;
           next = Atomic.make 0;
           completed = Atomic.make 0;
           body = (fun _ _ -> ());
           failed = Atomic.make None;
           jm = metrics ();
         };
+      fu_grain =
+        (match grain with Some g when g >= 1 -> g | _ -> default_grain);
       fu_slots = Array.make (max 1 (size ())) 0;
     }
   in
@@ -368,43 +627,59 @@ let fused ?chunk body =
       t.fu_slots.(w) <- t.fu_slots.(w) + !s);
   t
 
+(* fold an observed per-index cost into the task's grain estimate;
+   [scale] undoes the parallel speedup of a dispatched run so the EMA
+   tracks sequential work, which is what the cost model prices *)
+let observe_grain t ~n ~scale dt =
+  let per = dt * scale / max 1 n in
+  let per = max 1 (min 1_000_000 per) in
+  t.fu_grain <- ((3 * t.fu_grain) + per) / 4
+
 let run_fused t ~n =
   if n <= 0 then 0
   else begin
     let m = metrics () in
-    let sz = size () in
-    let pool =
-      if sz <= 1 || n < sequential_cutoff || !busy then None else ensure_pool ()
+    let g =
+      match !grain_override with Some g -> g | None -> t.fu_grain
     in
-    match pool with
+    match plan ~n ~grain:g with
     | None ->
       Obs.Counter.incr m.m_seq_loops;
+      if n >= 2 && (not !busy) && size () > 1 then
+        Obs.Counter.incr m.m_cutoff_inline;
+      let sample = n * g >= ema_sample_min_ns in
+      let t0 = if sample then Obs.Clock.now_ns () else 0 in
       let b = t.fu_body in
       let s = ref 0 in
       for i = 0 to n - 1 do
         s := !s + b i
       done;
+      if sample then observe_grain t ~n ~scale:1 (max 0 (Obs.Clock.now_ns () - t0));
       !s
     | Some pool ->
+      let sz = size () in
       if Array.length t.fu_slots < sz then t.fu_slots <- Array.make sz 0;
       let slots = t.fu_slots in
       Array.fill slots 0 (Array.length slots) 0;
-      let chunk_size, chunks = chunk_layout ?chunk:t.fu_chunk ~n sz in
+      let chunk_size, chunks = chunk_layout ?chunk:t.fu_chunk ~grain:g ~n sz in
       let job = t.fu_job in
       job.total <- n;
       job.chunk_size <- chunk_size;
       job.chunks <- chunks;
       job.jm <- m;
-      Atomic.set job.next 0;
-      Atomic.set job.completed 0;
-      Atomic.set job.failed None;
+      job.j_timed <- Obs.Registry.live m.preg;
+      job.j_span <- Obs.Span.armed ();
       Obs.Counter.incr m.m_jobs;
+      let t0 = Obs.Clock.now_ns () in
       busy := true;
       (match dispatch pool job with
       | () -> busy := false
       | exception e ->
         busy := false;
         raise e);
+      let dt = max 0 (Obs.Clock.now_ns () - t0) in
+      if job.j_timed then Obs.Counter.add m.m_dispatch_ns dt;
+      observe_grain t ~n ~scale:(min sz cores) dt;
       (match Atomic.get job.failed with Some e -> raise e | None -> ());
       let s = ref 0 in
       for w = 0 to Array.length slots - 1 do
@@ -413,11 +688,28 @@ let run_fused t ~n =
       !s
   end
 
-let tabulate ?chunk n f =
+let tabulate ?chunk ?grain n f =
   if n <= 0 then [||]
   else begin
     let first = f 0 in
     let a = Array.make n first in
-    parallel_for ?chunk ~n:(n - 1) (fun i -> a.(i + 1) <- f (i + 1));
+    parallel_for ?chunk ?grain ~n:(n - 1) (fun i -> a.(i + 1) <- f (i + 1));
     a
   end
+
+(* ------------------------------------------------------------------ *)
+(* round batching                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A session bracket, not a new execution mode: every invariant of the
+   per-dispatch protocol (epoch-tagged claims, per-slot ownership, the
+   completed-counter barrier) is untouched; the only thing a session
+   changes is that workers watch the epoch word for [spin] iterations
+   before parking, so back-to-back rounds skip the park/wake cycle.
+   Nested sessions compose (the bracket restores the outer state), and
+   on hosts where spinning cannot help (pool.spin = 0) the session is
+   free. *)
+let run_rounds f =
+  let outer = Atomic.get resident in
+  Atomic.set resident true;
+  Fun.protect ~finally:(fun () -> Atomic.set resident outer) f

@@ -251,18 +251,25 @@ let gadget_components g (input : _ Labeling.t) =
   let comp = Array.make n (-1) in
   let ncomp = ref 0 in
   let is_gad e = (input.Labeling.e.(e) : _ pe_in).etype = GadEdge in
+  (* flat-array FIFO: same traversal (and so the same component and local
+     numbering) as the Queue-based BFS it replaces, without the per-node
+     queue cells *)
+  let q = Array.make n 0 in
   for s = 0 to n - 1 do
     if comp.(s) < 0 then begin
-      let q = Queue.create () in
+      let head = ref 0 and tail = ref 0 in
       comp.(s) <- !ncomp;
-      Queue.add s q;
-      while not (Queue.is_empty q) do
-        let v = Queue.take q in
+      q.(!tail) <- s;
+      incr tail;
+      while !head < !tail do
+        let v = q.(!head) in
+        incr head;
         G.iter_halves g v ~f:(fun h ->
             let w = G.half_node g (G.mate h) in
             if is_gad (G.edge_of_half h) && comp.(w) < 0 then begin
               comp.(w) <- !ncomp;
-              Queue.add w q
+              q.(!tail) <- w;
+              incr tail
             end)
       done;
       incr ncomp
@@ -278,43 +285,60 @@ let gadget_components g (input : _ Labeling.t) =
   for v = 0 to n - 1 do
     members.(comp.(v)).(local.(v)) <- v
   done;
-  (* per-component edge lists, in global edge order *)
-  let edges = Array.make !ncomp [] in
-  for e = G.m g - 1 downto 0 do
+  (* per-component edges in global edge order, bucketed CSR-style (the
+     Builder's tuple-list path allocated ~6 words per edge) *)
+  let ecount = Array.make !ncomp 0 in
+  let m = G.m g in
+  for e = 0 to m - 1 do
     if is_gad e then begin
-      let u, _ = G.endpoints g e in
-      edges.(comp.(u)) <- e :: edges.(comp.(u))
+      let u = G.half_node g (2 * e) in
+      ecount.(comp.(u)) <- ecount.(comp.(u)) + 1
     end
   done;
-  let lhalf = Array.make (2 * G.m g) (-1) in
+  let eoff = Array.make (!ncomp + 1) 0 in
+  for c = 0 to !ncomp - 1 do
+    eoff.(c + 1) <- eoff.(c) + ecount.(c)
+  done;
+  let ebuf = Array.make eoff.(!ncomp) 0 in
+  let ecur = Array.copy eoff in
+  for e = 0 to m - 1 do
+    if is_gad e then begin
+      let c = comp.(G.half_node g (2 * e)) in
+      ebuf.(ecur.(c)) <- e;
+      ecur.(c) <- ecur.(c) + 1
+    end
+  done;
+  let lhalf = Array.make (2 * m) (-1) in
   let comps =
     Array.init !ncomp (fun c ->
-        let b = G.Builder.create sizes.(c) in
-        List.iter
-          (fun e ->
-            let u, v = G.endpoints g e in
-            let le = G.Builder.add_edge b local.(u) local.(v) in
-            lhalf.(2 * e) <- 2 * le;
-            lhalf.((2 * e) + 1) <- (2 * le) + 1)
-          edges.(c);
-        let graph = G.Builder.build b in
+        let gm = ecount.(c) in
+        let half_node = Array.make (2 * gm) 0 in
+        for le = 0 to gm - 1 do
+          let e = ebuf.(eoff.(c) + le) in
+          half_node.(2 * le) <- local.(G.half_node g (2 * e));
+          half_node.((2 * le) + 1) <- local.(G.half_node g ((2 * e) + 1));
+          lhalf.(2 * e) <- 2 * le;
+          lhalf.((2 * e) + 1) <- (2 * le) + 1
+        done;
+        let graph = G.of_half_node ~n:sizes.(c) ~m:gm half_node in
         let nodes =
           Array.map (fun v -> (input.Labeling.v.(v) : _ pv_in).gad_v) members.(c)
         in
-        let halves = Array.make (2 * G.m graph) GL.Up in
-        let half_color2 = Array.make (2 * G.m graph) 0 in
+        let halves = Array.make (2 * gm) GL.Up in
+        let half_color2 = Array.make (2 * gm) 0 in
         let dummy_flags = { GL.f_right = false; f_left = false; f_child = false } in
-        let half_flags = Array.make (2 * G.m graph) dummy_flags in
-        List.iter
-          (fun e ->
-            List.iter
-              (fun h ->
-                let b_in : _ pb_in = input.Labeling.b.(h) in
-                halves.(lhalf.(h)) <- b_in.gad_b.NP.bl;
-                half_color2.(lhalf.(h)) <- b_in.gad_b.NP.bcolor;
-                half_flags.(lhalf.(h)) <- b_in.gad_b.NP.bflags)
-              [ 2 * e; (2 * e) + 1 ])
-          edges.(c);
+        let half_flags = Array.make (2 * gm) dummy_flags in
+        for le = 0 to gm - 1 do
+          let e = ebuf.(eoff.(c) + le) in
+          let fill h =
+            let b_in : _ pb_in = input.Labeling.b.(h) in
+            halves.(lhalf.(h)) <- b_in.gad_b.NP.bl;
+            half_color2.(lhalf.(h)) <- b_in.gad_b.NP.bcolor;
+            half_flags.(lhalf.(h)) <- b_in.gad_b.NP.bflags
+          in
+          fill (2 * e);
+          fill ((2 * e) + 1)
+        done;
         {
           members = members.(c);
           labels = { GL.graph; nodes; halves; half_color2; half_flags };

@@ -48,7 +48,7 @@ let iter_segments color big nbig f =
    from the neighbours *)
 let reduce_engine g delta color big nbig =
   iter_segments color big nbig (fun base len ->
-      Pool.parallel_for ~n:len (fun k ->
+      Pool.parallel_for ~grain:200 ~n:len (fun k ->
           let v = big.(base + k) in
           let used = Array.make (delta + 1) false in
           List.iter
@@ -70,13 +70,13 @@ let reduce_linalg g delta color big nbig =
   else begin
     let n = G.n g in
     let x =
-      Pool.tabulate n (fun v ->
+      Pool.tabulate ~grain:15 n (fun v ->
           if color.(v) <= delta then 1 lsl color.(v) else 0)
     in
     let used = Array.make n 0 in
     iter_segments color big nbig (fun base len ->
         Spmv.run_rows Semiring.bits g ~rows:big ~pos:base ~len ~x ~y:used;
-        Pool.parallel_for ~n:len (fun k ->
+        Pool.parallel_for ~grain:40 ~n:len (fun k ->
             let v = big.(base + k) in
             let m = used.(v) in
             let rec pick c = if m land (1 lsl c) <> 0 then pick (c + 1) else c in
@@ -100,7 +100,7 @@ let solve_gen ~reduce inst =
   (* out-edges of v: halves whose far endpoint has a larger id;
      forest index of such a half = its rank among v's out-halves *)
   let out_halves =
-    Pool.tabulate n (fun v ->
+    Pool.tabulate ~grain:250 n (fun v ->
         Array.of_list
           (List.rev
              (G.fold_halves g v ~init:[] ~f:(fun acc h ->
@@ -110,7 +110,7 @@ let solve_gen ~reduce inst =
   (* parent.(i).(v) = parent of v in forest i, or -1 *)
   let parent =
     Array.init delta (fun i ->
-        Pool.tabulate n (fun v ->
+        Pool.tabulate ~grain:30 n (fun v ->
             if i < Array.length out_halves.(v) then
               G.half_node g (G.mate out_halves.(v).(i))
             else -1))
@@ -138,7 +138,7 @@ let solve_gen ~reduce inst =
       if mx < 6 then continue := false
       else begin
         let next =
-          Pool.tabulate n (fun v ->
+          Pool.tabulate ~grain:60 n (fun v ->
               let p = parent.(i).(v) in
               if p < 0 then
                 (* roots: pretend a parent colored differently *)
@@ -159,7 +159,7 @@ let solve_gen ~reduce inst =
          color in {0,1,2} different from their own old color (their
          children now all wear that old color) *)
       let shifted =
-        Pool.tabulate n (fun v ->
+        Pool.tabulate ~grain:20 n (fun v ->
             let p = parent.(i).(v) in
             if p >= 0 then color.(p)
             else if color.(v) = 0 then 1
@@ -170,7 +170,7 @@ let solve_gen ~reduce inst =
       (* recolor class x: avoid parent's color and the (single) color all
          children share after the shift *)
       let next =
-        Pool.tabulate n (fun v ->
+        Pool.tabulate ~grain:30 n (fun v ->
             if color.(v) <> x then color.(v)
             else begin
               let avoid1 =
@@ -199,7 +199,7 @@ let solve_gen ~reduce inst =
     pow3.(i) <- 3 * pow3.(i - 1)
   done;
   let color =
-    Pool.tabulate n (fun v ->
+    Pool.tabulate ~grain:40 n (fun v ->
         let c = ref 0 in
         for i = 0 to delta - 1 do
           c := !c + (forest_color.(i).(v) * pow3.(i))

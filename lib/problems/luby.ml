@@ -19,7 +19,7 @@ let is_valid = Mis.is_valid
 let max_nodes = 1 lsl 22
 
 let draw rand ~iter ~n active p =
-  Pool.parallel_for ~n (fun v ->
+  Pool.parallel_for ~grain:60 ~n (fun v ->
       p.(v) <-
         (if active.(v) then
            (Int64.to_int (Randomness.bits64 rand ~node:v ~idx:iter)
@@ -46,9 +46,11 @@ let solve_impl ~use_linalg inst =
   let p = Array.make n min_int in
   let nmax = Array.make n min_int in
   let nmem = Array.make n false in
-  let count_active = Pool.fused (fun v -> if active.(v) then 1 else 0) in
+  let count_active = Pool.fused ~grain:5 (fun v -> if active.(v) then 1 else 0) in
   let remaining = ref (Pool.run_fused count_active ~n) in
   let iter = ref 0 in
+  (* every Luby iteration is 4–5 dispatches back to back *)
+  Pool.run_rounds (fun () ->
   while !remaining > 0 do
     draw rand ~iter:!iter ~n active p;
     (* priority contest: nmax.(v) = max neighbour priority. The two
@@ -57,7 +59,7 @@ let solve_impl ~use_linalg inst =
     if use_linalg then
       Spmv.run_masked Semiring.max_select g ~mask:active ~x:p ~y:nmax
     else
-      Pool.parallel_for ~n (fun v ->
+      Pool.parallel_for ~grain:100 ~n (fun v ->
           if active.(v) then begin
             let best = ref min_int in
             for i = off.(v) to off.(v + 1) - 1 do
@@ -66,13 +68,13 @@ let solve_impl ~use_linalg inst =
             done;
             nmax.(v) <- !best
           end);
-    Pool.parallel_for ~n (fun v ->
+    Pool.parallel_for ~grain:10 ~n (fun v ->
         if active.(v) && p.(v) > nmax.(v) then members.(v) <- true);
     (* blocking: nmem.(v) = some neighbour is a member (boolean SpMV) *)
     if use_linalg then
       Spmv.run_masked Semiring.boolean g ~mask:active ~x:members ~y:nmem
     else
-      Pool.parallel_for ~n (fun v ->
+      Pool.parallel_for ~grain:100 ~n (fun v ->
           if active.(v) then begin
             let any = ref false in
             for i = off.(v) to off.(v + 1) - 1 do
@@ -80,11 +82,11 @@ let solve_impl ~use_linalg inst =
             done;
             nmem.(v) <- !any
           end);
-    Pool.parallel_for ~n (fun v ->
+    Pool.parallel_for ~grain:10 ~n (fun v ->
         if active.(v) && (members.(v) || nmem.(v)) then active.(v) <- false);
     remaining := Pool.run_fused count_active ~n;
     incr iter
-  done;
+  done);
   Obs.Counter.add
     (Obs.Registry.counter reg "problems.luby.iterations")
     !iter;

@@ -73,7 +73,7 @@ let solve inst =
      parallel step per class: same-class edges never share an endpoint
      (the edge coloring is proper), so each edge reads and writes only
      endpoints no other edge of its class touches *)
-  let edge_class = Pool.tabulate (G.m g) edge_color in
+  let edge_class = Pool.tabulate ~grain:150 (G.m g) edge_color in
   let bucket = Array.make palette [] in
   for e = G.m g - 1 downto 0 do
     bucket.(edge_class.(e)) <- e :: bucket.(edge_class.(e))
@@ -83,7 +83,7 @@ let solve inst =
     | [] -> ()
     | edges ->
       let edges = Array.of_list edges in
-      Pool.parallel_for ~n:(Array.length edges) (fun i ->
+      Pool.parallel_for ~grain:40 ~n:(Array.length edges) (fun i ->
           let e = edges.(i) in
           let u, v = G.endpoints g e in
           if (not node_matched.(u)) && not node_matched.(v) then begin

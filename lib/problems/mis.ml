@@ -81,7 +81,7 @@ let solve inst =
   let off, bucket = class_buckets coloring ~n ~delta in
   for cls = 0 to delta do
     let base = off.(cls) in
-    Pool.parallel_for ~n:(off.(cls + 1) - base) (fun k ->
+    Pool.parallel_for ~grain:80 ~n:(off.(cls + 1) - base) (fun k ->
         let v = bucket.(base + k) in
         if not blocked.(v) then begin
           members.(v) <- true;
@@ -125,7 +125,7 @@ let solve_linalg inst =
     let len = off.(cls + 1) - base in
     (* cand := class ∧ ¬blocked; members |= cand (scatter over the
        class segment — a sparse masked assign) *)
-    Pool.parallel_for ~n:len (fun k ->
+    Pool.parallel_for ~grain:30 ~n:len (fun k ->
         let v = bucket.(base + k) in
         if not blocked.(v) then begin
           cand.(v) <- true;
@@ -134,7 +134,7 @@ let solve_linalg inst =
     Spmv.run_masked Semiring.boolean ~complement:true ~accum:true g
       ~mask:blocked ~x:cand ~y:blocked;
     (* clear the candidate vector for the next class *)
-    Pool.parallel_for ~n:len (fun k -> cand.(bucket.(base + k)) <- false)
+    Pool.parallel_for ~grain:10 ~n:len (fun k -> cand.(bucket.(base + k)) <- false)
   done;
   if Obs.Registry.live reg then
     Obs.Counter.add

@@ -111,46 +111,64 @@ let orient_half (out : output) h =
 (* Orient a tree component away from its minimum-id root; every internal
    node then has an outgoing child edge and only the exempt leaves are
    sinks. Returns the diameter of the component for metering. *)
-let solve_tree_component g ids out nodes =
+(* [seen]/[dist]/[qbuf] are solver-wide scratch (see solve_deterministic):
+   tree components are disjoint from each other and from the cyclic
+   classes, so [seen] needs no reset; [dist] is restored to -1 after each
+   sweep via the queue contents *)
+let solve_tree_component g ids out nodes ~seen ~dist ~qbuf =
   let root =
     List.fold_left
       (fun best v -> if ids.(v) < ids.(best) then v else best)
       (List.hd nodes) nodes
   in
-  let visited = Hashtbl.create 64 in
-  let q = Queue.create () in
-  Hashtbl.replace visited root ();
-  Queue.add root q;
-  while not (Queue.is_empty q) do
-    let v = Queue.take q in
-    G.iter_halves g v ~f:(fun h ->
-        let w = G.half_node g (G.mate h) in
-        if not (Hashtbl.mem visited w) then begin
-          Hashtbl.replace visited w ();
-          (* away from root: v -> w *)
-          orient_half out h;
-          Queue.add w q
-        end)
+  let head = ref 0 and tail = ref 0 in
+  seen.(root) <- true;
+  qbuf.(!tail) <- root;
+  incr tail;
+  while !head < !tail do
+    let v = qbuf.(!head) in
+    incr head;
+    for i = 0 to G.degree g v - 1 do
+      let h = G.half_at g v i in
+      let w = G.half_node g (G.mate h) in
+      if not seen.(w) then begin
+        seen.(w) <- true;
+        (* away from root: v -> w *)
+        orient_half out h;
+        qbuf.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   (* exact tree diameter by double sweep *)
   let far_of src =
-    let dist = Hashtbl.create 64 in
-    Hashtbl.replace dist src 0;
-    let q = Queue.create () in
-    Queue.add src q;
-    let best = ref (src, 0) in
-    while not (Queue.is_empty q) do
-      let v = Queue.take q in
-      let d = Hashtbl.find dist v in
-      if d > snd !best then best := (v, d);
-      G.iter_halves g v ~f:(fun h ->
-          let w = G.half_node g (G.mate h) in
-          if not (Hashtbl.mem dist w) then begin
-            Hashtbl.replace dist w (d + 1);
-            Queue.add w q
-          end)
+    let head = ref 0 and tail = ref 0 in
+    dist.(src) <- 0;
+    qbuf.(!tail) <- src;
+    incr tail;
+    let best_v = ref src and best_d = ref 0 in
+    while !head < !tail do
+      let v = qbuf.(!head) in
+      incr head;
+      let d = dist.(v) in
+      if d > !best_d then begin
+        best_v := v;
+        best_d := d
+      end;
+      for i = 0 to G.degree g v - 1 do
+        let h = G.half_at g v i in
+        let w = G.half_node g (G.mate h) in
+        if dist.(w) < 0 then begin
+          dist.(w) <- d + 1;
+          qbuf.(!tail) <- w;
+          incr tail
+        end
+      done
     done;
-    !best
+    for k = 0 to !tail - 1 do
+      dist.(qbuf.(k)) <- -1
+    done;
+    (!best_v, !best_d)
   in
   let u, _ = far_of root in
   let _, diameter = far_of u in
@@ -160,17 +178,20 @@ let solve_tree_component g ids out nodes =
    find a short cycle near the minimum-id node of the class. Returns the
    cycle as a list of halves to orient (each half pointing "forward" along
    the cycle), or a single self-loop half. *)
-let find_class_cycle g is_bridge cls c root =
+(* [visited]/[parent_half]/[qbuf] are solver-wide scratch: the walk only
+   touches nodes of class [c] and classes are disjoint, so neither array
+   needs resetting between classes. [parent_half w] = the half (at the
+   parent) whose mate leads to [w], or -1 at the root. *)
+let find_class_cycle g is_bridge cls c root ~visited ~parent_half ~qbuf =
   let in_class v = cls.(v) = c in
-  let parent_half = Hashtbl.create 64 in
-  (* parent_half w = the half (at parent) whose mate leads to w *)
-  let visited = Hashtbl.create 64 in
-  Hashtbl.replace visited root ();
-  let q = Queue.create () in
-  Queue.add root q;
+  visited.(root) <- true;
+  let head = ref 0 and tail = ref 0 in
+  qbuf.(!tail) <- root;
+  incr tail;
   let found = ref None in
-  while !found = None && not (Queue.is_empty q) do
-    let v = Queue.take q in
+  while !found = None && !head < !tail do
+    let v = qbuf.(!head) in
+    incr head;
     let dv = G.degree g v in
     let i = ref 0 in
     while !found = None && !i < dv do
@@ -182,15 +203,15 @@ let find_class_cycle g is_bridge cls c root =
         if w = v then found := Some (`Self_loop h)
         else begin
           let parent_edge_of v =
-            match Hashtbl.find_opt parent_half v with
-            | None -> -1
-            | Some ph -> G.edge_of_half ph
+            if parent_half.(v) < 0 then -1
+            else G.edge_of_half parent_half.(v)
           in
           if e = parent_edge_of v then ()
-          else if not (Hashtbl.mem visited w) then begin
-            Hashtbl.replace visited w ();
-            Hashtbl.replace parent_half w h;
-            Queue.add w q
+          else if not visited.(w) then begin
+            visited.(w) <- true;
+            parent_half.(w) <- h;
+            qbuf.(!tail) <- w;
+            incr tail
           end
           else found := Some (`Closing (h, v, w))
         end
@@ -200,9 +221,8 @@ let find_class_cycle g is_bridge cls c root =
   let ancestors v =
     (* nodes from the BFS root down to [v] *)
     let rec collect v acc =
-      match Hashtbl.find_opt parent_half v with
-      | None -> v :: acc
-      | Some h -> collect (G.half_node g h) (v :: acc)
+      if parent_half.(v) < 0 then v :: acc
+      else collect (G.half_node g parent_half.(v)) (v :: acc)
     in
     collect v []
   in
@@ -226,12 +246,12 @@ let find_class_cycle g is_bridge cls c root =
     (* halves along lca -> v (each half points from parent to child) *)
     let down_v = ref [] in
     for i = Array.length av - 1 downto lca_idx + 1 do
-      down_v := Hashtbl.find parent_half av.(i) :: !down_v
+      down_v := parent_half.(av.(i)) :: !down_v
     done;
     (* halves along w -> lca (pointing from child to parent: mates) *)
     let up_w = ref [] in
     for i = lca_idx + 1 to Array.length aw - 1 do
-      up_w := G.mate (Hashtbl.find parent_half aw.(i)) :: !up_w
+      up_w := G.mate parent_half.(aw.(i)) :: !up_w
     done;
     (* forward order: lca ->...-> v, then v->w, then w ->...-> lca *)
     Some (!down_v @ [ h ] @ List.rev !up_w)
@@ -244,7 +264,7 @@ let solve_deterministic inst =
   let n = G.n g in
   let out = Labeling.const g ~v:() ~e:() ~b:In in
   (* default: side 0 out, side 1 in (each edge owns its two halves) *)
-  Pool.parallel_for ~n:(G.m g) (fun e ->
+  Pool.parallel_for ~grain:10 ~n:(G.m g) (fun e ->
       out.b.(2 * e) <- Out;
       out.b.((2 * e) + 1) <- In);
   let meter = Meter.create n in
@@ -257,109 +277,134 @@ let solve_deterministic inst =
     comp_nodes.(comp.(v)) <- v :: comp_nodes.(comp.(v))
   done;
   let is_bridge = Bridges.bridges g in
-  let cls, _ = Bridges.two_edge_connected_components g in
+  let cls, nclass = Bridges.two_edge_connected_components g in
   (* class -> has at least one (non-bridge) edge *)
-  let class_cyclic = Hashtbl.create 64 in
+  let class_cyclic = Array.make (max 1 nclass) false in
   G.iter_edges g ~f:(fun e u _ ->
-      if not is_bridge.(e) then Hashtbl.replace class_cyclic cls.(u) ());
+      if not is_bridge.(e) then class_cyclic.(cls.(u)) <- true);
   (* per-node charge computed for cyclic components *)
   let depth_in_class = Array.make n 0 in
   let class_charge = Array.make n 0 in
   (* charge of the cyclic machinery at each X node *)
   let in_x = Array.make n false in
+  (* solver-wide scratch. 2ecc classes are node-disjoint, and tree
+     components are disjoint from the cyclic region, so [seen] /
+     [visited] / [parent_half] / [dist] stay valid across all the sweeps
+     below without any resets (dist is restored to -1 only inside
+     [solve_tree_component], where the same nodes are swept twice). *)
+  let seen = Array.make (max 1 n) false in
+  let visited = Array.make (max 1 n) false in
+  let parent_half = Array.make (max 1 n) (-1) in
+  let dist = Array.make (max 1 n) (-1) in
+  let qbuf = Array.make (max 1 n) 0 in
+  let qbuf2 = Array.make (max 1 n) 0 in
   (* handle cyclic classes *)
-  let handled = Hashtbl.create 64 in
+  let handled = Array.make (max 1 nclass) false in
   for v = 0 to n - 1 do
     let c = cls.(v) in
-    if Hashtbl.mem class_cyclic c && not (Hashtbl.mem handled c) then begin
-      Hashtbl.replace handled c ();
+    if class_cyclic.(c) && not handled.(c) then begin
+      handled.(c) <- true;
       Obs.Counter.incr mt.m_det_cyclic;
-      (* root = min id node of the class *)
+      (* find the min-id root: scan the class by BFS over non-bridge
+         edges; the queue prefix qbuf.(0 .. nmembers-1) doubles as the
+         member list *)
       let root = ref v in
-      (* find min-id node: scan the class by BFS over non-bridge edges *)
-      let members = ref [] in
-      let seen = Hashtbl.create 64 in
-      let q = Queue.create () in
-      Hashtbl.replace seen v ();
-      Queue.add v q;
-      while not (Queue.is_empty q) do
-        let x = Queue.take q in
-        members := x :: !members;
+      let head = ref 0 and tail = ref 0 in
+      seen.(v) <- true;
+      qbuf.(!tail) <- v;
+      incr tail;
+      while !head < !tail do
+        let x = qbuf.(!head) in
+        incr head;
         if ids.(x) < ids.(!root) then root := x;
-        G.iter_halves g x ~f:(fun h ->
-            let e = G.edge_of_half h in
-            let w = G.half_node g (G.mate h) in
-            if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem seen w)
-            then begin
-              Hashtbl.replace seen w ();
-              Queue.add w q
-            end)
+        for i = 0 to G.degree g x - 1 do
+          let h = G.half_at g x i in
+          let e = G.edge_of_half h in
+          let w = G.half_node g (G.mate h) in
+          if (not is_bridge.(e)) && cls.(w) = c && not seen.(w)
+          then begin
+            seen.(w) <- true;
+            qbuf.(!tail) <- w;
+            incr tail
+          end
+        done
       done;
-      match find_class_cycle g is_bridge cls c !root with
+      let nmembers = !tail in
+      match
+        find_class_cycle g is_bridge cls c !root ~visited ~parent_half
+          ~qbuf:qbuf2
+      with
       | None -> () (* cannot happen: cyclic class contains a cycle *)
       | Some cycle_halves ->
         List.iter (fun h -> orient_half out h) cycle_halves;
         let cycle_len = List.length cycle_halves in
-        let on_cycle = Hashtbl.create 16 in
-        List.iter
-          (fun h -> Hashtbl.replace on_cycle (G.half_node g h) ())
-          cycle_halves;
         (* BFS inside the class from the cycle; every non-cycle class node
-           points toward the cycle *)
-        let dist = Hashtbl.create 64 in
-        let q = Queue.create () in
-        Hashtbl.iter
-          (fun x () ->
-            Hashtbl.replace dist x 0;
-            Queue.add x q)
-          on_cycle;
-        let max_depth = ref 0 in
-        while not (Queue.is_empty q) do
-          let x = Queue.take q in
-          let d = Hashtbl.find dist x in
-          if d > !max_depth then max_depth := d;
-          G.iter_halves g x ~f:(fun h ->
-              let e = G.edge_of_half h in
-              let w = G.half_node g (G.mate h) in
-              if (not is_bridge.(e)) && cls.(w) = c && not (Hashtbl.mem dist w)
-              then begin
-                Hashtbl.replace dist w (d + 1);
-                (* w -> x : half at w is the mate of h *)
-                orient_half out (G.mate h);
-                Queue.add w q
-              end)
-        done;
+           points toward the cycle. Seeded in cycle order, deduped via the
+           dist sentinel. *)
+        let head = ref 0 and tail = ref 0 in
         List.iter
-          (fun x ->
-            in_x.(x) <- true;
-            depth_in_class.(x) <- (try Hashtbl.find dist x with Not_found -> 0);
-            class_charge.(x) <- depth_in_class.(x) + cycle_len)
-          !members
+          (fun h ->
+            let x = G.half_node g h in
+            if dist.(x) < 0 then begin
+              dist.(x) <- 0;
+              qbuf2.(!tail) <- x;
+              incr tail
+            end)
+          cycle_halves;
+        while !head < !tail do
+          let x = qbuf2.(!head) in
+          incr head;
+          let d = dist.(x) in
+          for i = 0 to G.degree g x - 1 do
+            let h = G.half_at g x i in
+            let e = G.edge_of_half h in
+            let w = G.half_node g (G.mate h) in
+            if (not is_bridge.(e)) && cls.(w) = c && dist.(w) < 0
+            then begin
+              dist.(w) <- d + 1;
+              (* w -> x : half at w is the mate of h *)
+              orient_half out (G.mate h);
+              qbuf2.(!tail) <- w;
+              incr tail
+            end
+          done
+        done;
+        for k = 0 to nmembers - 1 do
+          let x = qbuf.(k) in
+          in_x.(x) <- true;
+          depth_in_class.(x) <- (if dist.(x) >= 0 then dist.(x) else 0);
+          class_charge.(x) <- depth_in_class.(x) + cycle_len
+        done
     end
   done;
   (* multi-source BFS from X across all edges: the bridge forest hanging
      off the cyclic region points toward it *)
   let dist_x = Array.make n (-1) in
   let src_x = Array.make n (-1) in
-  let q = Queue.create () in
+  let head = ref 0 and tail = ref 0 in
   for v = 0 to n - 1 do
     if in_x.(v) then begin
       dist_x.(v) <- 0;
       src_x.(v) <- v;
-      Queue.add v q
+      qbuf.(!tail) <- v;
+      incr tail
     end
   done;
-  while not (Queue.is_empty q) do
-    let v = Queue.take q in
-    G.iter_halves g v ~f:(fun h ->
-        let w = G.half_node g (G.mate h) in
-        if dist_x.(w) < 0 then begin
-          dist_x.(w) <- dist_x.(v) + 1;
-          src_x.(w) <- src_x.(v);
-          (* w -> v *)
-          orient_half out (G.mate h);
-          Queue.add w q
-        end)
+  while !head < !tail do
+    let v = qbuf.(!head) in
+    incr head;
+    for i = 0 to G.degree g v - 1 do
+      let h = G.half_at g v i in
+      let w = G.half_node g (G.mate h) in
+      if dist_x.(w) < 0 then begin
+        dist_x.(w) <- dist_x.(v) + 1;
+        src_x.(w) <- src_x.(v);
+        (* w -> v *)
+        orient_half out (G.mate h);
+        qbuf.(!tail) <- w;
+        incr tail
+      end
+    done
   done;
   (* tree components (no node reached from X) *)
   for c = 0 to ncomp - 1 do
@@ -369,12 +414,12 @@ let solve_deterministic inst =
     | first :: _ ->
       if dist_x.(first) < 0 && comp_edges.(c) > 0 then begin
         Obs.Counter.incr mt.m_det_trees;
-        let diameter = solve_tree_component g ids out nodes in
+        let diameter = solve_tree_component g ids out nodes ~seen ~dist ~qbuf in
         List.iter (fun v -> Meter.charge meter v diameter) nodes
       end
   done;
   (* charges for the cyclic region *)
-  Pool.parallel_for ~n (fun v ->
+  Pool.parallel_for ~grain:20 ~n (fun v ->
       if dist_x.(v) >= 0 then
         Meter.charge meter v (dist_x.(v) + class_charge.(src_x.(v))));
   (out, meter)
@@ -389,7 +434,7 @@ let solve_deterministic inst =
    indexed by the port the edge occupies at it (per-node randomness is
    seed-indexed, so the flips are schedule-oblivious) *)
 let random_orientation g rand (out : output) =
-  Pool.parallel_for ~n:(G.m g) (fun e ->
+  Pool.parallel_for ~grain:80 ~n:(G.m g) (fun e ->
       let h = 2 * e in
       let node = G.half_node g h in
       let port = G.half_port g h in
@@ -405,7 +450,7 @@ let random_orientation g rand (out : output) =
 let out_degrees g (out : output) =
   let n = G.n g in
   let out_deg = Array.make n 0 in
-  Pool.parallel_for ~n (fun v ->
+  Pool.parallel_for ~grain:60 ~n (fun v ->
       out_deg.(v) <-
         G.fold_halves g v ~init:0 ~f:(fun d h ->
             if out.b.(h) = Out then d + 1 else d));
@@ -552,6 +597,7 @@ let solve_randomized_frontier ?stats inst =
     sinks;
   let run_sp = Obs.Span.enter "wave.run" in
   let wround = ref 0 in
+  Pool.run_rounds (fun () ->
   while FS.cardinal front > 0 do
     let rsp = Obs.Span.enter "wave.round" in
     let t0 = Obs.Clock.now_ns () in
@@ -563,7 +609,7 @@ let solve_randomized_frontier ?stats inst =
     (* claim: each candidate joins the minimum-root-id region among its
        previous-frontier neighbours, with the first such port as parent.
        Index-owned writes, reads only last round's state. *)
-    Pool.parallel_for ~n:(FS.cardinal cand) (fun k ->
+    Pool.parallel_for ~grain:150 ~n:(FS.cardinal cand) (fun k ->
         let w = FS.member cand k in
         let dw = G.degree g w in
         let best = ref (-1) in
@@ -605,7 +651,7 @@ let solve_randomized_frontier ?stats inst =
     if Obs.Span.live rsp then
       Obs.Span.exit ~kvs:[ ("round", !wround); ("active", active) ] rsp;
     incr wround
-  done;
+  done);
   if Obs.Span.live run_sp then
     Obs.Span.exit ~kvs:[ ("rounds", !wround); ("n", n) ] run_sp;
   (* deferred flips, in sink-id order (order is immaterial: the paths

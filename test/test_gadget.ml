@@ -560,6 +560,31 @@ let test_corrupt_all_kinds_invalidate () =
         (try_once 10))
     Corrupt.all_kinds
 
+(* [Check.node_bad] is the allocation-free twin of
+   [node_violations <> []] used by the verifier hot path; keep them in
+   lockstep on valid gadgets and on every corruption kind *)
+let test_node_bad_matches_violations () =
+  let agree name t =
+    for u = 0 to G.n t.L.graph - 1 do
+      check
+        (Printf.sprintf "%s node %d" name u)
+        (C.node_violations ~delta:3 t u <> [])
+        (C.node_bad ~delta:3 t u)
+    done
+  in
+  agree "valid h8" (B.gadget ~delta:3 ~height:8);
+  let rng = Random.State.make [| 7 |] in
+  for rep = 0 to 9 do
+    List.iter
+      (fun kind ->
+        let t = B.gadget ~delta:3 ~height:4 in
+        let t' = Corrupt.apply rng kind t in
+        agree
+          (Format.asprintf "rep %d %a" rep Corrupt.pp_kind kind)
+          t')
+      Corrupt.all_kinds
+  done
+
 let prop_corrupt_always_proved =
   QCheck.Test.make ~name:"every corruption admits a valid ne proof" ~count:40
     QCheck.(int_range 0 100000)
@@ -623,5 +648,6 @@ let suite =
     ("ne parallel-edge color proof", `Quick, test_ne_parallel_edge_color_proof);
     ("ne chain proof used", `Quick, test_ne_chain_proof_used);
     ("corrupt kinds invalidate", `Quick, test_corrupt_all_kinds_invalidate);
+    ("node_bad matches node_violations", `Quick, test_node_bad_matches_violations);
   ]
   @ qcheck_tests

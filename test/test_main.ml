@@ -1,3 +1,13 @@
+(* The determinism suites sweep pool sizes to prove bit-identity under
+   real worker execution; with the cost-aware cutoff in its default
+   Auto policy a one-core CI host would never dispatch and the sweeps
+   would pass vacuously. Force the pre-autotuner Always policy unless
+   the environment asks for a specific one (the autotuner suite
+   switches policies itself, under its own bracket). *)
+let () =
+  if Sys.getenv_opt "REPRO_POOL_CUTOFF" = None then
+    Repro_local.Pool.set_dispatch_mode Repro_local.Pool.Always
+
 let () =
   Alcotest.run "repro"
     [

@@ -235,6 +235,206 @@ let test_distributed_check_equal () =
       let v = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
       (v.DC.accepts, v.DC.all_accept, v.DC.rounds))
 
+(* ------------------------------------------------------------------ *)
+(* adaptive dispatch: autotuner invariance, round batching, arming    *)
+(* ------------------------------------------------------------------ *)
+
+module Obs = Repro_obs
+
+(* run [f] with free rein over the dispatch knobs, restoring the
+   suite-wide configuration (size 1, no grain override, whatever mode
+   test_main armed) however [f] exits *)
+let with_dispatch_config f =
+  let mode0 = Pool.dispatch_mode () in
+  Fun.protect
+    ~finally:(fun () ->
+      Pool.set_size 1;
+      Pool.set_grain_override None;
+      Pool.set_dispatch_mode mode0)
+    f
+
+let dispatch_modes =
+  [ ("auto", Pool.Auto); ("always", Pool.Always); ("work1k", Pool.Work_ns 1000) ]
+
+let grain_overrides = [ ("default", None); ("g1", Some 1); ("gN", Some 1_000_000) ]
+
+let test_autotuner_invariance () =
+  (* the tentpole contract: cutoff decisions, grain choices and the EMA
+     the autotuner accumulates may move work between domains, never
+     change a result. Every (mode, grain, size) cell runs twice — the
+     first run feeds the EMA, so the second run's schedule may differ,
+     and both must equal the sequential base. *)
+  let inst = so_instance ~n:120 () in
+  let g = inst.Instance.graph in
+  let compute () =
+    let out, rounds = SO.solve_deterministic inst in
+    let v = DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out in
+    (out, rounds, v.DC.accepts, v.DC.all_accept, v.DC.rounds)
+  in
+  with_dispatch_config (fun () ->
+      Pool.set_size 1;
+      Pool.set_grain_override None;
+      Pool.set_dispatch_mode Pool.Always;
+      let base = compute () in
+      List.iter
+        (fun (mname, mode) ->
+          List.iter
+            (fun (gname, grain) ->
+              List.iter
+                (fun s ->
+                  Pool.set_size s;
+                  Pool.set_dispatch_mode mode;
+                  Pool.set_grain_override grain;
+                  for rep = 1 to 2 do
+                    check
+                      (Printf.sprintf "%s/%s/size %d rep %d = sequential"
+                         mname gname s rep)
+                      true
+                      (base = compute ())
+                  done)
+                [ 1; 2; 4 ])
+            grain_overrides)
+        dispatch_modes)
+
+let test_autotuner_obs_invariance () =
+  (* the observability byte-identity half of the contract: deterministic
+     trace projections and provenance certificates may not depend on the
+     grain, the pool size, or EMA state accumulated by earlier runs *)
+  let inst = so_instance ~n:100 () in
+  let g = inst.Instance.graph in
+  let out, _ = SO.solve_deterministic inst in
+  let traced () =
+    Obs.Trace.start ~label:"autotune" ~n:(G.n g) ();
+    Fun.protect
+      ~finally:(fun () -> Obs.Registry.disable ())
+      (fun () ->
+        ignore (DC.run SO.problem inst ~input:(SO.trivial_input g) ~output:out);
+        Obs.Trace.finish ())
+  in
+  let audited () =
+    snd (DC.audited_run SO.problem inst ~input:(SO.trivial_input g) ~output:out)
+  in
+  with_dispatch_config (fun () ->
+      Pool.set_size 1;
+      Pool.set_grain_override None;
+      Pool.set_dispatch_mode Pool.Always;
+      let base_trace = traced () in
+      let base_cert = audited () in
+      check "base certificate ok" true base_cert.Obs.Provenance.c_ok;
+      List.iter
+        (fun (gname, grain) ->
+          List.iter
+            (fun s ->
+              Pool.set_size s;
+              Pool.set_grain_override grain;
+              check
+                (Printf.sprintf "trace projection %s size %d" gname s)
+                true
+                (Obs.Trace.deterministic_equal base_trace (traced ()));
+              check
+                (Printf.sprintf "provenance cert %s size %d" gname s)
+                true
+                (base_cert = audited ()))
+            [ 1; 2; 4 ])
+        grain_overrides)
+
+let test_run_rounds_equal () =
+  (* round batching: a resident-worker session is a scheduling hint,
+     never a semantic one *)
+  let inst = so_instance ~n:100 () in
+  across_sizes "run_rounds so det" (fun () ->
+      let direct = SO.solve_deterministic inst in
+      let batched = Pool.run_rounds (fun () -> SO.solve_deterministic inst) in
+      check "in-session = out of session" true (direct = batched);
+      batched)
+
+let test_run_rounds_exception_safe () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 4;
+      (* an exception from a loop inside the session propagates *)
+      check "loop exception propagates" true
+        (try
+           Pool.run_rounds (fun () ->
+               Pool.parallel_for ~n:1000 (fun i ->
+                   if i = 77 then failwith "bang"));
+           false
+         with Failure m -> m = "bang");
+      (* ... as does one from the session body itself *)
+      check "body exception propagates" true
+        (try Pool.run_rounds (fun () -> failwith "direct")
+         with Failure m -> m = "direct");
+      (* the workers leave residency however the session ended: both a
+         fresh session and a bare loop still work and still cover *)
+      let s =
+        Pool.run_rounds (fun () ->
+            Pool.parallel_for_reduce ~n:100 ~neutral:0 ~combine:( + )
+              (fun i -> i))
+      in
+      check_int "session after failure" 4950 s;
+      let s' =
+        Pool.parallel_for_reduce ~n:100 ~neutral:0 ~combine:( + ) (fun i -> i)
+      in
+      check_int "bare loop after failure" 4950 s')
+
+let test_run_rounds_nested () =
+  Fun.protect
+    ~finally:(fun () -> Pool.set_size 1)
+    (fun () ->
+      Pool.set_size 2;
+      let r =
+        Pool.run_rounds (fun () ->
+            Pool.run_rounds (fun () ->
+                Pool.parallel_for_reduce ~n:64 ~neutral:0 ~combine:( + )
+                  (fun i -> i)))
+      in
+      check_int "nested sessions compute" 2016 r;
+      (* leaving the inner session must not evict the outer one's
+         residency: a loop after the inner exit still covers *)
+      let r' =
+        Pool.run_rounds (fun () ->
+            Pool.run_rounds (fun () -> ()) |> ignore;
+            Pool.parallel_for_reduce ~n:64 ~neutral:0 ~combine:( + )
+              (fun i -> i))
+      in
+      check_int "loop after inner session exit" 2016 r')
+
+let test_pool_counters_armed_per_job () =
+  (* regression for the per-job arming latch: whether a job records
+     chunk telemetry is decided once at dispatch, so a job dispatched
+     while the registry is disarmed must leave every pool counter
+     untouched, and an armed job must account each chunk and each index
+     exactly once *)
+  let reg = Obs.Registry.ambient () in
+  let chunks = Obs.Registry.counter reg "local.pool.chunks" in
+  let par_idx = Obs.Registry.counter reg "local.pool.par_idx" in
+  let chunk_ns = Obs.Registry.counter reg "local.pool.chunk_ns" in
+  with_dispatch_config (fun () ->
+      Pool.set_size 4;
+      Pool.set_dispatch_mode Pool.Always;
+      Fun.protect
+        ~finally:(fun () -> Obs.Registry.disable ())
+        (fun () ->
+          Obs.Registry.disable ();
+          let c0 = Obs.Counter.value chunks in
+          let p0 = Obs.Counter.value par_idx in
+          let t0 = Obs.Counter.value chunk_ns in
+          Pool.parallel_for ~chunk:8 ~n:512 (fun _ -> ());
+          check_int "disarmed: chunks untouched" c0 (Obs.Counter.value chunks);
+          check_int "disarmed: par_idx untouched" p0
+            (Obs.Counter.value par_idx);
+          check_int "disarmed: chunk_ns untouched" t0
+            (Obs.Counter.value chunk_ns);
+          Obs.Registry.enable ();
+          let c1 = Obs.Counter.value chunks in
+          let p1 = Obs.Counter.value par_idx in
+          Pool.parallel_for ~chunk:8 ~n:512 (fun _ -> ());
+          Obs.Registry.disable ();
+          check "armed: chunks advanced" true (Obs.Counter.value chunks > c1);
+          check_int "armed: par_idx counts each index once" (p1 + 512)
+            (Obs.Counter.value par_idx)))
+
 let suite =
   [
     ("parallel_for covers every index once", `Quick, test_parallel_for_covers);
@@ -254,4 +454,10 @@ let suite =
     ("two-coloring equal", `Quick, test_two_coloring_equal);
     ("gadget verifier equal", `Quick, test_verifier_equal);
     ("distributed checker equal", `Quick, test_distributed_check_equal);
+    ("autotuner invariance across modes/grains", `Quick, test_autotuner_invariance);
+    ("autotuner trace/cert invariance", `Quick, test_autotuner_obs_invariance);
+    ("run_rounds determinism", `Quick, test_run_rounds_equal);
+    ("run_rounds exception safety", `Quick, test_run_rounds_exception_safe);
+    ("run_rounds nesting", `Quick, test_run_rounds_nested);
+    ("pool counters armed per job", `Quick, test_pool_counters_armed_per_job);
   ]
